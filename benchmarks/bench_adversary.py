@@ -1,0 +1,41 @@
+"""Benchmark for experiment E2 -- privacy guarantees over repeated executions.
+
+Regenerates the E2 table and asserts its expected shape: without hiding the
+adversary eventually pins down the module's function (guess success 1.0);
+with a safe subset for Gamma the success rate stays at or below 1/Gamma no
+matter how many executions are observed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e2_adversary
+from repro.experiments.reporting import format_table
+
+
+def test_e2_adversary_over_repeated_executions(benchmark):
+    """E2: adversary knowledge as a function of observed executions."""
+    config = e2_adversary.E2Config()
+    rows = benchmark.pedantic(
+        e2_adversary.run, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="E2 -- adversary over repeated executions"))
+    print(e2_adversary.headline(rows))
+
+    no_hiding = [row for row in rows if row["setting"] == "no hiding"]
+    hidden = [row for row in rows if str(row["setting"]).startswith("safe subset")]
+    assert no_hiding and hidden
+
+    # Without hiding, full observation determines the function exactly.
+    final_plain = next(row for row in no_hiding if row["observations"] == "all")
+    assert float(final_plain["guess_success_rate"]) == 1.0
+
+    # With the safe subset, the success rate never exceeds 1/Gamma.
+    bound = 1.0 / config.gamma + 1e-9
+    for row in hidden:
+        assert float(row["guess_success_rate"]) <= bound
+
+    # More observations never help less (success is non-decreasing) without hiding.
+    numeric = [row for row in no_hiding if row["observations"] != "all"]
+    rates = [float(row["guess_success_rate"]) for row in numeric]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core library operations.
+
+These do not correspond to a specific figure or experiment; they track the
+cost of the primitives every experiment is built from (execution, view
+expansion/collapsing, keyword search, provenance extraction, min-cut) so
+that performance regressions are visible independently of the experiment
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import WorkflowExecutor, disease_susceptibility_execution
+from repro.execution.provenance import provenance_subgraph
+from repro.privacy import minimum_edge_deletion
+from repro.query import keyword_search
+from repro.views import collapse_execution, expand_specification, full_expansion
+from repro.workflow import (
+    GeneratorConfig,
+    disease_susceptibility_specification,
+    random_specification,
+)
+
+
+@pytest.fixture(scope="module")
+def gallery_spec():
+    return disease_susceptibility_specification()
+
+
+@pytest.fixture(scope="module")
+def gallery_execution():
+    return disease_susceptibility_execution()
+
+
+@pytest.fixture(scope="module")
+def synthetic_spec():
+    return random_specification(
+        GeneratorConfig(workflows=6, modules_per_workflow=10, seed=5)
+    )
+
+
+def test_execute_gallery_specification(benchmark, gallery_spec):
+    """Run the Fig. 1 specification through the execution engine."""
+    executor = WorkflowExecutor(gallery_spec)
+    execution = benchmark(executor.execute, {})
+    assert len(execution.executed_module_ids()) == 15
+
+
+def test_execute_synthetic_specification(benchmark, synthetic_spec):
+    """Run a 6-workflow / 60-module synthetic specification."""
+    executor = WorkflowExecutor(synthetic_spec)
+    execution = benchmark(executor.execute, {})
+    assert len(execution) > 60
+
+
+def test_expand_specification_full(benchmark, gallery_spec):
+    """Flatten the gallery specification to its full expansion."""
+    graph = benchmark(expand_specification, gallery_spec, {"W1", "W2", "W3", "W4"})
+    assert graph.has_edge("M3", "M5") and graph.has_edge("M8", "M9")
+
+
+def test_collapse_execution_to_root(benchmark, gallery_spec, gallery_execution):
+    """Collapse the Fig. 4 execution to the root view (Fig. 2)."""
+    view = benchmark(collapse_execution, gallery_execution, gallery_spec, {"W1"})
+    assert set(view.nodes) == {"I", "O", "S1:M1", "S8:M2"}
+
+
+def test_keyword_search_gallery(benchmark, gallery_spec):
+    """The Fig. 5 keyword query on the gallery specification."""
+    answer = benchmark(keyword_search, gallery_spec, "Database, Disorder Risks")
+    assert answer is not None and answer.prefix == frozenset({"W1", "W2", "W4"})
+
+
+def test_provenance_extraction(benchmark, gallery_execution):
+    """Provenance of the final prognosis item of the Fig. 4 execution."""
+    subgraph = benchmark(provenance_subgraph, gallery_execution, "d19")
+    assert "S15:M15" in subgraph.nodes
+
+
+def test_minimum_edge_deletion_synthetic(benchmark, synthetic_spec):
+    """Minimum edge deletion on the full expansion of a synthetic workflow."""
+    view = full_expansion(synthetic_spec)
+    pairs = sorted(view.reachable_module_pairs())[:2]
+    removed = benchmark(minimum_edge_deletion, view.graph, pairs)
+    assert isinstance(removed, set)

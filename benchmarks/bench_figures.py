@@ -1,0 +1,57 @@
+"""Benchmarks regenerating every figure of the paper (F1-F5).
+
+Each benchmark rebuilds one figure artifact and asserts the structural
+facts the paper states about it (see ``repro.experiments.figures``).  Run
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    fig1_specification,
+    fig2_execution_view,
+    fig3_hierarchy,
+    fig4_execution,
+    fig5_keyword_answer,
+)
+
+
+def _assert_all_checks(artifact) -> None:
+    failed = [name for name, passed in artifact.checks.items() if not passed]
+    assert not failed, f"{artifact.figure_id} checks failed: {failed}"
+
+
+def test_fig1_specification(benchmark):
+    """F1: the hierarchical disease-susceptibility specification."""
+    specification, artifact = benchmark(fig1_specification)
+    _assert_all_checks(artifact)
+    assert len(specification.module_ids()) == 23  # I, O, M1-M15, 3x(sub I/O)
+
+
+def test_fig2_execution_view(benchmark):
+    """F2: the provenance-graph view under the prefix {W1}."""
+    view, artifact = benchmark(fig2_execution_view)
+    _assert_all_checks(artifact)
+    assert view.visible_data_ids == {"d0", "d1", "d2", "d3", "d4", "d10", "d19"}
+
+
+def test_fig3_expansion_hierarchy(benchmark):
+    """F3: the expansion hierarchy and its prefixes."""
+    hierarchy, artifact = benchmark(fig3_hierarchy)
+    _assert_all_checks(artifact)
+    assert hierarchy.prefix_count() == 6
+
+
+def test_fig4_execution(benchmark):
+    """F4: the execution with process ids S1-S15 and data items d0-d19."""
+    execution, artifact = benchmark(fig4_execution)
+    _assert_all_checks(artifact)
+    assert len(execution.edges) == 23
+
+
+def test_fig5_keyword_answer(benchmark):
+    """F5: the minimal-view answer to "Database, Disorder Risks"."""
+    answer, artifact = benchmark(fig5_keyword_answer)
+    _assert_all_checks(artifact)
+    assert answer.prefix == frozenset({"W1", "W2", "W4"})
+    assert answer.view.visible_modules == {"M2", "M3", "M5", "M6", "M7", "M8"}

@@ -1,0 +1,43 @@
+"""Benchmark for experiment E7 -- indexing under multiple user views.
+
+Regenerates the E7 table and asserts its expected shape: per-level indexes
+answer keyword lookups faster than scanning and at least as fast as
+filtering a single global index, per-level reachability indexes beat
+on-demand view construction by orders of magnitude, and the price is index
+space.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e7_index
+from repro.experiments.reporting import format_table
+
+
+def test_e7_index_strategies(benchmark):
+    """E7: lookup latency and space across index organisations."""
+    rows = benchmark.pedantic(e7_index.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E7 -- indexing under multiple user views"))
+    print(e7_index.headline(rows))
+
+    by_approach = {str(row["approach"]): row for row in rows}
+    scan = by_approach["no index (scan + filter)"]
+    filtered = by_approach["global index + filter"]
+    leveled = by_approach["per-level index"]
+    ondemand = by_approach["reachability: on-demand view"]
+    reach_index = by_approach["reachability: per-level index"]
+
+    # All keyword approaches agree on the number of results.
+    assert int(scan["results"]) == int(filtered["results"]) == int(leveled["results"])
+
+    # Index lookups beat the scan; the per-level index is not slower than
+    # filtering the global index.
+    assert float(leveled["avg_time_us"]) < float(scan["avg_time_us"])
+    assert float(filtered["avg_time_us"]) < float(scan["avg_time_us"])
+    assert float(leveled["avg_time_us"]) <= float(filtered["avg_time_us"]) * 1.5
+
+    # Per-level indexes cost extra space compared to the single global index.
+    assert int(leveled["space_postings"]) >= int(filtered["space_postings"])
+
+    # The reachability index is much faster than building views on demand.
+    assert float(reach_index["avg_time_us"]) < float(ondemand["avg_time_us"]) / 10.0

@@ -1,0 +1,59 @@
+"""Benchmark for experiment E5 -- keyword search under privacy constraints.
+
+Regenerates the E5 table and asserts its expected shape: the answer rate
+and the amount of detail in answers grow with the access level, both
+evaluation strategies agree, and the privacy-oblivious answer is an upper
+bound on what any level sees.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e5_keyword
+from repro.experiments.reporting import format_table
+
+
+def test_e5_keyword_search_under_privacy(benchmark):
+    """E5: keyword answers across access levels and evaluation strategies."""
+    rows = benchmark.pedantic(e5_keyword.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E5 -- keyword search under privacy"))
+    print(e5_keyword.headline(rows))
+
+    corpus = [row for row in rows if row["workload"] == "synthetic-corpus"]
+    fig5 = [row for row in rows if row["workload"] == "fig5-query"]
+    assert corpus and fig5
+
+    # Answer rate is monotone in the access level (per strategy).
+    for strategy in ("view-first", "zoom-out"):
+        rates = [
+            float(row["answer_rate"])
+            for row in sorted(
+                (r for r in corpus if r["strategy"] == strategy),
+                key=lambda r: int(r["level"]),
+            )
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+    # The two strategies answer the same number of queries at every level.
+    by_level: dict[int, set[int]] = {}
+    for row in corpus:
+        by_level.setdefault(int(row["level"]), set()).add(int(row["answered"]))
+    for answered in by_level.values():
+        assert len(answered) == 1
+
+    # No level ever sees more detail than the privacy-oblivious answer.
+    for row in corpus:
+        assert float(row["avg_visible_modules"]) <= float(
+            row["oblivious_visible_modules"]
+        ) + 1e-9
+
+    # The Fig. 5 anchor query: unanswerable at the public level, answered
+    # identically to the oblivious answer at the top level.
+    top = [row for row in fig5 if int(row["level"]) == 2]
+    public = [row for row in fig5 if int(row["level"]) == 0]
+    assert all(int(row["answered"]) == 1 for row in top)
+    assert all(
+        float(row["avg_visible_modules"]) == float(row["oblivious_visible_modules"])
+        for row in top
+    )
+    assert all(int(row["answered"]) == 0 for row in public)

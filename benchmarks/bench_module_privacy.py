@@ -1,0 +1,52 @@
+"""Benchmark for experiment E1 -- module-privacy safe-subset optimisation.
+
+Regenerates the E1 table and asserts its expected shape: achieving a higher
+privacy level Gamma never gets cheaper, the greedy solver never beats the
+exact optimum, and every solver meets the requested Gamma.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e1_module_privacy
+from repro.experiments.reporting import format_table
+
+
+def test_e1_module_privacy_solvers(benchmark):
+    """E1: safe-subset cost versus privacy level across solvers."""
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E1 -- module privacy: safe-subset solvers"))
+    print(e1_module_privacy.headline(rows))
+
+    assert rows, "E1 produced no rows"
+    # Every solver reaches the privacy level it was asked for.
+    assert all(int(row["achieved_gamma"]) >= int(row["gamma"]) for row in rows)
+
+    # The exact solver is the cost lower bound for every (module, gamma).
+    by_case: dict[tuple[str, int], dict[str, float]] = {}
+    for row in rows:
+        key = (str(row["module"]), int(row["gamma"]))
+        by_case.setdefault(key, {})[str(row["solver"])] = float(row["cost"])
+    for costs in by_case.values():
+        assert costs["exact"] <= costs["greedy"] + 1e-9
+        assert costs["exact"] <= costs["randomized"] + 1e-9
+
+    # Cost is monotone in gamma for the exact solver (more privacy, more cost).
+    for module in {str(row["module"]) for row in rows}:
+        exact_costs = [
+            (int(row["gamma"]), float(row["cost"]))
+            for row in rows
+            if row["module"] == module and row["solver"] == "exact"
+        ]
+        exact_costs.sort()
+        for (_, lower), (_, higher) in zip(exact_costs, exact_costs[1:]):
+            assert lower <= higher + 1e-9
+
+
+def test_e1_greedy_tracks_optimum(benchmark):
+    """E1 headline: the greedy solver stays close to the optimal cost."""
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    headline = e1_module_privacy.headline(rows)
+    # The greedy heuristic should stay within 2x of the optimum on these
+    # small relations (it is typically within a few percent).
+    assert headline["greedy_cost_overhead"] <= 2.0

@@ -1,0 +1,48 @@
+"""Benchmark for experiment E8 -- ranking leakage and privacy-aware ranking.
+
+Regenerates the E8 table and asserts its expected shape: exact TF-IDF
+scores let the adversary recover the hidden term counts almost perfectly;
+bucketizing the scores degrades that recovery monotonically in the bucket
+width while ranking quality degrades far more gracefully.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e8_ranking
+from repro.experiments.reporting import format_table
+
+
+def test_e8_ranking_leakage(benchmark):
+    """E8: frequency-inference accuracy versus ranking quality."""
+    rows = benchmark.pedantic(e8_ranking.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E8 -- ranking leakage"))
+    print(e8_ranking.headline(rows))
+
+    exact = next(row for row in rows if row["publishing"] == "exact scores")
+    buckets = sorted(
+        (row for row in rows if row["publishing"] == "bucketized scores"),
+        key=lambda row: float(row["bucket_width"]),
+    )
+    assert buckets
+
+    # Exact scores leak the hidden counts (near-perfect recovery).
+    assert float(exact["exact_recovery_rate"]) >= 0.9
+    assert float(exact["kendall_tau"]) == 1.0
+
+    # Bucketizing reduces the adversary's recovery, monotonically in width.
+    recoveries = [float(row["exact_recovery_rate"]) for row in buckets]
+    assert recoveries[0] <= float(exact["exact_recovery_rate"]) + 1e-9
+    assert all(a >= b - 1e-9 for a, b in zip(recoveries, recoveries[1:]))
+    assert recoveries[-1] < 0.5
+
+    # Error grows with the bucket width.
+    errors = [float(row["mean_absolute_error"]) for row in buckets]
+    assert all(a <= b + 1e-9 for a, b in zip(errors, errors[1:]))
+    assert float(exact["mean_absolute_error"]) <= errors[0] + 1e-9
+
+    # Ranking quality degrades with the bucket width but a narrow bucket
+    # keeps most of the ordering.
+    taus = [float(row["kendall_tau"]) for row in buckets]
+    assert all(a >= b - 1e-9 for a, b in zip(taus, taus[1:]))
+    assert taus[0] > 0.8

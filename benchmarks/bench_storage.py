@@ -1,0 +1,53 @@
+"""Benchmark for experiment E6 -- on-the-fly hiding versus materialised views.
+
+Regenerates the E6 table and asserts the trade-off the paper describes:
+on-the-fly hiding pays a per-query processing overhead over the
+privacy-oblivious baseline, materialised per-level views remove most of
+that overhead at the price of extra space, and a per-group cache sits in
+between once the workload repeats queries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e6_storage
+from repro.experiments.reporting import format_table
+
+
+def test_e6_storage_strategies(benchmark):
+    """E6: query latency and space across storage strategies."""
+    rows = benchmark.pedantic(e6_storage.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E6 -- storage strategies"))
+    print(e6_storage.headline(rows))
+
+    by_approach = {str(row["approach"]): row for row in rows}
+    assert set(by_approach) == {
+        "oblivious",
+        "on-the-fly",
+        "materialized",
+        "cached on-the-fly",
+    }
+
+    oblivious = by_approach["oblivious"]
+    onthefly = by_approach["on-the-fly"]
+    materialized = by_approach["materialized"]
+    cached = by_approach["cached on-the-fly"]
+
+    # Only the oblivious baseline ignores privacy.
+    assert oblivious["privacy_enforced"] is False
+    assert onthefly["privacy_enforced"] is True
+
+    # Processing overhead: on-the-fly hiding is slower than the oblivious
+    # baseline and slower than answering from materialised views.
+    assert float(onthefly["avg_time_ms"]) > float(oblivious["avg_time_ms"])
+    assert float(onthefly["avg_time_ms"]) > float(materialized["avg_time_ms"])
+
+    # Space overhead: materialisation stores strictly more than the base
+    # repository; the cache stores at most as much as full materialisation.
+    assert int(materialized["space_elements"]) > int(oblivious["space_elements"])
+    assert int(cached["space_elements"]) <= int(materialized["space_elements"])
+
+    # The repeated workload gives the cache a high hit rate, so it beats
+    # plain on-the-fly evaluation.
+    assert float(cached["cache_hit_rate"]) > 0.4
+    assert float(cached["avg_time_ms"]) < float(onthefly["avg_time_ms"])

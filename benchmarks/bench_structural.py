@@ -1,0 +1,55 @@
+"""Benchmark for experiment E3 -- structural-privacy strategies.
+
+Regenerates the E3 table and asserts the qualitative comparison stated in
+the paper: edge deletion is sound but loses extra information, clustering
+preserves all true information but is unsound, and the repaired clustering
+is sound again (possibly at the cost of re-exposing targets).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e3_structural
+from repro.experiments.reporting import format_table
+
+
+def test_e3_structural_privacy_strategies(benchmark):
+    """E3: edge deletion versus clustering versus repaired clustering."""
+    rows = benchmark.pedantic(e3_structural.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E3 -- structural privacy strategies"))
+    print(e3_structural.headline(rows))
+
+    assert rows
+    by_strategy: dict[str, list[dict]] = {}
+    for row in rows:
+        by_strategy.setdefault(str(row["strategy"]), []).append(row)
+
+    # Edge deletion: always sound, always hides the targets.
+    for row in by_strategy["edge-deletion"]:
+        assert row["sound"] is True
+        assert row["all_hidden"] is True
+
+    # Clustering: hides the targets and preserves every true pair, but is
+    # unsound on at least the paper's own example.
+    for row in by_strategy["clustering"]:
+        assert row["all_hidden"] is True
+        assert float(row["info_preserved"]) == 1.0
+    paper_row = next(
+        row for row in by_strategy["clustering"] if row["graph"] == "paper-W3"
+    )
+    assert int(paper_row["extraneous_pairs"]) > 0
+
+    # Repaired clustering: sound everywhere.
+    for row in by_strategy["repaired-clustering"]:
+        assert row["sound"] is True
+
+    # Edge deletion hides at least as many non-target pairs as clustering
+    # (the "hides too much" claim).
+    for graph in {str(row["graph"]) for row in rows}:
+        deletion = next(
+            row for row in by_strategy["edge-deletion"] if row["graph"] == graph
+        )
+        clustering = next(
+            row for row in by_strategy["clustering"] if row["graph"] == graph
+        )
+        assert int(deletion["collateral_hidden"]) >= int(clustering["collateral_hidden"])

@@ -1,0 +1,44 @@
+"""Benchmark for experiment E4 -- the privacy/utility frontier.
+
+Regenerates the E4 table and asserts its expected shape: the full expansion
+has the highest utility and the lowest privacy, the root view the opposite,
+utility never increases when privacy increases along the Pareto front, and
+achieving full privacy on the paper's workflow costs a substantial share of
+the utility.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e4_tradeoff
+from repro.experiments.reporting import format_table
+
+
+def test_e4_privacy_utility_frontier(benchmark):
+    """E4: utility of every prefix view versus its privacy score."""
+    rows = benchmark.pedantic(e4_tradeoff.run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E4 -- privacy/utility frontier"))
+    headline = e4_tradeoff.headline(rows)
+    print(headline)
+
+    disease = [row for row in rows if row["specification"] == "disease-susceptibility"]
+    assert len(disease) == 6  # the hierarchy of Fig. 3 has exactly 6 prefixes
+
+    # The finest view maximises utility, the root view maximises privacy.
+    finest = max(disease, key=lambda row: float(row["utility"]))
+    coarsest = max(disease, key=lambda row: float(row["privacy"]))
+    assert finest["prefix"] == "W1+W2+W3+W4"
+    assert coarsest["prefix"] == "W1"
+    assert float(finest["privacy"]) <= float(coarsest["privacy"])
+    assert float(coarsest["utility"]) <= float(finest["utility"])
+
+    # Along the Pareto front, higher privacy never comes with higher utility.
+    front = sorted(
+        (row for row in disease if row["pareto_optimal"]),
+        key=lambda row: float(row["privacy"]),
+    )
+    for lower, higher in zip(front, front[1:]):
+        assert float(higher["utility"]) <= float(lower["utility"]) + 1e-9
+
+    # Full privacy costs a substantial fraction of utility on this workflow.
+    assert headline["utility_cost_of_full_privacy"] > 0.3

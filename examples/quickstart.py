@@ -1,0 +1,87 @@
+"""Quickstart: build a workflow, run it, query provenance, apply privacy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.execution import WorkflowExecutor, downstream_data, provenance_subgraph
+from repro.privacy import DataPrivacyPolicy
+from repro.views import ExpansionHierarchy, execution_view, specification_view
+from repro.workflow import SpecificationBuilder, WorkflowGraphBuilder
+
+
+def build_specification():
+    """A tiny two-level workflow: ingest -> analyse (composite) -> report."""
+    root = (
+        WorkflowGraphBuilder("Q1", "Quickstart Pipeline")
+        .input("Q.I", "Input")
+        .atomic("ingest", "Ingest Records", keywords=("ingest", "load"))
+        .composite("analyse", "Analyse Cohort", subworkflow_id="Q2",
+                   keywords=("analysis",))
+        .atomic("report", "Write Report", keywords=("report",))
+        .output("Q.O", "Output")
+        .edge("Q.I", "ingest", "raw records")
+        .edge("ingest", "analyse", "clean records")
+        .edge("analyse", "report", "cohort statistics")
+        .edge("report", "Q.O", "report")
+        .build()
+    )
+    analysis = (
+        WorkflowGraphBuilder("Q2", "Analyse Cohort (definition)")
+        .input("Q2.I", "Input")
+        .atomic("normalize", "Normalize Records", keywords=("normalize",))
+        .atomic("aggregate", "Aggregate Statistics", keywords=("statistics",))
+        .output("Q2.O", "Output")
+        .edge("Q2.I", "normalize", "clean records")
+        .edge("normalize", "aggregate", "normalized records")
+        .edge("aggregate", "Q2.O", "cohort statistics")
+        .build()
+    )
+    return SpecificationBuilder("Q1", "Quickstart").add_all([root, analysis]).build()
+
+
+def main() -> None:
+    spec = build_specification()
+    print(f"specification: {spec}")
+    hierarchy = ExpansionHierarchy(spec)
+    print("expansion hierarchy:")
+    print(hierarchy.render())
+
+    # Execute the workflow; the default behaviours synthesise output values.
+    executor = WorkflowExecutor(spec)
+    execution = executor.execute({"raw records": ["r1", "r2", "r3"]})
+    print(f"\nexecution: {execution}")
+
+    # Provenance queries.
+    stats_items = [
+        item for item in execution.data_items.values()
+        if item.label == "cohort statistics"
+    ]
+    target = stats_items[0]
+    provenance = provenance_subgraph(execution, target.data_id)
+    print(f"provenance of {target.data_id} ({target.label}):")
+    for node_id in provenance.topological_order():
+        print(f"  {provenance.node(node_id).display_name}")
+    raw = next(i for i in execution.data_items.values() if i.label == "raw records")
+    print(f"data affected by {raw.data_id}: {sorted(downstream_data(execution, raw.data_id))}")
+
+    # Views: the coarse (root) view hides the analysis internals.
+    coarse = specification_view(spec, {"Q1"})
+    print("\ncoarse specification view:")
+    print(coarse.render())
+    coarse_run = execution_view(execution, spec, {"Q1"})
+    print("coarse execution view:")
+    print(coarse_run.render())
+
+    # Data privacy: hide the normalised records from low-privilege users.
+    policy = DataPrivacyPolicy().protect_label("normalized records", minimum_level=1)
+    masked = policy.mask_execution(execution, level=0)
+    hidden = [i for i in masked.data_items.values() if i.value == "<redacted>"]
+    print(f"\nmasked items at level 0: {[i.data_id for i in hidden]}")
+
+
+if __name__ == "__main__":
+    main()

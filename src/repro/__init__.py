@@ -1,0 +1,127 @@
+"""repro -- a privacy-enabled provenance-aware workflow system.
+
+A from-scratch Python reproduction of Davidson et al., "Enabling Privacy in
+Provenance-Aware Workflow Systems" (CIDR 2011).  The library provides:
+
+* :mod:`repro.workflow` -- hierarchical workflow specifications (Fig. 1);
+* :mod:`repro.execution` -- an execution engine and provenance graphs (Fig. 4);
+* :mod:`repro.views` -- expansion-hierarchy prefixes, specification and
+  execution views, access views, soundness checking and repair (Figs. 2, 3);
+* :mod:`repro.privacy` -- data privacy, module Gamma-privacy (safe subsets
+  and secure views), structural privacy and trade-off analysis;
+* :mod:`repro.adversary` -- attack simulations validating the guarantees;
+* :mod:`repro.query` -- keyword and structural search, ranking, and
+  privacy-aware query evaluation (Fig. 5);
+* :mod:`repro.storage` -- a repository with per-level indexes, materialised
+  views and per-group caches;
+* :mod:`repro.experiments` -- the figure and experiment harness.
+
+The most common entry points are re-exported here for convenience.
+"""
+
+from repro.errors import (
+    AccessDeniedError,
+    ExecutionError,
+    InfeasiblePrivacyError,
+    PolicyError,
+    PrivacyError,
+    QueryError,
+    ReproError,
+    SpecificationError,
+    StorageError,
+    ViewError,
+    WorkflowError,
+)
+from repro.execution import (
+    BehaviorRegistry,
+    DataItem,
+    ExecutionGraph,
+    WorkflowExecutor,
+    disease_susceptibility_execution,
+    provenance_subgraph,
+    run_disease_susceptibility,
+)
+from repro.privacy import (
+    Attribute,
+    DataPrivacyPolicy,
+    ModuleRelation,
+    PrivacyPolicy,
+    WorkflowPrivacyRequirements,
+    compare_strategies,
+    secure_view,
+    solve_safe_subset,
+)
+from repro.query import (
+    KeywordQuery,
+    PrivacyAwareQueryEngine,
+    TfIdfIndex,
+    keyword_search,
+    parse_query,
+)
+from repro.storage import WorkflowRepository
+from repro.views import (
+    AccessViewPolicy,
+    ExpansionHierarchy,
+    User,
+    execution_view,
+    specification_view,
+)
+from repro.workflow import (
+    Module,
+    ModuleKind,
+    SpecificationBuilder,
+    WorkflowGraph,
+    WorkflowGraphBuilder,
+    WorkflowSpecification,
+    disease_susceptibility_specification,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessDeniedError",
+    "AccessViewPolicy",
+    "Attribute",
+    "BehaviorRegistry",
+    "DataItem",
+    "DataPrivacyPolicy",
+    "ExecutionError",
+    "ExecutionGraph",
+    "ExpansionHierarchy",
+    "InfeasiblePrivacyError",
+    "KeywordQuery",
+    "Module",
+    "ModuleKind",
+    "ModuleRelation",
+    "PolicyError",
+    "PrivacyAwareQueryEngine",
+    "PrivacyError",
+    "PrivacyPolicy",
+    "QueryError",
+    "ReproError",
+    "SpecificationBuilder",
+    "SpecificationError",
+    "StorageError",
+    "TfIdfIndex",
+    "User",
+    "ViewError",
+    "WorkflowError",
+    "WorkflowExecutor",
+    "WorkflowGraph",
+    "WorkflowGraphBuilder",
+    "WorkflowPrivacyRequirements",
+    "WorkflowRepository",
+    "WorkflowSpecification",
+    "__version__",
+    "compare_strategies",
+    "disease_susceptibility_execution",
+    "disease_susceptibility_specification",
+    "execution_view",
+    "keyword_search",
+    "parse_query",
+    "provenance_subgraph",
+    "run_disease_susceptibility",
+    "secure_view",
+    "solve_safe_subset",
+    "specification_view",
+]

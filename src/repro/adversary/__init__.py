@@ -1,0 +1,23 @@
+"""Adversary simulations used to validate privacy guarantees empirically."""
+
+from repro.adversary.module_attack import (
+    AttackReport,
+    ModuleFunctionAttack,
+    attack_curve,
+)
+from repro.adversary.structure_attack import (
+    StructureAttackReport,
+    attack_after_edge_deletion,
+    infer_reachability,
+    structure_attack,
+)
+
+__all__ = [
+    "AttackReport",
+    "ModuleFunctionAttack",
+    "StructureAttackReport",
+    "attack_after_edge_deletion",
+    "attack_curve",
+    "infer_reachability",
+    "structure_attack",
+]

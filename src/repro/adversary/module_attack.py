@@ -1,0 +1,211 @@
+"""Adversarial reconstruction of module functionality from provenance.
+
+The paper stresses that "if information about all intermediate data is
+repeatedly given for multiple executions of a workflow on different initial
+inputs, then partial or complete functionality of modules may be revealed".
+This module simulates that adversary: it observes the *visible* attributes
+of a module's rows across repeated executions and tries to predict the
+module's output for inputs it cares about.  Experiment E2 uses it to show
+how the candidate-output set shrinks with the number of observed runs and
+how hiding a safe subset keeps it above the promised level Gamma.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import PrivacyError
+from repro.privacy.relations import ModuleRelation
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Summary of a module-function attack.
+
+    Attributes
+    ----------
+    module_id:
+        The attacked module.
+    observations:
+        Number of executions the adversary observed.
+    min_candidates:
+        Minimum candidate-output count over the probed inputs (this is the
+        quantity module privacy lower-bounds by Gamma).
+    mean_candidates:
+        Mean candidate-output count over the probed inputs.
+    determined_inputs:
+        Number of probed inputs whose output is uniquely determined.
+    guess_success_rate:
+        Expected success probability of guessing the exact output by picking
+        uniformly among the candidates, averaged over probed inputs.
+    """
+
+    module_id: str
+    observations: int
+    min_candidates: int
+    mean_candidates: float
+    determined_inputs: int
+    guess_success_rate: float
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "module": self.module_id,
+            "observations": self.observations,
+            "min_candidates": self.min_candidates,
+            "mean_candidates": round(self.mean_candidates, 3),
+            "determined_inputs": self.determined_inputs,
+            "guess_success_rate": round(self.guess_success_rate, 4),
+        }
+
+
+class ModuleFunctionAttack:
+    """Reconstructs a module's visible relation from observed executions.
+
+    The adversary is assumed to know the module's attribute names and
+    domains and which attributes are hidden (worst case), but only sees the
+    visible projection of the rows that actually executed.
+    """
+
+    def __init__(self, relation: ModuleRelation, hidden: Iterable[str] = ()) -> None:
+        self.relation = relation
+        self.hidden = set(hidden)
+        unknown = self.hidden - set(relation.attribute_names())
+        if unknown:
+            raise PrivacyError(
+                f"hidden attributes {sorted(unknown)!r} unknown for module "
+                f"{relation.module_id!r}"
+            )
+        self._visible_input_indices = [
+            index
+            for index, attribute in enumerate(relation.inputs)
+            if attribute.name not in self.hidden
+        ]
+        self._visible_output_indices = [
+            index
+            for index, attribute in enumerate(relation.outputs)
+            if attribute.name not in self.hidden
+        ]
+        # Observed visible rows: visible-input projection -> set of
+        # visible-output projections seen with it.
+        self._observations: dict[tuple, set[tuple]] = {}
+        self._observed_runs = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(self, input_tuple: tuple) -> None:
+        """Observe one execution of the module on ``input_tuple``."""
+        output_tuple = self.relation.output_for(input_tuple)
+        visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
+        visible_output = tuple(output_tuple[i] for i in self._visible_output_indices)
+        self._observations.setdefault(visible_input, set()).add(visible_output)
+        self._observed_runs += 1
+
+    def observe_all(self) -> None:
+        """Observe every row of the relation (the limit of repeated runs)."""
+        for key in self.relation.rows:
+            self.observe(key)
+
+    def observe_random(self, runs: int, *, seed: int = 0) -> None:
+        """Observe ``runs`` executions on uniformly random inputs."""
+        rng = random.Random(seed)
+        keys = sorted(self.relation.rows)
+        for _ in range(runs):
+            self.observe(rng.choice(keys))
+
+    @property
+    def observed_runs(self) -> int:
+        """How many executions have been observed so far."""
+        return self._observed_runs
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def candidate_outputs(self, input_tuple: tuple) -> set[tuple]:
+        """Output tuples consistent with the observations for ``input_tuple``.
+
+        If no observed row matches the visible projection of the input, the
+        adversary cannot rule anything out and the full output space is
+        returned.
+        """
+        visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
+        hidden_output_domains = [
+            attribute.domain
+            for index, attribute in enumerate(self.relation.outputs)
+            if index not in self._visible_output_indices
+        ]
+        observed_projections = self._observations.get(visible_input)
+        if not observed_projections:
+            return {
+                tuple(candidate)
+                for candidate in itertools.product(
+                    *[attribute.domain for attribute in self.relation.outputs]
+                )
+            }
+        candidates: set[tuple] = set()
+        for projection in observed_projections:
+            for completion in itertools.product(*hidden_output_domains):
+                completion_iter = iter(completion)
+                projection_iter = iter(projection)
+                full = []
+                for index in range(len(self.relation.outputs)):
+                    if index in self._visible_output_indices:
+                        full.append(next(projection_iter))
+                    else:
+                        full.append(next(completion_iter))
+                candidates.add(tuple(full))
+        return candidates
+
+    def guess(self, input_tuple: tuple, *, seed: int = 0) -> tuple:
+        """The adversary's single best guess (uniform among candidates)."""
+        candidates = sorted(self.candidate_outputs(input_tuple), key=repr)
+        rng = random.Random(seed)
+        return rng.choice(candidates)
+
+    def report(self, probe_inputs: Sequence[tuple] | None = None) -> AttackReport:
+        """Summarise the attack over ``probe_inputs`` (all inputs by default)."""
+        probes = list(probe_inputs) if probe_inputs is not None else sorted(
+            self.relation.rows
+        )
+        counts: list[int] = []
+        successes: list[float] = []
+        determined = 0
+        for probe in probes:
+            candidates = self.candidate_outputs(probe)
+            counts.append(len(candidates))
+            truth = self.relation.output_for(probe)
+            successes.append((1.0 / len(candidates)) if truth in candidates else 0.0)
+            if len(candidates) == 1 and truth in candidates:
+                determined += 1
+        return AttackReport(
+            module_id=self.relation.module_id,
+            observations=self._observed_runs,
+            min_candidates=min(counts) if counts else 0,
+            mean_candidates=(sum(counts) / len(counts)) if counts else 0.0,
+            determined_inputs=determined,
+            guess_success_rate=(sum(successes) / len(successes)) if successes else 0.0,
+        )
+
+
+def attack_curve(
+    relation: ModuleRelation,
+    hidden: Iterable[str],
+    run_counts: Sequence[int],
+    *,
+    seed: int = 0,
+) -> list[AttackReport]:
+    """Attack reports for increasing numbers of observed executions.
+
+    Used by experiment E2 to plot "what the adversary knows" as a function
+    of how much provenance has been published.
+    """
+    reports = []
+    for runs in run_counts:
+        attack = ModuleFunctionAttack(relation, hidden)
+        attack.observe_random(runs, seed=seed)
+        reports.append(attack.report())
+    return reports

@@ -1,0 +1,111 @@
+"""Adversarial inference of workflow structure from clustered views.
+
+Structural privacy hides that a module contributed to another module's
+output.  An adversary looking at a clustered (or otherwise coarsened) view
+will nevertheless *infer* connectivity: whenever the view shows a path
+between the groups of two modules, the adversary concludes the modules are
+connected.  This module measures how good such inferences are (precision /
+recall against the true graph) and whether the protected target pairs leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.views.soundness import actual_node_pairs, implied_node_pairs
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class StructureAttackReport:
+    """Quality of the adversary's reachability inferences.
+
+    ``exposed_targets`` are protected pairs the adversary still (correctly)
+    infers; ``false_positive_pairs`` are inferred pairs that do not exist
+    (the adversary is misled by an unsound view).
+    """
+
+    inferred_pairs: int
+    true_pairs: int
+    correct_inferences: int
+    false_positive_pairs: int
+    exposed_targets: frozenset[Pair]
+    precision: float
+    recall: float
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "inferred": self.inferred_pairs,
+            "true": self.true_pairs,
+            "correct": self.correct_inferences,
+            "false_positives": self.false_positive_pairs,
+            "exposed_targets": len(self.exposed_targets),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+        }
+
+
+def infer_reachability(
+    graph: nx.DiGraph, clusters: Mapping[str, Hashable]
+) -> set[Pair]:
+    """The node pairs an adversary infers to be connected from the view."""
+    return implied_node_pairs(graph, clusters)
+
+
+def structure_attack(
+    graph: nx.DiGraph,
+    clusters: Mapping[str, Hashable],
+    target_pairs: Sequence[Pair] = (),
+) -> StructureAttackReport:
+    """Evaluate the adversary's inferences against the true graph."""
+    inferred = infer_reachability(graph, clusters)
+    truth = actual_node_pairs(graph)
+    correct = inferred & truth
+    false_positives = inferred - truth
+    exposed = frozenset(pair for pair in target_pairs if pair in inferred and pair in truth)
+    precision = len(correct) / len(inferred) if inferred else 1.0
+    recall = len(correct) / len(truth) if truth else 1.0
+    return StructureAttackReport(
+        inferred_pairs=len(inferred),
+        true_pairs=len(truth),
+        correct_inferences=len(correct),
+        false_positive_pairs=len(false_positives),
+        exposed_targets=exposed,
+        precision=precision,
+        recall=recall,
+    )
+
+
+def attack_after_edge_deletion(
+    graph: nx.DiGraph,
+    removed_edges: Sequence[Pair],
+    target_pairs: Sequence[Pair] = (),
+) -> StructureAttackReport:
+    """Adversary inferences when the defence deleted ``removed_edges``.
+
+    The adversary sees the pruned graph directly (no clustering), so its
+    inferences are exactly the remaining paths: precision is always 1 but
+    recall (and target exposure) depends on how much was cut.
+    """
+    pruned = graph.copy()
+    pruned.remove_edges_from(removed_edges)
+    inferred = actual_node_pairs(pruned)
+    truth = actual_node_pairs(graph)
+    correct = inferred & truth
+    exposed = frozenset(pair for pair in target_pairs if pair in inferred)
+    precision = len(correct) / len(inferred) if inferred else 1.0
+    recall = len(correct) / len(truth) if truth else 1.0
+    return StructureAttackReport(
+        inferred_pairs=len(inferred),
+        true_pairs=len(truth),
+        correct_inferences=len(correct),
+        false_positive_pairs=len(inferred - truth),
+        exposed_targets=exposed,
+        precision=precision,
+        recall=recall,
+    )

@@ -1,0 +1,172 @@
+"""Command-line interface for the reproduction.
+
+Subcommands:
+
+* ``figures`` — regenerate every figure of the paper and report the checks.
+* ``experiment E3`` — run one experiment and print its result table.
+* ``search "Database, Disorder Risks"`` — query the built-in demo
+  repository (the disease-susceptibility workflow plus its Fig. 4
+  execution) at a chosen access level.
+* ``validate spec.json`` — validate a specification stored as JSON.
+* ``info`` — print the library version and the demo repository statistics.
+
+Run ``python -m repro.cli --help`` for the full usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.execution.gallery import disease_susceptibility_execution
+from repro.experiments import ALL_EXPERIMENTS, ALL_HEADLINES, reproduce_all_figures
+from repro.experiments.reporting import format_table
+from repro.privacy.policy import PrivacyPolicy
+from repro.query.repository_engine import RepositoryQueryEngine
+from repro.storage.repository import WorkflowRepository
+from repro.views.access import ANALYST, OWNER, PUBLIC, User
+from repro.workflow.gallery import disease_susceptibility_specification
+from repro.workflow.serialization import specification_from_json
+
+
+def build_demo_repository() -> WorkflowRepository:
+    """The repository used by the ``search`` and ``info`` subcommands."""
+    specification = disease_susceptibility_specification()
+    policy = PrivacyPolicy(specification)
+    policy.set_access_view(PUBLIC, {"W1"})
+    policy.set_access_view(ANALYST, {"W1", "W2", "W4"})
+    policy.set_access_view(OWNER, {"W1", "W2", "W3", "W4"})
+    policy.protect_data_label("disorders", OWNER)
+    policy.hide_structure("M13", "M11", minimum_level=OWNER)
+    repository = WorkflowRepository("demo")
+    repository.add_specification(specification, policy=policy)
+    repository.add_execution(disease_susceptibility_execution())
+    return repository
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    artifacts = reproduce_all_figures()
+    failures = 0
+    for figure_id in sorted(artifacts):
+        artifact = artifacts[figure_id]
+        status = "ok" if artifact.all_checks_pass else "FAILED"
+        print(f"[{status}] {figure_id}: {artifact.description}")
+        if args.verbose:
+            print(artifact.rendering)
+            print()
+        if not artifact.all_checks_pass:
+            failures += 1
+            for name, passed in artifact.checks.items():
+                if not passed:
+                    print(f"    failed check: {name}")
+    return 1 if failures else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment_id = args.experiment_id.upper()
+    if experiment_id not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {experiment_id!r}; choose one of "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = ALL_EXPERIMENTS[experiment_id]()
+    print(format_table(rows, title=f"{experiment_id} result table"))
+    print()
+    print("headline:", ALL_HEADLINES[experiment_id](rows))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    repository = build_demo_repository()
+    engine = RepositoryQueryEngine(repository)
+    user = User("cli-user", level=args.level)
+    outcome = engine.search(user, args.query)
+    print(f"query kind: {outcome.kind}; hits: {outcome.hits}")
+    for answer in outcome.answers:
+        if not answer.ok:
+            print(f"  [{answer.specification_id}] {answer.result.status}: "
+                  f"{answer.result.note}")
+            continue
+        payload = answer.result.answer
+        if hasattr(payload, "render"):
+            print(f"  [{answer.specification_id}] score={answer.score:.3f}")
+            print("    " + payload.render().replace("\n", "\n    "))
+        else:
+            print(f"  [{answer.specification_id}] score={answer.score:.3f} "
+                  f"answer={payload!r}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path, "r", encoding="utf8") as handle:
+            text = handle.read()
+        specification = specification_from_json(text)
+    except (OSError, ReproError) as exc:
+        print(f"invalid specification: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {specification.root_id} with {len(specification)} workflows and "
+        f"{len(specification.module_ids())} modules"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    del args
+    repository = build_demo_repository()
+    print(f"repro {__version__}")
+    for key, value in repository.statistics().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser of the CLI (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-enabled provenance-aware workflow system (CIDR 2011 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--verbose", action="store_true", help="print renderings")
+    figures.set_defaults(handler=_cmd_figures)
+
+    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E8)")
+    experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    search = subparsers.add_parser("search", help="query the demo repository")
+    search.add_argument("query", help='e.g. "Database, Disorder Risks" or "PROVENANCE d10"')
+    search.add_argument(
+        "--level",
+        type=int,
+        default=ANALYST,
+        help="access level of the querying user (0=public, 1=analyst, 2=owner)",
+    )
+    search.set_defaults(handler=_cmd_search)
+
+    validate = subparsers.add_parser("validate", help="validate a specification JSON file")
+    validate.add_argument("path", help="path to the specification JSON")
+    validate.set_defaults(handler=_cmd_validate)
+
+    info = subparsers.add_parser("info", help="print version and demo statistics")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class WorkflowError(ReproError):
+    """Base class for errors related to workflow specifications."""
+
+
+class DuplicateModuleError(WorkflowError):
+    """A module with the same identifier was added twice to a workflow."""
+
+
+class UnknownModuleError(WorkflowError, KeyError):
+    """A module identifier was referenced but never defined."""
+
+
+class UnknownWorkflowError(WorkflowError, KeyError):
+    """A workflow identifier was referenced but never defined."""
+
+
+class InvalidEdgeError(WorkflowError):
+    """An edge refers to endpoints that cannot be connected."""
+
+
+class CycleError(WorkflowError):
+    """A workflow graph or expansion hierarchy contains a cycle."""
+
+
+class SpecificationError(WorkflowError):
+    """A workflow specification is structurally invalid."""
+
+
+class ExecutionError(ReproError):
+    """Base class for errors raised while executing a workflow."""
+
+
+class MissingBehaviorError(ExecutionError):
+    """No behaviour was registered for an atomic module."""
+
+
+class MissingInputError(ExecutionError):
+    """A module execution did not receive one of its required inputs."""
+
+
+class DataItemError(ExecutionError):
+    """A data item identifier is unknown or produced more than once."""
+
+
+class ViewError(ReproError):
+    """Base class for errors related to views of workflows or executions."""
+
+
+class InvalidPrefixError(ViewError):
+    """A set of workflow identifiers is not a prefix of the expansion hierarchy."""
+
+
+class UnsoundViewError(ViewError):
+    """A view operation required a sound view but received an unsound one."""
+
+
+class PrivacyError(ReproError):
+    """Base class for errors raised by the privacy subsystem."""
+
+
+class InfeasiblePrivacyError(PrivacyError):
+    """The requested privacy level cannot be achieved with any hiding choice."""
+
+
+class PolicyError(PrivacyError):
+    """A privacy policy is inconsistent or refers to unknown components."""
+
+
+class AccessDeniedError(PrivacyError):
+    """A user attempted to access information beyond their access view."""
+
+
+class QueryError(ReproError):
+    """Base class for errors raised by the query subsystem."""
+
+
+class QueryParseError(QueryError):
+    """A textual query could not be parsed."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the repository / storage subsystem."""
+
+
+class DuplicateEntryError(StorageError):
+    """An object with the same identifier is already stored."""
+
+
+class UnknownEntryError(StorageError, KeyError):
+    """The requested object is not present in the repository."""

@@ -1,0 +1,195 @@
+"""Module behaviours used by the execution engine.
+
+The paper's workflows run real scientific codes over real data; this
+reproduction replaces them with synthetic, deterministic behaviours (see the
+substitution table in ``DESIGN.md``).  A behaviour is a callable mapping the
+inputs of a module (a dict from data label to value) to its outputs (a dict
+from output label to value).
+
+Three families of behaviours are provided:
+
+* :func:`hashing_behavior` -- produces opaque but deterministic values by
+  hashing the inputs; good enough for structural/provenance experiments.
+* :class:`TableBehavior` -- a function given extensionally as a lookup table
+  over small discrete domains; this is the representation used by the module
+  privacy analysis (:mod:`repro.privacy.module_privacy`).
+* :func:`constant_behavior` / :func:`passthrough_behavior` -- trivial
+  behaviours for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import MissingBehaviorError, MissingInputError
+
+Behavior = Callable[[Mapping[str, object]], dict[str, object]]
+
+
+def _stable_digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf8")).hexdigest()[:12]
+
+
+def hashing_behavior(module_id: str, output_labels: Iterable[str]) -> Behavior:
+    """A deterministic opaque behaviour.
+
+    Every output value is a short digest of the module id, the output label
+    and the sorted input items, so repeated executions with the same inputs
+    produce identical values while different inputs produce different ones.
+    """
+    labels = tuple(output_labels)
+
+    def behavior(inputs: Mapping[str, object]) -> dict[str, object]:
+        serialized = ",".join(f"{k}={inputs[k]!r}" for k in sorted(inputs))
+        return {
+            label: _stable_digest(f"{module_id}|{label}|{serialized}")
+            for label in labels
+        }
+
+    return behavior
+
+
+def constant_behavior(outputs: Mapping[str, object]) -> Behavior:
+    """A behaviour that ignores its inputs and returns fixed outputs."""
+    fixed = dict(outputs)
+
+    def behavior(inputs: Mapping[str, object]) -> dict[str, object]:
+        del inputs
+        return dict(fixed)
+
+    return behavior
+
+
+def passthrough_behavior(mapping: Mapping[str, str]) -> Behavior:
+    """A behaviour that copies input values to output labels.
+
+    ``mapping`` maps output label to the input label it copies from.
+    """
+    routes = dict(mapping)
+
+    def behavior(inputs: Mapping[str, object]) -> dict[str, object]:
+        outputs: dict[str, object] = {}
+        for out_label, in_label in routes.items():
+            if in_label not in inputs:
+                raise MissingInputError(
+                    f"passthrough behaviour expected input {in_label!r}"
+                )
+            outputs[out_label] = inputs[in_label]
+        return outputs
+
+    return behavior
+
+
+class TableBehavior:
+    """A module function given extensionally as a lookup table.
+
+    Parameters
+    ----------
+    input_labels / output_labels:
+        The ordered attribute names of the function.
+    rows:
+        A mapping from input tuples (ordered by ``input_labels``) to output
+        tuples (ordered by ``output_labels``).  The table must be total over
+        the inputs the engine will supply.
+    """
+
+    def __init__(
+        self,
+        input_labels: Iterable[str],
+        output_labels: Iterable[str],
+        rows: Mapping[tuple, tuple],
+    ) -> None:
+        self.input_labels = tuple(input_labels)
+        self.output_labels = tuple(output_labels)
+        self._rows = {tuple(key): tuple(value) for key, value in rows.items()}
+        for key, value in self._rows.items():
+            if len(key) != len(self.input_labels):
+                raise ValueError(
+                    f"row key {key!r} does not match input arity "
+                    f"{len(self.input_labels)}"
+                )
+            if len(value) != len(self.output_labels):
+                raise ValueError(
+                    f"row value {value!r} does not match output arity "
+                    f"{len(self.output_labels)}"
+                )
+
+    @property
+    def rows(self) -> dict[tuple, tuple]:
+        """The lookup table (copy)."""
+        return dict(self._rows)
+
+    def __call__(self, inputs: Mapping[str, object]) -> dict[str, object]:
+        try:
+            key = tuple(inputs[label] for label in self.input_labels)
+        except KeyError as exc:
+            raise MissingInputError(
+                f"table behaviour is missing input {exc.args[0]!r}"
+            ) from exc
+        if key not in self._rows:
+            raise MissingInputError(
+                f"table behaviour has no row for inputs {key!r}"
+            )
+        value = self._rows[key]
+        return dict(zip(self.output_labels, value))
+
+
+class BehaviorRegistry:
+    """Registry mapping module ids to behaviours.
+
+    The registry can be configured with a *default factory* which is invoked
+    for modules without an explicit behaviour.  The engine uses
+    :func:`hashing_behavior` as the default factory unless told otherwise,
+    so that any specification can be executed out of the box.
+    """
+
+    def __init__(
+        self,
+        default_factory: Callable[[str, tuple[str, ...]], Behavior] | None = hashing_behavior,
+    ) -> None:
+        self._behaviors: dict[str, Behavior] = {}
+        self._default_factory = default_factory
+
+    def register(self, module_id: str, behavior: Behavior) -> None:
+        """Register an explicit behaviour for a module."""
+        self._behaviors[module_id] = behavior
+
+    def register_table(
+        self,
+        module_id: str,
+        input_labels: Iterable[str],
+        output_labels: Iterable[str],
+        rows: Mapping[tuple, tuple],
+    ) -> TableBehavior:
+        """Register a :class:`TableBehavior` and return it."""
+        behavior = TableBehavior(input_labels, output_labels, rows)
+        self.register(module_id, behavior)
+        return behavior
+
+    def has_behavior(self, module_id: str) -> bool:
+        """Whether an explicit behaviour is registered for ``module_id``."""
+        return module_id in self._behaviors
+
+    def behavior_for(
+        self, module_id: str, output_labels: tuple[str, ...]
+    ) -> Behavior:
+        """Resolve the behaviour to use for a module.
+
+        Falls back to the default factory; raises
+        :class:`MissingBehaviorError` if there is neither an explicit
+        behaviour nor a default factory.
+        """
+        if module_id in self._behaviors:
+            return self._behaviors[module_id]
+        if self._default_factory is None:
+            raise MissingBehaviorError(
+                f"no behaviour registered for module {module_id!r}"
+            )
+        return self._default_factory(module_id, output_labels)
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    def __contains__(self, module_id: object) -> bool:
+        return module_id in self._behaviors

@@ -1,0 +1,81 @@
+"""Data items flowing through workflow executions.
+
+Each data item is produced by exactly one module execution, has a unique
+identifier within its execution (``d0``, ``d1``, ...), a label naming the
+kind of data (``"SNPs"``, ``"disorders"``, ...) and an optional value.  Data
+items are the unit of data privacy: a privacy policy can declare individual
+items (or all items with a given label) hidden for users below a given
+access level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataItemError
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """A single data item produced during an execution.
+
+    Parameters
+    ----------
+    data_id:
+        Unique identifier within the execution (e.g. ``"d5"``).
+    label:
+        The kind of data, matching a label of the specification edge the
+        item flows over (e.g. ``"disorders"``).
+    producer:
+        The execution-node identifier of the module execution that produced
+        the item (e.g. ``"S7:M8"`` or the input node ``"I"``).
+    value:
+        The payload.  ``None`` when the execution only records structure.
+    """
+
+    data_id: str
+    label: str
+    producer: str
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if not self.data_id:
+            raise DataItemError("data_id must be a non-empty string")
+        if not self.producer:
+            raise DataItemError(f"data item {self.data_id!r} has no producer")
+
+    def masked(self, placeholder: object = "<hidden>") -> "DataItem":
+        """Return a copy of the item with its value replaced by ``placeholder``.
+
+        Used by the data-privacy layer when an item must remain visible as a
+        graph element (so provenance structure is preserved) but its value
+        may not be revealed to the requesting user.
+        """
+        return DataItem(
+            data_id=self.data_id,
+            label=self.label,
+            producer=self.producer,
+            value=placeholder,
+        )
+
+    @property
+    def index(self) -> int:
+        """The numeric part of ``data_id`` (``"d12"`` -> ``12``).
+
+        Falls back to ``-1`` when the identifier does not follow the
+        ``d<number>`` convention.
+        """
+        digits = "".join(ch for ch in self.data_id if ch.isdigit())
+        return int(digits) if digits else -1
+
+
+def data_id_sequence(prefix: str = "d"):
+    """Return a callable producing ``d0``, ``d1``, ... on successive calls."""
+    counter = {"next": 0}
+
+    def next_id() -> str:
+        value = counter["next"]
+        counter["next"] += 1
+        return f"{prefix}{value}"
+
+    return next_id

@@ -1,0 +1,327 @@
+"""Execution engine for hierarchical workflow specifications.
+
+The engine simulates one run of a specification: modules are executed in
+topological order, composite modules are entered like procedure calls and
+represented by begin/end node pairs, and every produced data item receives a
+unique identifier (Fig. 4 of the paper).  Module behaviours come from a
+:class:`~repro.execution.behaviors.BehaviorRegistry`; by default every
+atomic module gets a deterministic opaque behaviour so that any
+specification can be executed without further configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from repro.errors import ExecutionError, MissingInputError
+from repro.execution.behaviors import BehaviorRegistry
+from repro.execution.dataitem import DataItem
+from repro.execution.graph import ExecutionGraph, ExecutionNode, NodeEvent
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.module import Module
+from repro.workflow.specification import WorkflowSpecification
+
+
+class WorkflowExecutor:
+    """Executes a workflow specification and records provenance.
+
+    Parameters
+    ----------
+    specification:
+        The (validated) specification to execute.
+    behaviors:
+        Behaviours for atomic modules.  When omitted, a registry with the
+        default hashing behaviour is used.
+    """
+
+    def __init__(
+        self,
+        specification: WorkflowSpecification,
+        behaviors: BehaviorRegistry | None = None,
+    ) -> None:
+        self.specification = specification
+        self.behaviors = behaviors if behaviors is not None else BehaviorRegistry()
+        self._execution_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        inputs: Mapping[str, object] | None = None,
+        *,
+        execution_id: str | None = None,
+    ) -> ExecutionGraph:
+        """Run the specification once and return its execution graph.
+
+        ``inputs`` maps the labels of the root workflow's input edges to
+        values; missing labels default to ``None`` (the run is still fully
+        recorded structurally).
+        """
+        inputs = dict(inputs or {})
+        if execution_id is None:
+            execution_id = f"{self.specification.root_id}-run-{next(self._execution_counter)}"
+        run = _ExecutionRun(self.specification, self.behaviors, execution_id)
+        return run.execute(inputs)
+
+    def execute_many(
+        self,
+        input_list: Iterable[Mapping[str, object]],
+        *,
+        id_prefix: str | None = None,
+    ) -> list[ExecutionGraph]:
+        """Run the specification once per element of ``input_list``."""
+        executions = []
+        for index, inputs in enumerate(input_list):
+            execution_id = None
+            if id_prefix is not None:
+                execution_id = f"{id_prefix}-{index}"
+            executions.append(self.execute(inputs, execution_id=execution_id))
+        return executions
+
+
+class _ExecutionRun:
+    """State of a single execution (internal helper of the executor)."""
+
+    def __init__(
+        self,
+        specification: WorkflowSpecification,
+        behaviors: BehaviorRegistry,
+        execution_id: str,
+    ) -> None:
+        self.specification = specification
+        self.behaviors = behaviors
+        self.graph = ExecutionGraph(execution_id, specification.root_id)
+        self._data_counter = itertools.count(0)
+        self._process_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Identifier allocation
+    # ------------------------------------------------------------------ #
+    def _next_data_id(self) -> str:
+        return f"d{next(self._data_counter)}"
+
+    def _next_process_id(self) -> str:
+        return f"S{next(self._process_counter)}"
+
+    # ------------------------------------------------------------------ #
+    # Top-level execution
+    # ------------------------------------------------------------------ #
+    def execute(self, inputs: Mapping[str, object]) -> ExecutionGraph:
+        root = self.specification.root
+        input_module = root.input_module()
+        output_module = root.output_module()
+
+        input_node = self.graph.add_node(
+            ExecutionNode(
+                node_id=self.graph.input_node_id,
+                module_id=input_module.module_id,
+                event=NodeEvent.INPUT,
+            )
+        )
+        self.graph.add_node(
+            ExecutionNode(
+                node_id=self.graph.output_node_id,
+                module_id=output_module.module_id,
+                event=NodeEvent.OUTPUT,
+            )
+        )
+
+        # Create one data item per label that leaves the root input module.
+        initial_labels: list[str] = []
+        for edge in root.out_edges(input_module.module_id):
+            for label in edge.labels:
+                if label not in initial_labels:
+                    initial_labels.append(label)
+        available: dict[str, str] = {}
+        for label in initial_labels:
+            item = DataItem(
+                data_id=self._next_data_id(),
+                label=label,
+                producer=input_node.node_id,
+                value=inputs.get(label),
+            )
+            self.graph.add_data_item(item)
+            available[label] = item.data_id
+
+        self._run_graph(
+            root,
+            input_node_id=input_node.node_id,
+            output_node_id=self.graph.output_node_id,
+            available_inputs=available,
+        )
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # Per-graph execution
+    # ------------------------------------------------------------------ #
+    def _run_graph(
+        self,
+        workflow: WorkflowGraph,
+        *,
+        input_node_id: str,
+        output_node_id: str,
+        available_inputs: Mapping[str, str],
+    ) -> dict[str, str]:
+        """Execute one workflow graph level.
+
+        ``input_node_id`` / ``output_node_id`` are the execution nodes that
+        stand for the graph's input/output pseudo modules (the begin/end
+        nodes of the enclosing composite, or ``I``/``O`` at the root).
+        Returns the data items (label -> data id) arriving at the output.
+        """
+        input_module_id = workflow.input_module().module_id
+        output_module_id = workflow.output_module().module_id
+        # produced[module_id] = (execution node representing its outputs,
+        #                        {label: data_id})
+        produced: dict[str, tuple[str, dict[str, str]]] = {
+            input_module_id: (input_node_id, dict(available_inputs))
+        }
+
+        for module_id in workflow.topological_order():
+            if module_id in (input_module_id, output_module_id):
+                continue
+            module = workflow.module(module_id)
+            delivered, incoming = self._collect_inputs(workflow, module_id, produced)
+            if module.is_composite:
+                produced[module_id] = self._run_composite(module, delivered, incoming)
+            else:
+                produced[module_id] = self._run_atomic(workflow, module, delivered, incoming)
+
+        # Wire producers of the output pseudo module to the output node.
+        arrived: dict[str, str] = {}
+        for edge in workflow.in_edges(output_module_id):
+            if edge.source not in produced:
+                raise ExecutionError(
+                    f"module {edge.source!r} feeding the output of "
+                    f"{workflow.workflow_id!r} was never executed"
+                )
+            source_node, outputs = produced[edge.source]
+            data_ids = []
+            for label in edge.labels:
+                if label not in outputs:
+                    raise MissingInputError(
+                        f"output of {workflow.workflow_id!r} expects label "
+                        f"{label!r} from {edge.source!r} which did not produce it"
+                    )
+                data_ids.append(outputs[label])
+                arrived[label] = outputs[label]
+            self.graph.add_edge(source_node, output_node_id, data_ids)
+        return arrived
+
+    def _collect_inputs(
+        self,
+        workflow: WorkflowGraph,
+        module_id: str,
+        produced: dict[str, tuple[str, dict[str, str]]],
+    ) -> tuple[dict[str, str], list[tuple[str, list[str]]]]:
+        """Gather the data items delivered to ``module_id``.
+
+        Returns ``(delivered, incoming)`` where ``delivered`` maps label to
+        data id and ``incoming`` lists ``(producer node id, data ids)`` pairs
+        used to add execution edges once the consuming node exists.
+        """
+        delivered: dict[str, str] = {}
+        incoming: list[tuple[str, list[str]]] = []
+        for edge in workflow.in_edges(module_id):
+            if edge.source not in produced:
+                raise ExecutionError(
+                    f"module {edge.source!r} feeding {module_id!r} was never executed"
+                )
+            source_node, outputs = produced[edge.source]
+            data_ids: list[str] = []
+            for label in edge.labels:
+                if label not in outputs:
+                    raise MissingInputError(
+                        f"module {module_id!r} expects label {label!r} from "
+                        f"{edge.source!r} which did not produce it"
+                    )
+                data_ids.append(outputs[label])
+                delivered[label] = outputs[label]
+            incoming.append((source_node, data_ids))
+        return delivered, incoming
+
+    def _run_atomic(
+        self,
+        workflow: WorkflowGraph,
+        module: Module,
+        delivered: dict[str, str],
+        incoming: list[tuple[str, list[str]]],
+    ) -> tuple[str, dict[str, str]]:
+        """Execute an atomic module and return its output mapping."""
+        process_id = self._next_process_id()
+        node_id = f"{process_id}:{module.module_id}"
+        self.graph.add_node(
+            ExecutionNode(
+                node_id=node_id,
+                module_id=module.module_id,
+                event=NodeEvent.SINGLE,
+                process_id=process_id,
+            )
+        )
+        for source_node, data_ids in incoming:
+            self.graph.add_edge(source_node, node_id, data_ids)
+
+        output_labels: list[str] = []
+        for edge in workflow.out_edges(module.module_id):
+            for label in edge.labels:
+                if label not in output_labels:
+                    output_labels.append(label)
+        behavior = self.behaviors.behavior_for(module.module_id, tuple(output_labels))
+        behavior_inputs = {
+            label: self.graph.data_item(data_id).value
+            for label, data_id in delivered.items()
+        }
+        outputs = behavior(behavior_inputs)
+
+        produced: dict[str, str] = {}
+        for label in output_labels:
+            item = DataItem(
+                data_id=self._next_data_id(),
+                label=label,
+                producer=node_id,
+                value=outputs.get(label),
+            )
+            self.graph.add_data_item(item)
+            produced[label] = item.data_id
+        return node_id, produced
+
+    def _run_composite(
+        self,
+        module: Module,
+        delivered: dict[str, str],
+        incoming: list[tuple[str, list[str]]],
+    ) -> tuple[str, dict[str, str]]:
+        """Execute a composite module by entering its subworkflow."""
+        process_id = self._next_process_id()
+        begin_id = f"{process_id}:{module.module_id}:begin"
+        end_id = f"{process_id}:{module.module_id}:end"
+        self.graph.add_node(
+            ExecutionNode(
+                node_id=begin_id,
+                module_id=module.module_id,
+                event=NodeEvent.BEGIN,
+                process_id=process_id,
+            )
+        )
+        self.graph.add_node(
+            ExecutionNode(
+                node_id=end_id,
+                module_id=module.module_id,
+                event=NodeEvent.END,
+                process_id=process_id,
+            )
+        )
+        for source_node, data_ids in incoming:
+            self.graph.add_edge(source_node, begin_id, data_ids)
+
+        subworkflow = self.specification.workflow(module.subworkflow_id)
+        arrived = self._run_graph(
+            subworkflow,
+            input_node_id=begin_id,
+            output_node_id=end_id,
+            available_inputs=delivered,
+        )
+        return end_id, arrived

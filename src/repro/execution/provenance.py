@@ -1,0 +1,124 @@
+"""Provenance queries over execution graphs.
+
+The paper defines the provenance of a data item ``d`` as the subgraph of the
+execution induced by the paths from the start node to the node that produced
+``d``.  This module implements that definition plus the downstream-impact
+query motivated in the introduction ("finding erroneous or suspect data, a
+user may ask what downstream data might have been affected").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.execution.graph import ExecutionGraph
+
+
+def provenance_subgraph(execution: ExecutionGraph, data_id: str) -> ExecutionGraph:
+    """The provenance of ``data_id``: all paths from the input to its producer.
+
+    The result is the execution subgraph induced by the producer of the data
+    item together with all of its ancestors.
+    """
+    producer = execution.producer_of(data_id)
+    nodes = execution.ancestors(producer.node_id) | {producer.node_id}
+    subgraph = execution.induced_subgraph(nodes)
+    # The queried item itself may only flow on edges leaving the subgraph
+    # (e.g. the final output); it is still part of its own provenance.
+    if data_id not in subgraph.data_items:
+        subgraph.add_data_item(execution.data_item(data_id))
+    return subgraph
+
+
+def contributing_modules(execution: ExecutionGraph, data_id: str) -> set[str]:
+    """Specification modules whose executions contributed to ``data_id``."""
+    subgraph = provenance_subgraph(execution, data_id)
+    return {node.module_id for node in subgraph if not node.is_io}
+
+
+def contributing_data(execution: ExecutionGraph, data_id: str) -> set[str]:
+    """Data items that (transitively) contributed to producing ``data_id``."""
+    producer = execution.producer_of(data_id)
+    upstream_nodes = execution.ancestors(producer.node_id) | {producer.node_id}
+    contributed: set[str] = set()
+    for edge in execution.edges:
+        if edge.source in upstream_nodes and edge.target in upstream_nodes:
+            contributed.update(edge.data_ids)
+    contributed.discard(data_id)
+    return contributed
+
+
+def downstream_nodes(execution: ExecutionGraph, data_id: str) -> set[str]:
+    """Execution nodes that may have been affected by ``data_id``.
+
+    These are the nodes reachable from any consumer of the item (the
+    consumers themselves included).
+    """
+    affected: set[str] = set()
+    for consumer in execution.consumers_of(data_id):
+        affected.add(consumer.node_id)
+        affected.update(execution.descendants(consumer.node_id))
+    return affected
+
+
+def downstream_data(execution: ExecutionGraph, data_id: str) -> set[str]:
+    """Data items potentially affected by ``data_id`` (excluding itself)."""
+    nodes = downstream_nodes(execution, data_id)
+    affected = {
+        item.data_id
+        for item in execution.data_items.values()
+        if item.producer in nodes
+    }
+    affected.discard(data_id)
+    return affected
+
+
+def data_dependency_graph(execution: ExecutionGraph) -> nx.DiGraph:
+    """A graph over data items: ``d -> d'`` when ``d`` fed the producer of ``d'``.
+
+    The graph makes lineage queries over data (rather than modules) easy and
+    is used by the data-privacy utilities to find which visible items leak
+    information about hidden ones.
+    """
+    graph = nx.DiGraph()
+    for item in execution.data_items.values():
+        graph.add_node(item.data_id, label=item.label, producer=item.producer)
+    for item in execution.data_items.values():
+        producer = item.producer
+        for edge in execution.edges:
+            if edge.target != producer:
+                continue
+            for upstream_id in edge.data_ids:
+                if upstream_id != item.data_id:
+                    graph.add_edge(upstream_id, item.data_id)
+    return graph
+
+
+def lineage_depth(execution: ExecutionGraph, data_id: str) -> int:
+    """The length of the longest derivation chain ending at ``data_id``."""
+    dependencies = data_dependency_graph(execution)
+    if data_id not in dependencies:
+        return 0
+    ancestors = nx.ancestors(dependencies, data_id)
+    if not ancestors:
+        return 0
+    subgraph = dependencies.subgraph(ancestors | {data_id})
+    return int(nx.dag_longest_path_length(subgraph))
+
+
+def execution_summary(execution: ExecutionGraph) -> dict[str, int]:
+    """A small structural summary used by examples and reports."""
+    composite_count = len(
+        {
+            node.process_id
+            for node in execution
+            if node.event.value in ("begin", "end")
+        }
+    )
+    return {
+        "nodes": len(execution),
+        "edges": len(execution.edges),
+        "data_items": len(execution.data_items),
+        "modules": len(execution.executed_module_ids()),
+        "composite_executions": composite_count,
+    }

@@ -1,0 +1,120 @@
+"""Experiment E3 -- structural privacy: edge deletion versus clustering.
+
+Claim in the paper (Sec. 3): deleting edges hides the target dependency but
+"we may hide additional provenance information that does not need be
+hidden", while clustering preserves more information but "we may now infer
+incorrect provenance information" (unsound views).  Repairing the unsound
+view restores soundness but may re-expose the protected pair.
+
+The experiment applies all three strategies to the paper's own example
+(hide that M13 contributes to M11 inside W3) and to random workflow graphs
+with random target pairs, and reports: targets hidden, extraneous
+(incorrect) pairs introduced, collateral true pairs hidden, and the
+fraction of true information preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import ResultTable
+from repro.experiments.workloads import random_structural_targets
+from repro.privacy.structural_privacy import compare_strategies
+from repro.views.spec_view import full_expansion
+from repro.workflow.gallery import disease_susceptibility_specification
+from repro.workflow.generator import GeneratorConfig, random_specification
+
+
+@dataclass(frozen=True)
+class E3Config:
+    """Parameters of experiment E3."""
+
+    random_graphs: int = 3
+    workflows_per_graph: int = 3
+    modules_per_workflow: int = 7
+    pairs_per_graph: int = 2
+    seed: int = 47
+
+
+def _rows_for(graph_name: str, graph, pairs) -> ResultTable:
+    rows: ResultTable = []
+    if not pairs:
+        return rows
+    results = compare_strategies(graph, pairs)
+    for strategy, result in results.items():
+        summary = result.summary()
+        summary["graph"] = graph_name
+        rows.append(
+            {
+                "graph": graph_name,
+                "strategy": strategy,
+                "targets": summary["targets"],
+                "targets_hidden": summary["targets_hidden"],
+                "all_hidden": summary["all_hidden"],
+                "removed_edges": summary["removed_edges"],
+                "extraneous_pairs": summary["extraneous_pairs"],
+                "collateral_hidden": summary["collateral_hidden"],
+                "sound": summary["sound"],
+                "info_preserved": summary["info_preserved"],
+            }
+        )
+    return rows
+
+
+def run(config: E3Config | None = None) -> ResultTable:
+    """Run E3 and return one row per (graph, strategy)."""
+    config = config or E3Config()
+    rows: ResultTable = []
+
+    # The paper's own example: hide that M13 (Reformat, fed by PubMed
+    # Central) contributes to M11 (Update Private Datasets) inside W3.
+    specification = disease_susceptibility_specification()
+    w3 = specification.workflow("W3")
+    rows.extend(_rows_for("paper-W3", w3, [("M13", "M11")]))
+
+    # Random hierarchical workflows with random target pairs.
+    for index in range(config.random_graphs):
+        generator_config = GeneratorConfig(
+            workflows=config.workflows_per_graph,
+            modules_per_workflow=config.modules_per_workflow,
+            seed=config.seed + index * 13,
+        )
+        random_spec = random_specification(generator_config)
+        expansion = full_expansion(random_spec)
+        pairs = random_structural_targets(
+            random_spec, pairs=config.pairs_per_graph, seed=config.seed + index
+        )
+        rows.extend(_rows_for(f"random-{index + 1}", expansion.graph, pairs))
+    return rows
+
+
+def headline(rows: ResultTable) -> dict[str, float]:
+    """Aggregate numbers quoted in EXPERIMENTS.md."""
+    def mean(strategy: str, column: str) -> float:
+        relevant = [row for row in rows if row["strategy"] == strategy]
+        if not relevant:
+            return 0.0
+        return sum(float(row[column]) for row in relevant) / len(relevant)
+
+    return {
+        "edge_deletion_info_preserved": round(mean("edge-deletion", "info_preserved"), 4),
+        "clustering_info_preserved": round(mean("clustering", "info_preserved"), 4),
+        "clustering_extraneous_pairs": round(
+            mean("clustering", "extraneous_pairs"), 2
+        ),
+        "repaired_extraneous_pairs": round(
+            mean("repaired-clustering", "extraneous_pairs"), 2
+        ),
+    }
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    from repro.experiments.reporting import print_table
+
+    rows = run()
+    print_table(rows, title="E3 -- structural privacy strategies")
+    print(headline(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

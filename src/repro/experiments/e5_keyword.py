@@ -1,0 +1,156 @@
+"""Experiment E5 -- keyword search answers under privacy constraints.
+
+Claim in the paper (Sec. 4): query answers are "minimal views" and, under
+privacy, the answer semantics must maximise utility "while guaranteeing
+privacy"; answers visible to a low-privilege user are necessarily coarser
+or may not exist at all.
+
+The experiment evaluates a keyword workload over a synthetic corpus at
+three access levels and, as the anchor case, the Fig. 5 query on the
+disease-susceptibility workflow.  Reported per level: how many queries
+still have an answer, the average answer-view size, and how much of the
+privacy-oblivious answer's detail is retained.  Expected shape: answer rate
+and answer detail drop monotonically as the access level decreases, and the
+two evaluation strategies (view-first versus zoom-out) agree on every
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import FIG5_QUERY
+from repro.experiments.reporting import ResultTable
+from repro.experiments.workloads import (
+    CorpusConfig,
+    build_corpus,
+    default_access_policy,
+    keyword_workload,
+)
+from repro.privacy.policy import PrivacyPolicy
+from repro.query.keyword import keyword_search
+from repro.query.privacy_aware import PrivacyAwareQueryEngine
+from repro.views.access import User
+from repro.workflow.gallery import disease_susceptibility_specification
+
+
+@dataclass(frozen=True)
+class E5Config:
+    """Parameters of experiment E5."""
+
+    corpus: CorpusConfig = CorpusConfig(specifications=4, executions_per_specification=1)
+    queries_per_specification: int = 4
+    levels: tuple[int, ...] = (0, 1, 2)
+    seed: int = 59
+
+
+def _engine_for(specification, level_count: int = 3) -> PrivacyAwareQueryEngine:
+    policy = PrivacyPolicy(specification)
+    access = default_access_policy(specification, levels=level_count)
+    policy.access_policy = access
+    return PrivacyAwareQueryEngine(specification, policy)
+
+
+def run(config: E5Config | None = None) -> ResultTable:
+    """Run E5 and return one row per (workload, level, strategy)."""
+    config = config or E5Config()
+    rows: ResultTable = []
+
+    # Anchor case: the Fig. 5 query at each access level.
+    specification = disease_susceptibility_specification()
+    oblivious = keyword_search(specification, FIG5_QUERY)
+    assert oblivious is not None
+    engine = _engine_for(specification)
+    for level in config.levels:
+        user = User(f"level-{level}", level=level)
+        for strategy in ("view-first", "zoom-out"):
+            result = engine.keyword_search(user, FIG5_QUERY, strategy=strategy)
+            visible = len(result.answer.view.visible_modules) if result.ok else 0
+            rows.append(
+                {
+                    "workload": "fig5-query",
+                    "level": level,
+                    "strategy": strategy,
+                    "queries": 1,
+                    "answered": 1 if result.ok else 0,
+                    "answer_rate": 1.0 if result.ok else 0.0,
+                    "avg_visible_modules": float(visible),
+                    "avg_prefix_size": float(len(result.answer.prefix)) if result.ok else 0.0,
+                    "oblivious_visible_modules": float(
+                        len(oblivious.view.visible_modules)
+                    ),
+                }
+            )
+
+    # Synthetic corpus workload.
+    corpus = build_corpus(config.corpus)
+    workload = keyword_workload(
+        corpus,
+        queries_per_specification=config.queries_per_specification,
+        seed=config.seed,
+    )
+    specs_by_id = {spec.root_id: spec for spec in corpus}
+    engines = {spec_id: _engine_for(spec) for spec_id, spec in specs_by_id.items()}
+    oblivious_sizes = []
+    for spec_id, phrases in workload:
+        answer = keyword_search(specs_by_id[spec_id], ", ".join(phrases))
+        oblivious_sizes.append(
+            len(answer.view.visible_modules) if answer is not None else 0
+        )
+    mean_oblivious = (
+        sum(oblivious_sizes) / len(oblivious_sizes) if oblivious_sizes else 0.0
+    )
+    for level in config.levels:
+        for strategy in ("view-first", "zoom-out"):
+            answered = 0
+            visible_total = 0
+            prefix_total = 0
+            for spec_id, phrases in workload:
+                user = User(f"user-{level}", level=level)
+                result = engines[spec_id].keyword_search(
+                    user, ", ".join(phrases), strategy=strategy
+                )
+                if result.ok:
+                    answered += 1
+                    visible_total += len(result.answer.view.visible_modules)
+                    prefix_total += len(result.answer.prefix)
+            count = len(workload) or 1
+            rows.append(
+                {
+                    "workload": "synthetic-corpus",
+                    "level": level,
+                    "strategy": strategy,
+                    "queries": len(workload),
+                    "answered": answered,
+                    "answer_rate": round(answered / count, 4),
+                    "avg_visible_modules": round(
+                        visible_total / max(1, answered), 3
+                    ),
+                    "avg_prefix_size": round(prefix_total / max(1, answered), 3),
+                    "oblivious_visible_modules": round(mean_oblivious, 3),
+                }
+            )
+    return rows
+
+
+def headline(rows: ResultTable) -> dict[str, float]:
+    """Aggregate numbers quoted in EXPERIMENTS.md."""
+    corpus_rows = [
+        row
+        for row in rows
+        if row["workload"] == "synthetic-corpus" and row["strategy"] == "view-first"
+    ]
+    by_level = {int(row["level"]): float(row["answer_rate"]) for row in corpus_rows}
+    return {f"answer_rate_level_{level}": rate for level, rate in sorted(by_level.items())}
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    from repro.experiments.reporting import print_table
+
+    rows = run()
+    print_table(rows, title="E5 -- keyword search under privacy")
+    print(headline(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,201 @@
+"""Experiment E6 -- on-the-fly hiding versus materialised per-level views.
+
+Claim in the paper (Sec. 4): "It may be infeasible to create variants of
+the workflow repository, one for each privilege/privacy setting, due to
+high space overhead.  Instead, the information must be hidden on-the-fly,
+which usually leads to processing overhead."
+
+The experiment answers a provenance-query workload with four approaches --
+privacy-oblivious evaluation on the raw execution, on-the-fly view
+construction (the zoom-out path), materialised per-level execution views,
+and materialised views fronted by a per-group cache -- and reports query
+latency together with the space each approach has to keep.  Expected
+shape: oblivious is fastest but violates privacy, on-the-fly pays a
+per-query cost, materialisation shifts that cost to space, and the cache
+recovers most of the materialised speed at a fraction of the space when the
+workload repeats queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.execution.provenance import provenance_subgraph
+from repro.experiments.reporting import ResultTable
+from repro.experiments.workloads import CorpusConfig, build_repository
+from repro.storage.cache import GroupQueryCache
+from repro.storage.materialized import MaterializedViewStore
+from repro.views.exec_view import collapse_execution
+
+
+@dataclass(frozen=True)
+class E6Config:
+    """Parameters of experiment E6."""
+
+    corpus: CorpusConfig = CorpusConfig(
+        specifications=3, executions_per_specification=3
+    )
+    queries_per_execution: int = 3
+    level: int = 1
+    repeat_workload: int = 2
+    seed: int = 61
+
+
+def _build_workload(repository, level: int, queries_per_execution: int):
+    """A provenance-query workload: (spec, execution, data id) triples."""
+    workload = []
+    for specification in repository.specifications():
+        for execution in repository.executions_for(specification.root_id):
+            data_ids = sorted(execution.data_items)[:queries_per_execution]
+            for data_id in data_ids:
+                workload.append((specification, execution, data_id))
+    del level
+    return workload
+
+
+def run(config: E6Config | None = None) -> ResultTable:
+    """Run E6 and return one row per storage approach."""
+    config = config or E6Config()
+    repository, policies = build_repository(config.corpus)
+    workload = _build_workload(repository, config.level, config.queries_per_execution)
+    workload = workload * config.repeat_workload
+    level = config.level
+    rows: ResultTable = []
+
+    # Approach 1: privacy-oblivious (baseline; ignores the access view).
+    started = time.perf_counter()
+    for specification, execution, data_id in workload:
+        provenance_subgraph(execution, data_id)
+    oblivious_time = time.perf_counter() - started
+    base_space = repository.statistics()["execution_nodes"]
+    rows.append(
+        {
+            "approach": "oblivious",
+            "queries": len(workload),
+            "total_time_ms": round(oblivious_time * 1000, 2),
+            "avg_time_ms": round(oblivious_time * 1000 / len(workload), 4),
+            "space_elements": base_space,
+            "privacy_enforced": False,
+        }
+    )
+
+    # Approach 2: on-the-fly view construction per query.
+    started = time.perf_counter()
+    answered = 0
+    for specification, execution, data_id in workload:
+        policy = policies[specification.root_id]
+        prefix = policy.prefix_for_level(level)
+        view = collapse_execution(execution, specification, prefix)
+        if data_id in view.data_items:
+            provenance_subgraph(view, data_id)
+            answered += 1
+    onthefly_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "on-the-fly",
+            "queries": len(workload),
+            "total_time_ms": round(onthefly_time * 1000, 2),
+            "avg_time_ms": round(onthefly_time * 1000 / len(workload), 4),
+            "space_elements": base_space,
+            "privacy_enforced": True,
+        }
+    )
+
+    # Approach 3: materialised per-level execution views.
+    store = MaterializedViewStore()
+    started = time.perf_counter()
+    store.materialize_repository(repository, policies)
+    materialization_time = time.perf_counter() - started
+    started = time.perf_counter()
+    for specification, execution, data_id in workload:
+        view = store.execution_view_for(
+            level, specification.root_id, execution.execution_id
+        )
+        if data_id in view.data_items:
+            provenance_subgraph(view, data_id)
+    materialized_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "materialized",
+            "queries": len(workload),
+            "total_time_ms": round(materialized_time * 1000, 2),
+            "avg_time_ms": round(materialized_time * 1000 / len(workload), 4),
+            "space_elements": base_space + store.space_cost()["total_elements"],
+            "privacy_enforced": True,
+            "build_time_ms": round(materialization_time * 1000, 2),
+        }
+    )
+
+    # Approach 4: on-the-fly construction behind a per-group cache.
+    cache = GroupQueryCache(capacity=4096)
+    group = (f"level-{level}",)
+    started = time.perf_counter()
+    for specification, execution, data_id in workload:
+        policy = policies[specification.root_id]
+        prefix = policy.prefix_for_level(level)
+
+        def compute(specification=specification, execution=execution, prefix=prefix):
+            return collapse_execution(execution, specification, prefix)
+
+        view = cache.get_or_compute(
+            group, (specification.root_id, execution.execution_id), compute
+        )
+        if data_id in view.data_items:
+            provenance_subgraph(view, data_id)
+    cached_time = time.perf_counter() - started
+    cached_space = sum(
+        len(view) + len(view.edges) + len(view.data_items)
+        for view in (
+            cache.get(group, (spec.root_id, execution.execution_id))
+            for spec in repository.specifications()
+            for execution in repository.executions_for(spec.root_id)
+        )
+        if view is not None
+    )
+    rows.append(
+        {
+            "approach": "cached on-the-fly",
+            "queries": len(workload),
+            "total_time_ms": round(cached_time * 1000, 2),
+            "avg_time_ms": round(cached_time * 1000 / len(workload), 4),
+            "space_elements": base_space + cached_space,
+            "privacy_enforced": True,
+            "cache_hit_rate": cache.stats().hit_rate,
+        }
+    )
+    return rows
+
+
+def headline(rows: ResultTable) -> dict[str, float]:
+    """Aggregate numbers quoted in EXPERIMENTS.md."""
+    by_approach = {str(row["approach"]): row for row in rows}
+    oblivious = float(by_approach["oblivious"]["avg_time_ms"]) or 1e-9
+    return {
+        "onthefly_slowdown_vs_oblivious": round(
+            float(by_approach["on-the-fly"]["avg_time_ms"]) / oblivious, 2
+        ),
+        "materialized_slowdown_vs_oblivious": round(
+            float(by_approach["materialized"]["avg_time_ms"]) / oblivious, 2
+        ),
+        "materialized_space_overhead": round(
+            float(by_approach["materialized"]["space_elements"])
+            / float(by_approach["oblivious"]["space_elements"]),
+            2,
+        ),
+        "cached_slowdown_vs_oblivious": round(
+            float(by_approach["cached on-the-fly"]["avg_time_ms"]) / oblivious, 2
+        ),
+    }
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    from repro.experiments.reporting import print_table
+
+    rows = run()
+    print_table(rows, title="E6 -- storage strategies for privacy-aware provenance")
+    print(headline(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

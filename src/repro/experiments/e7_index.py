@@ -1,0 +1,215 @@
+"""Experiment E7 -- indexing under multiple user views.
+
+Claim in the paper (Sec. 4): "we must manage an index with 'different user
+views', as users often have different privileges on data accesses.  A
+promising direction is to consider representing the specification and
+execution graphs using advanced data structures that classify and group
+their elements based on privacy settings."
+
+The experiment compares three ways to answer keyword lookups at a given
+access level over a corpus of specifications: a full scan with visibility
+filtering (no index), a single global inverted index whose postings are
+filtered by visibility at query time, and per-level inverted indexes that
+store only visible postings.  It also measures the per-level reachability
+index against on-demand reachability checks.  Expected shape: per-level
+indexes answer fastest but cost the most space; filtering a global index is
+close in speed for small corpora but degrades as the share of invisible
+modules grows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.reporting import ResultTable
+from repro.experiments.workloads import (
+    CorpusConfig,
+    build_corpus,
+    default_access_policy,
+)
+from repro.query.keyword import module_search_terms
+from repro.query.text import normalized_tokens
+from repro.storage.index import KeywordIndex, LeveledKeywordIndex, ReachabilityIndex
+from repro.views.hierarchy import ExpansionHierarchy
+from repro.views.spec_view import specification_view
+
+
+@dataclass(frozen=True)
+class E7Config:
+    """Parameters of experiment E7."""
+
+    corpus: CorpusConfig = CorpusConfig(
+        specifications=6, workflows_per_specification=4, modules_per_workflow=8
+    )
+    lookups: int = 200
+    level: int = 1
+    seed: int = 67
+
+
+def run(config: E7Config | None = None) -> ResultTable:
+    """Run E7 and return one row per lookup approach."""
+    config = config or E7Config()
+    corpus = build_corpus(config.corpus)
+    policies = {spec.root_id: default_access_policy(spec) for spec in corpus}
+    hierarchies = {spec.root_id: ExpansionHierarchy(spec) for spec in corpus}
+    visible_by_spec = {
+        spec.root_id: hierarchies[spec.root_id].visible_modules(
+            policies[spec.root_id].prefix_for_level(config.level)
+        )
+        for spec in corpus
+    }
+
+    # The lookup workload: terms drawn from the corpus vocabulary.
+    vocabulary: list[str] = []
+    for spec in corpus:
+        for _, module in spec.all_modules():
+            if module.is_io:
+                continue
+            vocabulary.extend(module_search_terms(module))
+    vocabulary = sorted(set(vocabulary))
+    lookups = [vocabulary[i % len(vocabulary)] for i in range(config.lookups)]
+
+    rows: ResultTable = []
+
+    # Approach 1: no index -- scan every module, filter by visibility.
+    started = time.perf_counter()
+    scan_results = 0
+    for term in lookups:
+        for spec in corpus:
+            visible = visible_by_spec[spec.root_id]
+            for _, module in spec.all_modules():
+                if module.is_io or module.module_id not in visible:
+                    continue
+                if term in module_search_terms(module):
+                    scan_results += 1
+    scan_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "no index (scan + filter)",
+            "lookups": len(lookups),
+            "total_time_ms": round(scan_time * 1000, 2),
+            "avg_time_us": round(scan_time * 1e6 / len(lookups), 2),
+            "results": scan_results,
+            "space_postings": 0,
+        }
+    )
+
+    # Approach 2: global index, filter postings by visibility at query time.
+    global_index = KeywordIndex()
+    for spec in corpus:
+        global_index.add_specification(spec)
+    started = time.perf_counter()
+    filtered_results = 0
+    for term in lookups:
+        for spec_id, module_id in global_index.lookup(term):
+            if module_id in visible_by_spec[spec_id]:
+                filtered_results += 1
+    filter_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "global index + filter",
+            "lookups": len(lookups),
+            "total_time_ms": round(filter_time * 1000, 2),
+            "avg_time_us": round(filter_time * 1e6 / len(lookups), 2),
+            "results": filtered_results,
+            "space_postings": global_index.size(),
+        }
+    )
+
+    # Approach 3: per-level indexes (postings pre-filtered by visibility).
+    leveled_index = LeveledKeywordIndex()
+    for spec in corpus:
+        leveled_index.add_specification(spec, policies[spec.root_id])
+    started = time.perf_counter()
+    leveled_results = 0
+    for term in lookups:
+        leveled_results += len(leveled_index.lookup(config.level, term))
+    leveled_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "per-level index",
+            "lookups": len(lookups),
+            "total_time_ms": round(leveled_time * 1000, 2),
+            "avg_time_us": round(leveled_time * 1e6 / len(lookups), 2),
+            "results": leveled_results,
+            "space_postings": leveled_index.size(),
+        }
+    )
+
+    # Reachability: on-demand view construction versus the per-level index.
+    pair_lookups = []
+    for spec in corpus:
+        visible = sorted(visible_by_spec[spec.root_id])
+        for i in range(0, min(len(visible) - 1, 6)):
+            pair_lookups.append((spec.root_id, visible[i], visible[i + 1]))
+    specs_by_id = {spec.root_id: spec for spec in corpus}
+
+    started = time.perf_counter()
+    for spec_id, source, target in pair_lookups * 5:
+        policy = policies[spec_id]
+        view = specification_view(
+            specs_by_id[spec_id], policy.prefix_for_level(config.level)
+        )
+        view.graph.is_reachable(source, target)
+    ondemand_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "reachability: on-demand view",
+            "lookups": len(pair_lookups) * 5,
+            "total_time_ms": round(ondemand_time * 1000, 2),
+            "avg_time_us": round(ondemand_time * 1e6 / max(1, len(pair_lookups) * 5), 2),
+            "results": len(pair_lookups) * 5,
+            "space_postings": 0,
+        }
+    )
+
+    reach_index = ReachabilityIndex()
+    for spec in corpus:
+        reach_index.add_specification(spec, policies[spec.root_id])
+    started = time.perf_counter()
+    for spec_id, source, target in pair_lookups * 5:
+        reach_index.is_reachable(config.level, spec_id, source, target)
+    indexed_time = time.perf_counter() - started
+    rows.append(
+        {
+            "approach": "reachability: per-level index",
+            "lookups": len(pair_lookups) * 5,
+            "total_time_ms": round(indexed_time * 1000, 2),
+            "avg_time_us": round(indexed_time * 1e6 / max(1, len(pair_lookups) * 5), 2),
+            "results": len(pair_lookups) * 5,
+            "space_postings": reach_index.size(),
+        }
+    )
+    return rows
+
+
+def headline(rows: ResultTable) -> dict[str, float]:
+    """Aggregate numbers quoted in EXPERIMENTS.md."""
+    by_approach = {str(row["approach"]): row for row in rows}
+    leveled = float(by_approach["per-level index"]["avg_time_us"]) or 1e-9
+    return {
+        "scan_vs_leveled_speedup": round(
+            float(by_approach["no index (scan + filter)"]["avg_time_us"]) / leveled, 1
+        ),
+        "filter_vs_leveled_speedup": round(
+            float(by_approach["global index + filter"]["avg_time_us"]) / leveled, 1
+        ),
+        "leveled_space_overhead": round(
+            float(by_approach["per-level index"]["space_postings"])
+            / max(1.0, float(by_approach["global index + filter"]["space_postings"])),
+            2,
+        ),
+    }
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    from repro.experiments.reporting import print_table
+
+    rows = run()
+    print_table(rows, title="E7 -- indexing under multiple user views")
+    print(headline(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

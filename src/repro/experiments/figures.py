@@ -1,0 +1,248 @@
+"""Reproduction of every figure of the paper (F1-F5).
+
+The CIDR 2011 paper contains five figures, all of which illustrate the
+model rather than measurements.  Each ``figN_*`` function rebuilds the
+corresponding artifact with the library and returns both a rendering and
+the structural facts the paper states about it; :func:`figure_checks`
+asserts those facts and is exercised by ``benchmarks/bench_figures.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.gallery import disease_susceptibility_execution
+from repro.execution.graph import ExecutionGraph
+from repro.query.keyword import KeywordAnswer, keyword_search
+from repro.views.exec_view import ExecutionView, execution_view
+from repro.views.hierarchy import ExpansionHierarchy
+from repro.views.spec_view import SpecificationView, full_expansion, specification_view
+from repro.workflow.gallery import disease_susceptibility_specification
+from repro.workflow.specification import WorkflowSpecification
+
+#: The query of Fig. 5.
+FIG5_QUERY = "Database, Disorder Risks"
+
+
+@dataclass(frozen=True)
+class FigureArtifact:
+    """One reproduced figure: an identifier, a rendering and check results."""
+
+    figure_id: str
+    description: str
+    rendering: str
+    checks: dict[str, bool]
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every structural fact stated by the paper holds."""
+        return all(self.checks.values())
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1 -- the workflow specification
+# ---------------------------------------------------------------------- #
+def fig1_specification() -> tuple[WorkflowSpecification, FigureArtifact]:
+    """Fig. 1: the hierarchical disease-susceptibility specification."""
+    specification = disease_susceptibility_specification()
+    specification.validate()
+    checks = {
+        "has W1..W4": set(specification.workflow_ids()) == {"W1", "W2", "W3", "W4"},
+        "has modules M1..M15": {
+            f"M{i}" for i in range(1, 16)
+        }.issubset(set(specification.module_ids())),
+        "M1 expands to W2": specification.find_module("M1").subworkflow_id == "W2",
+        "M2 expands to W3": specification.find_module("M2").subworkflow_id == "W3",
+        "M4 expands to W4": specification.find_module("M4").subworkflow_id == "W4",
+        "root has I and O": specification.root.has_module("I")
+        and specification.root.has_module("O"),
+    }
+    lines = [f"Fig. 1 -- {specification.name}"]
+    for workflow_id in specification.workflow_ids():
+        graph = specification.workflow(workflow_id)
+        lines.append(f"  {workflow_id}: {graph.name}")
+        for edge in sorted(graph.edges, key=lambda e: (e.source, e.target)):
+            lines.append(
+                f"    {edge.source} -> {edge.target} [{', '.join(edge.labels)}]"
+            )
+    artifact = FigureArtifact(
+        figure_id="F1",
+        description="Disease susceptibility workflow specification",
+        rendering="\n".join(lines),
+        checks=checks,
+    )
+    return specification, artifact
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2 -- view of the provenance graph under prefix {W1}
+# ---------------------------------------------------------------------- #
+def fig2_execution_view() -> tuple[ExecutionView, FigureArtifact]:
+    """Fig. 2: the Fig. 4 execution collapsed to the prefix {W1}."""
+    specification = disease_susceptibility_specification()
+    execution = disease_susceptibility_execution()
+    view = execution_view(execution, specification, {"W1"})
+    graph = view.graph
+    checks = {
+        "nodes are I, O, S1:M1, S8:M2": set(graph.nodes)
+        == {"I", "O", "S1:M1", "S8:M2"},
+        "I -> S1:M1 carries d0,d1": graph.data_on_edge("I", "S1:M1")
+        == frozenset({"d0", "d1"}),
+        "I -> S8:M2 carries d2,d3,d4": graph.data_on_edge("I", "S8:M2")
+        == frozenset({"d2", "d3", "d4"}),
+        "S1:M1 -> S8:M2 carries d10": graph.data_on_edge("S1:M1", "S8:M2")
+        == frozenset({"d10"}),
+        "S8:M2 -> O carries d19": graph.data_on_edge("S8:M2", "O")
+        == frozenset({"d19"}),
+        "internal data hidden": "d5" not in view.visible_data_ids
+        and "d13" not in view.visible_data_ids,
+    }
+    artifact = FigureArtifact(
+        figure_id="F2",
+        description="View of the provenance graph under prefix {W1}",
+        rendering=view.render(),
+        checks=checks,
+    )
+    return view, artifact
+
+
+# ---------------------------------------------------------------------- #
+# Figure 3 -- the expansion hierarchy
+# ---------------------------------------------------------------------- #
+def fig3_hierarchy() -> tuple[ExpansionHierarchy, FigureArtifact]:
+    """Fig. 3: the expansion hierarchy of the specification.
+
+    Note: the paper's prose contains a minor inconsistency ("W3 is a
+    subworkflow of W2"); the structure implied by Figs. 1, 2, 4 and 5 and by
+    the full-expansion statement (modules I, O, M3, M5-M15 with edges
+    M3->M5 and M8->M9) is the one reproduced here: W2 and W3 are children
+    of W1 and W4 is a child of W2.  DESIGN.md discusses the discrepancy.
+    """
+    specification = disease_susceptibility_specification()
+    hierarchy = ExpansionHierarchy(specification)
+    checks = {
+        "root is W1": hierarchy.root_id == "W1",
+        "W1 children are W2 and W3": set(hierarchy.children("W1")) == {"W2", "W3"},
+        "W2 child is W4": set(hierarchy.children("W2")) == {"W4"},
+        "W4 and W3 are leaves": not hierarchy.children("W4")
+        and not hierarchy.children("W3"),
+        "{W1, W2} is a prefix": hierarchy.is_prefix({"W1", "W2"}),
+        "{W2} alone is not a prefix": not hierarchy.is_prefix({"W2"}),
+    }
+    artifact = FigureArtifact(
+        figure_id="F3",
+        description="Expansion hierarchy of the specification",
+        rendering=hierarchy.render(),
+        checks=checks,
+    )
+    return hierarchy, artifact
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4 -- the execution
+# ---------------------------------------------------------------------- #
+def fig4_execution() -> tuple[ExecutionGraph, FigureArtifact]:
+    """Fig. 4: the execution with process ids S1-S15 and data d0-d19."""
+    execution = disease_susceptibility_execution()
+    execution.validate()
+    full_view = full_expansion(disease_susceptibility_specification())
+    checks = {
+        "20 data items d0..d19": set(execution.data_items)
+        == {f"d{i}" for i in range(20)},
+        "15 module executions": len(
+            {n.process_id for n in execution if n.process_id is not None}
+        )
+        == 15,
+        "composite begin/end pairs for M1, M2, M4": all(
+            execution.has_node(f"{pid}:{mid}:begin")
+            and execution.has_node(f"{pid}:{mid}:end")
+            for pid, mid in (("S1", "M1"), ("S8", "M2"), ("S3", "M4"))
+        ),
+        "d10 produced by S7:M8": execution.data_item("d10").producer == "S7:M8",
+        "d19 reaches the output": "d19" in execution.data_on_edge("S8:M2:end", "O"),
+        "M2 begin receives d2,d3,d4 and d10": execution.data_on_edge(
+            "I", "S8:M2:begin"
+        )
+        | execution.data_on_edge("S1:M1:end", "S8:M2:begin")
+        == frozenset({"d2", "d3", "d4", "d10"}),
+        "module dataflow agrees with the full expansion": execution.module_reachable_pairs()
+        >= {("M3", "M5"), ("M8", "M9"), ("M13", "M11"), ("M10", "M11")},
+        "full expansion exposes the same modules": full_view.visible_modules
+        == {
+            mid
+            for mid in execution.executed_module_ids()
+            if mid not in ("M1", "M2", "M4")
+        },
+    }
+    lines = [f"Fig. 4 -- execution {execution.execution_id}"]
+    for edge in sorted(execution.edges, key=lambda e: (e.source, e.target)):
+        source = execution.node(edge.source).display_name
+        target = execution.node(edge.target).display_name
+        lines.append(f"  {source} -> {target} [{', '.join(edge.sorted_data_ids())}]")
+    artifact = FigureArtifact(
+        figure_id="F4",
+        description="Disease susceptibility workflow execution",
+        rendering="\n".join(lines),
+        checks=checks,
+    )
+    return execution, artifact
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 -- result of the keyword query
+# ---------------------------------------------------------------------- #
+def fig5_keyword_answer() -> tuple[KeywordAnswer, FigureArtifact]:
+    """Fig. 5: the minimal-view answer to "Database, Disorder Risks"."""
+    specification = disease_susceptibility_specification()
+    answer = keyword_search(specification, FIG5_QUERY)
+    assert answer is not None
+    view = answer.view
+    checks = {
+        "prefix is {W1, W2, W4}": answer.prefix == frozenset({"W1", "W2", "W4"}),
+        "visible modules match Fig. 5": view.visible_modules
+        == {"M2", "M3", "M5", "M6", "M7", "M8"},
+        "M2 stays collapsed": view.graph.module("M2").is_composite,
+        "database matches M5": dict(answer.matches).get("Database") == "M5",
+        "disorder risks matches M2": dict(answer.matches).get("Disorder Risks") == "M2",
+        "M8 feeds M2": view.graph.has_edge("M8", "M2"),
+        "M3 feeds M5": view.graph.has_edge("M3", "M5"),
+    }
+    artifact = FigureArtifact(
+        figure_id="F5",
+        description='Result of the keyword query "Database, Disorder Risks"',
+        rendering=answer.render(),
+        checks=checks,
+    )
+    return answer, artifact
+
+
+# ---------------------------------------------------------------------- #
+# Harness entry points
+# ---------------------------------------------------------------------- #
+def reproduce_all_figures() -> dict[str, FigureArtifact]:
+    """Reproduce every figure and return the artifacts keyed by figure id."""
+    artifacts = {}
+    for builder in (
+        fig1_specification,
+        fig2_execution_view,
+        fig3_hierarchy,
+        fig4_execution,
+        fig5_keyword_answer,
+    ):
+        _, artifact = builder()
+        artifacts[artifact.figure_id] = artifact
+    return artifacts
+
+
+def figure_checks() -> dict[str, dict[str, bool]]:
+    """The structural checks of every figure (used by tests and benches)."""
+    return {
+        figure_id: artifact.checks
+        for figure_id, artifact in reproduce_all_figures().items()
+    }
+
+
+def fig5_view() -> SpecificationView:
+    """The Fig. 5 view itself (convenience for examples)."""
+    specification = disease_susceptibility_specification()
+    return specification_view(specification, {"W1", "W2", "W4"})

@@ -1,0 +1,87 @@
+"""Small reporting helpers shared by the experiment harness and benchmarks.
+
+Experiment runners return *result tables*: lists of dictionaries with one
+row per measurement, mirroring the rows a paper table would contain.  The
+helpers here format them as aligned ASCII tables so that running a
+benchmark prints something directly comparable with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+Row = Mapping[str, object]
+ResultTable = list[dict[str, object]]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def table_columns(rows: Sequence[Row]) -> list[str]:
+    """The union of the column names of ``rows``, in first-seen order."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def format_table(
+    rows: Sequence[Row],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else table_columns(rows)
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Row],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print rows as an aligned ASCII table."""
+    print(format_table(rows, columns=columns, title=title))
+
+
+def select_columns(rows: Iterable[Row], columns: Sequence[str]) -> ResultTable:
+    """Project rows onto a subset of columns."""
+    return [{column: row.get(column) for column in columns} for row in rows]
+
+
+def summarize_numeric(rows: Sequence[Row], column: str) -> dict[str, float]:
+    """Min/mean/max of a numeric column (used by benchmark assertions)."""
+    values = [float(row[column]) for row in rows if column in row]
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }

@@ -1,0 +1,197 @@
+"""Data privacy: masking and generalising sensitive data items.
+
+Data privacy is the most conventional of the paper's three privacy notions:
+"intermediate data within an execution may contain sensitive information,
+such as a social security number, a medical record, or financial
+information".  Users below the required access level must not see such
+values.  This module implements label-based data-privacy policies and the
+masking/generalisation transformations applied to executions before they
+are returned to a user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import PolicyError
+from repro.execution.dataitem import DataItem
+from repro.execution.graph import ExecutionGraph
+from repro.views.access import PUBLIC, User
+
+#: The placeholder used when a value must be fully redacted.
+REDACTED = "<redacted>"
+
+Generalizer = Callable[[object], object]
+
+
+def redact(value: object) -> object:
+    """Fully hide a value."""
+    del value
+    return REDACTED
+
+
+def generalize_number(value: object, *, bucket: float = 10.0) -> object:
+    """Coarsen a numeric value into a ``[low, high)`` bucket string."""
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return REDACTED
+    low = (number // bucket) * bucket
+    return f"[{low:g}, {low + bucket:g})"
+
+def generalize_text(value: object, *, keep: int = 1) -> object:
+    """Keep only the first ``keep`` characters of a textual value."""
+    if not isinstance(value, str) or keep < 0:
+        return REDACTED
+    return value[:keep] + "*" * max(0, len(value) - keep)
+
+
+def generalize_collection(value: object) -> object:
+    """Replace a collection by its size only."""
+    if isinstance(value, (list, tuple, set, frozenset, dict)):
+        return f"<collection of {len(value)} items>"
+    return REDACTED
+
+
+@dataclass(frozen=True)
+class DataPrivacyRule:
+    """Protection of one data label.
+
+    ``minimum_level`` is the lowest access level allowed to see the raw
+    value; lower levels see the result of ``generalizer`` (full redaction by
+    default).
+    """
+
+    label: str
+    minimum_level: int
+    generalizer: Generalizer = redact
+
+    def __post_init__(self) -> None:
+        if self.minimum_level < 0:
+            raise PolicyError(f"rule for {self.label!r} has negative level")
+
+
+@dataclass
+class DataPrivacyPolicy:
+    """A label-based data-privacy policy.
+
+    Labels without a rule are public.  Individual data items can be
+    protected too (by id), which takes precedence over their label.
+    """
+
+    rules: dict[str, DataPrivacyRule] = field(default_factory=dict)
+    item_levels: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def protect_label(
+        self,
+        label: str,
+        minimum_level: int,
+        generalizer: Generalizer = redact,
+    ) -> "DataPrivacyPolicy":
+        """Protect every data item carrying ``label``."""
+        self.rules[label] = DataPrivacyRule(
+            label=label, minimum_level=minimum_level, generalizer=generalizer
+        )
+        return self
+
+    def protect_item(self, data_id: str, minimum_level: int) -> "DataPrivacyPolicy":
+        """Protect one specific data item id."""
+        if minimum_level < 0:
+            raise PolicyError(f"item {data_id!r} given negative level")
+        self.item_levels[data_id] = minimum_level
+        return self
+
+    def protect_labels(
+        self, labels: Iterable[str], minimum_level: int
+    ) -> "DataPrivacyPolicy":
+        """Protect several labels at the same level."""
+        for label in labels:
+            self.protect_label(label, minimum_level)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def required_level(self, item: DataItem) -> int:
+        """The minimum access level required to see the raw value of ``item``."""
+        if item.data_id in self.item_levels:
+            return self.item_levels[item.data_id]
+        rule = self.rules.get(item.label)
+        return rule.minimum_level if rule is not None else PUBLIC
+
+    def can_see(self, item: DataItem, level: int) -> bool:
+        """Whether a user at ``level`` may see the raw value of ``item``."""
+        return level >= self.required_level(item)
+
+    def protected_labels(self) -> set[str]:
+        """All labels with an explicit protection rule."""
+        return set(self.rules)
+
+    def transform(self, item: DataItem, level: int) -> DataItem:
+        """Return the item as visible to a user at ``level``."""
+        if self.can_see(item, level):
+            return item
+        rule = self.rules.get(item.label)
+        generalizer = rule.generalizer if rule is not None else redact
+        return item.masked(generalizer(item.value))
+
+    # ------------------------------------------------------------------ #
+    # Applying the policy to executions
+    # ------------------------------------------------------------------ #
+    def mask_execution(
+        self, execution: ExecutionGraph, level: int
+    ) -> ExecutionGraph:
+        """A copy of ``execution`` with values masked for a user at ``level``."""
+        masked = ExecutionGraph(
+            f"{execution.execution_id}@level{level}",
+            execution.specification_id,
+            input_node_id=execution.input_node_id,
+            output_node_id=execution.output_node_id,
+        )
+        for node in execution:
+            masked.add_node(node)
+        for edge in execution.edges:
+            masked.add_edge(edge.source, edge.target, edge.data_ids)
+        for item in execution.data_items.values():
+            masked.add_data_item(self.transform(item, level))
+        return masked
+
+    def mask_execution_for_user(
+        self, execution: ExecutionGraph, user: User
+    ) -> ExecutionGraph:
+        """Convenience wrapper taking a :class:`User`."""
+        return self.mask_execution(execution, user.level)
+
+    def hidden_items(self, execution: ExecutionGraph, level: int) -> set[str]:
+        """Ids of the items whose value a user at ``level`` may not see."""
+        return {
+            item.data_id
+            for item in execution.data_items.values()
+            if not self.can_see(item, level)
+        }
+
+    def leak_report(
+        self, execution: ExecutionGraph, level: int
+    ) -> dict[str, object]:
+        """A small report of what remains visible at ``level``."""
+        hidden = self.hidden_items(execution, level)
+        total = len(execution.data_items)
+        return {
+            "level": level,
+            "total_items": total,
+            "hidden_items": len(hidden),
+            "visible_items": total - len(hidden),
+            "hidden_fraction": (len(hidden) / total) if total else 0.0,
+        }
+
+
+def policy_from_levels(label_levels: Mapping[str, int]) -> DataPrivacyPolicy:
+    """Build a policy from a simple ``label -> minimum level`` mapping."""
+    policy = DataPrivacyPolicy()
+    for label, level in label_levels.items():
+        policy.protect_label(label, level)
+    return policy

@@ -1,0 +1,184 @@
+"""Inference-leakage analysis for hidden data labels.
+
+Masking the value of a data item is not enough if its value can be
+re-derived from data that remains visible: when a module's function is
+public (or learnable, see :mod:`repro.adversary.module_attack`) and all of
+its inputs are visible, an adversary simply recomputes the hidden output.
+This module closes that gap:
+
+* :func:`forward_derivable_labels` finds hidden labels whose values are
+  recomputable from visible data through known module functions;
+* :func:`close_hiding` extends a hiding choice until no hidden label is
+  forward-derivable (the cheapest extension label by label);
+* :func:`leakage_report` summarises the exposure of a hiding choice for an
+  execution, which the data-privacy examples and tests use.
+
+The analysis is deliberately conservative: it assumes every module whose
+relation is registered is fully known to the adversary, which is exactly
+the worst case module privacy defends against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import PrivacyError
+from repro.execution.graph import ExecutionGraph
+from repro.privacy.relations import ModuleRelation
+from repro.workflow.graph import WorkflowGraph
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """Outcome of a leakage analysis.
+
+    ``derivable`` are hidden labels an adversary can recompute from visible
+    data; ``safe`` are hidden labels it cannot; ``added_by_closure`` are the
+    extra labels :func:`close_hiding` had to hide to stop the leak.
+    """
+
+    hidden: frozenset[str]
+    derivable: frozenset[str]
+    safe: frozenset[str]
+    added_by_closure: frozenset[str]
+
+    @property
+    def leaks(self) -> bool:
+        """Whether any hidden label is derivable from visible data."""
+        return bool(self.derivable)
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for tables and examples."""
+        return {
+            "hidden": len(self.hidden),
+            "derivable": len(self.derivable),
+            "safe": len(self.safe),
+            "added_by_closure": len(self.added_by_closure),
+            "leaks": self.leaks,
+        }
+
+
+def _producers_by_label(
+    graph: WorkflowGraph, known_relations: Mapping[str, ModuleRelation]
+) -> dict[str, list[ModuleRelation]]:
+    """Known module relations indexed by the labels they produce."""
+    producers: dict[str, list[ModuleRelation]] = {}
+    for module in graph.processing_modules():
+        relation = known_relations.get(module.module_id)
+        if relation is None:
+            continue
+        for label in relation.output_names():
+            producers.setdefault(label, []).append(relation)
+    return producers
+
+
+def forward_derivable_labels(
+    graph: WorkflowGraph,
+    known_relations: Mapping[str, ModuleRelation],
+    hidden_labels: Iterable[str],
+) -> set[str]:
+    """Hidden labels recomputable from visible data via known functions.
+
+    A hidden label leaks when some known module produces it and every input
+    label of that module is (transitively) available to the adversary --
+    either visible from the start or itself derivable.  The computation is a
+    fixpoint over the workflow's dataflow.
+    """
+    hidden = set(hidden_labels)
+    unknown = hidden - set(graph.all_labels())
+    if unknown:
+        raise PrivacyError(
+            f"hidden labels {sorted(unknown)!r} do not appear in workflow "
+            f"{graph.workflow_id!r}"
+        )
+    producers = _producers_by_label(graph, known_relations)
+    available = set(graph.all_labels()) - hidden
+    derivable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for label in sorted(hidden - derivable):
+            for relation in producers.get(label, ()):
+                inputs = set(relation.input_names())
+                if inputs <= available | derivable:
+                    derivable.add(label)
+                    changed = True
+                    break
+    return derivable
+
+
+def close_hiding(
+    graph: WorkflowGraph,
+    known_relations: Mapping[str, ModuleRelation],
+    hidden_labels: Iterable[str],
+    *,
+    label_costs: Mapping[str, float] | None = None,
+    max_rounds: int = 100,
+) -> set[str]:
+    """Extend ``hidden_labels`` until nothing hidden is forward-derivable.
+
+    For every leaking label the cheapest visible input of one of its known
+    producers is hidden as well; the process repeats until the hiding choice
+    is closed.  Hiding everything is always a (worst-case) fixpoint, so the
+    loop terminates.
+    """
+    costs = dict(label_costs or {})
+
+    def cost(label: str) -> float:
+        return costs.get(label, 1.0)
+
+    hidden = set(hidden_labels)
+    producers = _producers_by_label(graph, known_relations)
+    for _ in range(max_rounds):
+        leaking = forward_derivable_labels(graph, known_relations, hidden)
+        if not leaking:
+            return hidden
+        for label in sorted(leaking):
+            candidate_inputs: list[str] = []
+            for relation in producers.get(label, ()):
+                visible_inputs = [
+                    name for name in relation.input_names() if name not in hidden
+                ]
+                candidate_inputs.extend(visible_inputs)
+            if not candidate_inputs:
+                # Every input is already hidden yet the label still leaks:
+                # can only happen through another producer chain; hide the
+                # label's producers' cheapest input overall next round.
+                continue  # pragma: no cover - defensive
+            hidden.add(min(candidate_inputs, key=lambda name: (cost(name), name)))
+    return hidden
+
+
+def leakage_report(
+    graph: WorkflowGraph,
+    known_relations: Mapping[str, ModuleRelation],
+    hidden_labels: Iterable[str],
+    *,
+    label_costs: Mapping[str, float] | None = None,
+) -> LeakageReport:
+    """Analyse a hiding choice and report what leaks and how to fix it."""
+    hidden = frozenset(hidden_labels)
+    derivable = frozenset(forward_derivable_labels(graph, known_relations, hidden))
+    closed = close_hiding(
+        graph, known_relations, hidden, label_costs=label_costs
+    )
+    return LeakageReport(
+        hidden=hidden,
+        derivable=derivable,
+        safe=hidden - derivable,
+        added_by_closure=frozenset(closed - hidden),
+    )
+
+
+def exposed_items(
+    execution: ExecutionGraph,
+    derivable_labels: Iterable[str],
+) -> set[str]:
+    """Data items of an execution whose masked values are still derivable."""
+    derivable = set(derivable_labels)
+    return {
+        item.data_id
+        for item in execution.data_items.values()
+        if item.label in derivable
+    }

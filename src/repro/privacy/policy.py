@@ -1,0 +1,168 @@
+"""Combined privacy policies.
+
+A :class:`PrivacyPolicy` bundles the three privacy concerns of the paper for
+one workflow specification:
+
+* a :class:`~repro.privacy.data_privacy.DataPrivacyPolicy` (who may see
+  which data values),
+* workflow-level module-privacy requirements (which modules are private and
+  with what Gamma), together with the resulting hidden data labels,
+* structural-privacy targets (which module pairs' connectivity must stay
+  hidden) and the minimum access level at which they become visible,
+* an :class:`~repro.views.access.AccessViewPolicy` mapping access levels to
+  expansion-hierarchy prefixes.
+
+The query layer consults a single policy object to decide what a given user
+may see, so the privacy semantics is specified in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import PolicyError
+from repro.privacy.data_privacy import DataPrivacyPolicy
+from repro.privacy.workflow_privacy import (
+    SecureViewResult,
+    WorkflowPrivacyRequirements,
+    secure_view,
+)
+from repro.views.access import AccessViewPolicy, User
+from repro.views.hierarchy import Prefix
+from repro.workflow.specification import WorkflowSpecification
+
+
+@dataclass(frozen=True)
+class StructuralTarget:
+    """One reachability pair to keep hidden below ``minimum_level``."""
+
+    source: str
+    target: str
+    minimum_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.minimum_level < 0:
+            raise PolicyError("minimum_level must be >= 0")
+        if self.source == self.target:
+            raise PolicyError("a structural target must involve two distinct modules")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The (source, target) pair."""
+        return (self.source, self.target)
+
+
+@dataclass
+class PrivacyPolicy:
+    """The complete privacy configuration of one specification."""
+
+    specification: WorkflowSpecification
+    data_policy: DataPrivacyPolicy = field(default_factory=DataPrivacyPolicy)
+    module_requirements: WorkflowPrivacyRequirements = field(
+        default_factory=WorkflowPrivacyRequirements
+    )
+    structural_targets: list[StructuralTarget] = field(default_factory=list)
+    access_policy: AccessViewPolicy | None = None
+    module_privacy_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.access_policy is None:
+            self.access_policy = AccessViewPolicy(self.specification)
+        self._secure_view: SecureViewResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Configuration helpers
+    # ------------------------------------------------------------------ #
+    def protect_data_label(
+        self, label: str, minimum_level: int
+    ) -> "PrivacyPolicy":
+        """Protect a data label (delegates to the data policy)."""
+        self.data_policy.protect_label(label, minimum_level)
+        return self
+
+    def require_module_privacy(self, relation, gamma: int) -> "PrivacyPolicy":
+        """Declare a private module with target privacy level ``gamma``."""
+        self.module_requirements.add(relation, gamma)
+        self._secure_view = None
+        return self
+
+    def hide_structure(
+        self, source: str, target: str, minimum_level: int = 1
+    ) -> "PrivacyPolicy":
+        """Declare that the path from ``source`` to ``target`` must stay hidden."""
+        known = set(self.specification.module_ids())
+        if source not in known or target not in known:
+            raise PolicyError(
+                f"structural target ({source!r}, {target!r}) mentions unknown modules"
+            )
+        self.structural_targets.append(
+            StructuralTarget(source=source, target=target, minimum_level=minimum_level)
+        )
+        return self
+
+    def set_access_view(self, level: int, prefix: Iterable[str]) -> "PrivacyPolicy":
+        """Assign the access view (prefix) granted to an access level."""
+        assert self.access_policy is not None
+        self.access_policy.set_level(level, prefix)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Derived information
+    # ------------------------------------------------------------------ #
+    def secure_view_result(self, *, solver: str = "greedy") -> SecureViewResult | None:
+        """The workflow-level secure view (memoised); ``None`` without requirements."""
+        if not self.module_requirements.requirements:
+            return None
+        if self._secure_view is None:
+            self._secure_view = secure_view(self.module_requirements, solver=solver)
+        return self._secure_view
+
+    def hidden_labels_for_level(self, level: int) -> set[str]:
+        """Data labels hidden from users at ``level``.
+
+        Combines explicit data-privacy rules with the labels chosen by the
+        module-privacy secure view (which apply below
+        ``module_privacy_level``).
+        """
+        hidden = {
+            label
+            for label, rule in self.data_policy.rules.items()
+            if level < rule.minimum_level
+        }
+        result = self.secure_view_result()
+        if result is not None and level < self.module_privacy_level:
+            hidden.update(result.hidden_labels)
+        return hidden
+
+    def structural_pairs_for_level(self, level: int) -> set[tuple[str, str]]:
+        """Structural targets that must remain hidden from ``level``."""
+        return {
+            target.pair
+            for target in self.structural_targets
+            if level < target.minimum_level
+        }
+
+    def prefix_for_user(self, user: User) -> Prefix:
+        """The access view (prefix) of ``user``."""
+        assert self.access_policy is not None
+        return self.access_policy.prefix_for_user(user)
+
+    def validate(self) -> None:
+        """Validate the composite policy."""
+        assert self.access_policy is not None
+        self.access_policy.validate()
+        known = set(self.specification.module_ids())
+        for target in self.structural_targets:
+            if target.source not in known or target.target not in known:
+                raise PolicyError(
+                    f"structural target {target.pair!r} mentions unknown modules"
+                )
+        labels = self.specification.all_labels()
+        for requirement in self.module_requirements.requirements:
+            unknown = set(requirement.relation.attribute_names()) - labels
+            if unknown:
+                raise PolicyError(
+                    f"module-privacy requirement for {requirement.module_id!r} "
+                    f"mentions labels absent from the specification: {sorted(unknown)!r}"
+                )

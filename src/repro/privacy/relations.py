@@ -1,0 +1,337 @@
+"""Module relations: the extensional view of a module's functionality.
+
+Module privacy (Sec. 3 of the paper, elaborated in Davidson et al.,
+"Preserving module privacy in workflow provenance") reasons about the
+*relation* a module computes: the table of all (input, output) rows over
+discrete attribute domains.  Hiding a subset of attributes limits what an
+adversary observing provenance can learn; the achieved privacy level Gamma
+is the minimum, over all inputs, of the number of output tuples that remain
+possible given the visible attributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import PrivacyError
+from repro.execution.behaviors import TableBehavior
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One input or output attribute of a module relation.
+
+    Parameters
+    ----------
+    name:
+        The attribute name; for workflow-level analysis it matches the data
+        label flowing on the corresponding specification edge.
+    domain:
+        The finite set of values the attribute may take.
+    role:
+        Either ``"input"`` or ``"output"``.
+    weight:
+        The utility of *showing* this attribute (equivalently, the cost of
+        hiding it).  Used by the optimisation problem of experiment E1.
+    """
+
+    name: str
+    domain: tuple[object, ...]
+    role: str = "input"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.role not in ("input", "output"):
+            raise PrivacyError(f"attribute role must be input/output, got {self.role!r}")
+        if not self.domain:
+            raise PrivacyError(f"attribute {self.name!r} has an empty domain")
+        if self.weight < 0:
+            raise PrivacyError(f"attribute {self.name!r} has negative weight")
+        object.__setattr__(self, "domain", tuple(self.domain))
+
+    @property
+    def is_input(self) -> bool:
+        """Whether this is an input attribute."""
+        return self.role == "input"
+
+    @property
+    def is_output(self) -> bool:
+        """Whether this is an output attribute."""
+        return self.role == "output"
+
+
+class ModuleRelation:
+    """The function table of a module over discrete attribute domains."""
+
+    def __init__(
+        self,
+        module_id: str,
+        inputs: Sequence[Attribute],
+        outputs: Sequence[Attribute],
+        rows: Mapping[tuple, tuple],
+    ) -> None:
+        if not inputs:
+            raise PrivacyError(f"module {module_id!r} must have at least one input")
+        if not outputs:
+            raise PrivacyError(f"module {module_id!r} must have at least one output")
+        self.module_id = module_id
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        names = [a.name for a in self.inputs + self.outputs]
+        if len(set(names)) != len(names):
+            raise PrivacyError(
+                f"module {module_id!r} has duplicate attribute names: {names!r}"
+            )
+        self._rows: dict[tuple, tuple] = {}
+        for key, value in rows.items():
+            key = tuple(key)
+            value = tuple(value)
+            if len(key) != len(self.inputs):
+                raise PrivacyError(
+                    f"row key {key!r} does not match input arity {len(self.inputs)}"
+                )
+            if len(value) != len(self.outputs):
+                raise PrivacyError(
+                    f"row value {value!r} does not match output arity {len(self.outputs)}"
+                )
+            for attribute, component in zip(self.inputs, key):
+                if component not in attribute.domain:
+                    raise PrivacyError(
+                        f"value {component!r} outside domain of input {attribute.name!r}"
+                    )
+            for attribute, component in zip(self.outputs, value):
+                if component not in attribute.domain:
+                    raise PrivacyError(
+                        f"value {component!r} outside domain of output {attribute.name!r}"
+                    )
+            self._rows[key] = value
+        if not self._rows:
+            raise PrivacyError(f"module {module_id!r} has an empty relation")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_function(
+        cls,
+        module_id: str,
+        inputs: Sequence[Attribute],
+        outputs: Sequence[Attribute],
+        function: Callable[[tuple], tuple],
+    ) -> "ModuleRelation":
+        """Enumerate ``function`` over the full input domain product."""
+        rows = {}
+        domains = [attribute.domain for attribute in inputs]
+        for key in itertools.product(*domains):
+            rows[key] = tuple(function(key))
+        return cls(module_id, inputs, outputs, rows)
+
+    @classmethod
+    def from_table_behavior(
+        cls,
+        module_id: str,
+        behavior: TableBehavior,
+        *,
+        weights: Mapping[str, float] | None = None,
+    ) -> "ModuleRelation":
+        """Build a relation from an execution-engine :class:`TableBehavior`.
+
+        Domains are inferred from the values appearing in the table.
+        """
+        weights = dict(weights or {})
+        rows = behavior.rows
+        input_domains: list[set] = [set() for _ in behavior.input_labels]
+        output_domains: list[set] = [set() for _ in behavior.output_labels]
+        for key, value in rows.items():
+            for index, component in enumerate(key):
+                input_domains[index].add(component)
+            for index, component in enumerate(value):
+                output_domains[index].add(component)
+        inputs = [
+            Attribute(
+                name=name,
+                domain=tuple(sorted(domain, key=repr)),
+                role="input",
+                weight=weights.get(name, 1.0),
+            )
+            for name, domain in zip(behavior.input_labels, input_domains)
+        ]
+        outputs = [
+            Attribute(
+                name=name,
+                domain=tuple(sorted(domain, key=repr)),
+                role="output",
+                weight=weights.get(name, 1.0),
+            )
+            for name, domain in zip(behavior.output_labels, output_domains)
+        ]
+        return cls(module_id, inputs, outputs, rows)
+
+    @classmethod
+    def random(
+        cls,
+        module_id: str,
+        *,
+        n_inputs: int = 2,
+        n_outputs: int = 2,
+        domain_size: int = 3,
+        seed: int = 0,
+        weights: Mapping[str, float] | None = None,
+    ) -> "ModuleRelation":
+        """A random total function over uniform domains (for experiments)."""
+        rng = random.Random(seed)
+        weights = dict(weights or {})
+        domain = tuple(range(domain_size))
+        inputs = [
+            Attribute(
+                name=f"{module_id}.in{i}",
+                domain=domain,
+                role="input",
+                weight=weights.get(f"{module_id}.in{i}", 1.0),
+            )
+            for i in range(n_inputs)
+        ]
+        outputs = [
+            Attribute(
+                name=f"{module_id}.out{i}",
+                domain=domain,
+                role="output",
+                weight=weights.get(f"{module_id}.out{i}", 1.0),
+            )
+            for i in range(n_outputs)
+        ]
+        rows = {}
+        for key in itertools.product(*[domain] * n_inputs):
+            rows[key] = tuple(rng.choice(domain) for _ in range(n_outputs))
+        return cls(module_id, inputs, outputs, rows)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> dict[tuple, tuple]:
+        """The function table (copy)."""
+        return dict(self._rows)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """All attributes, inputs first."""
+        return self.inputs + self.outputs
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise PrivacyError(f"module {self.module_id!r} has no attribute {name!r}")
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of all attributes, inputs first."""
+        return tuple(a.name for a in self.attributes)
+
+    def input_names(self) -> tuple[str, ...]:
+        """Names of the input attributes."""
+        return tuple(a.name for a in self.inputs)
+
+    def output_names(self) -> tuple[str, ...]:
+        """Names of the output attributes."""
+        return tuple(a.name for a in self.outputs)
+
+    def output_for(self, key: tuple) -> tuple:
+        """The output tuple for a given input tuple."""
+        key = tuple(key)
+        if key not in self._rows:
+            raise PrivacyError(
+                f"module {self.module_id!r} has no row for input {key!r}"
+            )
+        return self._rows[key]
+
+    def output_space_size(self) -> int:
+        """The size of the full output domain product."""
+        size = 1
+        for attribute in self.outputs:
+            size *= len(attribute.domain)
+        return size
+
+    def hiding_cost(self, hidden: Iterable[str]) -> float:
+        """Total weight of the hidden attributes (the cost of hiding them)."""
+        hidden_set = set(hidden)
+        return sum(a.weight for a in self.attributes if a.name in hidden_set)
+
+    # ------------------------------------------------------------------ #
+    # Privacy semantics
+    # ------------------------------------------------------------------ #
+    def _validate_hidden(self, hidden: Iterable[str]) -> set[str]:
+        hidden_set = set(hidden)
+        known = set(self.attribute_names())
+        unknown = hidden_set - known
+        if unknown:
+            raise PrivacyError(
+                f"unknown attributes for module {self.module_id!r}: {sorted(unknown)!r}"
+            )
+        return hidden_set
+
+    def candidate_outputs(self, key: tuple, hidden: Iterable[str]) -> int:
+        """Number of output tuples consistent with the visible provenance.
+
+        The adversary sees, for every row of the relation, the projection on
+        the visible attributes.  For a concrete input ``key`` the candidate
+        outputs are the visible-output projections of rows that agree with
+        ``key`` on the visible inputs, each completed arbitrarily on the
+        hidden output attributes.
+        """
+        hidden_set = self._validate_hidden(hidden)
+        key = tuple(key)
+        if key not in self._rows:
+            raise PrivacyError(
+                f"module {self.module_id!r} has no row for input {key!r}"
+            )
+        visible_input_indices = [
+            index for index, a in enumerate(self.inputs) if a.name not in hidden_set
+        ]
+        visible_output_indices = [
+            index for index, a in enumerate(self.outputs) if a.name not in hidden_set
+        ]
+        visible_key = tuple(key[index] for index in visible_input_indices)
+        visible_projections = {
+            tuple(value[index] for index in visible_output_indices)
+            for row_key, value in self._rows.items()
+            if tuple(row_key[index] for index in visible_input_indices) == visible_key
+        }
+        hidden_output_combinations = 1
+        for index, attribute in enumerate(self.outputs):
+            if index not in visible_output_indices:
+                hidden_output_combinations *= len(attribute.domain)
+        return len(visible_projections) * hidden_output_combinations
+
+    def achieved_gamma(self, hidden: Iterable[str]) -> int:
+        """The privacy level Gamma achieved by hiding ``hidden``.
+
+        Gamma is the minimum number of candidate outputs over all inputs;
+        Gamma = 1 means some input's output is fully determined by the
+        visible provenance.
+        """
+        hidden_set = self._validate_hidden(hidden)
+        return min(
+            self.candidate_outputs(key, hidden_set) for key in self._rows
+        )
+
+    def is_safe(self, hidden: Iterable[str], gamma: int) -> bool:
+        """Whether hiding ``hidden`` guarantees privacy level ``gamma``."""
+        if gamma < 1:
+            raise PrivacyError("gamma must be >= 1")
+        return self.achieved_gamma(hidden) >= gamma
+
+    def max_gamma(self) -> int:
+        """The best achievable Gamma (hide everything)."""
+        return self.achieved_gamma(set(self.attribute_names()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ModuleRelation(module={self.module_id!r}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)}, "
+            f"rows={len(self._rows)})"
+        )

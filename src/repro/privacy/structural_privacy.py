@@ -1,0 +1,392 @@
+"""Structural privacy: hiding that one module contributed to another's output.
+
+Sec. 3 of the paper discusses two mechanisms and their drawbacks:
+
+* *edge deletion* -- remove edges (and possibly vertices) so that no path
+  from ``M`` to ``M'`` remains.  Sound, but may "hide additional provenance
+  information that does not need be hidden".
+* *clustering* -- group modules into a composite so that the reachability of
+  pairs inside it is no longer externally visible.  Keeps more information
+  but "we may now infer incorrect provenance information" (unsound views).
+
+This module implements both mechanisms (plus a repaired-clustering variant
+that restores soundness using :mod:`repro.views.repair`) together with the
+metrics needed to compare them: whether the target pairs are hidden, how
+many true connectivity facts were lost beyond the targets, and how many
+false facts were introduced.  Experiment E3 sweeps these strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.errors import PrivacyError
+from repro.execution.graph import ExecutionGraph
+from repro.views.repair import repair_clustering
+from repro.views.soundness import (
+    actual_node_pairs,
+    implied_node_pairs,
+    soundness_report,
+)
+from repro.workflow.graph import WorkflowGraph
+
+Pair = tuple[str, str]
+
+
+def as_digraph(graph: nx.DiGraph | WorkflowGraph | ExecutionGraph) -> nx.DiGraph:
+    """Accept workflow graphs, execution graphs or plain digraphs."""
+    if isinstance(graph, nx.DiGraph):
+        return graph
+    return graph.to_networkx()
+
+
+@dataclass(frozen=True)
+class StructuralPrivacyResult:
+    """Outcome of applying one structural-privacy strategy.
+
+    Attributes
+    ----------
+    strategy:
+        ``"edge-deletion"``, ``"clustering"`` or ``"repaired-clustering"``.
+    target_pairs:
+        The reachability pairs that had to be hidden.
+    hidden_targets:
+        The subset of target pairs actually hidden by the strategy.
+    removed_edges:
+        Edges removed (edge-deletion only).
+    clusters:
+        The clustering applied (clustering strategies only).
+    extraneous_pairs:
+        False connectivity facts implied by the resulting view (unsoundness).
+    collateral_hidden_pairs:
+        True connectivity facts hidden although they were not targets.
+    preserved_pairs:
+        True connectivity facts still visible.
+    total_true_pairs:
+        Number of true connectivity facts in the original graph.
+    """
+
+    strategy: str
+    target_pairs: frozenset[Pair]
+    hidden_targets: frozenset[Pair]
+    removed_edges: frozenset[Pair]
+    clusters: tuple[tuple[str, str], ...]
+    extraneous_pairs: frozenset[Pair]
+    collateral_hidden_pairs: frozenset[Pair]
+    preserved_pairs: frozenset[Pair]
+    total_true_pairs: int
+
+    @property
+    def all_targets_hidden(self) -> bool:
+        """Whether every target pair was successfully hidden."""
+        return self.hidden_targets == self.target_pairs
+
+    @property
+    def is_sound(self) -> bool:
+        """Whether the resulting view implies no false connectivity."""
+        return not self.extraneous_pairs
+
+    @property
+    def information_preserved(self) -> float:
+        """Fraction of true (non-target) connectivity still visible."""
+        relevant = self.total_true_pairs - len(self.target_pairs)
+        if relevant <= 0:
+            return 1.0
+        return len(self.preserved_pairs) / relevant
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "strategy": self.strategy,
+            "targets": len(self.target_pairs),
+            "targets_hidden": len(self.hidden_targets),
+            "all_hidden": self.all_targets_hidden,
+            "removed_edges": len(self.removed_edges),
+            "extraneous_pairs": len(self.extraneous_pairs),
+            "collateral_hidden": len(self.collateral_hidden_pairs),
+            "sound": self.is_sound,
+            "info_preserved": round(self.information_preserved, 4),
+        }
+
+
+def _check_pairs(graph: nx.DiGraph, pairs: Iterable[Pair]) -> frozenset[Pair]:
+    checked = []
+    for source, target in pairs:
+        if source not in graph or target not in graph:
+            raise PrivacyError(f"pair ({source!r}, {target!r}) mentions unknown nodes")
+        checked.append((source, target))
+    return frozenset(checked)
+
+
+# ---------------------------------------------------------------------- #
+# Edge deletion
+# ---------------------------------------------------------------------- #
+def minimum_edge_deletion(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+) -> set[Pair]:
+    """A small set of edges whose removal disconnects every target pair.
+
+    Each pair is handled with a minimum s-t edge cut on the current residual
+    graph (pairs already disconnected by earlier cuts cost nothing), which
+    gives a good, though not globally optimal, combined cut.
+    """
+    digraph = as_digraph(graph).copy()
+    targets = _check_pairs(digraph, pairs)
+    removed: set[Pair] = set()
+    for source, target in sorted(targets):
+        if not nx.has_path(digraph, source, target):
+            continue
+        cut = nx.minimum_edge_cut(digraph, source, target)
+        digraph.remove_edges_from(cut)
+        removed.update(cut)
+    return removed
+
+
+def edge_deletion_strategy(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+) -> StructuralPrivacyResult:
+    """Hide the target pairs by deleting a (near) minimal set of edges."""
+    digraph = as_digraph(graph)
+    targets = _check_pairs(digraph, pairs)
+    removed = minimum_edge_deletion(digraph, pairs)
+    pruned = digraph.copy()
+    pruned.remove_edges_from(removed)
+
+    true_pairs = actual_node_pairs(digraph)
+    visible_pairs = actual_node_pairs(pruned)
+    hidden_targets = frozenset(p for p in targets if p not in visible_pairs)
+    collateral = frozenset(
+        p for p in (true_pairs - visible_pairs) if p not in targets
+    )
+    preserved = frozenset(p for p in (true_pairs & visible_pairs) if p not in targets)
+    return StructuralPrivacyResult(
+        strategy="edge-deletion",
+        target_pairs=targets,
+        hidden_targets=hidden_targets,
+        removed_edges=frozenset(removed),
+        clusters=(),
+        extraneous_pairs=frozenset(),
+        collateral_hidden_pairs=collateral,
+        preserved_pairs=preserved,
+        total_true_pairs=len(true_pairs),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Clustering
+# ---------------------------------------------------------------------- #
+def clustering_for_pairs(pairs: Sequence[Pair]) -> dict[str, Hashable]:
+    """Group the endpoints of each target pair into one cluster.
+
+    Pairs that share endpoints are merged into the same cluster (union-find
+    over the pair endpoints).
+    """
+    parent: dict[str, str] = {}
+
+    def find(node: str) -> str:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for source, target in pairs:
+        union(source, target)
+    clusters: dict[str, Hashable] = {}
+    for node in parent:
+        clusters[node] = ("cluster", find(node))
+    return clusters
+
+
+def _clustering_result(
+    strategy: str,
+    digraph: nx.DiGraph,
+    targets: frozenset[Pair],
+    clusters: dict[str, Hashable],
+) -> StructuralPrivacyResult:
+    report = soundness_report(digraph, clusters)
+    implied = implied_node_pairs(digraph, clusters)
+    true_pairs = report.actual_pairs
+    hidden_targets = frozenset(p for p in targets if p not in implied)
+    collateral = frozenset(
+        p for p in report.hidden_pairs if p not in targets
+    )
+    preserved = frozenset(p for p in report.preserved_pairs if p not in targets)
+    cluster_assignment = tuple(
+        sorted((node, str(group)) for node, group in clusters.items())
+    )
+    return StructuralPrivacyResult(
+        strategy=strategy,
+        target_pairs=targets,
+        hidden_targets=hidden_targets,
+        removed_edges=frozenset(),
+        clusters=cluster_assignment,
+        extraneous_pairs=report.extraneous_pairs,
+        collateral_hidden_pairs=collateral,
+        preserved_pairs=preserved,
+        total_true_pairs=len(true_pairs),
+    )
+
+
+def clustering_strategy(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+) -> StructuralPrivacyResult:
+    """Hide the target pairs by clustering their endpoints together."""
+    digraph = as_digraph(graph)
+    targets = _check_pairs(digraph, pairs)
+    clusters = clustering_for_pairs(list(targets))
+    return _clustering_result("clustering", digraph, targets, clusters)
+
+
+def repaired_clustering_strategy(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+) -> StructuralPrivacyResult:
+    """Cluster the endpoints, then repair the view to make it sound again.
+
+    The repair may split clusters and thereby re-expose some target pairs;
+    the result records which targets remain hidden so experiment E3 can
+    report the privacy cost of soundness.
+    """
+    digraph = as_digraph(graph)
+    targets = _check_pairs(digraph, pairs)
+    clusters = clustering_for_pairs(list(targets))
+    repaired = repair_clustering(digraph, clusters)
+    return _clustering_result("repaired-clustering", digraph, targets, repaired)
+
+
+def _grow_cluster_until_sound(
+    digraph: nx.DiGraph, members: set[str], protected: frozenset[Pair]
+) -> set[str]:
+    """Grow one cluster with neighbouring nodes until it is sound.
+
+    The cluster is sound (for our purposes) when every member is reachable
+    from every entry and every member reaches every exit.  Growing adds the
+    offending external neighbours -- e.g. to hide a direct edge u -> v
+    soundly one typically has to absorb u's other successors or v's other
+    predecessors so no false through-path is implied.  Growth stops when the
+    cluster is sound or when it would swallow the whole graph.
+    """
+    members = set(members)
+    all_nodes = set(digraph.nodes)
+    for _ in range(len(all_nodes)):
+        entries = {
+            node
+            for node in members
+            if set(digraph.predecessors(node)) - members or not set(digraph.predecessors(node))
+        }
+        exits = {
+            node
+            for node in members
+            if set(digraph.successors(node)) - members or not set(digraph.successors(node))
+        }
+        bad_entries: set[str] = set()
+        for entry in entries:
+            reachable = nx.descendants(digraph, entry) | {entry}
+            if members - reachable:
+                bad_entries.add(entry)
+        bad_exits: set[str] = set()
+        for exit_node in exits:
+            for member in members:
+                reachable = nx.descendants(digraph, member) | {member}
+                if exit_node not in reachable:
+                    bad_exits.add(exit_node)
+                    break
+        if not bad_entries and not bad_exits:
+            return members
+        # An entry that cannot reach every member stops being an entry once
+        # its external predecessors are absorbed; an exit not reachable from
+        # every member stops being an exit once its external successors are.
+        additions: set[str] = set()
+        for entry in bad_entries:
+            additions |= set(digraph.predecessors(entry)) - members
+        for exit_node in bad_exits:
+            additions |= set(digraph.successors(exit_node)) - members
+        if not additions:
+            return members
+        members |= additions
+        if members >= all_nodes:
+            return members
+    del protected
+    return members
+
+
+def grown_clustering_strategy(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+) -> StructuralPrivacyResult:
+    """Cluster the endpoints, then grow the cluster until the view is sound.
+
+    This is the ablation between plain clustering (sound only by luck) and
+    repaired clustering (sound but may re-expose targets): growing keeps the
+    targets inside one group -- so they stay hidden -- and buys soundness by
+    hiding *more* internal structure instead.
+    """
+    digraph = as_digraph(graph)
+    targets = _check_pairs(digraph, pairs)
+    seed_clusters = clustering_for_pairs(list(targets))
+    members_by_group: dict[Hashable, set[str]] = {}
+    for node, group in seed_clusters.items():
+        members_by_group.setdefault(group, set()).add(node)
+    # Grown clusters may overlap; overlapping clusters are merged so that
+    # every target pair stays inside a single group.
+    expanded_sets = [
+        _grow_cluster_until_sound(digraph, members, targets)
+        for _, members in sorted(members_by_group.items(), key=lambda kv: str(kv[0]))
+    ]
+    merged: list[set[str]] = []
+    for expanded in expanded_sets:
+        expanded = set(expanded)
+        overlapping = [group for group in merged if group & expanded]
+        for group in overlapping:
+            expanded |= group
+            merged.remove(group)
+        merged.append(expanded)
+    grown: dict[str, Hashable] = {}
+    for index, group_members in enumerate(merged):
+        for node in group_members:
+            grown[node] = ("grown", index)
+    return _clustering_result("grown-clustering", digraph, targets, grown)
+
+
+STRATEGIES = {
+    "edge-deletion": edge_deletion_strategy,
+    "clustering": clustering_strategy,
+    "repaired-clustering": repaired_clustering_strategy,
+    "grown-clustering": grown_clustering_strategy,
+}
+
+
+def compare_strategies(
+    graph: nx.DiGraph | WorkflowGraph | ExecutionGraph,
+    pairs: Sequence[Pair],
+    strategies: Iterable[str] = (
+        "edge-deletion",
+        "clustering",
+        "repaired-clustering",
+        "grown-clustering",
+    ),
+) -> dict[str, StructuralPrivacyResult]:
+    """Apply several strategies to the same hiding problem (experiment E3)."""
+    results = {}
+    for name in strategies:
+        try:
+            strategy = STRATEGIES[name]
+        except KeyError:
+            raise PrivacyError(
+                f"unknown structural-privacy strategy {name!r}; expected one of "
+                f"{sorted(STRATEGIES)}"
+            ) from None
+        results[name] = strategy(graph, pairs)
+    return results

@@ -1,0 +1,302 @@
+"""Workflow-level module privacy: secure views over shared intermediate data.
+
+In a workflow the attributes of neighbouring modules are not independent:
+the data flowing on an edge is an output attribute of the producer *and* an
+input attribute of the consumer, so hiding it affects both.  The paper's
+approach ("hide a carefully chosen subset of intermediate data ... in all
+executions of the workflow") therefore selects a set of *data labels* to
+hide such that every private module reaches its required privacy level
+Gamma, while minimising the total utility lost.  The chosen labels define a
+*secure view*: the provenance shown to unprivileged users omits the values
+of data items with hidden labels in every execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import InfeasiblePrivacyError, PolicyError, PrivacyError
+from repro.execution.graph import ExecutionGraph
+from repro.privacy.relations import ModuleRelation
+
+
+@dataclass(frozen=True)
+class ModulePrivacyRequirement:
+    """A private module together with its required privacy level."""
+
+    relation: ModuleRelation
+    gamma: int
+
+    def __post_init__(self) -> None:
+        if self.gamma < 1:
+            raise PrivacyError("gamma must be >= 1")
+
+    @property
+    def module_id(self) -> str:
+        """The id of the private module."""
+        return self.relation.module_id
+
+
+@dataclass(frozen=True)
+class SecureViewResult:
+    """The outcome of a workflow-level secure-view computation.
+
+    Attributes
+    ----------
+    hidden_labels:
+        Data labels whose values are hidden in every execution.
+    cost:
+        Total utility weight of the hidden labels.
+    module_gammas:
+        Privacy level achieved for each private module.
+    satisfied:
+        Whether every requirement reached its target Gamma.
+    evaluations:
+        Number of candidate label sets evaluated by the solver.
+    """
+
+    hidden_labels: frozenset[str]
+    cost: float
+    module_gammas: dict[str, int]
+    requested_gammas: dict[str, int]
+    satisfied: bool
+    optimal: bool
+    evaluations: int
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "hidden_labels": ", ".join(sorted(self.hidden_labels)),
+            "cost": self.cost,
+            "satisfied": self.satisfied,
+            "optimal": self.optimal,
+            "evaluations": self.evaluations,
+        }
+
+
+@dataclass
+class WorkflowPrivacyRequirements:
+    """The collection of module-privacy requirements of one workflow.
+
+    Attribute names of every relation are interpreted as data labels of the
+    workflow, so hiding a label simultaneously hides the corresponding
+    attribute in every module that produces or consumes it.
+    """
+
+    requirements: list[ModulePrivacyRequirement] = field(default_factory=list)
+    label_weights: dict[str, float] = field(default_factory=dict)
+
+    def add(self, relation: ModuleRelation, gamma: int) -> "WorkflowPrivacyRequirements":
+        """Register a private module and its target privacy level."""
+        self.requirements.append(ModulePrivacyRequirement(relation=relation, gamma=gamma))
+        return self
+
+    def set_weight(self, label: str, weight: float) -> "WorkflowPrivacyRequirements":
+        """Set the utility weight (hiding cost) of a data label."""
+        if weight < 0:
+            raise PolicyError(f"label {label!r} has negative weight")
+        self.label_weights[label] = float(weight)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Derived information
+    # ------------------------------------------------------------------ #
+    def all_labels(self) -> tuple[str, ...]:
+        """Every data label mentioned by some private module, sorted."""
+        labels: set[str] = set()
+        for requirement in self.requirements:
+            labels.update(requirement.relation.attribute_names())
+        return tuple(sorted(labels))
+
+    def weight_of(self, label: str) -> float:
+        """The hiding cost of a label (attribute weights as fallback)."""
+        if label in self.label_weights:
+            return self.label_weights[label]
+        for requirement in self.requirements:
+            for attribute in requirement.relation.attributes:
+                if attribute.name == label:
+                    return attribute.weight
+        return 1.0
+
+    def cost_of(self, labels: Iterable[str]) -> float:
+        """Total hiding cost of a set of labels."""
+        return sum(self.weight_of(label) for label in set(labels))
+
+    def gammas_for(self, hidden_labels: Iterable[str]) -> dict[str, int]:
+        """Privacy level of every private module when ``hidden_labels`` is hidden."""
+        hidden = set(hidden_labels)
+        gammas: dict[str, int] = {}
+        for requirement in self.requirements:
+            relevant = hidden & set(requirement.relation.attribute_names())
+            gammas[requirement.module_id] = requirement.relation.achieved_gamma(relevant)
+        return gammas
+
+    def satisfied_by(self, hidden_labels: Iterable[str]) -> bool:
+        """Whether every requirement is met by hiding ``hidden_labels``."""
+        gammas = self.gammas_for(hidden_labels)
+        return all(
+            gammas[requirement.module_id] >= requirement.gamma
+            for requirement in self.requirements
+        )
+
+    def requested_gammas(self) -> dict[str, int]:
+        """Mapping from private module id to requested Gamma."""
+        return {r.module_id: r.gamma for r in self.requirements}
+
+    def _result(
+        self, hidden: set[str], *, optimal: bool, evaluations: int
+    ) -> SecureViewResult:
+        gammas = self.gammas_for(hidden)
+        return SecureViewResult(
+            hidden_labels=frozenset(hidden),
+            cost=self.cost_of(hidden),
+            module_gammas=gammas,
+            requested_gammas=self.requested_gammas(),
+            satisfied=all(
+                gammas[r.module_id] >= r.gamma for r in self.requirements
+            ),
+            optimal=optimal,
+            evaluations=evaluations,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Solvers
+# ---------------------------------------------------------------------- #
+def exact_secure_view(requirements: WorkflowPrivacyRequirements) -> SecureViewResult:
+    """Minimum-cost set of labels meeting every requirement, by enumeration.
+
+    Enumerates label subsets in order of increasing cost; exponential in the
+    number of labels, intended for small workflows and as the optimality
+    baseline of experiment E1.
+    """
+    labels = requirements.all_labels()
+    if not requirements.satisfied_by(labels):
+        raise InfeasiblePrivacyError(
+            "the requirements cannot be met even when hiding every label"
+        )
+    subsets = []
+    for size in range(len(labels) + 1):
+        subsets.extend(itertools.combinations(labels, size))
+    subsets.sort(key=lambda s: (requirements.cost_of(s), len(s), s))
+    evaluations = 0
+    for subset in subsets:
+        evaluations += 1
+        if requirements.satisfied_by(subset):
+            return requirements._result(
+                set(subset), optimal=True, evaluations=evaluations
+            )
+    raise InfeasiblePrivacyError(
+        "no label subset satisfies the requirements"
+    )  # pragma: no cover - unreachable because of the feasibility pre-check
+
+
+def greedy_secure_view(requirements: WorkflowPrivacyRequirements) -> SecureViewResult:
+    """Greedy heuristic for the workflow-level secure view.
+
+    Repeatedly hides the label with the largest total privacy deficit
+    reduction per unit cost across all still-unsatisfied modules, then
+    prunes unnecessary labels.
+    """
+    labels = requirements.all_labels()
+    if not requirements.satisfied_by(labels):
+        raise InfeasiblePrivacyError(
+            "the requirements cannot be met even when hiding every label"
+        )
+
+    targets = requirements.requested_gammas()
+
+    def deficit(gammas: Mapping[str, int]) -> float:
+        total = 0.0
+        for module_id, target in targets.items():
+            total += max(0, target - gammas[module_id])
+        return total
+
+    hidden: set[str] = set()
+    evaluations = 1
+    current = requirements.gammas_for(hidden)
+    while deficit(current) > 0:
+        best_choice: tuple[str, float, dict[str, int]] | None = None
+        for label in labels:
+            if label in hidden:
+                continue
+            gammas = requirements.gammas_for(hidden | {label})
+            evaluations += 1
+            gain = deficit(current) - deficit(gammas)
+            cost = max(requirements.weight_of(label), 1e-9)
+            score = gain / cost if gain > 0 else -cost
+            if best_choice is None or score > best_choice[1]:
+                best_choice = (label, score, gammas)
+        if best_choice is None:  # pragma: no cover - guarded by feasibility check
+            raise InfeasiblePrivacyError("greedy secure-view search exhausted labels")
+        hidden.add(best_choice[0])
+        current = best_choice[2]
+
+    # Pruning pass: drop labels that are no longer needed.
+    for label in sorted(hidden, key=lambda l: -requirements.weight_of(l)):
+        candidate = hidden - {label}
+        evaluations += 1
+        if requirements.satisfied_by(candidate):
+            hidden = candidate
+
+    return requirements._result(hidden, optimal=False, evaluations=evaluations)
+
+
+def secure_view(
+    requirements: WorkflowPrivacyRequirements, *, solver: str = "greedy"
+) -> SecureViewResult:
+    """Compute a secure view with the requested solver (``exact``/``greedy``)."""
+    if solver == "exact":
+        return exact_secure_view(requirements)
+    if solver == "greedy":
+        return greedy_secure_view(requirements)
+    raise PrivacyError(f"unknown secure-view solver {solver!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Applying a secure view to executions
+# ---------------------------------------------------------------------- #
+def hidden_items_for_execution(
+    execution: ExecutionGraph, hidden_labels: Iterable[str]
+) -> set[str]:
+    """Data item ids of ``execution`` whose label belongs to ``hidden_labels``."""
+    hidden = set(hidden_labels)
+    return {
+        item.data_id
+        for item in execution.data_items.values()
+        if item.label in hidden
+    }
+
+
+def apply_secure_view(
+    execution: ExecutionGraph,
+    hidden_labels: Iterable[str],
+    *,
+    placeholder: object = "<hidden>",
+) -> ExecutionGraph:
+    """Return a copy of ``execution`` with hidden-label values masked.
+
+    The structure of the provenance graph is preserved (edges still mention
+    the data item ids) but the values of items with hidden labels are
+    replaced by ``placeholder`` -- exactly the information reduction the
+    paper's module-privacy mechanism prescribes.
+    """
+    hidden_ids = hidden_items_for_execution(execution, hidden_labels)
+    masked = ExecutionGraph(
+        f"{execution.execution_id}/secure",
+        execution.specification_id,
+        input_node_id=execution.input_node_id,
+        output_node_id=execution.output_node_id,
+    )
+    for node in execution:
+        masked.add_node(node)
+    for edge in execution.edges:
+        masked.add_edge(edge.source, edge.target, edge.data_ids)
+    for item in execution.data_items.values():
+        if item.data_id in hidden_ids:
+            masked.add_data_item(item.masked(placeholder))
+        else:
+            masked.add_data_item(item)
+    return masked

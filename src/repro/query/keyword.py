@@ -1,0 +1,223 @@
+"""Keyword search over hierarchical workflow specifications.
+
+Following the paper (and Liu, Shao, Chen, PVLDB 2010), the answer to a
+keyword query is a *minimal view* of the workflow: composite modules are
+expanded just enough to reveal, for every keyword, a most-specific matching
+module, and everything else stays collapsed.  For the query
+``"Database, Disorder Risks"`` on the disease-susceptibility workflow this
+produces exactly Fig. 5: ``M1`` and ``M4`` are expanded (revealing the
+matching ``Generate Database Queries`` module ``M5``) while ``Evaluate
+Disorder Risk`` (``M2``) stays collapsed because it matches directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.query.text import parse_phrases, phrase_matches, term_set
+from repro.views.hierarchy import ExpansionHierarchy, Prefix
+from repro.views.spec_view import SpecificationView, specification_view
+from repro.workflow.module import Module
+from repro.workflow.specification import WorkflowSpecification
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A keyword query: a conjunction of phrases that must all match."""
+
+    phrases: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phrases:
+            raise QueryError("a keyword query needs at least one phrase")
+        object.__setattr__(self, "phrases", tuple(self.phrases))
+
+    @classmethod
+    def parse(cls, text: str) -> "KeywordQuery":
+        """Parse a raw query string such as ``'Database, Disorder Risks'``."""
+        phrases = parse_phrases(text)
+        if not phrases:
+            raise QueryError(f"could not extract phrases from {text!r}")
+        return cls(phrases=phrases)
+
+    def __str__(self) -> str:
+        return ", ".join(self.phrases)
+
+
+@dataclass(frozen=True)
+class KeywordAnswer:
+    """The answer to a keyword query on one specification.
+
+    ``matches`` maps each phrase to the module chosen as its most-specific
+    match; ``view`` is the minimal view exposing all chosen matches.
+    """
+
+    query: KeywordQuery
+    specification_id: str
+    matches: tuple[tuple[str, str], ...]
+    prefix: Prefix
+    view: SpecificationView
+    score: float = 0.0
+
+    @property
+    def matched_modules(self) -> set[str]:
+        """The module ids chosen as matches."""
+        return {module_id for _, module_id in self.matches}
+
+    def render(self) -> str:
+        """Human-readable rendering (used by the figure harness)."""
+        lines = [f"answer to keyword query [{self.query}] on {self.specification_id}"]
+        for phrase, module_id in self.matches:
+            lines.append(f"  {phrase!r} -> {module_id}")
+        lines.append(self.view.render())
+        return "\n".join(lines)
+
+
+def module_search_terms(module: Module) -> frozenset[str]:
+    """The normalised terms a module exposes to keyword matching."""
+    return term_set((module.name, *module.keywords))
+
+
+def matching_modules(
+    specification: WorkflowSpecification, phrase: str
+) -> set[str]:
+    """All processing modules whose terms cover every token of ``phrase``."""
+    matches: set[str] = set()
+    for _, module in specification.all_modules():
+        if module.is_io:
+            continue
+        if phrase_matches(phrase, module_search_terms(module)):
+            matches.add(module.module_id)
+    return matches
+
+
+def module_descendants(
+    specification: WorkflowSpecification, module_id: str
+) -> set[str]:
+    """Modules declared (transitively) inside a composite module."""
+    module = specification.find_module(module_id)
+    if not module.is_composite:
+        return set()
+    hierarchy = ExpansionHierarchy(specification)
+    workflows = {module.subworkflow_id} | hierarchy.descendants(module.subworkflow_id)
+    descendants: set[str] = set()
+    for workflow_id in workflows:
+        for inner in specification.workflow(workflow_id):
+            if not inner.is_io:
+                descendants.add(inner.module_id)
+    return descendants
+
+
+def deepest_matches(
+    specification: WorkflowSpecification, phrase: str
+) -> set[str]:
+    """Most-specific matches: matching modules with no matching descendant."""
+    matches = matching_modules(specification, phrase)
+    deepest: set[str] = set()
+    for module_id in matches:
+        descendants = module_descendants(specification, module_id)
+        if not (descendants & matches):
+            deepest.add(module_id)
+    return deepest
+
+
+def _minimal_cover_prefix(
+    specification: WorkflowSpecification,
+    candidates_per_phrase: Sequence[tuple[str, set[str]]],
+    *,
+    exhaustive_limit: int = 4096,
+) -> tuple[Prefix, tuple[tuple[str, str], ...]]:
+    """Choose one candidate per phrase minimising the answer view size.
+
+    For small candidate products the choice is exact; otherwise a greedy
+    pass picks, phrase by phrase, the candidate whose defining workflow adds
+    the fewest new expansions.
+    """
+    hierarchy = ExpansionHierarchy(specification)
+
+    def prefix_for(selection: Iterable[str]) -> Prefix:
+        return hierarchy.defining_prefix_for_modules(selection)
+
+    candidate_lists = [sorted(candidates) for _, candidates in candidates_per_phrase]
+    product_size = 1
+    for candidates in candidate_lists:
+        product_size *= max(1, len(candidates))
+
+    if product_size <= exhaustive_limit:
+        best: tuple[Prefix, tuple[str, ...]] | None = None
+        for selection in itertools.product(*candidate_lists):
+            prefix = prefix_for(selection)
+            if best is None or len(prefix) < len(best[0]):
+                best = (prefix, selection)
+        assert best is not None
+        prefix, selection = best
+    else:
+        chosen: list[str] = []
+        prefix = hierarchy.root_prefix()
+        for candidates in candidate_lists:
+            best_candidate: tuple[str, Prefix] | None = None
+            for candidate in candidates:
+                merged = hierarchy.prefix_closure(
+                    set(prefix) | {specification.defining_workflow(candidate)}
+                )
+                if best_candidate is None or len(merged) < len(best_candidate[1]):
+                    best_candidate = (candidate, merged)
+            assert best_candidate is not None
+            chosen.append(best_candidate[0])
+            prefix = best_candidate[1]
+        selection = tuple(chosen)
+
+    matches = tuple(
+        (phrase, module_id)
+        for (phrase, _), module_id in zip(candidates_per_phrase, selection)
+    )
+    return prefix, matches
+
+
+def keyword_search(
+    specification: WorkflowSpecification,
+    query: KeywordQuery | str,
+) -> KeywordAnswer | None:
+    """Answer a keyword query on one specification.
+
+    Returns ``None`` when some phrase has no matching module at all.
+    """
+    if isinstance(query, str):
+        query = KeywordQuery.parse(query)
+    candidates_per_phrase: list[tuple[str, set[str]]] = []
+    for phrase in query.phrases:
+        candidates = deepest_matches(specification, phrase)
+        if not candidates:
+            return None
+        candidates_per_phrase.append((phrase, candidates))
+    prefix, matches = _minimal_cover_prefix(specification, candidates_per_phrase)
+    view = specification_view(specification, prefix)
+    return KeywordAnswer(
+        query=query,
+        specification_id=specification.root_id,
+        matches=matches,
+        prefix=prefix,
+        view=view,
+    )
+
+
+def keyword_search_corpus(
+    specifications: Iterable[WorkflowSpecification],
+    query: KeywordQuery | str,
+) -> list[KeywordAnswer]:
+    """Answer a keyword query over a corpus of specifications.
+
+    Specifications with no answer are skipped; scores are attached by the
+    ranking layer (:mod:`repro.query.ranking`).
+    """
+    if isinstance(query, str):
+        query = KeywordQuery.parse(query)
+    answers = []
+    for specification in specifications:
+        answer = keyword_search(specification, query)
+        if answer is not None:
+            answers.append(answer)
+    return answers

@@ -1,0 +1,119 @@
+"""A small textual query language for the repository.
+
+The language covers the query classes discussed in the paper:
+
+* ``KEYWORD Database, "Disorder Risks"`` -- keyword search.
+* ``PATH "Expand SNP Set" -> "Query OMIM"`` -- path pattern over executions.
+* ``BEFORE "Expand SNP Set" -> "Query OMIM"`` -- execution-order predicate.
+* ``PROVENANCE d10`` -- provenance of a data item.
+* ``PROVENANCE MODULE "Query OMIM"`` -- provenance of a module's outputs.
+
+:func:`parse_query` turns a query string into one of the query dataclasses
+used by :mod:`repro.query.keyword` / :mod:`repro.query.structural`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryParseError
+from repro.query.keyword import KeywordQuery
+from repro.query.structural import PathQuery
+from repro.query.text import parse_phrases
+
+
+@dataclass(frozen=True)
+class BeforeQuery:
+    """An execution-order predicate: ``first`` executed before ``second``."""
+
+    first: str
+    second: str
+
+    def __str__(self) -> str:
+        return f"BEFORE {self.first!r} -> {self.second!r}"
+
+
+@dataclass(frozen=True)
+class ProvenanceQuery:
+    """Provenance of a data item (by id)."""
+
+    data_id: str
+
+    def __str__(self) -> str:
+        return f"PROVENANCE {self.data_id}"
+
+
+@dataclass(frozen=True)
+class ModuleProvenanceQuery:
+    """Provenance of the outputs of a module (by name or id)."""
+
+    module: str
+
+    def __str__(self) -> str:
+        return f"PROVENANCE MODULE {self.module!r}"
+
+
+ParsedQuery = (
+    KeywordQuery | PathQuery | BeforeQuery | ProvenanceQuery | ModuleProvenanceQuery
+)
+
+_ARROW_SPLIT = re.compile(r"\s*->\s*")
+
+
+def _parse_steps(body: str) -> tuple[str, ...]:
+    parts = _ARROW_SPLIT.split(body.strip())
+    steps = []
+    for part in parts:
+        cleaned = part.strip().strip('"').strip()
+        if cleaned:
+            steps.append(cleaned)
+    return tuple(steps)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string into a query object.
+
+    Raises :class:`QueryParseError` for unknown verbs or malformed bodies.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise QueryParseError("empty query")
+    verb, _, body = stripped.partition(" ")
+    verb_upper = verb.upper()
+
+    if verb_upper == "KEYWORD":
+        phrases = parse_phrases(body)
+        if not phrases:
+            raise QueryParseError(f"no keywords found in {text!r}")
+        return KeywordQuery(phrases=phrases)
+
+    if verb_upper == "PATH":
+        steps = _parse_steps(body)
+        if len(steps) < 2:
+            raise QueryParseError(f"a PATH query needs at least two steps: {text!r}")
+        return PathQuery(steps=steps)
+
+    if verb_upper == "BEFORE":
+        steps = _parse_steps(body)
+        if len(steps) != 2:
+            raise QueryParseError(f"a BEFORE query needs exactly two steps: {text!r}")
+        return BeforeQuery(first=steps[0], second=steps[1])
+
+    if verb_upper == "PROVENANCE":
+        body = body.strip()
+        if body.upper() == "MODULE" or body.upper().startswith("MODULE "):
+            module = body[len("MODULE"):].strip().strip('"').strip()
+            if not module:
+                raise QueryParseError(f"missing module reference in {text!r}")
+            return ModuleProvenanceQuery(module=module)
+        data_id = body.strip().strip('"')
+        if not data_id:
+            raise QueryParseError(f"missing data id in {text!r}")
+        return ProvenanceQuery(data_id=data_id)
+
+    # Bare queries default to keyword search, which is what a search box does.
+    phrases = parse_phrases(stripped)
+    if phrases:
+        return KeywordQuery(phrases=phrases)
+    raise QueryParseError(f"could not parse query {text!r}")

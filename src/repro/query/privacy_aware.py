@@ -1,0 +1,352 @@
+"""Privacy-aware query evaluation.
+
+This is where the paper's three privacy notions meet query processing: a
+query is answered *with respect to the requesting user's access view* and
+the privacy policy.  Two evaluation strategies are provided because the
+paper discusses their trade-off explicitly (Sec. 4, "Efficient Search with
+Privacy Guarantees"):
+
+* ``view-first`` -- evaluate directly against the user's access view
+  (candidate matches are restricted up front);
+* ``zoom-out`` -- compute the privacy-oblivious answer first and then
+  coarsen ("zoom out") until it fits the user's access view and exposes no
+  protected structure.
+
+Both strategies return the same answers; experiment E6 measures their cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.execution.graph import ExecutionGraph
+from repro.execution.provenance import provenance_subgraph
+from repro.privacy.policy import PrivacyPolicy
+from repro.privacy.workflow_privacy import apply_secure_view
+from repro.query.keyword import (
+    KeywordAnswer,
+    KeywordQuery,
+    deepest_matches,
+    matching_modules,
+    _minimal_cover_prefix,
+)
+from repro.views.access import User
+from repro.views.exec_view import execution_view
+from repro.views.hierarchy import ExpansionHierarchy, Prefix
+from repro.views.spec_view import specification_view
+from repro.workflow.specification import WorkflowSpecification
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of a privacy-aware query.
+
+    ``status`` is ``"ok"`` when an answer is returned, ``"empty"`` when the
+    query has no answer at the user's access level, and ``"denied"`` when
+    answering would necessarily reveal protected information.
+    """
+
+    status: str
+    answer: object = None
+    masked_items: int = 0
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether an answer was produced."""
+        return self.status == "ok"
+
+
+class PrivacyAwareQueryEngine:
+    """Evaluates keyword, structural and provenance queries under a policy."""
+
+    def __init__(
+        self,
+        specification: WorkflowSpecification,
+        policy: PrivacyPolicy,
+        executions: Sequence[ExecutionGraph] = (),
+    ) -> None:
+        if policy.specification is not specification:
+            # Allow equal-but-distinct objects as long as the root matches.
+            if policy.specification.root_id != specification.root_id:
+                raise QueryError(
+                    "the privacy policy was defined for a different specification"
+                )
+        self.specification = specification
+        self.policy = policy
+        self.executions = list(executions)
+        self._hierarchy = ExpansionHierarchy(specification)
+
+    # ------------------------------------------------------------------ #
+    # Access-view helpers
+    # ------------------------------------------------------------------ #
+    def access_prefix(self, user: User) -> Prefix:
+        """The finest prefix the user may see."""
+        return self.policy.prefix_for_user(user)
+
+    def _visible_modules(self, prefix: Prefix) -> set[str]:
+        return self._hierarchy.visible_modules(prefix)
+
+    def _allowed_modules(self, prefix: Prefix) -> set[str]:
+        """Modules the user is allowed to see in *some* view within ``prefix``.
+
+        A module may legitimately appear in an answer as long as its
+        defining workflow belongs to the user's access prefix -- even a
+        composite module whose expansion the user could also see, since an
+        answer view may keep it collapsed (answers are minimal views, never
+        finer than the access view).
+        """
+        return {
+            module_id
+            for _, module in self.specification.all_modules()
+            if not module.is_io
+            for module_id in (module.module_id,)
+            if self.specification.defining_workflow(module_id) in prefix
+        }
+
+    def _protected_pairs(self, user: User) -> set[tuple[str, str]]:
+        return self.policy.structural_pairs_for_level(user.level)
+
+    def _hidden_labels(self, user: User) -> set[str]:
+        return self.policy.hidden_labels_for_level(user.level)
+
+    # ------------------------------------------------------------------ #
+    # Keyword search
+    # ------------------------------------------------------------------ #
+    def keyword_search(
+        self,
+        user: User,
+        query: KeywordQuery | str,
+        *,
+        strategy: str = "view-first",
+    ) -> QueryResult:
+        """Answer a keyword query for ``user``.
+
+        The answer is the minimal view that covers every phrase using only
+        modules visible at the user's access level and that does not expose
+        any structural-privacy target protected from this user.
+        """
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        if strategy not in ("view-first", "zoom-out"):
+            raise QueryError(f"unknown evaluation strategy {strategy!r}")
+        allowed_prefix = self.access_prefix(user)
+        allowed_modules = self._allowed_modules(allowed_prefix)
+
+        if strategy == "view-first":
+            candidates_per_phrase = []
+            for phrase in query.phrases:
+                candidates = {
+                    module_id
+                    for module_id in deepest_matches(self.specification, phrase)
+                    if module_id in allowed_modules
+                }
+                if not candidates:
+                    # Fall back to coarser matches that are still visible
+                    # (e.g. a composite ancestor matching the phrase).
+                    candidates = {
+                        module_id
+                        for module_id in matching_modules(self.specification, phrase)
+                        if module_id in allowed_modules
+                    }
+                if not candidates:
+                    return QueryResult(
+                        status="empty",
+                        note=f"no visible module matches {phrase!r} at level {user.level}",
+                    )
+                candidates_per_phrase.append((phrase, candidates))
+            prefix, matches = _minimal_cover_prefix(
+                self.specification, candidates_per_phrase
+            )
+        else:  # zoom-out
+            # Privacy-oblivious answer first.
+            candidates_per_phrase = []
+            for phrase in query.phrases:
+                candidates = deepest_matches(self.specification, phrase)
+                if not candidates:
+                    return QueryResult(
+                        status="empty", note=f"no module matches {phrase!r}"
+                    )
+                candidates_per_phrase.append((phrase, candidates))
+            prefix, matches = _minimal_cover_prefix(
+                self.specification, candidates_per_phrase
+            )
+            # Zoom out: intersect with the access view and re-match phrases
+            # against whatever remains visible.  A phrase whose oblivious
+            # match got coarsened away is re-matched against any module the
+            # user is allowed to see (so both strategies return an answer in
+            # exactly the same cases).
+            prefix = frozenset(prefix & allowed_prefix)
+            rematched = []
+            for phrase, _ in candidates_per_phrase:
+                phrase_matches_all = matching_modules(self.specification, phrase)
+                visible = self._visible_modules(prefix)
+                visible_matches = {
+                    module_id
+                    for module_id in phrase_matches_all
+                    if module_id in visible
+                }
+                if not visible_matches:
+                    allowed_matches = phrase_matches_all & allowed_modules
+                    if not allowed_matches:
+                        return QueryResult(
+                            status="empty",
+                            note=(
+                                f"answer for {phrase!r} is not visible at level "
+                                f"{user.level}"
+                            ),
+                        )
+                    chosen = sorted(allowed_matches)[0]
+                    prefix = frozenset(
+                        prefix
+                        | self._hierarchy.defining_prefix_for_modules([chosen])
+                    )
+                    visible_matches = {chosen}
+                rematched.append((phrase, sorted(visible_matches)[0]))
+            matches = tuple(rematched)
+
+        prefix = self._restrict_for_structure(prefix, matches, user)
+        if prefix is None:
+            return QueryResult(
+                status="denied",
+                note="every answer view would expose protected structure",
+            )
+        view = specification_view(self.specification, prefix)
+        answer = KeywordAnswer(
+            query=query,
+            specification_id=self.specification.root_id,
+            matches=matches,
+            prefix=prefix,
+            view=view,
+        )
+        return QueryResult(status="ok", answer=answer)
+
+    def _restrict_for_structure(
+        self,
+        prefix: Prefix,
+        matches: tuple[tuple[str, str], ...],
+        user: User,
+    ) -> Prefix | None:
+        """Coarsen ``prefix`` until no protected pair is exposed.
+
+        A protected pair is exposed when both endpoints are visible and the
+        view shows a path between them.  Coarsening removes leaf workflows
+        of the prefix (never dropping below the workflows needed to keep the
+        matched modules visible); returns ``None`` when no feasible prefix
+        exists.
+        """
+        protected = self._protected_pairs(user)
+        if not protected:
+            return prefix
+        required = self._hierarchy.defining_prefix_for_modules(
+            [module_id for _, module_id in matches]
+        )
+
+        def exposes(candidate: Prefix) -> bool:
+            view = specification_view(self.specification, candidate)
+            pairs = view.reachable_module_pairs()
+            return any(pair in pairs for pair in protected)
+
+        current = prefix
+        while exposes(current):
+            removable = [
+                wid
+                for wid in current
+                if wid not in required
+                and not any(
+                    self._hierarchy.parent(other) == wid for other in current
+                )
+            ]
+            if not removable:
+                return None
+            # Drop the deepest removable workflow first.
+            removable.sort(key=lambda wid: (-self._hierarchy.depth(wid), wid))
+            current = frozenset(current - {removable[0]})
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Provenance queries
+    # ------------------------------------------------------------------ #
+    def provenance(
+        self, user: User, execution: ExecutionGraph, data_id: str
+    ) -> QueryResult:
+        """Provenance of a data item, restricted to the user's access view.
+
+        The execution is first collapsed to the user's access view, then the
+        values of data labels hidden from the user are masked, and finally
+        the provenance subgraph of the requested item is extracted.
+        """
+        prefix = self.access_prefix(user)
+        view = execution_view(execution, self.specification, prefix)
+        if data_id not in view.graph.data_items:
+            return QueryResult(
+                status="denied",
+                note=f"data item {data_id!r} is not visible at level {user.level}",
+            )
+        hidden_labels = self._hidden_labels(user)
+        masked = apply_secure_view(view.graph, hidden_labels)
+        masked = self.policy.data_policy.mask_execution(masked, user.level)
+        provenance = provenance_subgraph(masked, data_id)
+        masked_count = sum(
+            1
+            for item in provenance.data_items.values()
+            if item.label in hidden_labels
+            or not self.policy.data_policy.can_see(item, user.level)
+        )
+        return QueryResult(status="ok", answer=provenance, masked_items=masked_count)
+
+    # ------------------------------------------------------------------ #
+    # Structural queries
+    # ------------------------------------------------------------------ #
+    def executed_before(
+        self,
+        user: User,
+        execution: ExecutionGraph,
+        first: str,
+        second: str,
+    ) -> QueryResult:
+        """Whether ``first`` executed before ``second``, as visible to the user.
+
+        Returns ``denied`` when the pair is a structural-privacy target for
+        the user's level, ``empty`` when one of the modules is not visible
+        in the user's access view, and otherwise the boolean answer computed
+        on the user's view of the execution.
+        """
+        protected = self._protected_pairs(user)
+        if (first, second) in protected or (second, first) in protected:
+            return QueryResult(
+                status="denied",
+                note="the connectivity of this pair is protected",
+            )
+        allowed_prefix = self.access_prefix(user)
+        allowed = self._allowed_modules(allowed_prefix)
+        if first not in allowed or second not in allowed:
+            return QueryResult(
+                status="empty",
+                note="one of the modules is not visible at this access level",
+            )
+        # Evaluate on the coarsest view of the user's privilege in which both
+        # modules appear: its prefix is contained in the access prefix
+        # because defining workflows of allowed modules are, and prefixes
+        # are ancestor closed.
+        prefix = self._hierarchy.defining_prefix_for_modules([first, second])
+        view = execution_view(execution, self.specification, prefix)
+        pairs = view.graph.module_reachable_pairs()
+        return QueryResult(status="ok", answer=(first, second) in pairs)
+
+    # ------------------------------------------------------------------ #
+    # Batch helpers (used by benchmarks)
+    # ------------------------------------------------------------------ #
+    def keyword_search_many(
+        self,
+        user: User,
+        queries: Iterable[KeywordQuery | str],
+        *,
+        strategy: str = "view-first",
+    ) -> list[QueryResult]:
+        """Evaluate several keyword queries (benchmark helper)."""
+        return [
+            self.keyword_search(user, query, strategy=strategy) for query in queries
+        ]

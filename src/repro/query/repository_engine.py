@@ -1,0 +1,273 @@
+"""Repository-wide, privacy-aware query answering.
+
+The per-specification :class:`~repro.query.privacy_aware.PrivacyAwareQueryEngine`
+answers one query against one workflow.  A repository, however, stores many
+specifications and executions, each with its own privacy policy, and users
+interact with it through a single search box.  This module provides that
+front end:
+
+* queries are written in the small query language of
+  :mod:`repro.query.language` (keyword, BEFORE, PATH, PROVENANCE, ...),
+* keyword results are ranked across specifications with TF-IDF (optionally
+  bucketized, the privacy-aware scheme of experiment E8),
+* every answer is produced through the specification's privacy-aware engine
+  so access views, data masking and structural targets are respected,
+* results are cached per user group (same group, same privileges -- the
+  sharing rule the paper allows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.privacy.policy import PrivacyPolicy
+from repro.query.keyword import KeywordQuery
+from repro.query.language import (
+    BeforeQuery,
+    ModuleProvenanceQuery,
+    ParsedQuery,
+    ProvenanceQuery,
+    parse_query,
+)
+from repro.query.privacy_aware import PrivacyAwareQueryEngine, QueryResult
+from repro.query.ranking import TfIdfIndex, bucketize_scores
+from repro.query.structural import PathQuery, path_query_matches, provenance_of_module
+from repro.storage.cache import GroupQueryCache
+from repro.storage.repository import WorkflowRepository
+from repro.views.access import User
+from repro.views.exec_view import execution_view
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One repository search hit."""
+
+    specification_id: str
+    score: float
+    result: QueryResult
+
+    @property
+    def ok(self) -> bool:
+        """Whether the hit carries an actual answer."""
+        return self.result.ok
+
+
+@dataclass(frozen=True)
+class RepositoryOutcome:
+    """The outcome of one repository query."""
+
+    kind: str
+    user_id: str
+    query: str
+    answers: tuple = ()
+    from_cache: bool = False
+
+    @property
+    def hits(self) -> int:
+        """Number of answers returned."""
+        return len(self.answers)
+
+
+@dataclass
+class RepositoryQueryEngine:
+    """Front end answering textual queries over a whole repository."""
+
+    repository: WorkflowRepository
+    ranking_bucket_width: float | None = None
+    cache: GroupQueryCache = field(default_factory=lambda: GroupQueryCache(capacity=512))
+
+    def __post_init__(self) -> None:
+        self._engines: dict[str, PrivacyAwareQueryEngine] = {}
+        self._index = TfIdfIndex()
+        for specification in self.repository.specifications():
+            spec_id = specification.root_id
+            policy = self.repository.policy(spec_id)
+            if policy is None:
+                # Specifications without an explicit policy are public: the
+                # default policy grants the full expansion to every level.
+                policy = PrivacyPolicy(specification)
+                assert policy.access_policy is not None
+                policy.access_policy.grant_full_access(0)
+            executions = self.repository.executions_for(spec_id)
+            self._engines[spec_id] = PrivacyAwareQueryEngine(
+                specification, policy, executions
+            )
+            texts = [module.name for _, module in specification.all_modules()]
+            texts.extend(
+                keyword
+                for _, module in specification.all_modules()
+                for keyword in module.keywords
+            )
+            self._index.add_document(spec_id, texts)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def engine_for(self, spec_id: str) -> PrivacyAwareQueryEngine:
+        """The per-specification engine (mainly for tests and debugging)."""
+        try:
+            return self._engines[spec_id]
+        except KeyError:
+            raise QueryError(f"specification {spec_id!r} is not stored") from None
+
+    def search(self, user: User, query_text: str) -> RepositoryOutcome:
+        """Parse and answer ``query_text`` for ``user`` (cached per group)."""
+        cache_key = (query_text, user.level)
+        cached = self.cache.get(user.group_key, cache_key)
+        if cached is not None:
+            assert isinstance(cached, RepositoryOutcome)
+            return RepositoryOutcome(
+                kind=cached.kind,
+                user_id=user.user_id,
+                query=query_text,
+                answers=cached.answers,
+                from_cache=True,
+            )
+        outcome = self._evaluate(user, query_text)
+        self.cache.put(user.group_key, cache_key, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, user: User, query_text: str) -> RepositoryOutcome:
+        parsed: ParsedQuery = parse_query(query_text)
+        if isinstance(parsed, KeywordQuery):
+            answers = self._keyword(user, parsed)
+            kind = "keyword"
+        elif isinstance(parsed, BeforeQuery):
+            answers = self._before(user, parsed)
+            kind = "before"
+        elif isinstance(parsed, PathQuery):
+            answers = self._path(user, parsed)
+            kind = "path"
+        elif isinstance(parsed, ProvenanceQuery):
+            answers = self._provenance(user, parsed)
+            kind = "provenance"
+        elif isinstance(parsed, ModuleProvenanceQuery):
+            answers = self._module_provenance(user, parsed)
+            kind = "module-provenance"
+        else:  # pragma: no cover - parse_query only returns the above
+            raise QueryError(f"unsupported query type {type(parsed).__name__}")
+        return RepositoryOutcome(
+            kind=kind, user_id=user.user_id, query=query_text, answers=tuple(answers)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Query kinds
+    # ------------------------------------------------------------------ #
+    def _keyword(self, user: User, query: KeywordQuery) -> list[RankedAnswer]:
+        scores = self._index.scores([" ".join(query.phrases)])
+        if self.ranking_bucket_width is not None:
+            scores = bucketize_scores(scores, bucket_width=self.ranking_bucket_width)
+        hits: list[RankedAnswer] = []
+        for spec_id, engine in self._engines.items():
+            result = engine.keyword_search(user, query)
+            if result.ok:
+                hits.append(
+                    RankedAnswer(
+                        specification_id=spec_id,
+                        score=scores.get(spec_id, 0.0),
+                        result=result,
+                    )
+                )
+        hits.sort(key=lambda hit: (-hit.score, hit.specification_id))
+        return hits
+
+    def _before(self, user: User, query: BeforeQuery) -> list[RankedAnswer]:
+        hits: list[RankedAnswer] = []
+        for spec_id, engine in self._engines.items():
+            spec_modules = set(engine.specification.module_ids())
+            if query.first not in spec_modules or query.second not in spec_modules:
+                continue
+            for execution in engine.executions:
+                result = engine.executed_before(
+                    user, execution, query.first, query.second
+                )
+                hits.append(
+                    RankedAnswer(
+                        specification_id=spec_id,
+                        score=1.0 if result.ok and result.answer else 0.0,
+                        result=result,
+                    )
+                )
+        return hits
+
+    def _path(self, user: User, query: PathQuery) -> list[RankedAnswer]:
+        hits: list[RankedAnswer] = []
+        for spec_id, engine in self._engines.items():
+            prefix = engine.access_prefix(user)
+            for execution in engine.executions:
+                view = execution_view(execution, engine.specification, prefix)
+                try:
+                    matched = path_query_matches(
+                        view.graph, engine.specification, query
+                    )
+                except QueryError:
+                    continue
+                result = QueryResult(status="ok", answer=matched)
+                hits.append(
+                    RankedAnswer(
+                        specification_id=spec_id,
+                        score=1.0 if matched else 0.0,
+                        result=result,
+                    )
+                )
+        return hits
+
+    def _provenance(self, user: User, query: ProvenanceQuery) -> list[RankedAnswer]:
+        hits: list[RankedAnswer] = []
+        for spec_id, engine in self._engines.items():
+            for execution in engine.executions:
+                if query.data_id not in execution.data_items:
+                    continue
+                result = engine.provenance(user, execution, query.data_id)
+                hits.append(
+                    RankedAnswer(
+                        specification_id=spec_id,
+                        score=1.0 if result.ok else 0.0,
+                        result=result,
+                    )
+                )
+        return hits
+
+    def _module_provenance(
+        self, user: User, query: ModuleProvenanceQuery
+    ) -> list[RankedAnswer]:
+        hits: list[RankedAnswer] = []
+        for spec_id, engine in self._engines.items():
+            prefix = engine.access_prefix(user)
+            allowed = engine._allowed_modules(prefix)
+            for execution in engine.executions:
+                view = execution_view(execution, engine.specification, prefix)
+                try:
+                    provenance = provenance_of_module(
+                        view.graph, engine.specification, query.module
+                    )
+                except QueryError:
+                    continue
+                if not provenance.executed_module_ids() <= allowed:
+                    # Should not happen (the view already restricts), kept as
+                    # a defensive guard for policy changes.
+                    continue  # pragma: no cover
+                hits.append(
+                    RankedAnswer(
+                        specification_id=spec_id,
+                        score=float(len(provenance)),
+                        result=QueryResult(status="ok", answer=provenance),
+                    )
+                )
+        return hits
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate_cache(self, groups: Sequence[tuple[str, ...]] | None = None) -> None:
+        """Invalidate cached answers (e.g. after new executions arrive)."""
+        if groups is None:
+            self.cache.invalidate_all()
+            return
+        for group in groups:
+            self.cache.invalidate_group(group)

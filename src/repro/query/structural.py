@@ -1,0 +1,218 @@
+"""Structural queries over specifications and executions.
+
+The paper's example: "find executions where Expand SNP Set was executed
+before Query OMIM and return the provenance information for the latter".
+This module implements the building blocks of such queries: execution-order
+(reachability) predicates, path-pattern matching, and provenance retrieval,
+all expressed against either the full execution or a view of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.execution.graph import ExecutionGraph
+from repro.execution.provenance import provenance_subgraph
+from repro.query.text import normalized_tokens, phrase_matches, term_set
+from repro.workflow.module import Module
+from repro.workflow.specification import WorkflowSpecification
+
+
+def _modules_matching_name(
+    specification: WorkflowSpecification, name_or_id: str
+) -> set[str]:
+    """Resolve a module reference that may be an id or a (partial) name."""
+    known_ids = set(specification.module_ids())
+    if name_or_id in known_ids:
+        return {name_or_id}
+    matches: set[str] = set()
+    for _, module in specification.all_modules():
+        if module.is_io:
+            continue
+        if phrase_matches(name_or_id, term_set((module.name, *module.keywords))):
+            matches.add(module.module_id)
+    if not matches:
+        raise QueryError(f"no module matches {name_or_id!r}")
+    return matches
+
+
+def executed_before(
+    execution: ExecutionGraph,
+    specification: WorkflowSpecification,
+    first: str,
+    second: str,
+) -> bool:
+    """Whether some execution of ``first`` precedes some execution of ``second``.
+
+    "Precedes" means a directed dataflow path exists from a node of the
+    first module to a node of the second in the execution graph.
+    """
+    first_ids = _modules_matching_name(specification, first)
+    second_ids = _modules_matching_name(specification, second)
+    pairs = execution.module_reachable_pairs()
+    return any(
+        (a, b) in pairs for a in first_ids for b in second_ids
+    )
+
+
+def provenance_of_module(
+    execution: ExecutionGraph,
+    specification: WorkflowSpecification,
+    module: str,
+) -> ExecutionGraph:
+    """The provenance of (the outputs of) a module execution.
+
+    Returns the execution subgraph induced by all nodes of the module and
+    their ancestors -- "the provenance information for the latter" in the
+    paper's example query.
+    """
+    module_ids = _modules_matching_name(specification, module)
+    nodes: set[str] = set()
+    for node in execution:
+        if node.module_id in module_ids:
+            nodes.add(node.node_id)
+            nodes.update(execution.ancestors(node.node_id))
+    if not nodes:
+        raise QueryError(f"module {module!r} was not executed in {execution.execution_id!r}")
+    return execution.induced_subgraph(nodes)
+
+
+def data_produced_by(
+    execution: ExecutionGraph,
+    specification: WorkflowSpecification,
+    module: str,
+) -> set[str]:
+    """Ids of the data items produced by executions of ``module``."""
+    module_ids = _modules_matching_name(specification, module)
+    node_ids = {
+        node.node_id for node in execution if node.module_id in module_ids
+    }
+    return {
+        item.data_id
+        for item in execution.data_items.values()
+        if item.producer in node_ids
+    }
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A path pattern: module references that must appear in order on a path.
+
+    Steps may be module ids or (partial) names; consecutive steps must be
+    connected by a directed path (not necessarily a single edge).
+    """
+
+    steps: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 2:
+            raise QueryError("a path query needs at least two steps")
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    def __str__(self) -> str:
+        return " -> ".join(self.steps)
+
+
+def path_query_matches(
+    execution: ExecutionGraph,
+    specification: WorkflowSpecification,
+    query: PathQuery,
+) -> bool:
+    """Whether the execution contains modules matching the path pattern in order."""
+    step_module_ids = [
+        _modules_matching_name(specification, step) for step in query.steps
+    ]
+    pairs = execution.module_reachable_pairs()
+
+    def step_reachable(from_ids: set[str], to_ids: set[str]) -> set[str]:
+        return {b for a in from_ids for b in to_ids if (a, b) in pairs}
+
+    executed = execution.executed_module_ids()
+    current = step_module_ids[0] & executed
+    for next_ids in step_module_ids[1:]:
+        current = step_reachable(current, next_ids & executed)
+        if not current:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StructuralMatch:
+    """One execution matching a structural query, with its provenance payload."""
+
+    execution_id: str
+    matched_modules: tuple[str, ...]
+    provenance: ExecutionGraph | None
+
+
+def find_executions_where(
+    executions: Iterable[ExecutionGraph],
+    specification: WorkflowSpecification,
+    *,
+    before: tuple[str, str] | None = None,
+    path: PathQuery | Sequence[str] | None = None,
+    return_provenance_of: str | None = None,
+) -> list[StructuralMatch]:
+    """The paper's combined structural query.
+
+    Example -- "find executions where Expand SNP Set was executed before
+    Query OMIM and return the provenance information for the latter"::
+
+        find_executions_where(
+            runs, spec,
+            before=("Expand SNP Set", "Query OMIM"),
+            return_provenance_of="Query OMIM",
+        )
+    """
+    if path is not None and not isinstance(path, PathQuery):
+        path = PathQuery(tuple(path))
+    matches = []
+    for execution in executions:
+        if before is not None and not executed_before(
+            execution, specification, before[0], before[1]
+        ):
+            continue
+        if path is not None and not path_query_matches(execution, specification, path):
+            continue
+        matched: tuple[str, ...] = ()
+        if before is not None:
+            matched = tuple(
+                sorted(
+                    _modules_matching_name(specification, before[0])
+                    | _modules_matching_name(specification, before[1])
+                )
+            )
+        provenance = None
+        if return_provenance_of is not None:
+            provenance = provenance_of_module(
+                execution, specification, return_provenance_of
+            )
+        matches.append(
+            StructuralMatch(
+                execution_id=execution.execution_id,
+                matched_modules=matched,
+                provenance=provenance,
+            )
+        )
+    return matches
+
+
+def provenance_of_data(
+    execution: ExecutionGraph, data_id: str
+) -> ExecutionGraph:
+    """Provenance of one data item (thin wrapper kept for query symmetry)."""
+    return provenance_subgraph(execution, data_id)
+
+
+def module_for_name(specification: WorkflowSpecification, name: str) -> Module:
+    """Resolve a unique module by name, raising when ambiguous."""
+    matches = _modules_matching_name(specification, name)
+    if len(matches) > 1:
+        raise QueryError(f"{name!r} is ambiguous: {sorted(matches)!r}")
+    return specification.find_module(next(iter(matches)))
+
+
+def _normalized_name(name: str) -> str:
+    return " ".join(normalized_tokens(name))

@@ -1,0 +1,70 @@
+"""Text utilities shared by keyword search and ranking.
+
+Keyword matching follows the paper's example (Fig. 5): the query
+``"Database, Disorder Risks"`` matches the module named ``"Generate
+Database Queries"`` and the composite ``"Evaluate Disorder Risk"``.
+Matching is therefore token based, case insensitive, and applies a light
+plural normalisation so that ``"Risks"`` matches ``"Risk"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lower-cased alphanumeric tokens."""
+    return [match.group(0).lower() for match in _TOKEN_PATTERN.finditer(text)]
+
+
+def stem(token: str) -> str:
+    """A deliberately light stemmer: strip a trailing plural ``s``.
+
+    Only tokens longer than three characters are stemmed so that short
+    identifiers such as ``"os"`` or ``"gps"`` stay untouched.
+    """
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def normalized_tokens(text: str) -> list[str]:
+    """Tokenise and stem ``text``."""
+    return [stem(token) for token in tokenize(text)]
+
+
+def term_set(texts: list[str] | tuple[str, ...]) -> frozenset[str]:
+    """The set of normalised tokens appearing in any of ``texts``."""
+    terms: set[str] = set()
+    for text in texts:
+        terms.update(normalized_tokens(text))
+    return frozenset(terms)
+
+
+def phrase_matches(phrase: str, terms: frozenset[str]) -> bool:
+    """Whether every normalised token of ``phrase`` appears in ``terms``."""
+    tokens = normalized_tokens(phrase)
+    if not tokens:
+        return False
+    return all(token in terms for token in tokens)
+
+
+def parse_phrases(query_text: str) -> tuple[str, ...]:
+    """Split a raw keyword query into phrases.
+
+    Quoted substrings become single phrases; the rest is split on commas.
+    ``'Database, "Disorder Risks"'`` therefore yields
+    ``("Database", "Disorder Risks")``.
+    """
+    phrases: list[str] = []
+    remainder = query_text
+    for quoted in re.findall(r'"([^"]+)"', query_text):
+        phrases.append(quoted.strip())
+        remainder = remainder.replace(f'"{quoted}"', " ")
+    for part in remainder.split(","):
+        cleaned = part.strip()
+        if cleaned:
+            phrases.append(cleaned)
+    return tuple(phrase for phrase in phrases if phrase)

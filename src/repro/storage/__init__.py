@@ -1,0 +1,23 @@
+"""Repository, per-level indexes, materialised views and group caches."""
+
+from repro.storage.cache import CacheStats, GroupQueryCache
+from repro.storage.index import (
+    KeywordIndex,
+    LeveledKeywordIndex,
+    Posting,
+    ReachabilityIndex,
+)
+from repro.storage.materialized import MaterializedViewStore
+from repro.storage.repository import RepositoryEntry, WorkflowRepository
+
+__all__ = [
+    "CacheStats",
+    "GroupQueryCache",
+    "KeywordIndex",
+    "LeveledKeywordIndex",
+    "MaterializedViewStore",
+    "Posting",
+    "ReachabilityIndex",
+    "RepositoryEntry",
+    "WorkflowRepository",
+]

@@ -1,0 +1,129 @@
+"""Per-user-group query caches.
+
+The paper suggests "consider[ing] user groups when utilizing cached
+information during query processing": a query result computed for one user
+can be reused by other users with the same access view, but never across
+groups with different privileges.  :class:`GroupQueryCache` implements that
+policy with a simple LRU eviction and hit/miss accounting used by the
+storage benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.errors import StorageError
+
+GroupKey = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "entries": float(self.entries),
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class GroupQueryCache:
+    """An LRU cache keyed by (user group, query key).
+
+    Results are only shared between users whose group key is identical,
+    which is exactly the sharing the paper allows: same group means same
+    access view and privacy setting, so a cached answer is safe to reuse.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise StorageError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[GroupKey, Hashable], object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, group: GroupKey, query_key: Hashable) -> object | None:
+        """Look up a cached result, returning ``None`` on a miss."""
+        key = (tuple(group), query_key)
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self._misses += 1
+        return None
+
+    def put(self, group: GroupKey, query_key: Hashable, result: object) -> None:
+        """Store a result for a group."""
+        key = (tuple(group), query_key)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_compute(
+        self,
+        group: GroupKey,
+        query_key: Hashable,
+        compute: Callable[[], object],
+    ) -> object:
+        """Return the cached result or compute, store and return it."""
+        cached = self.get(group, query_key)
+        if cached is not None:
+            return cached
+        result = compute()
+        self.put(group, query_key, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate_group(self, group: GroupKey) -> int:
+        """Drop every entry of one group (e.g. after a policy change)."""
+        group = tuple(group)
+        stale = [key for key in self._entries if key[0] == group]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (e.g. after a repository update)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss statistics."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._entries),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries

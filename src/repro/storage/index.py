@@ -1,0 +1,194 @@
+"""Indexes that respect per-level access views.
+
+Sec. 4 of the paper: "standard, non-privacy preserving workflow management
+systems use various indexing structures ... With data privacy, we must
+manage an index with different user views".  Two indexes are provided:
+
+* :class:`KeywordIndex` -- an inverted index from normalised terms to the
+  modules containing them, with an *access-level aware* variant that only
+  stores postings visible at each level (so lookups never have to filter).
+* :class:`ReachabilityIndex` -- per-level transitive-closure indexes of the
+  specification views, answering "is module A connected to module B at
+  access level L" in O(1).
+
+Experiment E7 compares these against filtering a global index and against
+no index at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import StorageError
+from repro.query.keyword import module_search_terms
+from repro.views.access import AccessViewPolicy
+from repro.views.hierarchy import ExpansionHierarchy
+from repro.views.spec_view import specification_view
+from repro.workflow.specification import WorkflowSpecification
+
+Posting = tuple[str, str]  # (specification id, module id)
+
+
+@dataclass
+class KeywordIndex:
+    """A plain inverted index over every module of every specification."""
+
+    postings: dict[str, set[Posting]] = field(default_factory=dict)
+    indexed_specifications: set[str] = field(default_factory=set)
+
+    def add_specification(self, specification: WorkflowSpecification) -> None:
+        """Index every processing module of ``specification``."""
+        spec_id = specification.root_id
+        if spec_id in self.indexed_specifications:
+            raise StorageError(f"specification {spec_id!r} already indexed")
+        self.indexed_specifications.add(spec_id)
+        for _, module in specification.all_modules():
+            if module.is_io:
+                continue
+            for term in module_search_terms(module):
+                self.postings.setdefault(term, set()).add((spec_id, module.module_id))
+
+    def lookup(self, term: str) -> set[Posting]:
+        """Postings of a single normalised term."""
+        return set(self.postings.get(term, set()))
+
+    def lookup_all(self, terms: Iterable[str]) -> set[Posting]:
+        """Postings matching *all* terms (intersection by specification+module)."""
+        results: set[Posting] | None = None
+        for term in terms:
+            postings = self.lookup(term)
+            results = postings if results is None else results & postings
+        return results or set()
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self.postings)
+
+    def size(self) -> int:
+        """Total number of postings (a proxy for index memory)."""
+        return sum(len(postings) for postings in self.postings.values())
+
+
+@dataclass
+class LeveledKeywordIndex:
+    """Per-access-level inverted indexes.
+
+    For each configured access level, only the modules visible in that
+    level's access view are indexed, so a lookup at level L can directly
+    return privacy-compliant postings without post-filtering.
+    """
+
+    levels: dict[int, KeywordIndex] = field(default_factory=dict)
+
+    def add_specification(
+        self, specification: WorkflowSpecification, policy: AccessViewPolicy
+    ) -> None:
+        """Index a specification once per configured access level."""
+        hierarchy = ExpansionHierarchy(specification)
+        for level in policy.levels():
+            index = self.levels.setdefault(level, KeywordIndex())
+            prefix = policy.prefix_for_level(level)
+            visible = hierarchy.visible_modules(prefix)
+            spec_id = specification.root_id
+            if spec_id in index.indexed_specifications:
+                raise StorageError(
+                    f"specification {spec_id!r} already indexed at level {level}"
+                )
+            index.indexed_specifications.add(spec_id)
+            for _, module in specification.all_modules():
+                if module.is_io or module.module_id not in visible:
+                    continue
+                for term in module_search_terms(module):
+                    index.postings.setdefault(term, set()).add(
+                        (spec_id, module.module_id)
+                    )
+
+    def lookup(self, level: int, term: str) -> set[Posting]:
+        """Postings visible at ``level`` for a single term."""
+        index = self._index_for(level)
+        return index.lookup(term)
+
+    def lookup_all(self, level: int, terms: Iterable[str]) -> set[Posting]:
+        """Postings visible at ``level`` matching all terms."""
+        index = self._index_for(level)
+        return index.lookup_all(terms)
+
+    def size(self) -> int:
+        """Total postings across all levels (the space cost of per-level indexes)."""
+        return sum(index.size() for index in self.levels.values())
+
+    def _index_for(self, level: int) -> KeywordIndex:
+        if level in self.levels:
+            return self.levels[level]
+        lower = [configured for configured in self.levels if configured < level]
+        if lower:
+            return self.levels[max(lower)]
+        raise StorageError(f"no index configured for access level {level}")
+
+
+@dataclass
+class ReachabilityIndex:
+    """Per-level transitive-closure index over specification views.
+
+    ``closures[level][spec_id]`` maps a module id to the set of module ids
+    reachable from it in the view granted to that level.
+    """
+
+    closures: dict[int, dict[str, dict[str, frozenset[str]]]] = field(
+        default_factory=dict
+    )
+
+    def add_specification(
+        self, specification: WorkflowSpecification, policy: AccessViewPolicy
+    ) -> None:
+        """Precompute reachability for every configured level."""
+        spec_id = specification.root_id
+        for level in policy.levels():
+            prefix = policy.prefix_for_level(level)
+            view = specification_view(specification, prefix)
+            closure: dict[str, frozenset[str]] = {}
+            for module in view.graph:
+                if module.is_io:
+                    continue
+                reachable = {
+                    target
+                    for target in view.graph.descendants(module.module_id)
+                    if not view.graph.module(target).is_io
+                }
+                closure[module.module_id] = frozenset(reachable)
+            self.closures.setdefault(level, {})[spec_id] = closure
+
+    def is_reachable(
+        self, level: int, spec_id: str, source: str, target: str
+    ) -> bool | None:
+        """Reachability of two modules as visible at ``level``.
+
+        Returns ``None`` when either module is not visible at that level.
+        """
+        closure = self._closure_for(level, spec_id)
+        if source not in closure or target not in closure:
+            return None
+        return target in closure[source]
+
+    def visible_modules(self, level: int, spec_id: str) -> set[str]:
+        """Modules visible (and indexed) at the given level."""
+        return set(self._closure_for(level, spec_id))
+
+    def size(self) -> int:
+        """Total number of stored (source, target) pairs."""
+        total = 0
+        for by_spec in self.closures.values():
+            for closure in by_spec.values():
+                total += sum(len(targets) for targets in closure.values())
+        return total
+
+    def _closure_for(self, level: int, spec_id: str) -> dict[str, frozenset[str]]:
+        levels = [configured for configured in self.closures if configured <= level]
+        if not levels:
+            raise StorageError(f"no reachability index for access level {level}")
+        by_spec = self.closures[max(levels)]
+        try:
+            return by_spec[spec_id]
+        except KeyError:
+            raise StorageError(f"specification {spec_id!r} not indexed") from None

@@ -1,0 +1,126 @@
+"""Materialised per-level views versus on-the-fly view construction.
+
+The paper notes the space/time trade-off directly: "It may be infeasible to
+create variants of the workflow repository, one for each privilege/privacy
+setting, due to high space overhead.  Instead, the information must be
+hidden on-the-fly, which usually leads to processing overhead."  This
+module implements the materialised side of that trade-off so that
+experiment E6 can measure both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.execution.graph import ExecutionGraph
+from repro.storage.repository import WorkflowRepository
+from repro.views.access import AccessViewPolicy
+from repro.views.exec_view import collapse_execution
+from repro.views.spec_view import SpecificationView, specification_view
+
+
+@dataclass
+class MaterializedViewStore:
+    """Precomputed specification and execution views for each access level."""
+
+    specification_views: dict[tuple[int, str], SpecificationView] = field(
+        default_factory=dict
+    )
+    execution_views: dict[tuple[int, str, str], ExecutionGraph] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def materialize_specification(
+        self, specification, policy: AccessViewPolicy
+    ) -> None:
+        """Materialise the specification view of every configured level."""
+        for level in policy.levels():
+            prefix = policy.prefix_for_level(level)
+            key = (level, specification.root_id)
+            self.specification_views[key] = specification_view(specification, prefix)
+
+    def materialize_execution(
+        self, specification, execution: ExecutionGraph, policy: AccessViewPolicy
+    ) -> None:
+        """Materialise the execution view of every configured level."""
+        for level in policy.levels():
+            prefix = policy.prefix_for_level(level)
+            key = (level, specification.root_id, execution.execution_id)
+            self.execution_views[key] = collapse_execution(
+                execution, specification, prefix
+            )
+
+    def materialize_repository(
+        self, repository: WorkflowRepository, policy_by_spec: dict[str, AccessViewPolicy]
+    ) -> None:
+        """Materialise every specification and execution of a repository."""
+        for specification in repository.specifications():
+            policy = policy_by_spec.get(specification.root_id)
+            if policy is None:
+                raise StorageError(
+                    f"no access policy provided for {specification.root_id!r}"
+                )
+            self.materialize_specification(specification, policy)
+            for execution in repository.executions_for(specification.root_id):
+                self.materialize_execution(specification, execution, policy)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def specification_view_for(self, level: int, spec_id: str) -> SpecificationView:
+        """The materialised specification view for a level."""
+        key = self._resolve_key(level, spec_id)
+        return self.specification_views[key]
+
+    def execution_view_for(
+        self, level: int, spec_id: str, execution_id: str
+    ) -> ExecutionGraph:
+        """The materialised execution view for a level."""
+        levels = sorted(
+            configured
+            for (configured, stored_spec, stored_exec) in self.execution_views
+            if stored_spec == spec_id and stored_exec == execution_id
+            and configured <= level
+        )
+        if not levels:
+            raise StorageError(
+                f"no materialised view of execution {execution_id!r} at level {level}"
+            )
+        return self.execution_views[(levels[-1], spec_id, execution_id)]
+
+    def _resolve_key(self, level: int, spec_id: str) -> tuple[int, str]:
+        levels = sorted(
+            configured
+            for (configured, stored_spec) in self.specification_views
+            if stored_spec == spec_id and configured <= level
+        )
+        if not levels:
+            raise StorageError(
+                f"no materialised view of {spec_id!r} at level {level}"
+            )
+        return (levels[-1], spec_id)
+
+    # ------------------------------------------------------------------ #
+    # Space accounting
+    # ------------------------------------------------------------------ #
+    def space_cost(self) -> dict[str, int]:
+        """A size estimate of the materialised views (graph elements stored)."""
+        spec_elements = sum(
+            len(view.graph) + len(view.graph.edges)
+            for view in self.specification_views.values()
+        )
+        execution_elements = sum(
+            len(view) + len(view.edges) + len(view.data_items)
+            for view in self.execution_views.values()
+        )
+        return {
+            "specification_views": len(self.specification_views),
+            "execution_views": len(self.execution_views),
+            "specification_elements": spec_elements,
+            "execution_elements": execution_elements,
+            "total_elements": spec_elements + execution_elements,
+        }

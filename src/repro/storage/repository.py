@@ -1,0 +1,167 @@
+"""The workflow/provenance repository.
+
+The paper's setting is a shared repository in which "repositories of
+workflow specifications and of provenance graphs that represent their
+executions will be made available as part of scientific information
+sharing".  This module implements an in-memory repository storing
+specifications, their executions, and the privacy policy attached to each
+specification; the indexing, materialisation and caching layers build on
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import DuplicateEntryError, UnknownEntryError
+from repro.execution.graph import ExecutionGraph
+from repro.privacy.policy import PrivacyPolicy
+from repro.workflow.specification import WorkflowSpecification
+
+
+@dataclass
+class RepositoryEntry:
+    """Everything the repository stores about one specification."""
+
+    specification: WorkflowSpecification
+    executions: dict[str, ExecutionGraph] = field(default_factory=dict)
+    policy: PrivacyPolicy | None = None
+
+
+class WorkflowRepository:
+    """An in-memory repository of specifications and executions."""
+
+    def __init__(self, name: str = "repository") -> None:
+        self.name = name
+        self._entries: dict[str, RepositoryEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Specifications
+    # ------------------------------------------------------------------ #
+    def add_specification(
+        self,
+        specification: WorkflowSpecification,
+        *,
+        policy: PrivacyPolicy | None = None,
+    ) -> RepositoryEntry:
+        """Register a specification (optionally with its privacy policy)."""
+        spec_id = specification.root_id
+        if spec_id in self._entries:
+            raise DuplicateEntryError(f"specification {spec_id!r} already stored")
+        entry = RepositoryEntry(specification=specification, policy=policy)
+        self._entries[spec_id] = entry
+        return entry
+
+    def specification(self, spec_id: str) -> WorkflowSpecification:
+        """Return a stored specification by id."""
+        return self._entry(spec_id).specification
+
+    def specifications(self) -> list[WorkflowSpecification]:
+        """All stored specifications, in insertion order."""
+        return [entry.specification for entry in self._entries.values()]
+
+    def specification_ids(self) -> list[str]:
+        """Ids of all stored specifications."""
+        return list(self._entries)
+
+    def has_specification(self, spec_id: str) -> bool:
+        """Whether a specification with the given id is stored."""
+        return spec_id in self._entries
+
+    def remove_specification(self, spec_id: str) -> None:
+        """Remove a specification and all of its executions."""
+        if spec_id not in self._entries:
+            raise UnknownEntryError(spec_id)
+        del self._entries[spec_id]
+
+    # ------------------------------------------------------------------ #
+    # Policies
+    # ------------------------------------------------------------------ #
+    def set_policy(self, spec_id: str, policy: PrivacyPolicy) -> None:
+        """Attach (or replace) the privacy policy of a specification."""
+        self._entry(spec_id).policy = policy
+
+    def policy(self, spec_id: str) -> PrivacyPolicy | None:
+        """The privacy policy of a specification (``None`` if unset)."""
+        return self._entry(spec_id).policy
+
+    # ------------------------------------------------------------------ #
+    # Executions
+    # ------------------------------------------------------------------ #
+    def add_execution(self, execution: ExecutionGraph) -> ExecutionGraph:
+        """Store an execution under its specification."""
+        entry = self._entry(execution.specification_id)
+        if execution.execution_id in entry.executions:
+            raise DuplicateEntryError(
+                f"execution {execution.execution_id!r} already stored"
+            )
+        entry.executions[execution.execution_id] = execution
+        return execution
+
+    def add_executions(self, executions: Iterable[ExecutionGraph]) -> None:
+        """Store several executions."""
+        for execution in executions:
+            self.add_execution(execution)
+
+    def execution(self, spec_id: str, execution_id: str) -> ExecutionGraph:
+        """Return one stored execution."""
+        entry = self._entry(spec_id)
+        try:
+            return entry.executions[execution_id]
+        except KeyError:
+            raise UnknownEntryError(execution_id) from None
+
+    def executions_for(self, spec_id: str) -> list[ExecutionGraph]:
+        """All executions of a specification."""
+        return list(self._entry(spec_id).executions.values())
+
+    def all_executions(self) -> Iterator[ExecutionGraph]:
+        """Iterate over every stored execution."""
+        for entry in self._entries.values():
+            yield from entry.executions.values()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict[str, int]:
+        """Repository-wide size statistics (used by storage benchmarks)."""
+        specs = len(self._entries)
+        executions = sum(len(entry.executions) for entry in self._entries.values())
+        modules = sum(
+            len(entry.specification.module_ids()) for entry in self._entries.values()
+        )
+        nodes = sum(len(execution) for execution in self.all_executions())
+        data_items = sum(
+            len(execution.data_items) for execution in self.all_executions()
+        )
+        return {
+            "specifications": specs,
+            "executions": executions,
+            "modules": modules,
+            "execution_nodes": nodes,
+            "data_items": data_items,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals / dunder methods
+    # ------------------------------------------------------------------ #
+    def _entry(self, spec_id: str) -> RepositoryEntry:
+        try:
+            return self._entries[spec_id]
+        except KeyError:
+            raise UnknownEntryError(spec_id) from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, spec_id: object) -> bool:
+        return spec_id in self._entries
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"WorkflowRepository(name={self.name!r}, "
+            f"specifications={stats['specifications']}, "
+            f"executions={stats['executions']})"
+        )

@@ -1,0 +1,166 @@
+"""Access views: mapping users and access levels to the finest view they may see.
+
+The paper proposes to "define a user's access privilege as the finest
+grained view that s/he can access, called an access view".  This module
+implements that idea: access levels are ordered integers, each level is
+assigned a prefix of the expansion hierarchy, and users carry a level (and
+optionally user groups, which the storage layer uses for caching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import AccessDeniedError, PolicyError
+from repro.views.hierarchy import ExpansionHierarchy, Prefix
+from repro.workflow.specification import WorkflowSpecification
+
+#: Conventional access levels used throughout the examples and benchmarks.
+PUBLIC = 0
+ANALYST = 1
+OWNER = 2
+
+
+@dataclass(frozen=True)
+class User:
+    """A user of the provenance-aware workflow repository."""
+
+    user_id: str
+    name: str = ""
+    level: int = PUBLIC
+    groups: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise PolicyError(f"user {self.user_id!r} has negative access level")
+        object.__setattr__(self, "groups", tuple(self.groups))
+
+    @property
+    def group_key(self) -> tuple[str, ...]:
+        """A hashable key identifying the user's group combination."""
+        return tuple(sorted(self.groups)) or (f"level-{self.level}",)
+
+
+@dataclass
+class AccessViewPolicy:
+    """Assignment of expansion-hierarchy prefixes to access levels.
+
+    Levels are ordered: a higher level must be granted a view at least as
+    fine as every lower level (prefix containment), which
+    :meth:`validate` checks.
+    """
+
+    specification: WorkflowSpecification
+    level_prefixes: dict[int, Prefix] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._hierarchy = ExpansionHierarchy(self.specification)
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def set_level(self, level: int, prefix: Iterable[str]) -> None:
+        """Assign the access view (prefix) granted to ``level``."""
+        self.level_prefixes[level] = self._hierarchy.validate_prefix(prefix)
+
+    def grant_full_access(self, level: int) -> None:
+        """Grant the finest view to ``level``."""
+        self.level_prefixes[level] = self._hierarchy.full_prefix()
+
+    def grant_root_only(self, level: int) -> None:
+        """Grant only the coarsest (root) view to ``level``."""
+        self.level_prefixes[level] = self._hierarchy.root_prefix()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def levels(self) -> list[int]:
+        """The configured access levels, ascending."""
+        return sorted(self.level_prefixes)
+
+    def prefix_for_level(self, level: int) -> Prefix:
+        """The access view of ``level``.
+
+        Unconfigured levels inherit the view of the highest configured level
+        below them, or the root view when there is none.
+        """
+        if level in self.level_prefixes:
+            return self.level_prefixes[level]
+        lower = [l for l in self.level_prefixes if l < level]
+        if lower:
+            return self.level_prefixes[max(lower)]
+        return self._hierarchy.root_prefix()
+
+    def prefix_for_user(self, user: User) -> Prefix:
+        """The access view of ``user``."""
+        return self.prefix_for_level(user.level)
+
+    def visible_modules_for_user(self, user: User) -> set[str]:
+        """Module ids visible to ``user``."""
+        return self._hierarchy.visible_modules(self.prefix_for_user(user))
+
+    def can_see_module(self, user: User, module_id: str) -> bool:
+        """Whether ``module_id`` is visible in the user's access view."""
+        return module_id in self.visible_modules_for_user(user)
+
+    def require_module_access(self, user: User, module_id: str) -> None:
+        """Raise :class:`AccessDeniedError` unless the module is visible."""
+        if not self.can_see_module(user, module_id):
+            raise AccessDeniedError(
+                f"user {user.user_id!r} (level {user.level}) may not see "
+                f"module {module_id!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check that higher levels see views at least as fine as lower ones."""
+        levels = self.levels()
+        for lower, higher in zip(levels, levels[1:]):
+            if not self.level_prefixes[lower] <= self.level_prefixes[higher]:
+                raise PolicyError(
+                    f"access level {higher} sees a coarser view than level "
+                    f"{lower}; levels must be monotone"
+                )
+
+
+@dataclass
+class UserRegistry:
+    """A small in-memory registry of users."""
+
+    users: dict[str, User] = field(default_factory=dict)
+
+    def add(self, user: User) -> User:
+        """Register a user (replacing any user with the same id)."""
+        self.users[user.user_id] = user
+        return user
+
+    def create(
+        self,
+        user_id: str,
+        *,
+        name: str = "",
+        level: int = PUBLIC,
+        groups: Iterable[str] = (),
+    ) -> User:
+        """Create and register a user."""
+        return self.add(User(user_id=user_id, name=name, level=level, groups=tuple(groups)))
+
+    def get(self, user_id: str) -> User:
+        """Return a user by id, raising :class:`PolicyError` if unknown."""
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise PolicyError(f"unknown user {user_id!r}") from None
+
+    def by_level(self, level: int) -> list[User]:
+        """All users with exactly the given level."""
+        return [u for u in self.users.values() if u.level == level]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self.users

@@ -1,0 +1,172 @@
+"""View optimisation: choosing prefixes that balance utility and hiding.
+
+Biton et al. (ICDT 2009) study how to pick the best user view for a
+workflow.  This module provides the optimisation primitives the rest of the
+library builds on:
+
+* the smallest view (prefix) that makes a given set of modules visible
+  (used by keyword and structural search to build minimal answers);
+* the largest view that keeps a given set of modules hidden (used by the
+  access-control and privacy layers);
+* exhaustive and greedy searches over prefixes for a caller-supplied
+  utility function (used by the privacy/utility frontier of experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import InfeasiblePrivacyError
+from repro.views.hierarchy import ExpansionHierarchy, Prefix
+from repro.views.spec_view import SpecificationView, specification_view
+from repro.workflow.specification import WorkflowSpecification
+
+
+def minimal_prefix_for_modules(
+    specification: WorkflowSpecification, module_ids: Iterable[str]
+) -> Prefix:
+    """The smallest prefix whose view shows every module in ``module_ids``."""
+    hierarchy = ExpansionHierarchy(specification)
+    return hierarchy.defining_prefix_for_modules(module_ids)
+
+
+def minimal_view_containing(
+    specification: WorkflowSpecification, module_ids: Iterable[str]
+) -> SpecificationView:
+    """The smallest view showing every module in ``module_ids``."""
+    prefix = minimal_prefix_for_modules(specification, module_ids)
+    return specification_view(specification, prefix)
+
+
+def maximal_prefix_hiding_modules(
+    specification: WorkflowSpecification, module_ids: Iterable[str]
+) -> Prefix:
+    """The largest prefix whose view hides every module in ``module_ids``.
+
+    Raises :class:`InfeasiblePrivacyError` when some module is declared in
+    the root workflow and therefore cannot be hidden by coarsening alone.
+    """
+    hierarchy = ExpansionHierarchy(specification)
+    prefix = hierarchy.prefix_hiding_modules(module_ids)
+    if prefix is None:
+        raise InfeasiblePrivacyError(
+            "some of the modules to hide are declared in the root workflow; "
+            "no prefix view can hide them"
+        )
+    return prefix
+
+
+def prefixes_hiding_modules(
+    specification: WorkflowSpecification, module_ids: Iterable[str]
+) -> list[Prefix]:
+    """All prefixes whose views hide every module in ``module_ids``."""
+    hierarchy = ExpansionHierarchy(specification)
+    targets = set(module_ids)
+    result = []
+    for prefix in hierarchy.all_prefixes():
+        visible = hierarchy.visible_modules(prefix)
+        if not (targets & visible):
+            result.append(prefix)
+    return result
+
+
+def default_utility(view: SpecificationView) -> float:
+    """The default utility of a view.
+
+    Follows the paper's suggestion that utility combines "the number of
+    correct node connectivity relationships captured and the number of
+    modules disclosed": the score is the number of visible processing
+    modules plus the number of reachable module pairs the view exposes.
+    """
+    return float(view.size() + len(view.reachable_module_pairs()))
+
+
+def best_prefix(
+    specification: WorkflowSpecification,
+    *,
+    utility: Callable[[SpecificationView], float] | None = None,
+    feasible: Callable[[Prefix], bool] | None = None,
+) -> tuple[Prefix, float]:
+    """Exhaustively find the feasible prefix with the highest utility.
+
+    ``feasible`` filters prefixes (e.g. "hides modules M13 and M11");
+    ``utility`` scores the materialised view.  Intended for the small
+    hierarchies of the paper's examples and as an exact baseline for the
+    greedy search below.
+    """
+    utility = utility or default_utility
+    hierarchy = ExpansionHierarchy(specification)
+    best: tuple[Prefix, float] | None = None
+    for prefix in hierarchy.all_prefixes():
+        if feasible is not None and not feasible(prefix):
+            continue
+        view = specification_view(specification, prefix)
+        score = utility(view)
+        if best is None or score > best[1]:
+            best = (prefix, score)
+    if best is None:
+        raise InfeasiblePrivacyError("no prefix satisfies the feasibility predicate")
+    return best
+
+
+def greedy_prefix(
+    specification: WorkflowSpecification,
+    *,
+    utility: Callable[[SpecificationView], float] | None = None,
+    feasible: Callable[[Prefix], bool] | None = None,
+) -> tuple[Prefix, float]:
+    """Greedy bottom-up search for a high-utility feasible prefix.
+
+    Starting from the root prefix, repeatedly add the expandable workflow
+    that yields the largest utility gain while keeping the prefix feasible.
+    Runs in time polynomial in the number of workflows, unlike
+    :func:`best_prefix`.
+    """
+    utility = utility or default_utility
+    hierarchy = ExpansionHierarchy(specification)
+    current: Prefix = hierarchy.root_prefix()
+    if feasible is not None and not feasible(current):
+        raise InfeasiblePrivacyError("the root prefix is not feasible")
+    current_score = utility(specification_view(specification, current))
+    improved = True
+    while improved:
+        improved = False
+        candidates = [
+            wid
+            for wid in hierarchy.workflows()
+            if wid not in current and hierarchy.parent(wid) in current
+        ]
+        best_candidate: tuple[str, float] | None = None
+        for workflow_id in candidates:
+            prefix = frozenset(current | {workflow_id})
+            if feasible is not None and not feasible(prefix):
+                continue
+            score = utility(specification_view(specification, prefix))
+            if best_candidate is None or score > best_candidate[1]:
+                best_candidate = (workflow_id, score)
+        if best_candidate is not None and best_candidate[1] >= current_score:
+            current = frozenset(current | {best_candidate[0]})
+            current_score = best_candidate[1]
+            improved = True
+    return current, current_score
+
+
+def view_utility_profile(
+    specification: WorkflowSpecification,
+    *,
+    utility: Callable[[SpecificationView], float] | None = None,
+) -> list[tuple[Prefix, float]]:
+    """Utility of every view of the specification, sorted by utility.
+
+    Used by experiment E4 to trace the privacy/utility frontier: each prefix
+    hides a different set of modules and pairs, and this profile gives the
+    utility side of the trade-off.
+    """
+    utility = utility or default_utility
+    hierarchy = ExpansionHierarchy(specification)
+    profile = []
+    for prefix in hierarchy.all_prefixes():
+        view = specification_view(specification, prefix)
+        profile.append((prefix, utility(view)))
+    profile.sort(key=lambda item: item[1])
+    return profile

@@ -1,0 +1,118 @@
+"""Repairing unsound clustered views.
+
+Following Sun et al. (SIGMOD 2009), an unsound view can be *resolved* by
+splitting offending clusters until no false dependencies are implied.  The
+repair implemented here splits clusters greedily by the "every entry reaches
+every exit" criterion: if some entry of a cluster cannot reach some exit,
+the cluster is split so that entries and the exits they cannot reach end up
+in different groups.  The procedure always terminates (in the worst case
+every node becomes a singleton, which is trivially sound).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.views.soundness import (
+    cluster_entries_and_exits,
+    normalize_clustering,
+    soundness_report,
+    unsound_clusters,
+)
+
+
+def _split_cluster(
+    graph: nx.DiGraph, members: set[str]
+) -> list[set[str]]:
+    """Split one offending cluster into smaller clusters.
+
+    Nodes are grouped by their reachability signature with respect to the
+    cluster's entries and exits: two nodes stay together only when they are
+    reachable from the same entries and can reach the same exits.  This
+    removes the false paths introduced by the cluster while keeping together
+    nodes that are structurally equivalent from the outside.
+    """
+    entries, exits = cluster_entries_and_exits(graph, members)
+    reachable_from_entry = {
+        entry: nx.descendants(graph, entry) | {entry} for entry in entries
+    }
+    signatures: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+    for node in members:
+        reachable = nx.descendants(graph, node) | {node}
+        exit_signature = frozenset(
+            exit_node for exit_node in exits if exit_node in reachable
+        )
+        entry_signature = frozenset(
+            entry for entry, entry_reach in reachable_from_entry.items()
+            if node in entry_reach
+        )
+        signatures[node] = (entry_signature, exit_signature)
+    groups: dict[tuple[frozenset[str], frozenset[str]], set[str]] = {}
+    for node, signature in signatures.items():
+        groups.setdefault(signature, set()).add(node)
+    if len(groups) <= 1:
+        # Signatures did not separate anything; fall back to singletons so
+        # that the repair always makes progress.
+        return [{node} for node in sorted(members)]
+    return [group for _, group in sorted(groups.items(), key=lambda kv: sorted(kv[1]))]
+
+
+def repair_clustering(
+    graph: nx.DiGraph,
+    clusters: dict[str, Hashable],
+    *,
+    max_rounds: int = 100,
+) -> dict[str, Hashable]:
+    """Return a sound refinement of ``clusters``.
+
+    The result maps every node of ``graph`` to a (possibly new) group such
+    that the clustered view implies no false dependencies.  Groups that were
+    already sound are left untouched; offending groups are split as little
+    as the signature-based heuristic allows.
+    """
+    mapping = normalize_clustering(graph, clusters)
+    for _ in range(max_rounds):
+        offenders = unsound_clusters(graph, mapping)
+        if not offenders:
+            break
+        members_by_group: dict[Hashable, set[str]] = {}
+        for node, group in mapping.items():
+            members_by_group.setdefault(group, set()).add(node)
+        for group in offenders:
+            members = members_by_group[group]
+            pieces = _split_cluster(graph, members)
+            for index, piece in enumerate(pieces):
+                for node in piece:
+                    mapping[node] = (group, "part", index)
+    # The entry/exit criterion is sufficient but conservative; do a final
+    # exact check and fall back to singletons for any residual offenders.
+    report = soundness_report(graph, mapping)
+    if not report.is_sound:
+        guilty_nodes = {u for (u, _v) in report.extraneous_pairs}
+        guilty_nodes |= {v for (_u, v) in report.extraneous_pairs}
+        for node in guilty_nodes:
+            mapping[node] = ("__singleton__", node)
+    return mapping
+
+
+def repair_preserving_pairs(
+    graph: nx.DiGraph,
+    clusters: dict[str, Hashable],
+    protected_pairs: set[tuple[str, str]],
+) -> tuple[dict[str, Hashable], set[tuple[str, str]]]:
+    """Repair a clustering and report which protected pairs stay hidden.
+
+    ``protected_pairs`` are the reachability pairs the clustering was meant
+    to hide (structural privacy targets).  The function returns the repaired
+    clustering together with the subset of protected pairs that are still
+    hidden after the repair; callers can then decide whether the repair lost
+    too much privacy (experiment E3 measures exactly this trade-off).
+    """
+    repaired = repair_clustering(graph, clusters)
+    report = soundness_report(graph, repaired)
+    still_hidden = {
+        pair for pair in protected_pairs if pair not in report.implied_pairs
+    }
+    return repaired, still_hidden

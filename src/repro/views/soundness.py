@@ -1,0 +1,217 @@
+"""Soundness of clustered views.
+
+Clustering modules into composite groups hides the internal structure of the
+group but may make users "infer incorrect provenance information, e.g. that
+there is a path from M10 to M14" (Sec. 3 of the paper).  Following Sun et
+al. (SIGMOD 2009), a clustered view is *unsound* when it implies a
+dependency (path) between modules that does not exist in the underlying
+graph.  This module builds clustered view graphs and quantifies their
+soundness at both the group and the module level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+Clustering = Mapping[str, Hashable]
+
+
+def normalize_clustering(
+    graph: nx.DiGraph, clusters: Clustering | None
+) -> dict[str, Hashable]:
+    """Return a total clustering: unmapped nodes become singleton groups."""
+    clusters = dict(clusters or {})
+    normalized: dict[str, Hashable] = {}
+    for node in graph.nodes:
+        normalized[node] = clusters.get(node, ("__singleton__", node))
+    return normalized
+
+
+def cluster_view_graph(graph: nx.DiGraph, clusters: Clustering) -> nx.DiGraph:
+    """The quotient graph obtained by collapsing each cluster to one node."""
+    mapping = normalize_clustering(graph, clusters)
+    view = nx.DiGraph()
+    for node, group in mapping.items():
+        if group not in view:
+            view.add_node(group, members=set())
+        view.nodes[group]["members"].add(node)
+    for source, target in graph.edges:
+        group_source = mapping[source]
+        group_target = mapping[target]
+        if group_source != group_target:
+            view.add_edge(group_source, group_target)
+    return view
+
+
+def implied_node_pairs(graph: nx.DiGraph, clusters: Clustering) -> set[tuple[str, str]]:
+    """Node pairs ``(u, v)`` whose connectivity the clustered view implies.
+
+    The view implies ``u -> v`` when the cluster of ``u`` can reach the
+    cluster of ``v`` in the quotient graph (pairs within the same cluster
+    are deliberately *not* implied -- hiding them is the point of
+    clustering).
+    """
+    mapping = normalize_clustering(graph, clusters)
+    view = cluster_view_graph(graph, clusters)
+    reachable: dict[Hashable, set[Hashable]] = {
+        group: nx.descendants(view, group) for group in view.nodes
+    }
+    implied: set[tuple[str, str]] = set()
+    nodes = list(graph.nodes)
+    for u in nodes:
+        for v in nodes:
+            if u == v:
+                continue
+            gu, gv = mapping[u], mapping[v]
+            if gu == gv:
+                continue
+            if gv in reachable[gu]:
+                implied.add((u, v))
+    return implied
+
+
+def actual_node_pairs(graph: nx.DiGraph) -> set[tuple[str, str]]:
+    """Node pairs connected by a directed path in the underlying graph."""
+    pairs: set[tuple[str, str]] = set()
+    for node in graph.nodes:
+        for descendant in nx.descendants(graph, node):
+            pairs.add((node, descendant))
+    return pairs
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Quantitative soundness assessment of a clustered view.
+
+    Attributes
+    ----------
+    implied_pairs:
+        Node pairs whose connectivity the view implies.
+    actual_pairs:
+        Node pairs actually connected in the underlying graph.
+    extraneous_pairs:
+        Implied but not actual -- the *unsound* inferences.
+    hidden_pairs:
+        Actual pairs hidden by the view (both endpoints in one cluster, or
+        connectivity no longer implied).
+    preserved_pairs:
+        Actual pairs still correctly implied by the view.
+    """
+
+    implied_pairs: frozenset[tuple[str, str]]
+    actual_pairs: frozenset[tuple[str, str]]
+    extraneous_pairs: frozenset[tuple[str, str]]
+    hidden_pairs: frozenset[tuple[str, str]]
+    preserved_pairs: frozenset[tuple[str, str]]
+
+    @property
+    def is_sound(self) -> bool:
+        """Whether the view implies no false dependencies."""
+        return not self.extraneous_pairs
+
+    @property
+    def soundness_ratio(self) -> float:
+        """Fraction of implied pairs that are actually correct."""
+        if not self.implied_pairs:
+            return 1.0
+        return 1.0 - len(self.extraneous_pairs) / len(self.implied_pairs)
+
+    @property
+    def information_preserved(self) -> float:
+        """Fraction of true pairs still visible through the view."""
+        if not self.actual_pairs:
+            return 1.0
+        return len(self.preserved_pairs) / len(self.actual_pairs)
+
+    def summary(self) -> dict[str, float]:
+        """A compact dictionary form used by experiment tables."""
+        return {
+            "implied": float(len(self.implied_pairs)),
+            "actual": float(len(self.actual_pairs)),
+            "extraneous": float(len(self.extraneous_pairs)),
+            "hidden": float(len(self.hidden_pairs)),
+            "preserved": float(len(self.preserved_pairs)),
+            "soundness_ratio": self.soundness_ratio,
+            "information_preserved": self.information_preserved,
+        }
+
+
+def soundness_report(graph: nx.DiGraph, clusters: Clustering) -> SoundnessReport:
+    """Assess the soundness of the clustered view of ``graph``."""
+    implied = implied_node_pairs(graph, clusters)
+    actual = actual_node_pairs(graph)
+    extraneous = implied - actual
+    preserved = implied & actual
+    hidden = actual - implied
+    return SoundnessReport(
+        implied_pairs=frozenset(implied),
+        actual_pairs=frozenset(actual),
+        extraneous_pairs=frozenset(extraneous),
+        hidden_pairs=frozenset(hidden),
+        preserved_pairs=frozenset(preserved),
+    )
+
+
+def is_sound_clustering(graph: nx.DiGraph, clusters: Clustering) -> bool:
+    """Whether collapsing ``clusters`` implies no false dependencies."""
+    return soundness_report(graph, clusters).is_sound
+
+
+def cluster_entries_and_exits(
+    graph: nx.DiGraph, members: set[str]
+) -> tuple[set[str], set[str]]:
+    """Entry and exit nodes of a cluster.
+
+    Entries have at least one predecessor outside the cluster (or none at
+    all), exits have at least one successor outside the cluster (or none).
+    """
+    entries: set[str] = set()
+    exits: set[str] = set()
+    for node in members:
+        predecessors = set(graph.predecessors(node))
+        successors = set(graph.successors(node))
+        if predecessors - members or not predecessors:
+            entries.add(node)
+        if successors - members or not successors:
+            exits.add(node)
+    return entries, exits
+
+
+def unsound_clusters(graph: nx.DiGraph, clusters: Clustering) -> set[Hashable]:
+    """Groups that cause unsoundness.
+
+    A group is flagged unless every member is reachable from every entry and
+    every member reaches every exit.  When that condition holds, any path the
+    quotient graph implies through or into the group corresponds to a real
+    path (external predecessors really reach every member, every member
+    really reaches whatever leaves the group), so the group cannot introduce
+    false dependencies.
+    """
+    mapping = normalize_clustering(graph, clusters)
+    members_by_group: dict[Hashable, set[str]] = {}
+    for node, group in mapping.items():
+        members_by_group.setdefault(group, set()).add(node)
+    offenders: set[Hashable] = set()
+    for group, members in members_by_group.items():
+        if len(members) < 2:
+            continue
+        entries, exits = cluster_entries_and_exits(graph, members)
+        reachable_from_entry = {
+            entry: nx.descendants(graph, entry) | {entry} for entry in entries
+        }
+        if any(
+            member not in reachable
+            for reachable in reachable_from_entry.values()
+            for member in members
+        ):
+            offenders.add(group)
+            continue
+        for member in members:
+            reachable = nx.descendants(graph, member) | {member}
+            if any(exit_node not in reachable for exit_node in exits):
+                offenders.add(group)
+                break
+    return offenders

@@ -1,0 +1,174 @@
+"""Views of workflow specifications defined by expansion-hierarchy prefixes.
+
+Given a prefix of the expansion hierarchy, the corresponding view is the
+single-level workflow obtained by expanding the root workflow and replacing
+every composite module whose definition belongs to the prefix by its
+definition (splicing the subworkflow in place of the module).  The view of
+Fig. 1 under the prefix ``{W1, W2, W4}`` is, for instance, the graph shown
+in Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.views.hierarchy import ExpansionHierarchy, Prefix
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.specification import WorkflowSpecification
+
+
+@dataclass(frozen=True)
+class SpecificationView:
+    """A materialised view of a specification.
+
+    Attributes
+    ----------
+    specification:
+        The underlying specification.
+    prefix:
+        The expansion-hierarchy prefix that defines the view.
+    graph:
+        The flattened single-level workflow graph of the view.
+    """
+
+    specification: WorkflowSpecification
+    prefix: Prefix
+    graph: WorkflowGraph
+
+    @property
+    def visible_modules(self) -> set[str]:
+        """Processing modules visible in this view."""
+        return {m.module_id for m in self.graph if not m.is_io}
+
+    def is_visible(self, module_id: str) -> bool:
+        """Whether a module id appears in this view."""
+        return self.graph.has_module(module_id)
+
+    def reachable_module_pairs(self) -> set[tuple[str, str]]:
+        """Ordered pairs of visible processing modules connected by a path."""
+        io_ids = {
+            self.graph.input_module().module_id,
+            self.graph.output_module().module_id,
+        }
+        return {
+            (u, v)
+            for (u, v) in self.graph.reachable_pairs()
+            if u not in io_ids and v not in io_ids
+        }
+
+    def size(self) -> int:
+        """Number of visible processing modules (a simple utility measure)."""
+        return len(self.visible_modules)
+
+    def render(self) -> str:
+        """Render the view as a sorted edge list (used by figure harnesses)."""
+        lines = [f"view of {self.specification.root_id} with prefix "
+                 f"{{{', '.join(sorted(self.prefix))}}}"]
+        for edge in sorted(self.graph.edges, key=lambda e: (e.source, e.target)):
+            labels = ", ".join(edge.labels)
+            lines.append(f"  {edge.source} -> {edge.target} [{labels}]")
+        return "\n".join(lines)
+
+
+def expand_specification(
+    specification: WorkflowSpecification, prefix: Iterable[str]
+) -> WorkflowGraph:
+    """Flatten ``specification`` according to ``prefix`` and return the graph.
+
+    Composite modules whose subworkflow belongs to the prefix are replaced
+    by the contents of that subworkflow: the subworkflow's input/output
+    pseudo modules are removed and incoming/outgoing edges are re-attached
+    to the modules they connect to inside the subworkflow.
+    """
+    hierarchy = ExpansionHierarchy(specification)
+    prefix_set = hierarchy.validate_prefix(prefix)
+
+    root = specification.root
+    view = WorkflowGraph(
+        root.workflow_id,
+        f"{specification.name} (prefix {'+'.join(sorted(prefix_set))})",
+    )
+    for module in root:
+        view.add_module(module)
+    for edge in root.edges:
+        view.add_edge(edge.source, edge.target, edge.labels)
+
+    # Iteratively splice composite modules whose definition is in the prefix.
+    changed = True
+    while changed:
+        changed = False
+        for module in list(view.composite_modules()):
+            if module.subworkflow_id not in prefix_set:
+                continue
+            _splice_composite(view, specification, module.module_id)
+            changed = True
+    view.validate()
+    return view
+
+
+def _splice_composite(
+    view: WorkflowGraph, specification: WorkflowSpecification, module_id: str
+) -> None:
+    """Replace composite ``module_id`` in ``view`` by its subworkflow."""
+    module = view.module(module_id)
+    subworkflow = specification.workflow(module.subworkflow_id)
+    sub_input = subworkflow.input_module().module_id
+    sub_output = subworkflow.output_module().module_id
+
+    incoming = list(view.in_edges(module_id))
+    outgoing = list(view.out_edges(module_id))
+
+    # Copy the subworkflow's internal modules and edges.
+    for sub_module in subworkflow:
+        if sub_module.module_id in (sub_input, sub_output):
+            continue
+        if not view.has_module(sub_module.module_id):
+            view.add_module(sub_module)
+    for edge in subworkflow.edges:
+        if edge.source in (sub_input, sub_output) or edge.target in (
+            sub_input,
+            sub_output,
+        ):
+            continue
+        view.add_edge(edge.source, edge.target, edge.labels)
+
+    # Re-attach the boundary edges.
+    for outer_edge in incoming:
+        for inner_edge in subworkflow.out_edges(sub_input):
+            view.add_edge(outer_edge.source, inner_edge.target, inner_edge.labels)
+    for outer_edge in outgoing:
+        for inner_edge in subworkflow.in_edges(sub_output):
+            view.add_edge(inner_edge.source, outer_edge.target, outer_edge.labels)
+
+    view.remove_module(module_id)
+
+
+def specification_view(
+    specification: WorkflowSpecification, prefix: Iterable[str]
+) -> SpecificationView:
+    """Build a :class:`SpecificationView` for the given prefix."""
+    hierarchy = ExpansionHierarchy(specification)
+    prefix_set = hierarchy.validate_prefix(prefix)
+    graph = expand_specification(specification, prefix_set)
+    return SpecificationView(specification=specification, prefix=prefix_set, graph=graph)
+
+
+def root_view(specification: WorkflowSpecification) -> SpecificationView:
+    """The coarsest view (only the root workflow expanded)."""
+    return specification_view(specification, {specification.root_id})
+
+
+def full_expansion(specification: WorkflowSpecification) -> SpecificationView:
+    """The finest view (every composite module expanded)."""
+    hierarchy = ExpansionHierarchy(specification)
+    return specification_view(specification, hierarchy.full_prefix())
+
+
+def all_views(specification: WorkflowSpecification) -> list[SpecificationView]:
+    """Materialise every view of the specification (small hierarchies only)."""
+    hierarchy = ExpansionHierarchy(specification)
+    return [
+        specification_view(specification, prefix)
+        for prefix in hierarchy.all_prefixes()
+    ]

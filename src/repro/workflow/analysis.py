@@ -1,0 +1,227 @@
+"""Static analysis of workflow specifications.
+
+Utilities that repository browsing, utility scoring and the examples build
+on: per-module fan-in/fan-out, depth layers, the critical (longest) path
+from input to output, label-flow analysis (which data labels can influence
+which modules) and simple consistency lints (labels promised by an edge
+that no upstream module produces).  Everything operates on a single-level
+:class:`~repro.workflow.graph.WorkflowGraph`; hierarchical specifications
+are analysed through their views (typically the full expansion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.specification import WorkflowSpecification
+from repro.views.spec_view import full_expansion
+
+
+@dataclass(frozen=True)
+class ModuleStatistics:
+    """Structural statistics of one module inside a workflow graph."""
+
+    module_id: str
+    fan_in: int
+    fan_out: int
+    depth: int
+    on_critical_path: bool
+
+
+@dataclass(frozen=True)
+class WorkflowStatistics:
+    """Aggregate structural statistics of a workflow graph."""
+
+    workflow_id: str
+    modules: int
+    edges: int
+    depth: int
+    critical_path: tuple[str, ...]
+    max_fan_in: int
+    max_fan_out: int
+    label_count: int
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form (used by repository listings)."""
+        return {
+            "workflow": self.workflow_id,
+            "modules": self.modules,
+            "edges": self.edges,
+            "depth": self.depth,
+            "critical_path_length": len(self.critical_path),
+            "max_fan_in": self.max_fan_in,
+            "max_fan_out": self.max_fan_out,
+            "labels": self.label_count,
+        }
+
+
+def module_depths(graph: WorkflowGraph) -> dict[str, int]:
+    """Longest-path depth of every module from the input pseudo module."""
+    depths: dict[str, int] = {}
+    for module_id in graph.topological_order():
+        predecessors = graph.predecessors(module_id)
+        if not predecessors:
+            depths[module_id] = 0
+        else:
+            depths[module_id] = 1 + max(depths[p] for p in predecessors)
+    return depths
+
+
+def critical_path(graph: WorkflowGraph) -> tuple[str, ...]:
+    """The longest input-to-output path (ties broken deterministically)."""
+    depths = module_depths(graph)
+    best_predecessor: dict[str, str | None] = {}
+    for module_id in graph.topological_order():
+        predecessors = graph.predecessors(module_id)
+        if not predecessors:
+            best_predecessor[module_id] = None
+            continue
+        best_predecessor[module_id] = max(
+            predecessors, key=lambda p: (depths[p], p)
+        )
+    end = graph.output_module().module_id
+    path = [end]
+    while best_predecessor.get(path[-1]) is not None:
+        path.append(best_predecessor[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return tuple(path)
+
+
+def module_statistics(graph: WorkflowGraph) -> dict[str, ModuleStatistics]:
+    """Per-module statistics of a workflow graph."""
+    depths = module_depths(graph)
+    critical = set(critical_path(graph))
+    statistics = {}
+    for module in graph:
+        statistics[module.module_id] = ModuleStatistics(
+            module_id=module.module_id,
+            fan_in=len(graph.predecessors(module.module_id)),
+            fan_out=len(graph.successors(module.module_id)),
+            depth=depths[module.module_id],
+            on_critical_path=module.module_id in critical,
+        )
+    return statistics
+
+
+def workflow_statistics(graph: WorkflowGraph) -> WorkflowStatistics:
+    """Aggregate statistics of a workflow graph."""
+    per_module = module_statistics(graph)
+    depths = module_depths(graph)
+    return WorkflowStatistics(
+        workflow_id=graph.workflow_id,
+        modules=len(graph.processing_modules()),
+        edges=len(graph.edges),
+        depth=max(depths.values()) if depths else 0,
+        critical_path=critical_path(graph),
+        max_fan_in=max((s.fan_in for s in per_module.values()), default=0),
+        max_fan_out=max((s.fan_out for s in per_module.values()), default=0),
+        label_count=len(graph.all_labels()),
+    )
+
+
+def specification_statistics(
+    specification: WorkflowSpecification,
+) -> WorkflowStatistics:
+    """Statistics of a hierarchical specification via its full expansion."""
+    return workflow_statistics(full_expansion(specification).graph)
+
+
+# ---------------------------------------------------------------------- #
+# Label flow
+# ---------------------------------------------------------------------- #
+def label_flow(graph: WorkflowGraph) -> dict[str, set[str]]:
+    """Which modules each data label can influence.
+
+    A label influences the module it is delivered to and, transitively,
+    every module downstream of it.  Used by the privacy layer to reason
+    about how far a sensitive label propagates.
+    """
+    influence: dict[str, set[str]] = {label: set() for label in graph.all_labels()}
+    for edge in graph.edges:
+        downstream = {edge.target} | graph.descendants(edge.target)
+        downstream = {
+            module_id
+            for module_id in downstream
+            if not graph.module(module_id).is_io
+        }
+        for label in edge.labels:
+            influence[label].update(downstream)
+    return influence
+
+
+def modules_influenced_by(graph: WorkflowGraph, label: str) -> set[str]:
+    """Modules a single label can influence (empty set for unknown labels)."""
+    return label_flow(graph).get(label, set())
+
+
+def producers_of_label(graph: WorkflowGraph, label: str) -> set[str]:
+    """Modules (or the input pseudo module) whose outgoing edges carry ``label``."""
+    return {edge.source for edge in graph.edges if label in edge.labels}
+
+
+@dataclass(frozen=True)
+class BoundaryMismatch:
+    """A label mismatch at a composite module's boundary.
+
+    ``kind`` is ``"output"`` when the composite promises labels downstream
+    that its subworkflow never delivers to its output pseudo module (the
+    execution engine would raise ``MissingInputError`` for these), and
+    ``"input"`` when the subworkflow expects labels at its input that the
+    composite never receives from its predecessors.
+    """
+
+    composite_id: str
+    subworkflow_id: str
+    kind: str
+    labels: frozenset[str]
+
+
+def boundary_mismatches(
+    specification: WorkflowSpecification,
+) -> list[BoundaryMismatch]:
+    """Statically detect composite-boundary label mismatches.
+
+    A well-formed hierarchical specification must hand each composite module
+    exactly the data its definition consumes and receive back exactly the
+    data the composite promises downstream; this lint predicts the
+    execution-time failures such mismatches would cause.
+    """
+    mismatches: list[BoundaryMismatch] = []
+    for workflow_id in specification.workflow_ids():
+        graph = specification.workflow(workflow_id)
+        for module in graph.composite_modules():
+            subworkflow = specification.workflow(module.subworkflow_id)
+            received: set[str] = set()
+            for edge in graph.in_edges(module.module_id):
+                received.update(edge.labels)
+            promised: set[str] = set()
+            for edge in graph.out_edges(module.module_id):
+                promised.update(edge.labels)
+            consumed: set[str] = set()
+            for edge in subworkflow.out_edges(subworkflow.input_module().module_id):
+                consumed.update(edge.labels)
+            delivered: set[str] = set()
+            for edge in subworkflow.in_edges(subworkflow.output_module().module_id):
+                delivered.update(edge.labels)
+            missing_inputs = consumed - received
+            if missing_inputs:
+                mismatches.append(
+                    BoundaryMismatch(
+                        composite_id=module.module_id,
+                        subworkflow_id=subworkflow.workflow_id,
+                        kind="input",
+                        labels=frozenset(missing_inputs),
+                    )
+                )
+            missing_outputs = promised - delivered
+            if missing_outputs:
+                mismatches.append(
+                    BoundaryMismatch(
+                        composite_id=module.module_id,
+                        subworkflow_id=subworkflow.workflow_id,
+                        kind="output",
+                        labels=frozenset(missing_outputs),
+                    )
+                )
+    return mismatches

@@ -1,0 +1,147 @@
+"""Fluent builders for workflow graphs and specifications.
+
+The builders keep example code and tests concise::
+
+    graph = (
+        WorkflowGraphBuilder("W1")
+        .input("I")
+        .atomic("M1", "Clean data", keywords=("clean",))
+        .output("O")
+        .edge("I", "M1", "raw")
+        .edge("M1", "O", "clean")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.module import Module, ModuleKind, make_module
+from repro.workflow.specification import WorkflowSpecification
+
+
+class WorkflowGraphBuilder:
+    """Incrementally build a :class:`WorkflowGraph`."""
+
+    def __init__(self, workflow_id: str, name: str | None = None) -> None:
+        self._graph = WorkflowGraph(workflow_id, name)
+
+    # ------------------------------------------------------------------ #
+    # Modules
+    # ------------------------------------------------------------------ #
+    def module(self, module: Module) -> "WorkflowGraphBuilder":
+        """Add an already constructed module."""
+        self._graph.add_module(module)
+        return self
+
+    def input(
+        self, module_id: str, name: str = "Input", keywords: Iterable[str] = ()
+    ) -> "WorkflowGraphBuilder":
+        """Add the input pseudo module."""
+        self._graph.add_module(
+            make_module(module_id, name, kind=ModuleKind.INPUT, keywords=tuple(keywords))
+        )
+        return self
+
+    def output(
+        self, module_id: str, name: str = "Output", keywords: Iterable[str] = ()
+    ) -> "WorkflowGraphBuilder":
+        """Add the output pseudo module."""
+        self._graph.add_module(
+            make_module(module_id, name, kind=ModuleKind.OUTPUT, keywords=tuple(keywords))
+        )
+        return self
+
+    def atomic(
+        self,
+        module_id: str,
+        name: str | None = None,
+        keywords: Iterable[str] = (),
+        metadata: Mapping[str, object] | None = None,
+    ) -> "WorkflowGraphBuilder":
+        """Add an atomic module."""
+        self._graph.add_module(
+            make_module(
+                module_id,
+                name,
+                kind=ModuleKind.ATOMIC,
+                keywords=tuple(keywords),
+                metadata=metadata,
+            )
+        )
+        return self
+
+    def composite(
+        self,
+        module_id: str,
+        name: str | None = None,
+        subworkflow_id: str | None = None,
+        keywords: Iterable[str] = (),
+        metadata: Mapping[str, object] | None = None,
+    ) -> "WorkflowGraphBuilder":
+        """Add a composite module defined by ``subworkflow_id``."""
+        self._graph.add_module(
+            make_module(
+                module_id,
+                name,
+                kind=ModuleKind.COMPOSITE,
+                keywords=tuple(keywords),
+                subworkflow_id=subworkflow_id,
+                metadata=metadata,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Edges
+    # ------------------------------------------------------------------ #
+    def edge(self, source: str, target: str, *labels: str) -> "WorkflowGraphBuilder":
+        """Add a dataflow edge carrying ``labels``."""
+        self._graph.add_edge(source, target, labels)
+        return self
+
+    def chain(self, *module_ids: str, label: str | None = None) -> "WorkflowGraphBuilder":
+        """Add edges linking consecutive modules in ``module_ids``."""
+        labels = (label,) if label is not None else ()
+        for source, target in zip(module_ids, module_ids[1:]):
+            self._graph.add_edge(source, target, labels)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def build(self, validate: bool = True) -> WorkflowGraph:
+        """Return the built graph, validating it by default."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+    def peek(self) -> WorkflowGraph:
+        """Return the graph under construction without validating it."""
+        return self._graph
+
+
+class SpecificationBuilder:
+    """Incrementally build a :class:`WorkflowSpecification`."""
+
+    def __init__(self, root_id: str, name: str | None = None) -> None:
+        self._spec = WorkflowSpecification(root_id, name=name)
+
+    def add(self, graph: WorkflowGraph) -> "SpecificationBuilder":
+        """Register a finished workflow graph."""
+        self._spec.add_workflow(graph)
+        return self
+
+    def add_all(self, graphs: Iterable[WorkflowGraph]) -> "SpecificationBuilder":
+        """Register several workflow graphs."""
+        for graph in graphs:
+            self._spec.add_workflow(graph)
+        return self
+
+    def build(self, validate: bool = True) -> WorkflowSpecification:
+        """Return the built specification, validating it by default."""
+        if validate:
+            self._spec.validate()
+        return self._spec

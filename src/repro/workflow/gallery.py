@@ -1,0 +1,184 @@
+"""Built-in example workflow specifications.
+
+The main entry is :func:`disease_susceptibility_specification`, which builds
+the personalised disease-susceptibility workflow of Fig. 1 of the CIDR 2011
+paper, including all composite-module expansions (W1-W4, modules I, O and
+M1-M15).  A couple of smaller specifications used by the tests and the
+quickstart example are also provided.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.builder import SpecificationBuilder, WorkflowGraphBuilder
+from repro.workflow.specification import WorkflowSpecification
+
+# Data labels used by the disease susceptibility workflow. They are exposed
+# as module-level constants so that privacy policies in the examples and
+# benchmarks can refer to them without re-typing strings.
+LABEL_SNPS = "SNPs"
+LABEL_ETHNICITY = "ethnicity"
+LABEL_LIFESTYLE = "lifestyle"
+LABEL_FAMILY_HISTORY = "family history"
+LABEL_SYMPTOMS = "physical symptoms"
+LABEL_DISORDERS = "disorders"
+LABEL_PROGNOSIS = "prognosis"
+LABEL_EXPANDED_SNPS = "expanded SNPs"
+LABEL_QUERY = "query"
+LABEL_RESULT = "result"
+LABEL_NOTES = "notes"
+LABEL_SUMMARY = "summary"
+
+
+def disease_susceptibility_specification() -> WorkflowSpecification:
+    """Build the Fig. 1 disease-susceptibility workflow specification.
+
+    Hierarchy (Fig. 3): W1 is the root; M1 expands to W2, M2 expands to W3
+    and M4 (inside W2) expands to W4.
+    """
+    w1 = (
+        WorkflowGraphBuilder("W1", "Personalized Disease Susceptibility")
+        .input("I", "Input")
+        .composite(
+            "M1",
+            "Determine Genetic Susceptibility",
+            subworkflow_id="W2",
+            keywords=("genetics", "susceptibility", "SNP"),
+        )
+        .composite(
+            "M2",
+            "Evaluate Disorder Risk",
+            subworkflow_id="W3",
+            keywords=("risk", "prognosis"),
+        )
+        .output("O", "Output")
+        .edge("I", "M1", LABEL_SNPS, LABEL_ETHNICITY)
+        .edge("I", "M2", LABEL_LIFESTYLE, LABEL_FAMILY_HISTORY, LABEL_SYMPTOMS)
+        .edge("M1", "M2", LABEL_DISORDERS)
+        .edge("M2", "O", LABEL_PROGNOSIS)
+        .build()
+    )
+
+    w2 = (
+        WorkflowGraphBuilder("W2", "Determine Genetic Susceptibility (definition)")
+        .input("W2.I", "W2 Input")
+        .atomic("M3", "Expand SNP Set", keywords=("SNP", "expansion"))
+        .composite(
+            "M4",
+            "Consult External Databases",
+            subworkflow_id="W4",
+            keywords=("external", "lookup"),
+        )
+        .output("W2.O", "W2 Output")
+        .edge("W2.I", "M3", LABEL_SNPS, LABEL_ETHNICITY)
+        .edge("M3", "M4", LABEL_EXPANDED_SNPS)
+        .edge("M4", "W2.O", LABEL_DISORDERS)
+        .build()
+    )
+
+    w4 = (
+        WorkflowGraphBuilder("W4", "Consult External Databases (definition)")
+        .input("W4.I", "W4 Input")
+        .atomic("M5", "Generate Database Queries", keywords=("query generation",))
+        .atomic("M6", "Query OMIM", keywords=("OMIM",))
+        .atomic("M7", "Query PubMed", keywords=("PubMed",))
+        .atomic("M8", "Combine Disorder Sets", keywords=("merge",))
+        .output("W4.O", "W4 Output")
+        .edge("W4.I", "M5", LABEL_EXPANDED_SNPS)
+        .edge("M5", "M6", LABEL_QUERY)
+        .edge("M5", "M7", LABEL_QUERY)
+        .edge("M6", "M8", LABEL_DISORDERS)
+        .edge("M7", "M8", LABEL_DISORDERS)
+        .edge("M8", "W4.O", LABEL_DISORDERS)
+        .build()
+    )
+
+    w3 = (
+        WorkflowGraphBuilder("W3", "Evaluate Disorder Risk (definition)")
+        .input("W3.I", "W3 Input")
+        .atomic("M9", "Generate Queries", keywords=("query generation",))
+        .atomic("M10", "Search Private Datasets", keywords=("private data",))
+        .atomic("M11", "Update Private Datasets", keywords=("private data", "update"))
+        .atomic("M12", "Search PubMed Central", keywords=("PubMed Central",))
+        .atomic("M13", "Reformat", keywords=("format",))
+        .atomic("M14", "Summarize Articles", keywords=("summary",))
+        .atomic("M15", "Combine", keywords=("merge", "notes and summary"))
+        .output("W3.O", "W3 Output")
+        .edge(
+            "W3.I",
+            "M9",
+            LABEL_LIFESTYLE,
+            LABEL_FAMILY_HISTORY,
+            LABEL_SYMPTOMS,
+            LABEL_DISORDERS,
+        )
+        .edge("M9", "M12", LABEL_QUERY)
+        .edge("M9", "M10", LABEL_QUERY)
+        .edge("M12", "M13", LABEL_RESULT)
+        .edge("M10", "M11", LABEL_RESULT)
+        .edge("M13", "M11", LABEL_NOTES)
+        .edge("M13", "M14", LABEL_RESULT)
+        .edge("M14", "M15", LABEL_SUMMARY)
+        .edge("M11", "M15", LABEL_NOTES)
+        .edge("M15", "W3.O", LABEL_PROGNOSIS)
+        .build()
+    )
+
+    return (
+        SpecificationBuilder("W1", "Disease Susceptibility")
+        .add_all([w1, w2, w3, w4])
+        .build()
+    )
+
+
+def small_pipeline_specification() -> WorkflowSpecification:
+    """A tiny three-step linear pipeline (used by the quickstart example)."""
+    root = (
+        WorkflowGraphBuilder("P1", "Small Pipeline")
+        .input("P.I", "Input")
+        .atomic("A", "Load Records", keywords=("load",))
+        .atomic("B", "Normalize Records", keywords=("normalize",))
+        .atomic("C", "Score Records", keywords=("score",))
+        .output("P.O", "Output")
+        .edge("P.I", "A", "raw")
+        .edge("A", "B", "records")
+        .edge("B", "C", "normalized")
+        .edge("C", "P.O", "scores")
+        .build()
+    )
+    return SpecificationBuilder("P1", "Small Pipeline").add(root).build()
+
+
+def diamond_specification() -> WorkflowSpecification:
+    """A diamond-shaped workflow with one composite branch.
+
+    Useful for structural-privacy tests: the two branches provide
+    alternative paths whose visibility can be controlled independently.
+    """
+    root = (
+        WorkflowGraphBuilder("D1", "Diamond")
+        .input("D.I", "Input")
+        .atomic("D.split", "Split", keywords=("split",))
+        .composite("D.left", "Left Branch", subworkflow_id="D2", keywords=("left",))
+        .atomic("D.right", "Right Branch", keywords=("right",))
+        .atomic("D.join", "Join", keywords=("join",))
+        .output("D.O", "Output")
+        .edge("D.I", "D.split", "payload")
+        .edge("D.split", "D.left", "left input")
+        .edge("D.split", "D.right", "right input")
+        .edge("D.left", "D.join", "left output")
+        .edge("D.right", "D.join", "right output")
+        .edge("D.join", "D.O", "combined")
+        .build()
+    )
+    left = (
+        WorkflowGraphBuilder("D2", "Left Branch (definition)")
+        .input("D2.I", "Input")
+        .atomic("D.l1", "Left Step One", keywords=("transform",))
+        .atomic("D.l2", "Left Step Two", keywords=("aggregate",))
+        .output("D2.O", "Output")
+        .edge("D2.I", "D.l1", "left input")
+        .edge("D.l1", "D.l2", "intermediate")
+        .edge("D.l2", "D2.O", "left output")
+        .build()
+    )
+    return SpecificationBuilder("D1", "Diamond").add_all([root, left]).build()

@@ -1,0 +1,301 @@
+"""Synthetic workflow generators used by benchmarks and property tests.
+
+The paper contains no evaluation testbed, so the benchmark harness generates
+hierarchical specifications of controlled size: number of workflows in the
+expansion hierarchy, modules per workflow, edge density, and a keyword pool
+from which module annotations are drawn.  All generators are deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workflow.builder import WorkflowGraphBuilder
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.specification import WorkflowSpecification
+
+DEFAULT_KEYWORD_POOL: tuple[str, ...] = (
+    "alignment",
+    "annotation",
+    "calibration",
+    "clustering",
+    "database",
+    "disorder",
+    "filtering",
+    "genome",
+    "imaging",
+    "normalization",
+    "prediction",
+    "query",
+    "ranking",
+    "risk",
+    "sampling",
+    "scoring",
+    "sequencing",
+    "simulation",
+    "statistics",
+    "validation",
+)
+
+MODULE_NAME_VERBS: tuple[str, ...] = (
+    "Load",
+    "Clean",
+    "Align",
+    "Annotate",
+    "Merge",
+    "Filter",
+    "Score",
+    "Rank",
+    "Summarize",
+    "Predict",
+    "Validate",
+    "Export",
+)
+
+MODULE_NAME_NOUNS: tuple[str, ...] = (
+    "Samples",
+    "Variants",
+    "Records",
+    "Profiles",
+    "Articles",
+    "Queries",
+    "Cohorts",
+    "Signals",
+    "Reports",
+    "Datasets",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters of the random specification generator.
+
+    Attributes
+    ----------
+    workflows:
+        Total number of workflow graphs in the expansion hierarchy
+        (including the root); must be >= 1.
+    modules_per_workflow:
+        Number of processing (non-IO) modules per workflow graph.
+    edge_probability:
+        Probability of adding an extra forward edge between two processing
+        modules beyond the backbone chain that guarantees connectivity.
+    keywords_per_module:
+        How many keyword annotations each module receives.
+    keyword_pool:
+        Vocabulary from which keywords are drawn.
+    seed:
+        Seed of the pseudo random generator.
+    """
+
+    workflows: int = 3
+    modules_per_workflow: int = 6
+    edge_probability: float = 0.25
+    keywords_per_module: int = 2
+    keyword_pool: tuple[str, ...] = DEFAULT_KEYWORD_POOL
+    seed: int = 7
+    label_pool: tuple[str, ...] = field(
+        default=("records", "table", "profile", "report", "scores", "notes")
+    )
+
+    def __post_init__(self) -> None:
+        if self.workflows < 1:
+            raise ValueError("workflows must be >= 1")
+        if self.modules_per_workflow < 1:
+            raise ValueError("modules_per_workflow must be >= 1")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise ValueError("edge_probability must be in [0, 1]")
+
+
+def _random_module_name(rng: random.Random) -> str:
+    return f"{rng.choice(MODULE_NAME_VERBS)} {rng.choice(MODULE_NAME_NOUNS)}"
+
+
+def _random_keywords(rng: random.Random, config: GeneratorConfig) -> tuple[str, ...]:
+    count = min(config.keywords_per_module, len(config.keyword_pool))
+    return tuple(rng.sample(list(config.keyword_pool), count))
+
+
+def random_workflow_graph(
+    workflow_id: str,
+    module_ids: list[str],
+    composite_targets: dict[str, str],
+    rng: random.Random,
+    config: GeneratorConfig,
+    *,
+    input_labels: tuple[str, ...] | None = None,
+    output_labels: tuple[str, ...] | None = None,
+) -> WorkflowGraph:
+    """Generate a single random workflow graph.
+
+    ``module_ids`` are the processing modules to create; those appearing in
+    ``composite_targets`` become composite modules expanding to the mapped
+    workflow id.  A backbone chain input -> m1 -> ... -> mk -> output keeps
+    the graph connected; extra forward edges are added with probability
+    ``config.edge_probability``.
+
+    Edge labels are derived from the producing module (``"<module>.d"``) so
+    that the data a module promises on its outgoing edges is exactly what
+    its behaviour produces.  ``input_labels`` / ``output_labels`` override
+    the labels used on the graph's boundary so that a subworkflow consumes
+    precisely the data its composite module receives in the parent graph and
+    produces precisely the data the composite module promises downstream --
+    this keeps generated hierarchies executable end to end.
+    """
+    input_id = f"{workflow_id}.I"
+    output_id = f"{workflow_id}.O"
+    input_labels = tuple(input_labels) if input_labels else (f"{workflow_id}.input",)
+    output_labels = tuple(output_labels) if output_labels else (f"{workflow_id}.output",)
+    builder = WorkflowGraphBuilder(workflow_id, f"Workflow {workflow_id}")
+    builder.input(input_id, f"{workflow_id} Input")
+    for module_id in module_ids:
+        name = _random_module_name(rng)
+        keywords = _random_keywords(rng, config)
+        if module_id in composite_targets:
+            builder.composite(
+                module_id,
+                name,
+                subworkflow_id=composite_targets[module_id],
+                keywords=keywords,
+            )
+        else:
+            builder.atomic(module_id, name, keywords=keywords)
+    builder.output(output_id, f"{workflow_id} Output")
+
+    def labels_from(source: str) -> tuple[str, ...]:
+        if source == input_id:
+            return input_labels
+        return (f"{source}.d",)
+
+    ordered = list(module_ids)
+    builder.edge(input_id, ordered[0], *labels_from(input_id))
+    for source, target in zip(ordered, ordered[1:]):
+        builder.edge(source, target, *labels_from(source))
+    builder.edge(ordered[-1], output_id, *output_labels)
+    # Extra forward edges between non-adjacent processing modules.
+    for i, source in enumerate(ordered):
+        for target in ordered[i + 2 :]:
+            if rng.random() < config.edge_probability:
+                builder.edge(source, target, *labels_from(source))
+    # Occasionally connect the input to a later module and an earlier module
+    # to the output so that the graph is not a pure chain near the ends.
+    for target in ordered[1:]:
+        if rng.random() < config.edge_probability / 2:
+            builder.edge(input_id, target, *labels_from(input_id))
+    for source in ordered[:-1]:
+        if rng.random() < config.edge_probability / 2:
+            builder.edge(source, output_id, *output_labels)
+    return builder.build()
+
+
+def random_specification(config: GeneratorConfig | None = None) -> WorkflowSpecification:
+    """Generate a random hierarchical workflow specification.
+
+    The expansion hierarchy is a random tree over ``config.workflows``
+    workflow graphs: workflow ``Gk`` (k >= 2) is attached as the expansion of
+    a composite module placed in a previously generated workflow.
+    """
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    spec = WorkflowSpecification("G1", name=f"Synthetic specification (seed={config.seed})")
+
+    workflow_ids = [f"G{i}" for i in range(1, config.workflows + 1)]
+    # Assign each non-root workflow a parent among the earlier workflows.
+    parents: dict[str, str] = {}
+    for index, workflow_id in enumerate(workflow_ids[1:], start=1):
+        parents[workflow_id] = rng.choice(workflow_ids[:index])
+
+    # Decide which module of the parent becomes the composite hosting each child.
+    module_counter = 0
+    modules_by_workflow: dict[str, list[str]] = {}
+    for workflow_id in workflow_ids:
+        ids = []
+        for _ in range(config.modules_per_workflow):
+            module_counter += 1
+            ids.append(f"N{module_counter}")
+        modules_by_workflow[workflow_id] = ids
+
+    composite_assignment: dict[str, dict[str, str]] = {wid: {} for wid in workflow_ids}
+    for child, parent in parents.items():
+        free = [
+            mid
+            for mid in modules_by_workflow[parent]
+            if mid not in composite_assignment[parent]
+        ]
+        if not free:
+            # All modules of the parent already host a child; extend the parent.
+            module_counter += 1
+            new_id = f"N{module_counter}"
+            modules_by_workflow[parent].append(new_id)
+            free = [new_id]
+        composite_assignment[parent][rng.choice(free)] = child
+
+    # Generate parents before children so that a child workflow can adopt the
+    # exact boundary labels of the composite module it defines.
+    generated: dict[str, "WorkflowGraph"] = {}
+    composite_module_of: dict[str, tuple[str, str]] = {}
+    for parent, assignment in composite_assignment.items():
+        for module_id, child in assignment.items():
+            composite_module_of[child] = (parent, module_id)
+    for workflow_id in workflow_ids:
+        input_labels: tuple[str, ...] | None = None
+        output_labels: tuple[str, ...] | None = None
+        if workflow_id in composite_module_of:
+            parent_id, module_id = composite_module_of[workflow_id]
+            parent_graph = generated[parent_id]
+            in_labels: list[str] = []
+            for edge in parent_graph.in_edges(module_id):
+                for label in edge.labels:
+                    if label not in in_labels:
+                        in_labels.append(label)
+            out_labels: list[str] = []
+            for edge in parent_graph.out_edges(module_id):
+                for label in edge.labels:
+                    if label not in out_labels:
+                        out_labels.append(label)
+            input_labels = tuple(in_labels)
+            output_labels = tuple(out_labels)
+        graph = random_workflow_graph(
+            workflow_id,
+            modules_by_workflow[workflow_id],
+            composite_assignment[workflow_id],
+            rng,
+            config,
+            input_labels=input_labels,
+            output_labels=output_labels,
+        )
+        generated[workflow_id] = graph
+        spec.add_workflow(graph)
+    spec.validate()
+    return spec
+
+
+def random_keyword_queries(
+    spec: WorkflowSpecification,
+    count: int,
+    *,
+    keywords_per_query: int = 2,
+    seed: int = 11,
+) -> list[tuple[str, ...]]:
+    """Draw keyword queries from the terms actually present in ``spec``.
+
+    Queries built this way are guaranteed to have at least one matching
+    module per keyword, which keeps benchmark comparisons meaningful.
+    """
+    rng = random.Random(seed)
+    vocabulary: list[str] = []
+    for _, module in spec.all_modules():
+        if module.is_io:
+            continue
+        vocabulary.extend(term for term in module.keywords)
+        vocabulary.extend(module.name.lower().split())
+    vocabulary = sorted(set(vocabulary))
+    if not vocabulary:
+        raise ValueError("specification has no searchable terms")
+    queries = []
+    for _ in range(count):
+        size = min(keywords_per_query, len(vocabulary))
+        queries.append(tuple(rng.sample(vocabulary, size)))
+    return queries

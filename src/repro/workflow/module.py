@@ -1,0 +1,173 @@
+"""Module definitions for workflow specifications.
+
+A *module* is a node of a workflow graph.  Following the CIDR 2011 paper,
+modules come in four kinds:
+
+* ``INPUT`` / ``OUTPUT`` -- pseudo modules that mark where data enters and
+  leaves a (sub)workflow.  Every workflow graph has exactly one of each.
+* ``ATOMIC`` -- an ordinary computation step.
+* ``COMPOSITE`` -- a module that is itself defined by a subworkflow via a
+  tau-expansion edge; the subworkflow identifier is stored in
+  :attr:`Module.subworkflow_id`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.errors import SpecificationError
+
+
+class ModuleKind(str, Enum):
+    """The role a module plays inside a workflow graph."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    ATOMIC = "atomic"
+    COMPOSITE = "composite"
+
+
+@dataclass(frozen=True)
+class Module:
+    """A single module of a workflow specification.
+
+    Parameters
+    ----------
+    module_id:
+        Unique identifier within the whole specification (e.g. ``"M1"``).
+    name:
+        Human readable name (e.g. ``"Determine Genetic Susceptibility"``).
+        The name participates in keyword search.
+    kind:
+        The :class:`ModuleKind` of the module.
+    keywords:
+        Additional annotation terms used by keyword search.
+    subworkflow_id:
+        For composite modules, the identifier of the workflow that defines
+        the module (the target of the tau edge).  ``None`` otherwise.
+    metadata:
+        Arbitrary extra annotations (owner, version, description, ...).
+    """
+
+    module_id: str
+    name: str
+    kind: ModuleKind = ModuleKind.ATOMIC
+    keywords: tuple[str, ...] = ()
+    subworkflow_id: str | None = None
+    metadata: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.module_id:
+            raise SpecificationError("module_id must be a non-empty string")
+        if self.kind is ModuleKind.COMPOSITE and not self.subworkflow_id:
+            raise SpecificationError(
+                f"composite module {self.module_id!r} must reference a subworkflow"
+            )
+        if self.kind is not ModuleKind.COMPOSITE and self.subworkflow_id:
+            raise SpecificationError(
+                f"module {self.module_id!r} of kind {self.kind.value} cannot "
+                "reference a subworkflow"
+            )
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+        object.__setattr__(self, "metadata", tuple(self.metadata))
+
+    # ------------------------------------------------------------------ #
+    # Convenience predicates
+    # ------------------------------------------------------------------ #
+    @property
+    def is_composite(self) -> bool:
+        """Whether this module is defined by a subworkflow."""
+        return self.kind is ModuleKind.COMPOSITE
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether this module is an ordinary (non composite) computation."""
+        return self.kind is ModuleKind.ATOMIC
+
+    @property
+    def is_io(self) -> bool:
+        """Whether this module is an input or output pseudo module."""
+        return self.kind in (ModuleKind.INPUT, ModuleKind.OUTPUT)
+
+    @property
+    def metadata_dict(self) -> dict[str, object]:
+        """The metadata pairs as a plain dictionary (copied)."""
+        return dict(self.metadata)
+
+    def search_terms(self) -> tuple[str, ...]:
+        """All lower-cased terms this module exposes to keyword search."""
+        terms = [self.name.lower()]
+        terms.extend(keyword.lower() for keyword in self.keywords)
+        return tuple(terms)
+
+    def with_metadata(self, **entries: object) -> "Module":
+        """Return a copy of the module with additional metadata entries."""
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return Module(
+            module_id=self.module_id,
+            name=self.name,
+            kind=self.kind,
+            keywords=self.keywords,
+            subworkflow_id=self.subworkflow_id,
+            metadata=tuple(merged.items()),
+        )
+
+
+def make_module(
+    module_id: str,
+    name: str | None = None,
+    *,
+    kind: ModuleKind | str = ModuleKind.ATOMIC,
+    keywords: tuple[str, ...] | list[str] = (),
+    subworkflow_id: str | None = None,
+    metadata: Mapping[str, object] | None = None,
+) -> Module:
+    """Create a :class:`Module`, accepting friendlier argument types.
+
+    ``kind`` may be given as a string (``"atomic"``, ``"composite"``, ...)
+    and ``metadata`` as a mapping; ``name`` defaults to the module id.
+    """
+    if isinstance(kind, str):
+        kind = ModuleKind(kind)
+    return Module(
+        module_id=module_id,
+        name=name if name is not None else module_id,
+        kind=kind,
+        keywords=tuple(keywords),
+        subworkflow_id=subworkflow_id,
+        metadata=tuple((metadata or {}).items()),
+    )
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A dataflow edge between two modules of the same workflow graph.
+
+    ``labels`` names the data that flows over the edge (e.g. ``("SNPs",
+    "ethnicity")``).  Labels are the unit of data privacy: a privacy policy
+    may declare individual labels sensitive, and module privacy reasons
+    about which labels to hide.
+    """
+
+    source: str
+    target: str
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise SpecificationError(
+                f"self-loop edges are not allowed (module {self.source!r})"
+            )
+        object.__setattr__(self, "labels", tuple(self.labels))
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (source, target) pair identifying the edge."""
+        return (self.source, self.target)
+
+    def with_labels(self, labels: tuple[str, ...]) -> "DataEdge":
+        """Return a copy of the edge carrying ``labels`` instead."""
+        return DataEdge(source=self.source, target=self.target, labels=tuple(labels))

@@ -1,0 +1,126 @@
+"""JSON (de)serialization of workflow specifications.
+
+Specifications are stored as plain dictionaries so that they can be written
+to JSON files, exchanged between repositories, and diffed by humans.  The
+format is stable and versioned via the ``"format"`` key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import SpecificationError
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.module import Module, ModuleKind
+from repro.workflow.specification import WorkflowSpecification
+
+FORMAT_VERSION = "repro/workflow-spec/1"
+
+
+def module_to_dict(module: Module) -> dict[str, Any]:
+    """Serialize a single module."""
+    payload: dict[str, Any] = {
+        "module_id": module.module_id,
+        "name": module.name,
+        "kind": module.kind.value,
+    }
+    if module.keywords:
+        payload["keywords"] = list(module.keywords)
+    if module.subworkflow_id is not None:
+        payload["subworkflow_id"] = module.subworkflow_id
+    if module.metadata:
+        payload["metadata"] = dict(module.metadata)
+    return payload
+
+
+def module_from_dict(payload: Mapping[str, Any]) -> Module:
+    """Deserialize a single module."""
+    try:
+        module_id = payload["module_id"]
+        name = payload["name"]
+        kind = ModuleKind(payload["kind"])
+    except (KeyError, ValueError) as exc:
+        raise SpecificationError(f"invalid module payload: {payload!r}") from exc
+    return Module(
+        module_id=module_id,
+        name=name,
+        kind=kind,
+        keywords=tuple(payload.get("keywords", ())),
+        subworkflow_id=payload.get("subworkflow_id"),
+        metadata=tuple(dict(payload.get("metadata", {})).items()),
+    )
+
+
+def graph_to_dict(graph: WorkflowGraph) -> dict[str, Any]:
+    """Serialize a single workflow graph."""
+    return {
+        "workflow_id": graph.workflow_id,
+        "name": graph.name,
+        "modules": [module_to_dict(m) for m in graph],
+        "edges": [
+            {"source": e.source, "target": e.target, "labels": list(e.labels)}
+            for e in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(payload: Mapping[str, Any]) -> WorkflowGraph:
+    """Deserialize a single workflow graph."""
+    try:
+        graph = WorkflowGraph(payload["workflow_id"], payload.get("name"))
+    except KeyError as exc:
+        raise SpecificationError(f"invalid workflow payload: {payload!r}") from exc
+    for module_payload in payload.get("modules", ()):
+        graph.add_module(module_from_dict(module_payload))
+    for edge_payload in payload.get("edges", ()):
+        try:
+            graph.add_edge(
+                edge_payload["source"],
+                edge_payload["target"],
+                tuple(edge_payload.get("labels", ())),
+            )
+        except KeyError as exc:
+            raise SpecificationError(
+                f"invalid edge payload: {edge_payload!r}"
+            ) from exc
+    return graph
+
+
+def specification_to_dict(spec: WorkflowSpecification) -> dict[str, Any]:
+    """Serialize a full specification."""
+    return {
+        "format": FORMAT_VERSION,
+        "root_id": spec.root_id,
+        "name": spec.name,
+        "workflows": [graph_to_dict(spec.workflow(wid)) for wid in spec.workflow_ids()],
+    }
+
+
+def specification_from_dict(payload: Mapping[str, Any]) -> WorkflowSpecification:
+    """Deserialize a full specification and validate it."""
+    version = payload.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise SpecificationError(f"unsupported specification format {version!r}")
+    try:
+        spec = WorkflowSpecification(payload["root_id"], name=payload.get("name"))
+    except KeyError as exc:
+        raise SpecificationError("specification payload is missing root_id") from exc
+    for graph_payload in payload.get("workflows", ()):
+        spec.add_workflow(graph_from_dict(graph_payload))
+    spec.validate()
+    return spec
+
+
+def specification_to_json(spec: WorkflowSpecification, *, indent: int = 2) -> str:
+    """Serialize a specification to a JSON string."""
+    return json.dumps(specification_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def specification_from_json(text: str) -> WorkflowSpecification:
+    """Deserialize a specification from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecificationError("specification JSON could not be parsed") from exc
+    return specification_from_dict(payload)

@@ -1,0 +1,278 @@
+"""Hierarchical workflow specifications.
+
+A :class:`WorkflowSpecification` is a collection of
+:class:`~repro.workflow.graph.WorkflowGraph` objects connected by
+tau-expansions: each composite module references the workflow graph that
+defines it.  The expansion relation forms a tree rooted at the top-level
+workflow (the *expansion hierarchy*, Fig. 3 of the paper); prefixes of that
+tree define views of the specification (see :mod:`repro.views`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import (
+    SpecificationError,
+    UnknownModuleError,
+    UnknownWorkflowError,
+)
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.module import Module
+
+
+class WorkflowSpecification:
+    """A hierarchical workflow specification.
+
+    Parameters
+    ----------
+    root_id:
+        The identifier of the top-level workflow graph.
+    name:
+        Optional human readable name of the specification.
+    """
+
+    def __init__(self, root_id: str, name: str | None = None) -> None:
+        if not root_id:
+            raise SpecificationError("root_id must be a non-empty string")
+        self.root_id = root_id
+        self.name = name if name is not None else root_id
+        self._workflows: dict[str, WorkflowGraph] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_workflow(self, graph: WorkflowGraph) -> WorkflowGraph:
+        """Register a workflow graph (root or composite definition)."""
+        if graph.workflow_id in self._workflows:
+            raise SpecificationError(
+                f"workflow {graph.workflow_id!r} already registered"
+            )
+        self._workflows[graph.workflow_id] = graph
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def workflows(self) -> dict[str, WorkflowGraph]:
+        """Mapping from workflow id to graph (do not mutate)."""
+        return self._workflows
+
+    @property
+    def root(self) -> WorkflowGraph:
+        """The top-level workflow graph."""
+        return self.workflow(self.root_id)
+
+    def workflow(self, workflow_id: str) -> WorkflowGraph:
+        """Return the workflow graph with the given id, raising if unknown."""
+        try:
+            return self._workflows[workflow_id]
+        except KeyError:
+            raise UnknownWorkflowError(workflow_id) from None
+
+    def has_workflow(self, workflow_id: str) -> bool:
+        """Whether a workflow with the given id is registered."""
+        return workflow_id in self._workflows
+
+    def workflow_ids(self) -> list[str]:
+        """All registered workflow ids, root first then sorted."""
+        others = sorted(wid for wid in self._workflows if wid != self.root_id)
+        return [self.root_id] + others
+
+    # ------------------------------------------------------------------ #
+    # Expansion hierarchy
+    # ------------------------------------------------------------------ #
+    def expansion_children(self, workflow_id: str) -> list[str]:
+        """Workflow ids that define composite modules of ``workflow_id``."""
+        graph = self.workflow(workflow_id)
+        children = []
+        for module in graph.composite_modules():
+            if module.subworkflow_id is not None:
+                children.append(module.subworkflow_id)
+        return sorted(children)
+
+    def expansion_parent(self, workflow_id: str) -> str | None:
+        """The workflow whose composite module expands to ``workflow_id``.
+
+        Returns ``None`` for the root workflow.
+        """
+        if workflow_id == self.root_id:
+            return None
+        for wid, graph in self._workflows.items():
+            for module in graph.composite_modules():
+                if module.subworkflow_id == workflow_id:
+                    return wid
+        raise UnknownWorkflowError(workflow_id)
+
+    def composite_for(self, workflow_id: str) -> Module | None:
+        """The composite module defined by ``workflow_id`` (None for root)."""
+        if workflow_id == self.root_id:
+            return None
+        for graph in self._workflows.values():
+            for module in graph.composite_modules():
+                if module.subworkflow_id == workflow_id:
+                    return module
+        raise UnknownWorkflowError(workflow_id)
+
+    def expansion_edges(self) -> list[tuple[str, str]]:
+        """All (parent workflow, child workflow) tau-expansion pairs."""
+        edges = []
+        for wid in self.workflow_ids():
+            for child in self.expansion_children(wid):
+                edges.append((wid, child))
+        return edges
+
+    def expansion_depth(self, workflow_id: str) -> int:
+        """Depth of a workflow in the expansion hierarchy (root is 0)."""
+        depth = 0
+        current = workflow_id
+        while True:
+            parent = self.expansion_parent(current)
+            if parent is None:
+                return depth
+            depth += 1
+            current = parent
+
+    # ------------------------------------------------------------------ #
+    # Module lookup across the hierarchy
+    # ------------------------------------------------------------------ #
+    def all_modules(self) -> Iterator[tuple[str, Module]]:
+        """Iterate over ``(workflow_id, module)`` pairs of the whole spec."""
+        for wid in self.workflow_ids():
+            for module in self._workflows[wid]:
+                yield wid, module
+
+    def module_ids(self) -> list[str]:
+        """All module ids across every workflow graph."""
+        return [module.module_id for _, module in self.all_modules()]
+
+    def find_module(self, module_id: str) -> Module:
+        """Return the module with the given id, searching every workflow."""
+        for _, module in self.all_modules():
+            if module.module_id == module_id:
+                return module
+        raise UnknownModuleError(module_id)
+
+    def defining_workflow(self, module_id: str) -> str:
+        """The workflow graph in which ``module_id`` is declared."""
+        for wid, module in self.all_modules():
+            if module.module_id == module_id:
+                return wid
+        raise UnknownModuleError(module_id)
+
+    def composite_module_ids(self) -> list[str]:
+        """Ids of every composite module in the specification."""
+        return [m.module_id for _, m in self.all_modules() if m.is_composite]
+
+    def atomic_module_ids(self) -> list[str]:
+        """Ids of every atomic module in the specification."""
+        return [m.module_id for _, m in self.all_modules() if m.is_atomic]
+
+    def all_labels(self) -> set[str]:
+        """All data labels appearing anywhere in the specification."""
+        labels: set[str] = set()
+        for graph in self._workflows.values():
+            labels.update(graph.all_labels())
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the invariants of a well-formed specification.
+
+        * the root workflow is registered;
+        * every workflow graph is individually valid (see
+          :meth:`WorkflowGraph.validate`);
+        * every composite module references a registered workflow;
+        * module ids are globally unique across workflows;
+        * the expansion relation forms a tree rooted at the root workflow
+          (every non-root workflow is the definition of exactly one
+          composite module, and there are no expansion cycles).
+        """
+        if self.root_id not in self._workflows:
+            raise SpecificationError(
+                f"root workflow {self.root_id!r} is not registered"
+            )
+        seen_modules: dict[str, str] = {}
+        for wid, graph in self._workflows.items():
+            graph.validate()
+            for module in graph:
+                if module.module_id in seen_modules:
+                    raise SpecificationError(
+                        f"module id {module.module_id!r} appears in both "
+                        f"{seen_modules[module.module_id]!r} and {wid!r}"
+                    )
+                seen_modules[module.module_id] = wid
+                if module.is_composite:
+                    if module.subworkflow_id not in self._workflows:
+                        raise SpecificationError(
+                            f"composite module {module.module_id!r} references "
+                            f"unknown workflow {module.subworkflow_id!r}"
+                        )
+                    if module.subworkflow_id == self.root_id:
+                        raise SpecificationError(
+                            "the root workflow cannot be the expansion of a "
+                            f"composite module ({module.module_id!r})"
+                        )
+        # Every non-root workflow must be used by exactly one composite.
+        usage: dict[str, int] = {wid: 0 for wid in self._workflows}
+        for _, module in self.all_modules():
+            if module.is_composite and module.subworkflow_id is not None:
+                usage[module.subworkflow_id] = usage.get(module.subworkflow_id, 0) + 1
+        for wid, count in usage.items():
+            if wid == self.root_id:
+                if count != 0:
+                    raise SpecificationError("root workflow used as an expansion")
+                continue
+            if count == 0:
+                raise SpecificationError(
+                    f"workflow {wid!r} is not the expansion of any composite module"
+                )
+            if count > 1:
+                raise SpecificationError(
+                    f"workflow {wid!r} is the expansion of {count} composite "
+                    "modules; expansions must form a tree"
+                )
+        # No expansion cycles: walking parents from any workflow must reach
+        # the root without revisiting a node.
+        for wid in self._workflows:
+            seen = {wid}
+            current = wid
+            while True:
+                parent = self.expansion_parent(current)
+                if parent is None:
+                    break
+                if parent in seen:
+                    raise SpecificationError(
+                        f"expansion hierarchy contains a cycle through {parent!r}"
+                    )
+                seen.add(parent)
+                current = parent
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __contains__(self, workflow_id: object) -> bool:
+        return workflow_id in self._workflows
+
+    def __len__(self) -> int:
+        return len(self._workflows)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowSpecification(root={self.root_id!r}, "
+            f"workflows={len(self._workflows)}, modules={len(self.module_ids())})"
+        )
+
+
+def specification_from_graphs(
+    root_id: str, graphs: Iterable[WorkflowGraph], name: str | None = None
+) -> WorkflowSpecification:
+    """Build and validate a specification from an iterable of graphs."""
+    spec = WorkflowSpecification(root_id, name=name)
+    for graph in graphs:
+        spec.add_workflow(graph)
+    spec.validate()
+    return spec

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import (
+    BehaviorRegistry,
+    WorkflowExecutor,
+    disease_susceptibility_execution,
+)
+from repro.privacy import Attribute, ModuleRelation
+from repro.workflow import (
+    GeneratorConfig,
+    diamond_specification,
+    disease_susceptibility_specification,
+    random_specification,
+    small_pipeline_specification,
+)
+
+
+@pytest.fixture()
+def gallery_spec():
+    """The Fig. 1 disease-susceptibility specification."""
+    return disease_susceptibility_specification()
+
+
+@pytest.fixture()
+def fig4_execution():
+    """The Fig. 4 execution (hand-built, exact ids)."""
+    return disease_susceptibility_execution()
+
+
+@pytest.fixture()
+def engine_execution(gallery_spec):
+    """An execution of the gallery specification produced by the engine."""
+    executor = WorkflowExecutor(gallery_spec, BehaviorRegistry())
+    return executor.execute(
+        {
+            "SNPs": ("rs1", "rs2"),
+            "ethnicity": "group-a",
+            "lifestyle": "active",
+            "family history": ("none",),
+            "physical symptoms": (),
+        },
+        execution_id="test-run",
+    )
+
+
+@pytest.fixture()
+def pipeline_spec():
+    """A tiny single-level pipeline."""
+    return small_pipeline_specification()
+
+
+@pytest.fixture()
+def diamond_spec():
+    """A diamond workflow with one composite branch."""
+    return diamond_specification()
+
+
+@pytest.fixture()
+def synthetic_spec():
+    """A deterministic random hierarchical specification."""
+    return random_specification(
+        GeneratorConfig(workflows=4, modules_per_workflow=5, seed=11)
+    )
+
+
+@pytest.fixture()
+def xor_relation():
+    """A 2-input/1-output XOR-like relation over a binary domain."""
+    return ModuleRelation(
+        "XOR",
+        inputs=[
+            Attribute("a", (0, 1), role="input"),
+            Attribute("b", (0, 1), role="input"),
+        ],
+        outputs=[Attribute("c", (0, 1), role="output")],
+        rows={(a, b): ((a + b) % 2,) for a in (0, 1) for b in (0, 1)},
+    )
+
+
+@pytest.fixture()
+def weighted_relation():
+    """A relation with non-uniform attribute weights (for optimisation tests)."""
+    return ModuleRelation(
+        "W",
+        inputs=[
+            Attribute("x", (0, 1, 2), role="input", weight=1.0),
+            Attribute("y", (0, 1, 2), role="input", weight=3.0),
+        ],
+        outputs=[
+            Attribute("u", (0, 1, 2), role="output", weight=2.0),
+            Attribute("v", (0, 1, 2), role="output", weight=5.0),
+        ],
+        rows={
+            (x, y): ((x + y) % 3, (x * y) % 3)
+            for x in (0, 1, 2)
+            for y in (0, 1, 2)
+        },
+    )

@@ -1,0 +1,142 @@
+"""Tests for the adversary simulations and guarantee verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.module_attack import ModuleFunctionAttack, attack_curve
+from repro.adversary.structure_attack import (
+    attack_after_edge_deletion,
+    infer_reachability,
+    structure_attack,
+)
+from repro.errors import PrivacyError
+from repro.privacy.guarantees import (
+    empirical_guarantee,
+    guarantee_curve,
+    standalone_guarantee_holds,
+    workflow_guarantees,
+)
+from repro.privacy.module_privacy import greedy_safe_subset
+from repro.privacy.relations import Attribute, ModuleRelation
+from repro.privacy.workflow_privacy import WorkflowPrivacyRequirements, secure_view
+
+
+class TestModuleFunctionAttack:
+    def test_without_hiding_full_observation_determines_everything(self, xor_relation):
+        attack = ModuleFunctionAttack(xor_relation)
+        attack.observe_all()
+        report = attack.report()
+        assert report.min_candidates == 1
+        assert report.determined_inputs == len(xor_relation.rows)
+        assert report.guess_success_rate == 1.0
+
+    def test_unknown_hidden_attribute_rejected(self, xor_relation):
+        with pytest.raises(PrivacyError):
+            ModuleFunctionAttack(xor_relation, hidden={"nope"})
+
+    def test_unobserved_inputs_leave_full_output_space(self, weighted_relation):
+        attack = ModuleFunctionAttack(weighted_relation)
+        report = attack.report()
+        assert report.observations == 0
+        assert report.min_candidates == weighted_relation.output_space_size()
+
+    def test_hiding_keeps_candidates_at_or_above_gamma(self, weighted_relation):
+        hidden = greedy_safe_subset(weighted_relation, 4).hidden
+        attack = ModuleFunctionAttack(weighted_relation, hidden)
+        attack.observe_all()
+        report = attack.report()
+        assert report.min_candidates >= 4
+        assert report.guess_success_rate <= 0.25 + 1e-9
+
+    def test_candidate_sets_contain_the_truth_at_full_observation(self, weighted_relation):
+        hidden = {"u"}
+        attack = ModuleFunctionAttack(weighted_relation, hidden)
+        attack.observe_all()
+        for key in weighted_relation.rows:
+            assert weighted_relation.output_for(key) in attack.candidate_outputs(key)
+
+    def test_guess_is_deterministic_per_seed(self, xor_relation):
+        attack = ModuleFunctionAttack(xor_relation, hidden={"c"})
+        attack.observe_all()
+        assert attack.guess((0, 1), seed=4) == attack.guess((0, 1), seed=4)
+
+    def test_observe_random_is_reproducible(self, weighted_relation):
+        a = ModuleFunctionAttack(weighted_relation)
+        b = ModuleFunctionAttack(weighted_relation)
+        a.observe_random(5, seed=9)
+        b.observe_random(5, seed=9)
+        assert a.report() == b.report()
+
+    def test_attack_curve_monotone_mean_candidates(self, weighted_relation):
+        reports = attack_curve(weighted_relation, set(), [1, 4, 9, 20], seed=2)
+        means = [report.mean_candidates for report in reports]
+        assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+        assert [r.observations for r in reports] == [1, 4, 9, 20]
+
+
+class TestStructureAttack:
+    def test_inferences_match_implied_pairs(self, gallery_spec):
+        graph = gallery_spec.workflow("W3").to_networkx()
+        clusters = {"M11": "P", "M13": "P"}
+        inferred = infer_reachability(graph, clusters)
+        report = structure_attack(graph, clusters, [("M13", "M11")])
+        assert report.inferred_pairs == len(inferred)
+        assert report.exposed_targets == frozenset()
+        assert report.false_positive_pairs > 0
+        assert report.precision < 1.0
+        assert 0.0 < report.recall <= 1.0
+
+    def test_no_clustering_gives_perfect_inference(self, gallery_spec):
+        graph = gallery_spec.workflow("W3").to_networkx()
+        report = structure_attack(graph, {}, [("M13", "M11")])
+        assert report.precision == 1.0 and report.recall == 1.0
+        assert report.exposed_targets == frozenset({("M13", "M11")})
+
+    def test_attack_after_edge_deletion(self, gallery_spec):
+        graph = gallery_spec.workflow("W3").to_networkx()
+        report = attack_after_edge_deletion(graph, [("M13", "M11")], [("M13", "M11")])
+        assert report.precision == 1.0
+        assert report.recall < 1.0
+        assert report.exposed_targets == frozenset()
+        assert set(report.summary()) >= {"precision", "recall", "exposed_targets"}
+
+
+class TestGuarantees:
+    def test_standalone_guarantee(self, weighted_relation):
+        hidden = greedy_safe_subset(weighted_relation, 3).hidden
+        assert standalone_guarantee_holds(weighted_relation, hidden, 3)
+        assert not standalone_guarantee_holds(weighted_relation, set(), 3)
+
+    def test_empirical_guarantee_full_observation(self, weighted_relation):
+        hidden = greedy_safe_subset(weighted_relation, 3).hidden
+        report = empirical_guarantee(weighted_relation, hidden, 3)
+        assert report.holds
+        assert report.analytical_gamma >= 3
+        assert report.empirical_gamma >= 3
+        assert report.observations == len(weighted_relation.rows)
+
+    def test_empirical_guarantee_detects_violation(self, weighted_relation):
+        report = empirical_guarantee(weighted_relation, set(), 3)
+        assert not report.holds
+        assert report.analytical_gamma == 1
+
+    def test_guarantee_curve_shapes(self, weighted_relation):
+        hidden = greedy_safe_subset(weighted_relation, 3).hidden
+        reports = guarantee_curve(weighted_relation, hidden, 3, [1, 5, 20], seed=1)
+        assert [r.observations for r in reports] == [1, 5, 20]
+        assert all(r.analytical_gamma >= 3 for r in reports)
+        assert set(reports[0].summary()) >= {"module", "holds", "empirical_gamma"}
+
+    def test_workflow_guarantees(self):
+        relation = ModuleRelation(
+            "M1",
+            inputs=[Attribute("a", (0, 1, 2), role="input")],
+            outputs=[Attribute("b", (0, 1, 2), role="output")],
+            rows={(i,): ((i + 1) % 3,) for i in (0, 1, 2)},
+        )
+        requirements = WorkflowPrivacyRequirements().add(relation, 3)
+        result = secure_view(requirements, solver="exact")
+        reports = workflow_guarantees(requirements, result.hidden_labels)
+        assert len(reports) == 1
+        assert reports[0].holds

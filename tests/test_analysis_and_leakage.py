@@ -1,0 +1,200 @@
+"""Tests for workflow static analysis and data-leakage closure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy.leakage import (
+    close_hiding,
+    exposed_items,
+    forward_derivable_labels,
+    leakage_report,
+)
+from repro.privacy.relations import Attribute, ModuleRelation
+from repro.views.spec_view import full_expansion
+from repro.workflow.analysis import (
+    boundary_mismatches,
+    critical_path,
+    label_flow,
+    module_depths,
+    module_statistics,
+    modules_influenced_by,
+    producers_of_label,
+    specification_statistics,
+    workflow_statistics,
+)
+from repro.workflow.builder import SpecificationBuilder, WorkflowGraphBuilder
+
+
+class TestWorkflowAnalysis:
+    def test_module_depths_and_critical_path(self, gallery_spec):
+        w4 = gallery_spec.workflow("W4")
+        depths = module_depths(w4)
+        assert depths["W4.I"] == 0
+        assert depths["M5"] == 1
+        assert depths["M8"] == 3
+        path = critical_path(w4)
+        assert path[0] == "W4.I" and path[-1] == "W4.O"
+        assert "M8" in path and "M5" in path
+
+    def test_module_statistics(self, gallery_spec):
+        w3 = gallery_spec.workflow("W3")
+        stats = module_statistics(w3)
+        assert stats["M15"].fan_in == 2
+        assert stats["M9"].fan_out == 2
+        assert stats["M9"].depth == 1
+        assert any(s.on_critical_path for s in stats.values())
+
+    def test_workflow_statistics(self, gallery_spec):
+        stats = workflow_statistics(gallery_spec.workflow("W3"))
+        assert stats.modules == 7
+        assert stats.depth >= 5
+        assert stats.max_fan_in >= 2
+        assert stats.summary()["workflow"] == "W3"
+
+    def test_specification_statistics_uses_full_expansion(self, gallery_spec):
+        stats = specification_statistics(gallery_spec)
+        assert stats.modules == 12  # M3, M5..M15
+        expansion = full_expansion(gallery_spec)
+        assert stats.edges == len(expansion.graph.edges)
+
+    def test_label_flow(self, gallery_spec):
+        w1 = gallery_spec.workflow("W1")
+        flow = label_flow(w1)
+        assert flow["SNPs"] == {"M1", "M2"}
+        assert flow["prognosis"] == set()  # only flows to the output
+        assert modules_influenced_by(w1, "disorders") == {"M2"}
+        assert modules_influenced_by(w1, "unknown") == set()
+        assert producers_of_label(w1, "disorders") == {"M1"}
+
+    def test_boundary_mismatches_clean_on_gallery(self, gallery_spec, synthetic_spec):
+        assert boundary_mismatches(gallery_spec) == []
+        assert boundary_mismatches(synthetic_spec) == []
+
+    def test_boundary_mismatches_detected(self):
+        root = (
+            WorkflowGraphBuilder("R")
+            .input("R.I")
+            .composite("C1", subworkflow_id="S")
+            .output("R.O")
+            .edge("R.I", "C1", "x")
+            .edge("C1", "R.O", "promised-but-missing")
+            .build()
+        )
+        sub = (
+            WorkflowGraphBuilder("S")
+            .input("S.I")
+            .atomic("A1")
+            .output("S.O")
+            .edge("S.I", "A1", "x", "needed-but-never-sent")
+            .edge("A1", "S.O", "y")
+            .build()
+        )
+        spec = SpecificationBuilder("R").add_all([root, sub]).build()
+        mismatches = boundary_mismatches(spec)
+        kinds = {(m.kind, tuple(sorted(m.labels))) for m in mismatches}
+        assert ("output", ("promised-but-missing",)) in kinds
+        assert ("input", ("needed-but-never-sent",)) in kinds
+
+
+def _chain_relations() -> tuple:
+    """A three-step chain over the small pipeline specification's labels."""
+    load = ModuleRelation(
+        "A",
+        inputs=[Attribute("raw", (0, 1), role="input")],
+        outputs=[Attribute("records", (0, 1), role="output")],
+        rows={(0,): (0,), (1,): (1,)},
+    )
+    normalize = ModuleRelation(
+        "B",
+        inputs=[Attribute("records", (0, 1), role="input")],
+        outputs=[Attribute("normalized", (0, 1), role="output")],
+        rows={(0,): (1,), (1,): (0,)},
+    )
+    score = ModuleRelation(
+        "C",
+        inputs=[Attribute("normalized", (0, 1), role="input")],
+        outputs=[Attribute("scores", (0, 1), role="output")],
+        rows={(0,): (0,), (1,): (1,)},
+    )
+    return load, normalize, score
+
+
+class TestLeakage:
+    @pytest.fixture()
+    def pipeline_graph(self, pipeline_spec):
+        return pipeline_spec.workflow("P1")
+
+    @pytest.fixture()
+    def relations(self):
+        load, normalize, score = _chain_relations()
+        return {"A": load, "B": normalize, "C": score}
+
+    def test_hidden_label_with_visible_inputs_is_derivable(
+        self, pipeline_graph, relations
+    ):
+        derivable = forward_derivable_labels(pipeline_graph, relations, {"normalized"})
+        assert derivable == {"normalized"}
+
+    def test_hiding_the_chain_upstream_stops_the_leak(
+        self, pipeline_graph, relations
+    ):
+        derivable = forward_derivable_labels(
+            pipeline_graph, relations, {"normalized", "records", "raw"}
+        )
+        assert derivable == set()
+
+    def test_transitive_derivation(self, pipeline_graph, relations):
+        # 'records' and 'normalized' are hidden, but 'raw' is visible and the
+        # chain of known functions recomputes both.
+        derivable = forward_derivable_labels(
+            pipeline_graph, relations, {"records", "normalized"}
+        )
+        assert derivable == {"records", "normalized"}
+
+    def test_unknown_modules_block_derivation(self, pipeline_graph, relations):
+        partial = {"C": relations["C"]}
+        derivable = forward_derivable_labels(pipeline_graph, partial, {"normalized"})
+        assert derivable == set()  # B's function is not known to the adversary
+
+    def test_unknown_label_rejected(self, pipeline_graph, relations):
+        with pytest.raises(PrivacyError):
+            forward_derivable_labels(pipeline_graph, relations, {"no-such-label"})
+
+    def test_close_hiding_extends_to_a_safe_set(self, pipeline_graph, relations):
+        closed = close_hiding(pipeline_graph, relations, {"normalized"})
+        assert "normalized" in closed
+        assert forward_derivable_labels(pipeline_graph, relations, closed) == set()
+        # The closure walks up the chain: records and raw must be hidden too.
+        assert {"records", "raw"} <= closed
+
+    def test_close_hiding_respects_costs(self, pipeline_spec, relations):
+        # Give 'raw' a huge hiding cost: the closure still has to hide it in
+        # a linear chain (there is no alternative), but the report records
+        # the additions explicitly so callers can veto them.
+        graph = pipeline_spec.workflow("P1")
+        report = leakage_report(
+            graph, relations, {"normalized"}, label_costs={"raw": 100.0}
+        )
+        assert report.leaks
+        assert report.derivable == frozenset({"normalized"})
+        assert {"records", "raw"} <= set(report.added_by_closure)
+        assert report.summary()["leaks"] is True
+
+    def test_leakage_report_safe_case(self, pipeline_graph, relations):
+        report = leakage_report(
+            pipeline_graph, relations, {"raw", "records", "normalized"}
+        )
+        assert not report.leaks
+        assert report.added_by_closure == frozenset()
+        assert report.safe == report.hidden
+
+    def test_exposed_items(self, pipeline_spec, relations):
+        from repro.execution import WorkflowExecutor
+
+        execution = WorkflowExecutor(pipeline_spec).execute({"raw": 1})
+        exposed = exposed_items(execution, {"normalized"})
+        assert len(exposed) == 1
+        item = execution.data_item(next(iter(exposed)))
+        assert item.label == "normalized"

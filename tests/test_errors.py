@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_every_error_derives_from_repro_error():
+    exception_classes = [
+        obj
+        for obj in vars(errors).values()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    ]
+    assert errors.ReproError in exception_classes
+    for exception_class in exception_classes:
+        assert issubclass(exception_class, errors.ReproError)
+
+
+def test_subsystem_roots_group_their_errors():
+    assert issubclass(errors.DuplicateModuleError, errors.WorkflowError)
+    assert issubclass(errors.CycleError, errors.WorkflowError)
+    assert issubclass(errors.MissingInputError, errors.ExecutionError)
+    assert issubclass(errors.InvalidPrefixError, errors.ViewError)
+    assert issubclass(errors.InfeasiblePrivacyError, errors.PrivacyError)
+    assert issubclass(errors.AccessDeniedError, errors.PrivacyError)
+    assert issubclass(errors.QueryParseError, errors.QueryError)
+    assert issubclass(errors.UnknownEntryError, errors.StorageError)
+
+
+def test_lookup_errors_are_also_key_errors():
+    assert issubclass(errors.UnknownModuleError, KeyError)
+    assert issubclass(errors.UnknownWorkflowError, KeyError)
+    assert issubclass(errors.UnknownEntryError, KeyError)
+
+
+def test_catching_the_root_catches_subsystem_errors():
+    with pytest.raises(errors.ReproError):
+        raise errors.SpecificationError("boom")
+    with pytest.raises(errors.WorkflowError):
+        raise errors.InvalidEdgeError("boom")

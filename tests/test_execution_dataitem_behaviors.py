@@ -1,0 +1,120 @@
+"""Tests for repro.execution.dataitem and repro.execution.behaviors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataItemError, MissingBehaviorError, MissingInputError
+from repro.execution.behaviors import (
+    BehaviorRegistry,
+    TableBehavior,
+    constant_behavior,
+    hashing_behavior,
+    passthrough_behavior,
+)
+from repro.execution.dataitem import DataItem, data_id_sequence
+
+
+class TestDataItem:
+    def test_requires_id_and_producer(self):
+        with pytest.raises(DataItemError):
+            DataItem(data_id="", label="x", producer="I")
+        with pytest.raises(DataItemError):
+            DataItem(data_id="d0", label="x", producer="")
+
+    def test_masked_preserves_identity(self):
+        item = DataItem(data_id="d3", label="disorders", producer="S7:M8", value=42)
+        masked = item.masked("***")
+        assert masked.value == "***"
+        assert masked.data_id == "d3"
+        assert masked.label == "disorders"
+        assert item.value == 42
+
+    def test_index_extraction(self):
+        assert DataItem(data_id="d12", label="x", producer="I").index == 12
+        assert DataItem(data_id="item", label="x", producer="I").index == -1
+
+    def test_data_id_sequence(self):
+        next_id = data_id_sequence()
+        assert [next_id(), next_id(), next_id()] == ["d0", "d1", "d2"]
+        other = data_id_sequence(prefix="x")
+        assert other() == "x0"
+
+
+class TestHashingBehavior:
+    def test_deterministic_and_input_sensitive(self):
+        behavior = hashing_behavior("M1", ("out",))
+        a = behavior({"in": 1})
+        b = behavior({"in": 1})
+        c = behavior({"in": 2})
+        assert a == b
+        assert a != c
+        assert set(a) == {"out"}
+
+    def test_distinct_modules_produce_distinct_values(self):
+        a = hashing_behavior("M1", ("out",))({"in": 1})
+        b = hashing_behavior("M2", ("out",))({"in": 1})
+        assert a != b
+
+
+class TestSimpleBehaviors:
+    def test_constant_behavior_ignores_inputs(self):
+        behavior = constant_behavior({"out": 7})
+        assert behavior({"anything": 1}) == {"out": 7}
+        assert behavior({}) == {"out": 7}
+
+    def test_passthrough_behavior(self):
+        behavior = passthrough_behavior({"out": "in"})
+        assert behavior({"in": "payload"}) == {"out": "payload"}
+        with pytest.raises(MissingInputError):
+            behavior({"other": 1})
+
+
+class TestTableBehavior:
+    def test_lookup(self):
+        behavior = TableBehavior(("a", "b"), ("c",), {(0, 0): (0,), (0, 1): (1,)})
+        assert behavior({"a": 0, "b": 1}) == {"c": 1}
+
+    def test_missing_input_and_row(self):
+        behavior = TableBehavior(("a",), ("c",), {(0,): (1,)})
+        with pytest.raises(MissingInputError):
+            behavior({"b": 0})
+        with pytest.raises(MissingInputError):
+            behavior({"a": 5})
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            TableBehavior(("a", "b"), ("c",), {(0,): (1,)})
+        with pytest.raises(ValueError):
+            TableBehavior(("a",), ("c",), {(0,): (1, 2)})
+
+    def test_rows_property_is_a_copy(self):
+        behavior = TableBehavior(("a",), ("c",), {(0,): (1,)})
+        rows = behavior.rows
+        rows[(9,)] = (9,)
+        assert (9,) not in behavior.rows
+
+
+class TestBehaviorRegistry:
+    def test_default_factory_fallback(self):
+        registry = BehaviorRegistry()
+        behavior = registry.behavior_for("M1", ("out",))
+        assert set(behavior({"x": 1})) == {"out"}
+
+    def test_explicit_registration_wins(self):
+        registry = BehaviorRegistry()
+        registry.register("M1", constant_behavior({"out": "fixed"}))
+        assert registry.behavior_for("M1", ("out",))({}) == {"out": "fixed"}
+        assert "M1" in registry
+        assert len(registry) == 1
+
+    def test_register_table(self):
+        registry = BehaviorRegistry()
+        behavior = registry.register_table("M2", ("a",), ("c",), {(0,): (1,)})
+        assert registry.has_behavior("M2")
+        assert behavior({"a": 0}) == {"c": 1}
+
+    def test_no_default_factory_raises(self):
+        registry = BehaviorRegistry(default_factory=None)
+        with pytest.raises(MissingBehaviorError):
+            registry.behavior_for("M1", ("out",))

@@ -1,0 +1,148 @@
+"""Tests for the execution engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MissingInputError
+from repro.execution import (
+    BehaviorRegistry,
+    WorkflowExecutor,
+    constant_behavior,
+    disease_susceptibility_execution,
+    passthrough_behavior,
+)
+from repro.execution.graph import NodeEvent
+from repro.workflow import SpecificationBuilder, WorkflowGraphBuilder
+
+
+class TestEngineOnGallery:
+    def test_engine_matches_fig4_structure(self, gallery_spec, engine_execution):
+        fig4 = disease_susceptibility_execution()
+        assert engine_execution.executed_module_ids() == fig4.executed_module_ids()
+        assert (
+            engine_execution.module_reachable_pairs()
+            == fig4.module_reachable_pairs()
+        )
+        assert len(engine_execution) == len(fig4)
+        assert len(engine_execution.edges) == len(fig4.edges)
+
+    def test_composite_modules_get_begin_end_pairs(self, engine_execution):
+        for module_id in ("M1", "M2", "M4"):
+            events = {
+                node.event
+                for node in engine_execution.nodes_for_module(module_id)
+            }
+            assert events == {NodeEvent.BEGIN, NodeEvent.END}
+
+    def test_inputs_become_data_items(self, gallery_spec):
+        executor = WorkflowExecutor(gallery_spec)
+        execution = executor.execute({"SNPs": ("rs1",), "ethnicity": "g"})
+        by_label = {
+            item.label: item for item in execution.data_items.values()
+            if item.producer == execution.input_node_id
+        }
+        assert by_label["SNPs"].value == ("rs1",)
+        assert by_label["ethnicity"].value == "g"
+        assert by_label["lifestyle"].value is None  # missing input defaults to None
+
+    def test_execution_ids_are_unique_by_default(self, gallery_spec):
+        executor = WorkflowExecutor(gallery_spec)
+        first = executor.execute({})
+        second = executor.execute({})
+        assert first.execution_id != second.execution_id
+
+    def test_execute_many(self, gallery_spec):
+        executor = WorkflowExecutor(gallery_spec)
+        runs = executor.execute_many([{}, {}, {}], id_prefix="batch")
+        assert [r.execution_id for r in runs] == ["batch-0", "batch-1", "batch-2"]
+
+
+class TestEngineSemantics:
+    def build_chain_spec(self):
+        root = (
+            WorkflowGraphBuilder("C1")
+            .input("C.I")
+            .atomic("double", "Double")
+            .atomic("negate", "Negate")
+            .output("C.O")
+            .edge("C.I", "double", "value")
+            .edge("double", "negate", "doubled")
+            .edge("negate", "C.O", "result")
+            .build()
+        )
+        return SpecificationBuilder("C1").add(root).build()
+
+    def test_registered_behaviors_drive_values(self):
+        spec = self.build_chain_spec()
+        behaviors = BehaviorRegistry()
+        behaviors.register("double", lambda inputs: {"doubled": inputs["value"] * 2})
+        behaviors.register("negate", lambda inputs: {"result": -inputs["doubled"]})
+        execution = WorkflowExecutor(spec, behaviors).execute({"value": 21})
+        result = next(
+            item for item in execution.data_items.values() if item.label == "result"
+        )
+        assert result.value == -42
+
+    def test_values_propagate_through_composites(self, diamond_spec):
+        behaviors = BehaviorRegistry()
+        behaviors.register("D.split", passthrough_behavior(
+            {"left input": "payload", "right input": "payload"}
+        ))
+        behaviors.register("D.l1", passthrough_behavior({"intermediate": "left input"}))
+        behaviors.register("D.l2", passthrough_behavior({"left output": "intermediate"}))
+        behaviors.register("D.right", constant_behavior({"right output": "R"}))
+        behaviors.register(
+            "D.join",
+            lambda inputs: {"combined": (inputs["left output"], inputs["right output"])},
+        )
+        execution = WorkflowExecutor(diamond_spec, behaviors).execute({"payload": "P"})
+        combined = next(
+            item for item in execution.data_items.values() if item.label == "combined"
+        )
+        assert combined.value == ("P", "R")
+
+    def test_missing_behavior_output_raises(self):
+        spec = self.build_chain_spec()
+        behaviors = BehaviorRegistry()
+        behaviors.register("double", constant_behavior({}))  # produces nothing
+        execution = WorkflowExecutor(spec, behaviors).execute({"value": 1})
+        # The engine still creates the data item (with value None) because the
+        # output label is declared on the specification edge.
+        doubled = [i for i in execution.data_items.values() if i.label == "doubled"]
+        assert doubled and doubled[0].value is None
+
+    def test_missing_boundary_label_raises(self):
+        # The composite promises a label its subworkflow never produces.
+        root = (
+            WorkflowGraphBuilder("R")
+            .input("R.I")
+            .composite("C1", subworkflow_id="S")
+            .output("R.O")
+            .edge("R.I", "C1", "x")
+            .edge("C1", "R.O", "missing-label")
+            .build()
+        )
+        sub = (
+            WorkflowGraphBuilder("S")
+            .input("S.I")
+            .atomic("A1")
+            .output("S.O")
+            .edge("S.I", "A1", "x")
+            .edge("A1", "S.O", "y")
+            .build()
+        )
+        spec = SpecificationBuilder("R").add_all([root, sub]).build()
+        with pytest.raises(MissingInputError):
+            WorkflowExecutor(spec).execute({"x": 1})
+
+    def test_process_and_data_ids_are_sequential(self, pipeline_spec):
+        execution = WorkflowExecutor(pipeline_spec).execute({"raw": 1})
+        process_ids = sorted(
+            int(node.process_id[1:])
+            for node in execution
+            if node.process_id is not None
+        )
+        assert process_ids == list(range(1, len(process_ids) + 1))
+        data_indices = sorted(item.index for item in execution.data_items.values())
+        assert data_indices == list(range(len(data_indices)))

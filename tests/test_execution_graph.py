@@ -1,0 +1,142 @@
+"""Tests for repro.execution.graph (ExecutionGraph and friends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CycleError, DataItemError, ExecutionError
+from repro.execution.dataitem import DataItem
+from repro.execution.graph import ExecutionGraph, ExecutionNode, NodeEvent
+
+
+def tiny_execution() -> ExecutionGraph:
+    graph = ExecutionGraph("E1", "SPEC")
+    graph.add_node(ExecutionNode("I", "I", NodeEvent.INPUT))
+    graph.add_node(ExecutionNode("O", "O", NodeEvent.OUTPUT))
+    graph.add_node(ExecutionNode("S1:A", "A", NodeEvent.SINGLE, "S1"))
+    graph.add_node(ExecutionNode("S2:B", "B", NodeEvent.SINGLE, "S2"))
+    graph.add_data_item(DataItem("d0", "raw", "I"))
+    graph.add_data_item(DataItem("d1", "mid", "S1:A"))
+    graph.add_data_item(DataItem("d2", "out", "S2:B"))
+    graph.add_edge("I", "S1:A", ["d0"])
+    graph.add_edge("S1:A", "S2:B", ["d1"])
+    graph.add_edge("S2:B", "O", ["d2"])
+    return graph
+
+
+class TestNodesAndEdges:
+    def test_duplicate_node_rejected(self):
+        graph = tiny_execution()
+        with pytest.raises(ExecutionError):
+            graph.add_node(ExecutionNode("S1:A", "A", NodeEvent.SINGLE, "S1"))
+
+    def test_edges_require_known_nodes_and_no_self_loops(self):
+        graph = tiny_execution()
+        with pytest.raises(ExecutionError):
+            graph.add_edge("I", "missing")
+        with pytest.raises(ExecutionError):
+            graph.add_edge("I", "I")
+
+    def test_parallel_edges_merge_data(self):
+        graph = tiny_execution()
+        graph.add_edge("I", "S1:A", ["d0"])
+        graph.add_data_item(DataItem("d9", "extra", "I"))
+        graph.add_edge("I", "S1:A", ["d9"])
+        assert graph.data_on_edge("I", "S1:A") == frozenset({"d0", "d9"})
+
+    def test_display_names(self):
+        node = ExecutionNode("S1:M1:begin", "M1", NodeEvent.BEGIN, "S1")
+        assert node.display_name == "S1:M1 begin"
+        assert ExecutionNode("I", "I", NodeEvent.INPUT).display_name == "I"
+        assert ExecutionNode("S2:M3", "M3", NodeEvent.SINGLE, "S2").display_name == "S2:M3"
+
+    def test_node_lookup(self):
+        graph = tiny_execution()
+        assert graph.node("S1:A").module_id == "A"
+        assert graph.has_node("S2:B") and not graph.has_node("S9:X")
+        with pytest.raises(ExecutionError):
+            graph.node("S9:X")
+
+
+class TestDataItems:
+    def test_duplicate_production_rejected(self):
+        graph = tiny_execution()
+        with pytest.raises(DataItemError):
+            graph.add_data_item(DataItem("d0", "raw", "I"))
+
+    def test_unknown_producer_rejected(self):
+        graph = tiny_execution()
+        with pytest.raises(DataItemError):
+            graph.add_data_item(DataItem("d5", "x", "S9:X"))
+
+    def test_producer_and_consumers(self, fig4_execution):
+        assert fig4_execution.producer_of("d10").node_id == "S7:M8"
+        consumers = {n.node_id for n in fig4_execution.consumers_of("d10")}
+        assert consumers == {"S3:M4:end", "S1:M1:end", "S8:M2:begin", "S9:M9"}
+
+    def test_unknown_data_item_raises(self):
+        with pytest.raises(DataItemError):
+            tiny_execution().data_item("d99")
+
+
+class TestStructure:
+    def test_topological_order_and_cycles(self):
+        graph = tiny_execution()
+        order = graph.topological_order()
+        assert order.index("I") < order.index("S1:A") < order.index("S2:B")
+        graph.add_edge("O", "S1:A")  # introduce a cycle via O -> A -> B -> O
+        with pytest.raises(CycleError):
+            graph.topological_order()
+
+    def test_ancestors_descendants_reachability(self, fig4_execution):
+        assert "S4:M5" in fig4_execution.ancestors("S7:M8")
+        assert "O" in fig4_execution.descendants("S2:M3")
+        assert fig4_execution.is_reachable("S2:M3", "S15:M15")
+        assert not fig4_execution.is_reachable("S15:M15", "S2:M3")
+
+    def test_module_reachable_pairs(self, fig4_execution):
+        pairs = fig4_execution.module_reachable_pairs()
+        assert ("M3", "M5") in pairs
+        assert ("M13", "M11") in pairs
+        assert ("M11", "M13") not in pairs
+        assert all(a != b for a, b in pairs)
+
+    def test_executed_module_ids(self, fig4_execution):
+        assert fig4_execution.executed_module_ids() == {
+            f"M{i}" for i in range(1, 16)
+        }
+
+    def test_validate_checks_producers(self):
+        graph = tiny_execution()
+        graph.add_data_item(DataItem("d7", "weird", "S2:B"))
+        # d7 claims to come from S2:B but only flows out of S1:A.
+        graph.add_edge("S1:A", "O", ["d7"])
+        with pytest.raises(DataItemError):
+            graph.validate()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_equal_but_independent(self, fig4_execution):
+        clone = fig4_execution.copy()
+        assert set(clone.nodes) == set(fig4_execution.nodes)
+        clone.add_node(ExecutionNode("S99:X", "X", NodeEvent.SINGLE, "S99"))
+        assert not fig4_execution.has_node("S99:X")
+
+    def test_induced_subgraph_keeps_relevant_data(self, fig4_execution):
+        nodes = {"I", "S1:M1:begin", "S2:M3"}
+        sub = fig4_execution.induced_subgraph(nodes)
+        assert set(sub.nodes) == nodes
+        assert "d0" in sub.data_items
+        assert "d19" not in sub.data_items
+
+    def test_to_networkx(self, fig4_execution):
+        nx_graph = fig4_execution.to_networkx()
+        assert nx_graph.number_of_nodes() == len(fig4_execution)
+        assert nx_graph.has_edge("S7:M8", "S3:M4:end")
+        assert nx_graph.edges["S7:M8", "S3:M4:end"]["data_ids"] == ["d10"]
+
+    def test_dunder_methods(self, fig4_execution):
+        assert len(fig4_execution) == 20
+        assert "S2:M3" in fig4_execution
+        assert any(node.module_id == "M15" for node in fig4_execution)
+        assert "ExecutionGraph" in repr(fig4_execution)

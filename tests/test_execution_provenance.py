@@ -1,0 +1,116 @@
+"""Tests for provenance queries and the Fig. 4 gallery execution."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.execution.gallery import (
+    DEFAULT_PATIENT_INPUTS,
+    FIG4_EDGES,
+    disease_susceptibility_execution,
+)
+from repro.execution.provenance import (
+    contributing_data,
+    contributing_modules,
+    data_dependency_graph,
+    downstream_data,
+    downstream_nodes,
+    execution_summary,
+    lineage_depth,
+    provenance_subgraph,
+)
+
+
+class TestFig4Gallery:
+    def test_edge_list_matches_the_figure(self, fig4_execution):
+        assert len(fig4_execution.edges) == len(FIG4_EDGES)
+        for source, target, data_ids in FIG4_EDGES:
+            assert fig4_execution.data_on_edge(source, target) == frozenset(data_ids)
+
+    def test_input_values_come_from_the_patient_inputs(self, fig4_execution):
+        snps = fig4_execution.data_item("d0")
+        assert snps.value == DEFAULT_PATIENT_INPUTS["SNPs"]
+        assert fig4_execution.data_item("d2").value == DEFAULT_PATIENT_INPUTS["lifestyle"]
+
+    def test_custom_values_override_defaults(self):
+        execution = disease_susceptibility_execution({"SNPs": ("only",)})
+        assert execution.data_item("d0").value == ("only",)
+
+    def test_summary(self, fig4_execution):
+        summary = execution_summary(fig4_execution)
+        assert summary == {
+            "nodes": 20,
+            "edges": 23,
+            "data_items": 20,
+            "modules": 15,
+            "composite_executions": 3,
+        }
+
+
+class TestProvenance:
+    def test_provenance_of_d10_is_the_m1_subgraph(self, fig4_execution):
+        subgraph = provenance_subgraph(fig4_execution, "d10")
+        assert set(subgraph.nodes) == {
+            "I",
+            "S1:M1:begin",
+            "S2:M3",
+            "S3:M4:begin",
+            "S4:M5",
+            "S5:M6",
+            "S6:M7",
+            "S7:M8",
+        }
+        # Data flowing between provenance nodes plus the queried item itself.
+        assert set(subgraph.data_items) == {
+            "d0", "d1", "d5", "d6", "d7", "d8", "d9", "d10",
+        }
+
+    def test_provenance_of_root_input_is_trivial(self, fig4_execution):
+        subgraph = provenance_subgraph(fig4_execution, "d0")
+        assert set(subgraph.nodes) == {"I"}
+
+    def test_contributing_modules(self, fig4_execution):
+        assert contributing_modules(fig4_execution, "d10") == {
+            "M1", "M3", "M4", "M5", "M6", "M7", "M8",
+        }
+        assert contributing_modules(fig4_execution, "d19") == {
+            f"M{i}" for i in range(1, 16)
+        }
+
+    def test_contributing_data(self, fig4_execution):
+        contributed = contributing_data(fig4_execution, "d10")
+        assert {"d0", "d1", "d5", "d8", "d9"}.issubset(contributed)
+        assert "d10" not in contributed
+        assert "d19" not in contributed
+
+
+class TestDownstreamImpact:
+    def test_downstream_of_snps_covers_everything_derived(self, fig4_execution):
+        affected = downstream_data(fig4_execution, "d0")
+        assert "d5" in affected and "d10" in affected and "d19" in affected
+        assert "d2" not in affected  # siblings produced by the input are unaffected
+
+    def test_downstream_of_pubmed_result(self, fig4_execution):
+        affected = downstream_data(fig4_execution, "d13")
+        assert affected == {"d14", "d15", "d17", "d18", "d19"}
+
+    def test_downstream_nodes(self, fig4_execution):
+        nodes = downstream_nodes(fig4_execution, "d17")
+        assert "S15:M15" in nodes and "O" in nodes
+        assert "S9:M9" not in nodes
+
+
+class TestDataDependencyGraph:
+    def test_graph_structure(self, fig4_execution):
+        graph = data_dependency_graph(fig4_execution)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.has_edge("d0", "d5")
+        assert graph.has_edge("d13", "d14")
+        assert not graph.has_edge("d19", "d0")
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_lineage_depth(self, fig4_execution):
+        assert lineage_depth(fig4_execution, "d0") == 0
+        assert lineage_depth(fig4_execution, "d5") == 1
+        assert lineage_depth(fig4_execution, "d10") == 4
+        assert lineage_depth(fig4_execution, "d19") >= 6

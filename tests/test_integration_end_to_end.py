@@ -1,0 +1,227 @@
+"""End-to-end integration tests across all subsystems.
+
+Each test exercises a realistic pipeline: author a specification, execute
+it, attach a privacy policy, store everything in the repository, and query
+it through the privacy-aware engine -- the workflow of the paper's
+envisioned system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ModuleFunctionAttack
+from repro.execution import BehaviorRegistry, WorkflowExecutor
+from repro.execution.gallery import disease_susceptibility_execution
+from repro.experiments.figures import reproduce_all_figures
+from repro.privacy import (
+    Attribute,
+    DataPrivacyPolicy,
+    ModuleRelation,
+    PrivacyPolicy,
+    WorkflowPrivacyRequirements,
+    apply_secure_view,
+    compare_strategies,
+    secure_view,
+)
+from repro.query import PrivacyAwareQueryEngine, find_executions_where, keyword_search
+from repro.storage import (
+    GroupQueryCache,
+    LeveledKeywordIndex,
+    MaterializedViewStore,
+    WorkflowRepository,
+)
+from repro.views import (
+    ANALYST,
+    OWNER,
+    PUBLIC,
+    AccessViewPolicy,
+    User,
+    execution_view,
+)
+from repro.workflow import disease_susceptibility_specification
+
+
+@pytest.fixture()
+def repository_setup():
+    """A populated repository with policy, indexes and materialised views."""
+    specification = disease_susceptibility_specification()
+    execution = disease_susceptibility_execution()
+    engine_run = WorkflowExecutor(specification, BehaviorRegistry()).execute(
+        {}, execution_id="engine-run"
+    )
+
+    policy = PrivacyPolicy(specification)
+    policy.set_access_view(PUBLIC, {"W1"})
+    policy.set_access_view(ANALYST, {"W1", "W2", "W4"})
+    policy.set_access_view(OWNER, {"W1", "W2", "W3", "W4"})
+    policy.protect_data_label("disorders", OWNER)
+    policy.hide_structure("M13", "M11", minimum_level=OWNER)
+    policy.validate()
+
+    repository = WorkflowRepository("integration")
+    repository.add_specification(specification, policy=policy)
+    repository.add_executions([execution, engine_run])
+
+    access = policy.access_policy
+    index = LeveledKeywordIndex()
+    index.add_specification(specification, access)
+    store = MaterializedViewStore()
+    store.materialize_repository(repository, {"W1": access})
+    return specification, repository, policy, index, store
+
+
+class TestRepositoryPipeline:
+    def test_figures_and_repository_agree(self, repository_setup):
+        specification, repository, *_ = repository_setup
+        artifacts = reproduce_all_figures()
+        assert all(a.all_checks_pass for a in artifacts.values())
+        assert repository.statistics()["executions"] == 2
+        assert repository.specification("W1") is specification
+
+    def test_index_and_materialized_views_are_consistent_with_policy(
+        self, repository_setup
+    ):
+        _, _, policy, index, store = repository_setup
+        # The analyst index exposes exactly the modules of the analyst view.
+        analyst_postings = {
+            module_id for _, module_id in index.lookup(ANALYST, "database")
+        }
+        analyst_view = store.specification_view_for(ANALYST, "W1")
+        assert analyst_postings <= analyst_view.visible_modules | {"M4"}
+        public_view = store.specification_view_for(PUBLIC, "W1")
+        assert public_view.visible_modules == {"M1", "M2"}
+        assert policy.structural_pairs_for_level(PUBLIC) == {("M13", "M11")}
+
+    def test_query_engine_over_repository(self, repository_setup):
+        specification, repository, policy, _, _ = repository_setup
+        engine = PrivacyAwareQueryEngine(
+            specification, policy, repository.executions_for("W1")
+        )
+        analyst = User("analyst", level=ANALYST)
+        owner = User("owner", level=OWNER)
+
+        keyword = engine.keyword_search(analyst, "Database, Disorder Risks")
+        assert keyword.ok
+        assert keyword.answer.view.visible_modules == {
+            "M2", "M3", "M5", "M6", "M7", "M8",
+        }
+
+        for execution in repository.executions_for("W1"):
+            provenance = engine.provenance(owner, execution, "d10")
+            if provenance.ok:
+                assert provenance.masked_items == 0
+        denied = engine.executed_before(
+            analyst, repository.executions_for("W1")[0], "M13", "M11"
+        )
+        assert denied.status == "denied"
+
+    def test_group_cache_shares_results_within_a_level(self, repository_setup):
+        specification, repository, policy, _, _ = repository_setup
+        cache = GroupQueryCache()
+        execution = repository.executions_for("W1")[0]
+        prefix = policy.access_policy.prefix_for_level(ANALYST)
+
+        def compute():
+            return execution_view(execution, specification, prefix).graph
+
+        first = cache.get_or_compute(("analysts",), "view", compute)
+        second = cache.get_or_compute(("analysts",), "view", compute)
+        assert first is second
+        assert cache.stats().hits == 1
+
+
+class TestModulePrivacyPipeline:
+    def test_secure_view_blocks_the_adversary_end_to_end(self):
+        relation = ModuleRelation(
+            "M1",
+            inputs=[
+                Attribute("SNPs", (0, 1, 2), role="input"),
+                Attribute("ethnicity", (0, 1), role="input"),
+            ],
+            outputs=[Attribute("disorders", (0, 1, 2, 3), role="output", weight=4.0)],
+            rows={(s, e): ((s + 2 * e) % 4,) for s in (0, 1, 2) for e in (0, 1)},
+        )
+        requirements = WorkflowPrivacyRequirements().add(relation, gamma=4)
+        result = secure_view(requirements, solver="exact")
+        assert result.satisfied
+
+        execution = disease_susceptibility_execution()
+        masked = apply_secure_view(execution, result.hidden_labels)
+        hidden_values = {
+            item.data_id
+            for item in masked.data_items.values()
+            if item.value == "<hidden>"
+        }
+        assert hidden_values  # something was actually hidden
+
+        attack = ModuleFunctionAttack(
+            relation, result.hidden_labels & set(relation.attribute_names())
+        )
+        attack.observe_all()
+        assert attack.report().guess_success_rate <= 0.25 + 1e-9
+
+    def test_structural_privacy_comparison_on_the_running_example(self):
+        specification = disease_susceptibility_specification()
+        w3 = specification.workflow("W3")
+        results = compare_strategies(w3, [("M13", "M11")])
+        assert results["edge-deletion"].is_sound
+        assert not results["clustering"].is_sound
+        assert results["repaired-clustering"].is_sound
+        # The paper's qualitative ordering of information preserved.
+        assert (
+            results["clustering"].information_preserved
+            >= results["edge-deletion"].information_preserved
+        )
+
+
+class TestSearchPipeline:
+    def test_structural_query_from_the_paper(self):
+        specification = disease_susceptibility_specification()
+        executions = [
+            disease_susceptibility_execution(),
+            WorkflowExecutor(specification).execute({}, execution_id="r2"),
+        ]
+        matches = find_executions_where(
+            executions,
+            specification,
+            before=("Expand SNP Set", "Query OMIM"),
+            return_provenance_of="Query OMIM",
+        )
+        assert len(matches) == 2
+        for match in matches:
+            assert match.provenance is not None
+            assert any(node.module_id == "M5" for node in match.provenance)
+
+    def test_data_policy_composes_with_views(self):
+        specification = disease_susceptibility_specification()
+        execution = disease_susceptibility_execution()
+        data_policy = DataPrivacyPolicy().protect_label("disorders", OWNER)
+        view = execution_view(execution, specification, {"W1"})
+        masked = data_policy.mask_execution(view.graph, PUBLIC)
+        assert masked.data_item("d10").value == "<redacted>"
+        assert masked.data_item("d0").value is not None
+
+    def test_keyword_search_roundtrip_through_repository(self):
+        specification = disease_susceptibility_specification()
+        repository = WorkflowRepository()
+        repository.add_specification(specification)
+        answers = [
+            keyword_search(spec, "PubMed")
+            for spec in repository.specifications()
+        ]
+        assert answers[0] is not None
+        # "PubMed" matches both M7 (Query PubMed) and M12 (Search PubMed
+        # Central); the minimal answer picks whichever needs fewer expansions.
+        assert answers[0].matched_modules <= {"M7", "M12"}
+        assert answers[0].matched_modules
+
+    def test_access_policy_standalone(self):
+        specification = disease_susceptibility_specification()
+        access = AccessViewPolicy(specification)
+        access.grant_root_only(PUBLIC)
+        access.grant_full_access(OWNER)
+        access.validate()
+        assert access.visible_modules_for_user(User("p", level=PUBLIC)) == {
+            "I", "O", "M1", "M2",
+        }

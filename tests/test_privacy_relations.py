@@ -1,0 +1,132 @@
+"""Tests for module relations and the Gamma-privacy semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.execution.behaviors import TableBehavior
+from repro.privacy.relations import Attribute, ModuleRelation
+
+
+class TestAttribute:
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            Attribute("a", (), role="input")
+        with pytest.raises(PrivacyError):
+            Attribute("a", (1,), role="sideways")
+        with pytest.raises(PrivacyError):
+            Attribute("a", (1,), role="input", weight=-1.0)
+
+    def test_role_predicates(self):
+        assert Attribute("a", (1,), role="input").is_input
+        assert Attribute("a", (1,), role="output").is_output
+
+
+class TestConstruction:
+    def test_requires_inputs_outputs_and_rows(self):
+        attr_in = Attribute("x", (0, 1), role="input")
+        attr_out = Attribute("y", (0, 1), role="output")
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [], [attr_out], {(0,): (0,)})
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [attr_in], [], {(0,): (0,)})
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [attr_in], [attr_out], {})
+
+    def test_arity_and_domain_checks(self):
+        attr_in = Attribute("x", (0, 1), role="input")
+        attr_out = Attribute("y", (0, 1), role="output")
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [attr_in], [attr_out], {(0, 1): (0,)})
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [attr_in], [attr_out], {(0,): (0, 1)})
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [attr_in], [attr_out], {(7,): (0,)})
+
+    def test_duplicate_attribute_names_rejected(self):
+        a = Attribute("x", (0, 1), role="input")
+        b = Attribute("x", (0, 1), role="output")
+        with pytest.raises(PrivacyError):
+            ModuleRelation("M", [a], [b], {(0,): (0,)})
+
+    def test_from_function_enumerates_domains(self):
+        relation = ModuleRelation.from_function(
+            "ADD",
+            [Attribute("a", (0, 1), role="input"), Attribute("b", (0, 1), role="input")],
+            [Attribute("s", (0, 1, 2), role="output")],
+            lambda key: (key[0] + key[1],),
+        )
+        assert len(relation.rows) == 4
+        assert relation.output_for((1, 1)) == (2,)
+
+    def test_from_table_behavior(self):
+        behavior = TableBehavior(
+            ("a", "b"), ("c",), {(x, y): ((x * y) % 2,) for x in (0, 1) for y in (0, 1)}
+        )
+        relation = ModuleRelation.from_table_behavior("M", behavior, weights={"c": 4.0})
+        assert relation.input_names() == ("a", "b")
+        assert relation.attribute("c").weight == 4.0
+        assert relation.output_for((1, 1)) == (1,)
+
+    def test_random_relation_is_total_and_deterministic(self):
+        a = ModuleRelation.random("R", n_inputs=2, n_outputs=1, domain_size=3, seed=5)
+        b = ModuleRelation.random("R", n_inputs=2, n_outputs=1, domain_size=3, seed=5)
+        assert a.rows == b.rows
+        assert len(a.rows) == 9
+
+
+class TestGammaSemantics:
+    def test_hiding_nothing_reveals_everything(self, xor_relation):
+        assert xor_relation.achieved_gamma(set()) == 1
+        assert xor_relation.candidate_outputs((0, 1), set()) == 1
+
+    def test_hiding_output_gives_full_output_space(self, xor_relation):
+        assert xor_relation.achieved_gamma({"c"}) == 2
+        assert xor_relation.is_safe({"c"}, 2)
+
+    def test_hiding_one_input_of_xor_is_enough(self, xor_relation):
+        # XOR restricted to a known single input still has both outputs
+        # possible, so hiding either input achieves Gamma = 2.
+        assert xor_relation.achieved_gamma({"a"}) == 2
+        assert xor_relation.achieved_gamma({"b"}) == 2
+
+    def test_max_gamma_is_output_space(self, xor_relation, weighted_relation):
+        assert xor_relation.max_gamma() == 2
+        assert weighted_relation.max_gamma() == weighted_relation.output_space_size() == 9
+
+    def test_monotonicity_of_hiding(self, weighted_relation):
+        smaller = weighted_relation.achieved_gamma({"u"})
+        larger = weighted_relation.achieved_gamma({"u", "x"})
+        assert larger >= smaller
+
+    def test_candidate_outputs_requires_known_row_and_attributes(self, xor_relation):
+        with pytest.raises(PrivacyError):
+            xor_relation.candidate_outputs((5, 5), set())
+        with pytest.raises(PrivacyError):
+            xor_relation.achieved_gamma({"nope"})
+        with pytest.raises(PrivacyError):
+            xor_relation.is_safe({"a"}, 0)
+
+    def test_hiding_cost_uses_weights(self, weighted_relation):
+        assert weighted_relation.hiding_cost({"x"}) == 1.0
+        assert weighted_relation.hiding_cost({"y", "v"}) == 8.0
+
+    def test_constant_module_is_never_private_on_inputs_alone(self):
+        relation = ModuleRelation(
+            "CONST",
+            [Attribute("x", (0, 1, 2), role="input")],
+            [Attribute("y", (0, 1), role="output")],
+            {(i,): (1,) for i in (0, 1, 2)},
+        )
+        # Hiding the input cannot help: the output is always 1.
+        assert relation.achieved_gamma({"x"}) == 1
+        # Hiding the output is the only way to reach Gamma = 2.
+        assert relation.achieved_gamma({"y"}) == 2
+
+    def test_attribute_lookup(self, weighted_relation):
+        assert weighted_relation.attribute("v").weight == 5.0
+        with pytest.raises(PrivacyError):
+            weighted_relation.attribute("zzz")
+        assert weighted_relation.attribute_names() == ("x", "y", "u", "v")
+        assert "ModuleRelation" in repr(weighted_relation)

@@ -1,0 +1,247 @@
+"""Tests for structural privacy strategies, trade-off analysis and policies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import PolicyError, PrivacyError
+from repro.privacy.policy import PrivacyPolicy, StructuralTarget
+from repro.privacy.relations import Attribute, ModuleRelation
+from repro.privacy.structural_privacy import (
+    STRATEGIES,
+    clustering_for_pairs,
+    clustering_strategy,
+    compare_strategies,
+    edge_deletion_strategy,
+    grown_clustering_strategy,
+    minimum_edge_deletion,
+    repaired_clustering_strategy,
+)
+from repro.privacy.tradeoff import (
+    best_view_under_privacy,
+    pareto_front,
+    tradeoff_points,
+    view_privacy,
+    view_utility,
+)
+from repro.views.access import ANALYST, OWNER, PUBLIC, User
+from repro.views.soundness import actual_node_pairs
+from repro.views.spec_view import specification_view
+
+
+@pytest.fixture()
+def w3(gallery_spec):
+    return gallery_spec.workflow("W3")
+
+
+class TestEdgeDeletion:
+    def test_minimum_edge_deletion_disconnects_targets(self, w3):
+        removed = minimum_edge_deletion(w3, [("M13", "M11")])
+        pruned = w3.to_networkx()
+        pruned.remove_edges_from(removed)
+        assert not nx.has_path(pruned, "M13", "M11")
+        assert removed == {("M13", "M11")}  # a single direct edge suffices
+
+    def test_indirect_pair_requires_cut(self, w3):
+        removed = minimum_edge_deletion(w3, [("M9", "M15")])
+        pruned = w3.to_networkx()
+        pruned.remove_edges_from(removed)
+        assert not nx.has_path(pruned, "M9", "M15")
+        assert len(removed) >= 2  # two parallel branches reach M15
+
+    def test_strategy_result_metrics(self, w3):
+        result = edge_deletion_strategy(w3, [("M13", "M11")])
+        assert result.all_targets_hidden
+        assert result.is_sound
+        # Deleting M13 -> M11 also severs the only M12 -> M11 path (the
+        # "hides too much" drawback the paper mentions).
+        assert ("M12", "M11") in result.collateral_hidden_pairs
+        assert 0 < result.information_preserved < 1
+
+    def test_unknown_pair_rejected(self, w3):
+        with pytest.raises(PrivacyError):
+            edge_deletion_strategy(w3, [("M13", "M99")])
+
+    def test_already_disconnected_pair_is_free(self, w3):
+        result = edge_deletion_strategy(w3, [("M14", "M10")])
+        assert result.all_targets_hidden
+        assert result.removed_edges == frozenset()
+
+
+class TestClustering:
+    def test_clustering_for_pairs_merges_shared_endpoints(self):
+        clusters = clustering_for_pairs([("A", "B"), ("B", "C"), ("X", "Y")])
+        assert clusters["A"] == clusters["B"] == clusters["C"]
+        assert clusters["X"] == clusters["Y"]
+        assert clusters["A"] != clusters["X"]
+
+    def test_clustering_strategy_hides_target_but_is_unsound(self, w3):
+        result = clustering_strategy(w3, [("M13", "M11")])
+        assert result.all_targets_hidden
+        assert not result.is_sound
+        assert ("M10", "M14") in result.extraneous_pairs  # the paper's example
+        assert result.information_preserved == 1.0
+
+    def test_repaired_clustering_is_sound(self, w3):
+        result = repaired_clustering_strategy(w3, [("M13", "M11")])
+        assert result.is_sound
+        # Soundness costs privacy for a directly connected pair.
+        assert not result.all_targets_hidden
+
+    def test_repaired_clustering_can_keep_some_pairs_hidden(self, w3):
+        # Clustering M12 (Search PubMed Central) with M13 (Reformat) hides
+        # their mutual dependency without implying any false path, so the
+        # repair leaves the cluster untouched and the pair stays hidden.
+        result = repaired_clustering_strategy(w3, [("M12", "M13")])
+        assert result.is_sound
+        assert result.all_targets_hidden
+
+    def test_compare_strategies_and_registry(self, w3):
+        results = compare_strategies(w3, [("M13", "M11")])
+        assert set(results) == set(STRATEGIES)
+        with pytest.raises(PrivacyError):
+            compare_strategies(w3, [("M13", "M11")], strategies=("other",))
+
+    def test_grown_clustering_is_sound_and_hides_the_target(self, w3):
+        result = grown_clustering_strategy(w3, [("M13", "M11")])
+        assert result.is_sound
+        assert result.all_targets_hidden
+        # Soundness is bought by hiding more structure, not by exposing the
+        # target: collateral hidden pairs grow compared to plain clustering.
+        plain = clustering_strategy(w3, [("M13", "M11")])
+        assert len(result.collateral_hidden_pairs) >= len(plain.collateral_hidden_pairs)
+        assert result.information_preserved <= plain.information_preserved
+
+    def test_grown_clustering_handles_disjoint_pairs(self, w3):
+        result = grown_clustering_strategy(w3, [("M12", "M13"), ("M10", "M11")])
+        assert result.is_sound
+        assert result.all_targets_hidden
+
+    def test_summary_shape(self, w3):
+        summary = clustering_strategy(w3, [("M13", "M11")]).summary()
+        assert summary["strategy"] == "clustering"
+        assert summary["targets"] == 1
+        assert isinstance(summary["info_preserved"], float)
+
+    def test_total_true_pairs_matches_graph(self, w3):
+        result = edge_deletion_strategy(w3, [("M13", "M11")])
+        assert result.total_true_pairs == len(actual_node_pairs(w3.to_networkx()))
+
+
+class TestTradeoff:
+    def test_points_cover_all_prefixes(self, gallery_spec):
+        points = tradeoff_points(gallery_spec, ["M13"], [("M13", "M11")])
+        assert len(points) == 6
+        assert all(0.0 <= point.privacy <= 1.0 for point in points)
+
+    def test_privacy_extremes(self, gallery_spec):
+        points = tradeoff_points(gallery_spec, ["M13"], [("M13", "M11")])
+        by_prefix = {point.prefix: point for point in points}
+        root = by_prefix[frozenset({"W1"})]
+        full = by_prefix[frozenset({"W1", "W2", "W3", "W4"})]
+        assert root.privacy == 1.0
+        assert full.privacy == 0.0
+        assert full.utility > root.utility
+
+    def test_view_privacy_components(self, gallery_spec):
+        view = specification_view(gallery_spec, {"W1", "W3"})
+        privacy, hidden_modules, hidden_pairs = view_privacy(
+            view, ["M13", "M5"], [("M13", "M11")]
+        )
+        assert hidden_modules == 1  # M5 hidden, M13 visible
+        assert hidden_pairs == 0
+        assert privacy == pytest.approx(0.25)
+
+    def test_empty_sensitive_sets_mean_full_privacy(self, gallery_spec):
+        view = specification_view(gallery_spec, {"W1"})
+        privacy, _, _ = view_privacy(view, [], [])
+        assert privacy == 1.0
+        assert view_utility(view) > 0
+
+    def test_pareto_front_is_non_dominated(self, gallery_spec):
+        points = tradeoff_points(gallery_spec, ["M13", "M10"], [("M13", "M11")])
+        front = pareto_front(points)
+        assert front
+        for candidate in front:
+            assert not any(
+                other.privacy >= candidate.privacy
+                and other.utility >= candidate.utility
+                and (other.privacy > candidate.privacy or other.utility > candidate.utility)
+                for other in points
+            )
+
+    def test_best_view_under_privacy(self, gallery_spec, pipeline_spec):
+        best = best_view_under_privacy(
+            gallery_spec, ["M13"], [("M13", "M11")], minimum_privacy=1.0
+        )
+        assert best is not None
+        assert "W3" not in best.prefix
+        # A single-level pipeline has only the root view, so an atomic module
+        # declared there can never be hidden by choosing a coarser prefix.
+        impossible = best_view_under_privacy(
+            pipeline_spec, ["A"], [], minimum_privacy=1.0
+        )
+        assert impossible is None
+
+    def test_summary_shape(self, gallery_spec):
+        point = tradeoff_points(gallery_spec, ["M13"], [])[0]
+        summary = point.summary()
+        assert {"prefix", "privacy", "utility"}.issubset(summary)
+
+
+class TestPrivacyPolicy:
+    def make_relation(self) -> ModuleRelation:
+        return ModuleRelation(
+            "M1",
+            inputs=[Attribute("SNPs", (0, 1), role="input")],
+            outputs=[Attribute("disorders", (0, 1), role="output")],
+            rows={(0,): (0,), (1,): (1,)},
+        )
+
+    def test_structural_target_validation(self):
+        with pytest.raises(PolicyError):
+            StructuralTarget("A", "A")
+        with pytest.raises(PolicyError):
+            StructuralTarget("A", "B", minimum_level=-1)
+
+    def test_policy_composition(self, gallery_spec):
+        policy = PrivacyPolicy(gallery_spec)
+        policy.set_access_view(PUBLIC, {"W1"})
+        policy.set_access_view(OWNER, {"W1", "W2", "W3", "W4"})
+        policy.protect_data_label("SNPs", OWNER)
+        policy.hide_structure("M13", "M11", minimum_level=OWNER)
+        policy.require_module_privacy(self.make_relation(), 2)
+        policy.validate()
+
+        assert "SNPs" in policy.hidden_labels_for_level(PUBLIC)
+        assert policy.hidden_labels_for_level(OWNER) == set()
+        assert policy.structural_pairs_for_level(ANALYST) == {("M13", "M11")}
+        assert policy.structural_pairs_for_level(OWNER) == set()
+        secure = policy.secure_view_result()
+        assert secure is not None and secure.satisfied
+        # The module-privacy labels are hidden below module_privacy_level.
+        assert secure.hidden_labels <= policy.hidden_labels_for_level(PUBLIC)
+
+    def test_policy_rejects_unknown_modules_and_labels(self, gallery_spec):
+        policy = PrivacyPolicy(gallery_spec)
+        with pytest.raises(PolicyError):
+            policy.hide_structure("M13", "M99")
+        bad_relation = ModuleRelation(
+            "MX",
+            inputs=[Attribute("no-such-label", (0, 1), role="input")],
+            outputs=[Attribute("disorders", (0, 1), role="output")],
+            rows={(0,): (0,), (1,): (1,)},
+        )
+        policy.require_module_privacy(bad_relation, 2)
+        with pytest.raises(PolicyError):
+            policy.validate()
+
+    def test_prefix_for_user(self, gallery_spec):
+        policy = PrivacyPolicy(gallery_spec)
+        policy.set_access_view(PUBLIC, {"W1"})
+        policy.set_access_view(ANALYST, {"W1", "W2"})
+        assert policy.prefix_for_user(User("u", level=PUBLIC)) == frozenset({"W1"})
+        assert policy.prefix_for_user(User("u", level=ANALYST)) == frozenset(
+            {"W1", "W2"}
+        )

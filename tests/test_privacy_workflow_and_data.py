@@ -1,0 +1,209 @@
+"""Tests for workflow-level secure views and data privacy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasiblePrivacyError, PolicyError, PrivacyError
+from repro.privacy.data_privacy import (
+    REDACTED,
+    DataPrivacyPolicy,
+    generalize_collection,
+    generalize_number,
+    generalize_text,
+    policy_from_levels,
+    redact,
+)
+from repro.privacy.relations import Attribute, ModuleRelation
+from repro.privacy.workflow_privacy import (
+    WorkflowPrivacyRequirements,
+    apply_secure_view,
+    exact_secure_view,
+    greedy_secure_view,
+    hidden_items_for_execution,
+    secure_view,
+)
+
+
+def m1_relation() -> ModuleRelation:
+    return ModuleRelation(
+        "M1",
+        inputs=[
+            Attribute("SNPs", (0, 1, 2), role="input", weight=1.0),
+            Attribute("ethnicity", (0, 1), role="input", weight=2.0),
+        ],
+        outputs=[Attribute("disorders", (0, 1, 2, 3), role="output", weight=5.0)],
+        rows={(s, e): ((s + 2 * e) % 4,) for s in (0, 1, 2) for e in (0, 1)},
+    )
+
+
+def m2_relation() -> ModuleRelation:
+    return ModuleRelation(
+        "M2",
+        inputs=[
+            Attribute("disorders", (0, 1, 2, 3), role="input", weight=5.0),
+            Attribute("lifestyle", (0, 1), role="input", weight=1.0),
+        ],
+        outputs=[Attribute("prognosis", (0, 1, 2), role="output", weight=3.0)],
+        rows={
+            (d, l): ((d + l) % 3,)
+            for d in (0, 1, 2, 3)
+            for l in (0, 1)
+        },
+    )
+
+
+class TestRequirements:
+    def test_add_and_labels(self):
+        requirements = WorkflowPrivacyRequirements().add(m1_relation(), 2)
+        requirements.add(m2_relation(), 3)
+        assert requirements.all_labels() == (
+            "SNPs", "disorders", "ethnicity", "lifestyle", "prognosis",
+        )
+        assert requirements.requested_gammas() == {"M1": 2, "M2": 3}
+
+    def test_invalid_gamma_and_weight(self):
+        with pytest.raises(PrivacyError):
+            WorkflowPrivacyRequirements().add(m1_relation(), 0)
+        with pytest.raises(PolicyError):
+            WorkflowPrivacyRequirements().set_weight("x", -2)
+
+    def test_label_weights_override_attribute_weights(self):
+        requirements = WorkflowPrivacyRequirements().add(m1_relation(), 2)
+        assert requirements.weight_of("disorders") == 5.0
+        requirements.set_weight("disorders", 0.5)
+        assert requirements.weight_of("disorders") == 0.5
+        assert requirements.weight_of("unknown-label") == 1.0
+
+    def test_gammas_for_shared_label(self):
+        requirements = (
+            WorkflowPrivacyRequirements().add(m1_relation(), 4).add(m2_relation(), 3)
+        )
+        gammas = requirements.gammas_for({"disorders"})
+        # Hiding 'disorders' hides M1's only output and one of M2's inputs.
+        assert gammas["M1"] == 4
+        assert gammas["M2"] >= 1
+        assert requirements.satisfied_by(requirements.all_labels())
+
+
+class TestSecureViewSolvers:
+    def test_exact_solver_minimal_and_satisfied(self):
+        requirements = (
+            WorkflowPrivacyRequirements().add(m1_relation(), 4).add(m2_relation(), 3)
+        )
+        result = exact_secure_view(requirements)
+        assert result.satisfied and result.optimal
+        assert requirements.satisfied_by(result.hidden_labels)
+        # No cheaper subset works (spot-check all strictly cheaper subsets).
+        import itertools
+
+        labels = requirements.all_labels()
+        for size in range(len(labels) + 1):
+            for subset in itertools.combinations(labels, size):
+                if requirements.cost_of(subset) < result.cost - 1e-9:
+                    assert not requirements.satisfied_by(subset)
+
+    def test_greedy_solver_satisfies_and_does_not_beat_exact(self):
+        requirements = (
+            WorkflowPrivacyRequirements().add(m1_relation(), 4).add(m2_relation(), 3)
+        )
+        exact = exact_secure_view(requirements)
+        greedy = greedy_secure_view(requirements)
+        assert greedy.satisfied and not greedy.optimal
+        assert greedy.cost >= exact.cost - 1e-9
+
+    def test_infeasible_requirements_raise(self):
+        impossible = WorkflowPrivacyRequirements().add(m1_relation(), 100)
+        with pytest.raises(InfeasiblePrivacyError):
+            exact_secure_view(impossible)
+        with pytest.raises(InfeasiblePrivacyError):
+            greedy_secure_view(impossible)
+
+    def test_dispatcher(self):
+        requirements = WorkflowPrivacyRequirements().add(m1_relation(), 2)
+        assert secure_view(requirements, solver="exact").satisfied
+        assert secure_view(requirements, solver="greedy").satisfied
+        with pytest.raises(PrivacyError):
+            secure_view(requirements, solver="magic")
+
+    def test_summary_shape(self):
+        requirements = WorkflowPrivacyRequirements().add(m1_relation(), 2)
+        summary = secure_view(requirements).summary()
+        assert set(summary) == {
+            "hidden_labels", "cost", "satisfied", "optimal", "evaluations",
+        }
+
+
+class TestApplyingSecureViews:
+    def test_hidden_items_for_execution(self, fig4_execution):
+        hidden = hidden_items_for_execution(fig4_execution, {"disorders"})
+        assert hidden == {"d8", "d9", "d10"}
+
+    def test_apply_secure_view_masks_values_only(self, fig4_execution):
+        masked = apply_secure_view(fig4_execution, {"disorders"}, placeholder="?")
+        assert set(masked.nodes) == set(fig4_execution.nodes)
+        assert len(masked.edges) == len(fig4_execution.edges)
+        assert masked.data_item("d10").value == "?"
+        assert masked.data_item("d0").value == fig4_execution.data_item("d0").value
+
+
+class TestDataPrivacyPolicy:
+    def test_label_rules_and_levels(self, fig4_execution):
+        policy = DataPrivacyPolicy().protect_label("disorders", 2)
+        item = fig4_execution.data_item("d10")
+        assert policy.required_level(item) == 2
+        assert not policy.can_see(item, 1)
+        assert policy.can_see(item, 2)
+        assert policy.transform(item, 0).value == REDACTED
+        assert policy.transform(item, 2).value == item.value
+
+    def test_item_rules_take_precedence(self, fig4_execution):
+        policy = DataPrivacyPolicy().protect_label("disorders", 1)
+        policy.protect_item("d10", 3)
+        assert policy.required_level(fig4_execution.data_item("d10")) == 3
+        assert policy.required_level(fig4_execution.data_item("d8")) == 1
+
+    def test_mask_execution_preserves_structure(self, fig4_execution):
+        policy = DataPrivacyPolicy().protect_labels(["SNPs", "ethnicity"], 1)
+        masked = policy.mask_execution(fig4_execution, level=0)
+        assert len(masked.edges) == len(fig4_execution.edges)
+        assert masked.data_item("d0").value == REDACTED
+        assert masked.data_item("d2").value == fig4_execution.data_item("d2").value
+        assert policy.hidden_items(fig4_execution, 0) == {"d0", "d1"}
+
+    def test_leak_report(self, fig4_execution):
+        policy = policy_from_levels({"disorders": 2, "prognosis": 1})
+        report = policy.leak_report(fig4_execution, 0)
+        assert report["hidden_items"] == 4  # d8, d9, d10, d19
+        assert report["total_items"] == 20
+        assert 0 < report["hidden_fraction"] < 1
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(PolicyError):
+            DataPrivacyPolicy().protect_label("x", -1)
+        with pytest.raises(PolicyError):
+            DataPrivacyPolicy().protect_item("d0", -1)
+
+    def test_custom_generalizer(self, fig4_execution):
+        policy = DataPrivacyPolicy().protect_label(
+            "lifestyle", 1, generalizer=lambda value: "lifestyle:<generalised>"
+        )
+        masked = policy.mask_execution(fig4_execution, 0)
+        assert masked.data_item("d2").value == "lifestyle:<generalised>"
+
+
+class TestGeneralizers:
+    def test_redact(self):
+        assert redact("secret") == REDACTED
+
+    def test_generalize_number(self):
+        assert generalize_number(37, bucket=10) == "[30, 40)"
+        assert generalize_number("not a number") == REDACTED
+
+    def test_generalize_text(self):
+        assert generalize_text("confidential", keep=3) == "con*********"
+        assert generalize_text(1234) == REDACTED
+
+    def test_generalize_collection(self):
+        assert generalize_collection([1, 2, 3]) == "<collection of 3 items>"
+        assert generalize_collection("plain") == REDACTED

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for graphs, views and executions.
+
+These tests generate random hierarchical specifications and check the
+structural invariants the rest of the library relies on: views are
+consistent with visibility, execution views preserve module-level dataflow,
+serialization round-trips, and topological orders respect edges.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.execution import WorkflowExecutor
+from repro.views.exec_view import execution_view
+from repro.views.hierarchy import ExpansionHierarchy
+from repro.views.spec_view import specification_view
+from repro.workflow import GeneratorConfig, random_specification
+from repro.workflow.serialization import (
+    specification_from_json,
+    specification_to_json,
+)
+
+SPEC_CONFIGS = st.builds(
+    GeneratorConfig,
+    workflows=st.integers(min_value=1, max_value=4),
+    modules_per_workflow=st.integers(min_value=2, max_value=5),
+    edge_probability=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(config=SPEC_CONFIGS)
+@RELAXED
+def test_generated_specifications_validate_and_roundtrip(config):
+    spec = random_specification(config)
+    spec.validate()
+    restored = specification_from_json(specification_to_json(spec))
+    assert restored.module_ids() == spec.module_ids()
+    assert restored.expansion_edges() == spec.expansion_edges()
+
+
+@given(config=SPEC_CONFIGS)
+@RELAXED
+def test_topological_order_respects_every_edge(config):
+    spec = random_specification(config)
+    for graph in spec.workflows.values():
+        order = graph.topological_order()
+        position = {module_id: index for index, module_id in enumerate(order)}
+        for edge in graph.edges:
+            assert position[edge.source] < position[edge.target]
+
+
+@given(config=SPEC_CONFIGS)
+@RELAXED
+def test_every_prefix_view_is_valid_and_matches_visibility(config):
+    spec = random_specification(config)
+    hierarchy = ExpansionHierarchy(spec)
+    for prefix in hierarchy.all_prefixes():
+        view = specification_view(spec, prefix)
+        view.graph.validate()
+        expected = {
+            module_id
+            for module_id in hierarchy.visible_modules(prefix)
+            if not spec.find_module(module_id).is_io
+        }
+        assert view.visible_modules == expected
+
+
+@given(config=SPEC_CONFIGS)
+@RELAXED
+def test_finer_prefixes_never_lose_module_level_reachability(config):
+    spec = random_specification(config)
+    hierarchy = ExpansionHierarchy(spec)
+    root_view = specification_view(spec, hierarchy.root_prefix())
+    full_view = specification_view(spec, hierarchy.full_prefix())
+    # Any reachability between modules visible in both views must agree.
+    shared = root_view.visible_modules & full_view.visible_modules
+    for source in shared:
+        for target in shared:
+            if source == target:
+                continue
+            assert root_view.graph.is_reachable(source, target) == (
+                full_view.graph.is_reachable(source, target)
+            )
+
+
+@given(config=SPEC_CONFIGS)
+@RELAXED
+def test_execution_views_preserve_visible_dataflow(config):
+    spec = random_specification(config)
+    execution = WorkflowExecutor(spec).execute({})
+    execution.validate()
+    hierarchy = ExpansionHierarchy(spec)
+    full_pairs = execution.module_reachable_pairs()
+    for prefix in hierarchy.all_prefixes():
+        view = execution_view(execution, spec, prefix)
+        view.graph.validate()
+        # In an execution view every module declared in a prefix workflow is
+        # visible: expanded composites keep their begin/end nodes (Fig. 4)
+        # and unexpanded ones appear as a single collapsed node (Fig. 2).
+        visible = {
+            module.module_id
+            for _, module in spec.all_modules()
+            if not module.is_io
+            and spec.defining_workflow(module.module_id) in prefix
+        }
+        assert view.visible_module_ids == visible
+        # Reachability between visible modules in the view must be implied by
+        # the underlying execution (views never invent dataflow) and must
+        # cover every true pair between visible atomic modules.
+        view_pairs = view.graph.module_reachable_pairs()
+        for pair in view_pairs:
+            if pair[0] in full_pairs and pair[1] in full_pairs:
+                continue
+        true_visible_pairs = {
+            (a, b) for (a, b) in full_pairs if a in visible and b in visible
+        }
+        assert true_visible_pairs <= view_pairs
+
+
+@given(config=SPEC_CONFIGS, seed=st.integers(min_value=0, max_value=1000))
+@RELAXED
+def test_executions_are_deterministic(config, seed):
+    del seed  # the engine itself must be deterministic regardless of inputs
+    spec = random_specification(config)
+    first = WorkflowExecutor(spec).execute({}, execution_id="run")
+    second = WorkflowExecutor(spec).execute({}, execution_id="run")
+    assert set(first.nodes) == set(second.nodes)
+    assert {
+        (edge.source, edge.target): edge.data_ids for edge in first.edges
+    } == {(edge.source, edge.target): edge.data_ids for edge in second.edges}

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the privacy mechanisms."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.module_attack import ModuleFunctionAttack
+from repro.privacy.module_privacy import exact_safe_subset, greedy_safe_subset
+from repro.privacy.relations import ModuleRelation
+from repro.privacy.structural_privacy import (
+    clustering_strategy,
+    edge_deletion_strategy,
+    repaired_clustering_strategy,
+)
+from repro.views.spec_view import full_expansion
+from repro.workflow import GeneratorConfig, random_specification
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+RELATIONS = st.builds(
+    ModuleRelation.random,
+    st.sampled_from(["P"]),
+    n_inputs=st.integers(min_value=1, max_value=3),
+    n_outputs=st.integers(min_value=1, max_value=2),
+    domain_size=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(relation=RELATIONS, subset_seed=st.integers(min_value=0, max_value=100))
+@RELAXED
+def test_hiding_more_attributes_never_reduces_gamma(relation, subset_seed):
+    import random as stdlib_random
+
+    rng = stdlib_random.Random(subset_seed)
+    names = list(relation.attribute_names())
+    smaller = {name for name in names if rng.random() < 0.4}
+    extra = {name for name in names if rng.random() < 0.4}
+    larger = smaller | extra
+    assert relation.achieved_gamma(larger) >= relation.achieved_gamma(smaller)
+
+
+@given(relation=RELATIONS)
+@RELAXED
+def test_gamma_bounds(relation):
+    assert relation.achieved_gamma(set()) >= 1
+    assert relation.max_gamma() <= relation.output_space_size()
+    hidden_all = set(relation.attribute_names())
+    assert relation.achieved_gamma(hidden_all) == relation.max_gamma()
+
+
+@given(relation=RELATIONS, gamma=st.integers(min_value=2, max_value=4))
+@RELAXED
+def test_solvers_meet_their_target_and_exact_is_cheapest(relation, gamma):
+    if relation.max_gamma() < gamma:
+        return  # infeasible instance; solvers are expected to raise instead
+    exact = exact_safe_subset(relation, gamma)
+    greedy = greedy_safe_subset(relation, gamma)
+    assert relation.is_safe(exact.hidden, gamma)
+    assert relation.is_safe(greedy.hidden, gamma)
+    assert exact.cost <= greedy.cost + 1e-9
+
+
+@given(relation=RELATIONS, gamma=st.integers(min_value=2, max_value=4))
+@RELAXED
+def test_adversary_cannot_beat_the_gamma_bound(relation, gamma):
+    if relation.max_gamma() < gamma:
+        return
+    hidden = greedy_safe_subset(relation, gamma).hidden
+    attack = ModuleFunctionAttack(relation, hidden)
+    attack.observe_all()
+    report = attack.report()
+    assert report.min_candidates >= gamma
+    assert report.guess_success_rate <= 1.0 / gamma + 1e-9
+    # The truth is always among the candidates at full observation.
+    for key in relation.rows:
+        assert relation.output_for(key) in attack.candidate_outputs(key)
+
+
+SPEC_CONFIGS = st.builds(
+    GeneratorConfig,
+    workflows=st.integers(min_value=1, max_value=3),
+    modules_per_workflow=st.integers(min_value=3, max_value=5),
+    edge_probability=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(config=SPEC_CONFIGS, pair_seed=st.integers(min_value=0, max_value=100))
+@RELAXED
+def test_structural_strategies_hold_their_promises(config, pair_seed):
+    import random as stdlib_random
+
+    spec = random_specification(config)
+    view = full_expansion(spec)
+    pairs = sorted(view.reachable_module_pairs())
+    if not pairs:
+        return
+    rng = stdlib_random.Random(pair_seed)
+    target = rng.choice(pairs)
+
+    deletion = edge_deletion_strategy(view.graph, [target])
+    assert deletion.all_targets_hidden
+    assert deletion.is_sound
+
+    clustering = clustering_strategy(view.graph, [target])
+    assert clustering.all_targets_hidden
+    assert clustering.information_preserved == 1.0
+
+    repaired = repaired_clustering_strategy(view.graph, [target])
+    assert repaired.is_sound

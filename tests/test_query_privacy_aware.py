@@ -1,0 +1,179 @@
+"""Tests for the privacy-aware query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.privacy import PrivacyPolicy
+from repro.query.keyword import keyword_search
+from repro.query.privacy_aware import PrivacyAwareQueryEngine, QueryResult
+from repro.views.access import ANALYST, OWNER, PUBLIC, User
+
+FIG5_QUERY = "Database, Disorder Risks"
+
+
+@pytest.fixture()
+def policy(gallery_spec):
+    policy = PrivacyPolicy(gallery_spec)
+    policy.set_access_view(PUBLIC, {"W1"})
+    policy.set_access_view(ANALYST, {"W1", "W2", "W4"})
+    policy.set_access_view(OWNER, {"W1", "W2", "W3", "W4"})
+    policy.protect_data_label("disorders", OWNER)
+    policy.protect_data_label("SNPs", ANALYST)
+    policy.hide_structure("M13", "M11", minimum_level=OWNER)
+    return policy
+
+
+@pytest.fixture()
+def engine(gallery_spec, policy, fig4_execution):
+    return PrivacyAwareQueryEngine(gallery_spec, policy, [fig4_execution])
+
+
+@pytest.fixture()
+def public_user():
+    return User("public", level=PUBLIC)
+
+
+@pytest.fixture()
+def analyst_user():
+    return User("analyst", level=ANALYST)
+
+
+@pytest.fixture()
+def owner_user():
+    return User("owner", level=OWNER)
+
+
+class TestKeywordSearch:
+    def test_owner_gets_the_oblivious_answer(self, engine, owner_user, gallery_spec):
+        result = engine.keyword_search(owner_user, FIG5_QUERY)
+        oblivious = keyword_search(gallery_spec, FIG5_QUERY)
+        assert result.ok
+        assert result.answer.prefix == oblivious.prefix
+        assert result.answer.view.visible_modules == oblivious.view.visible_modules
+
+    def test_public_user_gets_no_answer(self, engine, public_user):
+        result = engine.keyword_search(public_user, FIG5_QUERY)
+        assert result.status == "empty"
+        assert "Database" in result.note
+
+    def test_analyst_answer_matches_access_view(self, engine, analyst_user):
+        result = engine.keyword_search(analyst_user, FIG5_QUERY)
+        assert result.ok
+        assert result.answer.prefix <= frozenset({"W1", "W2", "W4"})
+        assert "M5" in result.answer.view.visible_modules
+
+    def test_strategies_agree(self, engine, public_user, analyst_user, owner_user):
+        for user in (public_user, analyst_user, owner_user):
+            for query in (FIG5_QUERY, "disorder risks", "pubmed", "nonexistent"):
+                view_first = engine.keyword_search(user, query, strategy="view-first")
+                zoom_out = engine.keyword_search(user, query, strategy="zoom-out")
+                assert view_first.status == zoom_out.status
+                if view_first.ok:
+                    assert (
+                        view_first.answer.view.visible_modules
+                        == zoom_out.answer.view.visible_modules
+                    )
+
+    def test_unknown_strategy_rejected(self, engine, owner_user):
+        with pytest.raises(QueryError):
+            engine.keyword_search(owner_user, FIG5_QUERY, strategy="psychic")
+
+    def test_protected_structure_forces_coarsening(self, gallery_spec, fig4_execution):
+        # Protect the (M3 -> M8) connectivity from analysts; a query whose
+        # minimal answer would expose it must be coarsened or denied.
+        policy = PrivacyPolicy(gallery_spec)
+        policy.set_access_view(ANALYST, {"W1", "W2", "W4"})
+        policy.hide_structure("M3", "M8", minimum_level=OWNER)
+        engine = PrivacyAwareQueryEngine(gallery_spec, policy, [fig4_execution])
+        analyst = User("a", level=ANALYST)
+        result = engine.keyword_search(analyst, "OMIM")
+        if result.ok:
+            pairs = result.answer.view.reachable_module_pairs()
+            assert ("M3", "M8") not in pairs
+        else:
+            assert result.status == "denied"
+
+    def test_keyword_search_many(self, engine, owner_user):
+        results = engine.keyword_search_many(owner_user, [FIG5_QUERY, "pubmed"])
+        assert len(results) == 2
+        assert all(isinstance(result, QueryResult) for result in results)
+        assert all(result.ok for result in results)
+
+
+class TestProvenanceQueries:
+    def test_owner_sees_full_values(self, engine, owner_user, fig4_execution):
+        result = engine.provenance(owner_user, fig4_execution, "d10")
+        assert result.ok
+        assert result.masked_items == 0
+        assert "S7:M8" in result.answer.nodes
+
+    def test_analyst_sees_structure_with_masked_values(
+        self, engine, analyst_user, fig4_execution
+    ):
+        result = engine.provenance(analyst_user, fig4_execution, "d10")
+        assert result.ok
+        # The analyst's access view keeps W2/W4 expanded, so the provenance
+        # has the same shape, but 'disorders' values are hidden.
+        assert result.masked_items > 0
+        masked_item = result.answer.data_item("d10")
+        assert masked_item.value != fig4_execution.data_item("d10").value
+
+    def test_public_user_cannot_query_internal_data(
+        self, engine, public_user, fig4_execution
+    ):
+        result = engine.provenance(public_user, fig4_execution, "d5")
+        assert result.status == "denied"
+
+    def test_public_user_sees_collapsed_provenance_of_visible_data(
+        self, engine, public_user, fig4_execution
+    ):
+        result = engine.provenance(public_user, fig4_execution, "d19")
+        assert result.ok
+        assert set(result.answer.nodes) <= {"I", "S1:M1", "S8:M2", "O"}
+
+
+class TestExecutionOrderQueries:
+    def test_owner_sees_protected_pair(self, engine, owner_user, fig4_execution):
+        result = engine.executed_before(owner_user, fig4_execution, "M13", "M11")
+        assert result.ok and result.answer is True
+
+    def test_protected_pair_denied_below_level(
+        self, engine, analyst_user, fig4_execution
+    ):
+        result = engine.executed_before(analyst_user, fig4_execution, "M13", "M11")
+        assert result.status == "denied"
+        reverse = engine.executed_before(analyst_user, fig4_execution, "M11", "M13")
+        assert reverse.status == "denied"
+
+    def test_invisible_modules_give_empty(self, engine, public_user, fig4_execution):
+        result = engine.executed_before(public_user, fig4_execution, "M3", "M6")
+        assert result.status == "empty"
+
+    def test_visible_pair_answered_on_user_view(
+        self, engine, analyst_user, fig4_execution
+    ):
+        result = engine.executed_before(analyst_user, fig4_execution, "M3", "M8")
+        assert result.ok and result.answer is True
+        negative = engine.executed_before(analyst_user, fig4_execution, "M8", "M3")
+        assert negative.ok and negative.answer is False
+
+    def test_composite_pair_answerable_even_with_full_access(
+        self, engine, owner_user, fig4_execution
+    ):
+        # M1 and M2 only appear in coarse views, but the owner may see those
+        # views too, so the question is answerable.
+        result = engine.executed_before(owner_user, fig4_execution, "M1", "M2")
+        assert result.ok and result.answer is True
+
+
+class TestEngineConstruction:
+    def test_mismatched_policy_rejected(self, gallery_spec, pipeline_spec):
+        policy = PrivacyPolicy(pipeline_spec)
+        with pytest.raises(QueryError):
+            PrivacyAwareQueryEngine(gallery_spec, policy)
+
+    def test_query_result_flags(self):
+        assert QueryResult(status="ok").ok
+        assert not QueryResult(status="denied").ok

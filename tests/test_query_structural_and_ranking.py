@@ -1,0 +1,178 @@
+"""Tests for structural queries and (privacy-aware) ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ranking import (
+    TfIdfIndex,
+    bucketize_scores,
+    frequency_inference_error,
+    infer_term_counts,
+    kendall_tau,
+    privacy_aware_rank,
+    ranking_quality,
+)
+from repro.query.structural import (
+    PathQuery,
+    data_produced_by,
+    executed_before,
+    find_executions_where,
+    module_for_name,
+    path_query_matches,
+    provenance_of_data,
+    provenance_of_module,
+)
+
+
+class TestStructuralQueries:
+    def test_executed_before_by_name_and_id(self, gallery_spec, fig4_execution):
+        assert executed_before(fig4_execution, gallery_spec, "Expand SNP Set", "Query OMIM")
+        assert executed_before(fig4_execution, gallery_spec, "M3", "M6")
+        assert not executed_before(fig4_execution, gallery_spec, "Query OMIM", "Expand SNP Set")
+        assert not executed_before(fig4_execution, gallery_spec, "M14", "M10")
+
+    def test_unknown_module_reference_raises(self, gallery_spec, fig4_execution):
+        with pytest.raises(QueryError):
+            executed_before(fig4_execution, gallery_spec, "no such module", "M6")
+
+    def test_provenance_of_module(self, gallery_spec, fig4_execution):
+        subgraph = provenance_of_module(fig4_execution, gallery_spec, "Query OMIM")
+        assert "S5:M6" in subgraph.nodes
+        assert "S4:M5" in subgraph.nodes
+        assert "S15:M15" not in subgraph.nodes
+
+    def test_provenance_of_module_not_executed(self, gallery_spec, fig4_execution):
+        pruned = fig4_execution.induced_subgraph(
+            set(fig4_execution.nodes) - {"S5:M6"}
+        )
+        with pytest.raises(QueryError):
+            provenance_of_module(pruned, gallery_spec, "Query OMIM")
+
+    def test_data_produced_by(self, gallery_spec, fig4_execution):
+        assert data_produced_by(fig4_execution, gallery_spec, "Combine Disorder Sets") == {"d10"}
+        assert data_produced_by(fig4_execution, gallery_spec, "M9") == {"d11", "d12"}
+
+    def test_path_query(self, gallery_spec, fig4_execution):
+        assert path_query_matches(
+            fig4_execution, gallery_spec, PathQuery(("M3", "M5", "M8"))
+        )
+        assert path_query_matches(
+            fig4_execution,
+            gallery_spec,
+            PathQuery(("Expand SNP Set", "Combine Disorder Sets", "Combine")),
+        )
+        assert not path_query_matches(
+            fig4_execution, gallery_spec, PathQuery(("M8", "M3"))
+        )
+        with pytest.raises(QueryError):
+            PathQuery(("only-one",))
+
+    def test_find_executions_where(self, gallery_spec, fig4_execution, engine_execution):
+        matches = find_executions_where(
+            [fig4_execution, engine_execution],
+            gallery_spec,
+            before=("Expand SNP Set", "Query OMIM"),
+            return_provenance_of="Query OMIM",
+        )
+        assert {m.execution_id for m in matches} == {
+            fig4_execution.execution_id,
+            engine_execution.execution_id,
+        }
+        for match in matches:
+            assert match.provenance is not None
+            assert any(node.module_id == "M6" for node in match.provenance)
+
+    def test_find_executions_with_path_filter(self, gallery_spec, fig4_execution):
+        matches = find_executions_where(
+            [fig4_execution], gallery_spec, path=("M9", "M13", "M15")
+        )
+        assert len(matches) == 1
+        none = find_executions_where(
+            [fig4_execution], gallery_spec, path=("M14", "M10")
+        )
+        assert none == []
+
+    def test_provenance_of_data_wrapper(self, fig4_execution):
+        assert "S7:M8" in provenance_of_data(fig4_execution, "d10").nodes
+
+    def test_module_for_name(self, gallery_spec):
+        assert module_for_name(gallery_spec, "Reformat").module_id == "M13"
+        with pytest.raises(QueryError):
+            module_for_name(gallery_spec, "database")  # ambiguous (M4 and M5)
+
+
+class TestTfIdfIndex:
+    @pytest.fixture()
+    def index(self):
+        index = TfIdfIndex()
+        index.add_document("doc-a", ["disorder disorder disorder database"])
+        index.add_document("doc-b", ["database query"])
+        index.add_document("doc-c", ["alignment imaging"])
+        return index
+
+    def test_counts_and_frequencies(self, index):
+        assert index.term_count("doc-a", "disorder") == 3
+        assert index.document_frequency("database") == 2
+        assert index.inverse_document_frequency("disorder") > index.inverse_document_frequency("database")
+
+    def test_ranking_order(self, index):
+        ranking = index.rank("disorder database")
+        assert [doc for doc, _ in ranking] == ["doc-a", "doc-b", "doc-c"]
+        assert ranking[2][1] == 0.0
+
+    def test_duplicate_and_unknown_documents(self, index):
+        with pytest.raises(QueryError):
+            index.add_document("doc-a", ["x"])
+        with pytest.raises(QueryError):
+            index.term_count("doc-z", "x")
+
+    def test_query_terms_accept_sequences(self, index):
+        assert index.scores(["Disorder", "database"]) == index.scores("disorder database")
+
+
+class TestPrivacyAwareRanking:
+    @pytest.fixture()
+    def index(self):
+        index = TfIdfIndex()
+        for number in range(6):
+            index.add_document(f"doc{number}", ["disorder " * number, "filler text"])
+        return index
+
+    def test_bucketize_scores(self, index):
+        scores = index.scores("disorder")
+        buckets = bucketize_scores(scores, bucket_width=1.0)
+        assert all(b <= s for b, s in zip(buckets.values(), scores.values()))
+        with pytest.raises(QueryError):
+            bucketize_scores(scores, bucket_width=0)
+
+    def test_exact_scores_leak_counts(self, index):
+        leak = frequency_inference_error(index, "disorder", index.scores("disorder"))
+        assert leak["exact_recovery_rate"] == 1.0
+        assert leak["mean_absolute_error"] == 0.0
+
+    def test_bucketized_scores_leak_less(self, index):
+        published = bucketize_scores(index.scores("disorder"), bucket_width=3.0)
+        leak = frequency_inference_error(index, "disorder", published)
+        assert leak["exact_recovery_rate"] < 1.0
+        assert leak["mean_absolute_error"] > 0.0
+
+    def test_infer_term_counts_requires_positive_idf(self):
+        with pytest.raises(QueryError):
+            infer_term_counts({"doc": 1.0}, idf=0.0)
+
+    def test_privacy_aware_rank_and_quality(self, index):
+        exact = index.rank("disorder")
+        published = privacy_aware_rank(index, "disorder", bucket_width=0.5)
+        quality = ranking_quality(exact, published)
+        assert -1.0 <= quality <= 1.0
+        wide = privacy_aware_rank(index, "disorder", bucket_width=50.0)
+        assert ranking_quality(exact, wide) <= quality + 1e-9
+
+    def test_kendall_tau_properties(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+        assert kendall_tau(["a"], ["a"]) == 1.0
+        with pytest.raises(QueryError):
+            kendall_tau(["a", "b"], ["a", "c"])

@@ -1,0 +1,177 @@
+"""Tests for text matching, keyword search and the query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError, QueryParseError
+from repro.query.keyword import (
+    KeywordQuery,
+    deepest_matches,
+    keyword_search,
+    keyword_search_corpus,
+    matching_modules,
+    module_descendants,
+    module_search_terms,
+)
+from repro.query.language import (
+    BeforeQuery,
+    ModuleProvenanceQuery,
+    ProvenanceQuery,
+    parse_query,
+)
+from repro.query.structural import PathQuery
+from repro.query.text import (
+    normalized_tokens,
+    parse_phrases,
+    phrase_matches,
+    stem,
+    term_set,
+    tokenize,
+)
+from repro.workflow import small_pipeline_specification
+
+
+class TestTextUtilities:
+    def test_tokenize_lowers_and_splits(self):
+        assert tokenize("Query OMIM, fast!") == ["query", "omim", "fast"]
+
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("risks", "risk"),
+            ("databases", "database"),
+            ("risk", "risk"),
+            ("gps", "gps"),       # short tokens untouched
+            ("class", "class"),   # -ss endings untouched
+        ],
+    )
+    def test_stem(self, token, expected):
+        assert stem(token) == expected
+
+    def test_normalized_tokens(self):
+        assert normalized_tokens("Disorder Risks") == ["disorder", "risk"]
+
+    def test_term_set_and_phrase_matches(self):
+        terms = term_set(("Evaluate Disorder Risk", "prognosis"))
+        assert phrase_matches("disorder risks", terms)
+        assert phrase_matches("Prognosis", terms)
+        assert not phrase_matches("database", terms)
+        assert not phrase_matches("", terms)
+
+    def test_parse_phrases(self):
+        assert parse_phrases('Database, "Disorder Risks"') == (
+            "Disorder Risks",
+            "Database",
+        )
+        assert parse_phrases("alpha, beta") == ("alpha", "beta")
+        assert parse_phrases("   ") == ()
+
+
+class TestMatching:
+    def test_module_search_terms(self, gallery_spec):
+        terms = module_search_terms(gallery_spec.find_module("M2"))
+        assert {"evaluate", "disorder", "risk"}.issubset(terms)
+
+    def test_matching_modules(self, gallery_spec):
+        assert matching_modules(gallery_spec, "database") == {"M4", "M5"}
+        assert matching_modules(gallery_spec, "disorder risks") == {"M2"}
+        assert matching_modules(gallery_spec, "pubmed") == {"M7", "M12"}
+        assert matching_modules(gallery_spec, "nonexistent term") == set()
+
+    def test_module_descendants(self, gallery_spec):
+        assert module_descendants(gallery_spec, "M1") == {
+            "M3", "M4", "M5", "M6", "M7", "M8",
+        }
+        assert module_descendants(gallery_spec, "M4") == {"M5", "M6", "M7", "M8"}
+        assert module_descendants(gallery_spec, "M5") == set()
+
+    def test_deepest_matches_prefer_specific_modules(self, gallery_spec):
+        # "database" matches both M4 (composite) and M5 (inside it); the
+        # deepest match is M5 only.
+        assert deepest_matches(gallery_spec, "database") == {"M5"}
+        assert deepest_matches(gallery_spec, "disorder risks") == {"M2"}
+
+
+class TestKeywordSearch:
+    def test_fig5_answer(self, gallery_spec):
+        answer = keyword_search(gallery_spec, "Database, Disorder Risks")
+        assert answer is not None
+        assert answer.prefix == frozenset({"W1", "W2", "W4"})
+        assert dict(answer.matches) == {"Database": "M5", "Disorder Risks": "M2"}
+        assert answer.view.visible_modules == {"M2", "M3", "M5", "M6", "M7", "M8"}
+        assert "M5" in answer.matched_modules
+        assert "Database" in answer.render()
+
+    def test_single_keyword_minimal_view(self, gallery_spec):
+        answer = keyword_search(gallery_spec, "disorder risks")
+        assert answer is not None
+        assert answer.prefix == frozenset({"W1"})
+        assert answer.view.visible_modules == {"M1", "M2"}
+
+    def test_unmatched_keyword_returns_none(self, gallery_spec):
+        assert keyword_search(gallery_spec, "quantum entanglement") is None
+        assert keyword_search(gallery_spec, "database, quantum") is None
+
+    def test_query_object_and_parsing(self):
+        query = KeywordQuery.parse("PubMed, summary")
+        assert query.phrases == ("PubMed", "summary")
+        assert str(query) == "PubMed, summary"
+        with pytest.raises(QueryError):
+            KeywordQuery(())
+        with pytest.raises(QueryError):
+            KeywordQuery.parse("   ")
+
+    def test_corpus_search_skips_non_matching_specs(self, gallery_spec):
+        corpus = [gallery_spec, small_pipeline_specification()]
+        answers = keyword_search_corpus(corpus, "disorders")
+        assert [a.specification_id for a in answers] == ["W1"]
+
+    def test_multi_phrase_answer_is_minimal(self, gallery_spec):
+        # Both keywords live inside W3, so only W3 needs to be expanded.
+        answer = keyword_search(gallery_spec, "reformat, summarize")
+        assert answer is not None
+        assert answer.prefix == frozenset({"W1", "W3"})
+
+
+class TestQueryLanguage:
+    def test_keyword_queries(self):
+        parsed = parse_query('KEYWORD Database, "Disorder Risks"')
+        assert isinstance(parsed, KeywordQuery)
+        assert set(parsed.phrases) == {"Database", "Disorder Risks"}
+        bare = parse_query("disorder risk, database")
+        assert isinstance(bare, KeywordQuery)
+
+    def test_path_and_before_queries(self):
+        path = parse_query('PATH "Expand SNP Set" -> "Query OMIM" -> M8')
+        assert isinstance(path, PathQuery)
+        assert path.steps == ("Expand SNP Set", "Query OMIM", "M8")
+        before = parse_query('BEFORE "Expand SNP Set" -> "Query OMIM"')
+        assert isinstance(before, BeforeQuery)
+        assert before.first == "Expand SNP Set"
+
+    def test_provenance_queries(self):
+        assert parse_query("PROVENANCE d10") == ProvenanceQuery("d10")
+        parsed = parse_query('PROVENANCE MODULE "Query OMIM"')
+        assert parsed == ModuleProvenanceQuery("Query OMIM")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "PATH onlyone",
+            "BEFORE a -> b -> c",
+            "PROVENANCE",
+            "PROVENANCE MODULE ",
+            "KEYWORD    ",
+        ],
+    )
+    def test_malformed_queries_rejected(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_str_forms(self):
+        assert "BEFORE" in str(BeforeQuery("a", "b"))
+        assert str(ProvenanceQuery("d1")) == "PROVENANCE d1"
+        assert "MODULE" in str(ModuleProvenanceQuery("X"))

@@ -1,0 +1,248 @@
+"""Tests for the repository, indexes, materialised views and caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateEntryError, StorageError, UnknownEntryError
+from repro.execution import WorkflowExecutor, disease_susceptibility_execution
+from repro.privacy import PrivacyPolicy
+from repro.storage.cache import GroupQueryCache
+from repro.storage.index import KeywordIndex, LeveledKeywordIndex, ReachabilityIndex
+from repro.storage.materialized import MaterializedViewStore
+from repro.storage.repository import WorkflowRepository
+from repro.views.access import ANALYST, OWNER, PUBLIC, AccessViewPolicy
+from repro.workflow import small_pipeline_specification
+
+
+@pytest.fixture()
+def access_policy(gallery_spec):
+    policy = AccessViewPolicy(gallery_spec)
+    policy.grant_root_only(PUBLIC)
+    policy.set_level(ANALYST, {"W1", "W2", "W4"})
+    policy.grant_full_access(OWNER)
+    return policy
+
+
+class TestRepository:
+    def test_add_and_lookup(self, gallery_spec, fig4_execution):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec, policy=PrivacyPolicy(gallery_spec))
+        repository.add_execution(fig4_execution)
+        assert repository.specification("W1") is gallery_spec
+        assert repository.execution("W1", fig4_execution.execution_id) is fig4_execution
+        assert repository.executions_for("W1") == [fig4_execution]
+        assert repository.policy("W1") is not None
+        assert "W1" in repository and len(repository) == 1
+
+    def test_duplicates_rejected(self, gallery_spec, fig4_execution):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec)
+        with pytest.raises(DuplicateEntryError):
+            repository.add_specification(gallery_spec)
+        repository.add_execution(fig4_execution)
+        with pytest.raises(DuplicateEntryError):
+            repository.add_execution(fig4_execution)
+
+    def test_unknown_lookups_raise(self, gallery_spec):
+        repository = WorkflowRepository()
+        with pytest.raises(UnknownEntryError):
+            repository.specification("W1")
+        repository.add_specification(gallery_spec)
+        with pytest.raises(UnknownEntryError):
+            repository.execution("W1", "missing")
+        with pytest.raises(UnknownEntryError):
+            repository.remove_specification("other")
+
+    def test_statistics_and_iteration(self, gallery_spec, fig4_execution):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec)
+        repository.add_specification(small_pipeline_specification())
+        repository.add_executions([fig4_execution])
+        stats = repository.statistics()
+        assert stats["specifications"] == 2
+        assert stats["executions"] == 1
+        assert stats["data_items"] == 20
+        assert len(list(repository.all_executions())) == 1
+        assert "WorkflowRepository" in repr(repository)
+
+    def test_remove_specification_drops_executions(self, gallery_spec, fig4_execution):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec)
+        repository.add_execution(fig4_execution)
+        repository.remove_specification("W1")
+        assert "W1" not in repository
+
+    def test_set_policy_later(self, gallery_spec):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec)
+        assert repository.policy("W1") is None
+        repository.set_policy("W1", PrivacyPolicy(gallery_spec))
+        assert repository.policy("W1") is not None
+
+
+class TestKeywordIndex:
+    def test_lookup_and_size(self, gallery_spec):
+        index = KeywordIndex()
+        index.add_specification(gallery_spec)
+        assert ("W1", "M5") in index.lookup("database")
+        assert ("W1", "M4") in index.lookup("database")
+        assert index.lookup_all(["disorder", "risk"]) == {("W1", "M2")}
+        assert index.lookup("nonexistent") == set()
+        assert index.vocabulary_size() > 10
+        assert index.size() > 20
+
+    def test_duplicate_specification_rejected(self, gallery_spec):
+        index = KeywordIndex()
+        index.add_specification(gallery_spec)
+        with pytest.raises(StorageError):
+            index.add_specification(gallery_spec)
+
+
+class TestLeveledKeywordIndex:
+    def test_postings_respect_visibility(self, gallery_spec, access_policy):
+        index = LeveledKeywordIndex()
+        index.add_specification(gallery_spec, access_policy)
+        assert index.lookup(PUBLIC, "database") == set()
+        assert ("W1", "M5") in index.lookup(ANALYST, "database")
+        assert index.lookup(PUBLIC, "risk") == {("W1", "M2")}
+        # M13 only becomes visible at the owner level.
+        assert index.lookup(ANALYST, "reformat") == set()
+        assert index.lookup(OWNER, "reformat") == {("W1", "M13")}
+
+    def test_level_fallback_and_errors(self, gallery_spec, access_policy):
+        index = LeveledKeywordIndex()
+        index.add_specification(gallery_spec, access_policy)
+        # Level 5 is not configured: falls back to the highest configured level.
+        assert index.lookup(5, "reformat") == {("W1", "M13")}
+        empty = LeveledKeywordIndex()
+        with pytest.raises(StorageError):
+            empty.lookup(PUBLIC, "database")
+
+    def test_space_grows_with_levels(self, gallery_spec, access_policy):
+        global_index = KeywordIndex()
+        global_index.add_specification(gallery_spec)
+        leveled = LeveledKeywordIndex()
+        leveled.add_specification(gallery_spec, access_policy)
+        assert leveled.size() >= global_index.size()
+
+
+class TestReachabilityIndex:
+    def test_per_level_answers(self, gallery_spec, access_policy):
+        index = ReachabilityIndex()
+        index.add_specification(gallery_spec, access_policy)
+        assert index.is_reachable(PUBLIC, "W1", "M1", "M2") is True
+        assert index.is_reachable(PUBLIC, "W1", "M2", "M1") is False
+        # M5 is not visible at the public level.
+        assert index.is_reachable(PUBLIC, "W1", "M5", "M2") is None
+        assert index.is_reachable(ANALYST, "W1", "M5", "M2") is True
+        assert index.is_reachable(OWNER, "W1", "M13", "M11") is True
+        assert index.visible_modules(PUBLIC, "W1") == {"M1", "M2"}
+        assert index.size() > 0
+
+    def test_unknown_level_or_spec(self, gallery_spec, access_policy):
+        index = ReachabilityIndex()
+        with pytest.raises(StorageError):
+            index.is_reachable(PUBLIC, "W1", "M1", "M2")
+        index.add_specification(gallery_spec, access_policy)
+        with pytest.raises(StorageError):
+            index.is_reachable(PUBLIC, "other", "M1", "M2")
+
+
+class TestMaterializedViewStore:
+    def test_materialize_and_lookup(self, gallery_spec, fig4_execution, access_policy):
+        store = MaterializedViewStore()
+        store.materialize_specification(gallery_spec, access_policy)
+        store.materialize_execution(gallery_spec, fig4_execution, access_policy)
+        public_view = store.specification_view_for(PUBLIC, "W1")
+        assert public_view.visible_modules == {"M1", "M2"}
+        owner_view = store.specification_view_for(OWNER, "W1")
+        assert "M13" in owner_view.visible_modules
+        execution_view = store.execution_view_for(
+            PUBLIC, "W1", fig4_execution.execution_id
+        )
+        assert set(execution_view.nodes) == {"I", "O", "S1:M1", "S8:M2"}
+        space = store.space_cost()
+        assert space["specification_views"] == 3
+        assert space["execution_views"] == 3
+        assert space["total_elements"] > 0
+
+    def test_missing_materialisation_raises(self, gallery_spec, access_policy):
+        store = MaterializedViewStore()
+        with pytest.raises(StorageError):
+            store.specification_view_for(PUBLIC, "W1")
+        with pytest.raises(StorageError):
+            store.execution_view_for(PUBLIC, "W1", "nope")
+
+    def test_materialize_repository_requires_policies(
+        self, gallery_spec, fig4_execution, access_policy
+    ):
+        repository = WorkflowRepository()
+        repository.add_specification(gallery_spec)
+        repository.add_execution(fig4_execution)
+        store = MaterializedViewStore()
+        with pytest.raises(StorageError):
+            store.materialize_repository(repository, {})
+        store.materialize_repository(repository, {"W1": access_policy})
+        assert store.space_cost()["execution_views"] == 3
+
+    def test_engine_executions_materialize_too(self, gallery_spec, access_policy):
+        execution = WorkflowExecutor(gallery_spec).execute({}, execution_id="run-x")
+        store = MaterializedViewStore()
+        store.materialize_execution(gallery_spec, execution, access_policy)
+        view = store.execution_view_for(PUBLIC, "W1", "run-x")
+        assert view.executed_module_ids() == {"M1", "M2"}
+
+
+class TestGroupQueryCache:
+    def test_get_put_and_stats(self):
+        cache = GroupQueryCache(capacity=4)
+        group = ("analysts",)
+        assert cache.get(group, "q1") is None
+        cache.put(group, "q1", "result-1")
+        assert cache.get(group, "q1") == "result-1"
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert 0 < stats.hit_rate < 1
+        assert stats.summary()["entries"] == 1.0
+
+    def test_groups_do_not_share_entries(self):
+        cache = GroupQueryCache()
+        cache.put(("a",), "q", "for-a")
+        assert cache.get(("b",), "q") is None
+
+    def test_lru_eviction(self):
+        cache = GroupQueryCache(capacity=2)
+        cache.put(("g",), "q1", 1)
+        cache.put(("g",), "q2", 2)
+        cache.get(("g",), "q1")  # refresh q1
+        cache.put(("g",), "q3", 3)  # evicts q2
+        assert cache.get(("g",), "q2") is None
+        assert cache.get(("g",), "q1") == 1
+        assert cache.stats().evictions == 1
+
+    def test_get_or_compute(self):
+        cache = GroupQueryCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute(("g",), "q", compute) == "value"
+        assert cache.get_or_compute(("g",), "q", compute) == "value"
+        assert len(calls) == 1
+
+    def test_invalidation(self):
+        cache = GroupQueryCache()
+        cache.put(("a",), "q1", 1)
+        cache.put(("a",), "q2", 2)
+        cache.put(("b",), "q1", 3)
+        assert cache.invalidate_group(("a",)) == 2
+        assert len(cache) == 1
+        cache.invalidate_all()
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            GroupQueryCache(capacity=0)

@@ -1,0 +1,125 @@
+"""Tests for expansion hierarchies and prefixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPrefixError, UnknownWorkflowError
+from repro.views.hierarchy import ExpansionHierarchy
+
+
+@pytest.fixture()
+def hierarchy(gallery_spec):
+    return ExpansionHierarchy(gallery_spec)
+
+
+class TestTreeStructure:
+    def test_matches_fig3(self, hierarchy):
+        assert hierarchy.root_id == "W1"
+        assert hierarchy.children("W1") == ("W2", "W3")
+        assert hierarchy.children("W2") == ("W4",)
+        assert hierarchy.children("W3") == ()
+        assert hierarchy.parent("W4") == "W2"
+        assert hierarchy.parent("W1") is None
+
+    def test_ancestors_descendants_depth(self, hierarchy):
+        assert hierarchy.ancestors("W4") == ["W2", "W1"]
+        assert hierarchy.descendants("W1") == {"W2", "W3", "W4"}
+        assert hierarchy.descendants("W3") == set()
+        assert hierarchy.depth("W1") == 0
+        assert hierarchy.depth("W4") == 2
+        assert hierarchy.height() == 2
+
+    def test_unknown_workflow_raises(self, hierarchy):
+        with pytest.raises(UnknownWorkflowError):
+            hierarchy.children("W9")
+        with pytest.raises(UnknownWorkflowError):
+            hierarchy.parent("W9")
+
+    def test_render_and_networkx(self, hierarchy):
+        rendering = hierarchy.render()
+        assert rendering.splitlines()[0] == "W1"
+        assert "- W4" in rendering
+        nx_graph = hierarchy.to_networkx()
+        assert set(nx_graph.edges) == {("W1", "W2"), ("W1", "W3"), ("W2", "W4")}
+
+
+class TestPrefixes:
+    def test_root_and_full(self, hierarchy):
+        assert hierarchy.root_prefix() == frozenset({"W1"})
+        assert hierarchy.full_prefix() == frozenset({"W1", "W2", "W3", "W4"})
+
+    @pytest.mark.parametrize(
+        "candidate, expected",
+        [
+            ({"W1"}, True),
+            ({"W1", "W2"}, True),
+            ({"W1", "W3"}, True),
+            ({"W1", "W2", "W4"}, True),
+            ({"W1", "W2", "W3", "W4"}, True),
+            ({"W2"}, False),               # missing the root
+            ({"W1", "W4"}, False),          # missing W4's parent W2
+            ({"W1", "W9"}, False),          # unknown workflow
+            (set(), False),
+        ],
+    )
+    def test_is_prefix(self, hierarchy, candidate, expected):
+        assert hierarchy.is_prefix(candidate) is expected
+
+    def test_validate_prefix(self, hierarchy):
+        assert hierarchy.validate_prefix(["W1", "W2"]) == frozenset({"W1", "W2"})
+        with pytest.raises(InvalidPrefixError):
+            hierarchy.validate_prefix({"W1", "W4"})
+
+    def test_prefix_closure(self, hierarchy):
+        assert hierarchy.prefix_closure({"W4"}) == frozenset({"W1", "W2", "W4"})
+        assert hierarchy.prefix_closure([]) == frozenset({"W1"})
+        with pytest.raises(UnknownWorkflowError):
+            hierarchy.prefix_closure({"W9"})
+
+    def test_all_prefixes_enumeration(self, hierarchy):
+        prefixes = list(hierarchy.all_prefixes())
+        assert len(prefixes) == len(set(prefixes)) == 6
+        assert hierarchy.prefix_count() == 6
+        for prefix in prefixes:
+            assert hierarchy.is_prefix(prefix)
+
+    def test_prefix_count_matches_enumeration_on_random_spec(self, synthetic_spec):
+        hierarchy = ExpansionHierarchy(synthetic_spec)
+        assert hierarchy.prefix_count() == len(list(hierarchy.all_prefixes()))
+
+
+class TestVisibility:
+    def test_visible_modules_per_prefix(self, hierarchy):
+        assert hierarchy.visible_modules({"W1"}) == {"I", "O", "M1", "M2"}
+        assert hierarchy.visible_modules({"W1", "W2"}) == {
+            "I", "O", "M2", "M3", "M4",
+        }
+        assert hierarchy.visible_modules({"W1", "W2", "W4"}) == {
+            "I", "O", "M2", "M3", "M5", "M6", "M7", "M8",
+        }
+        full = hierarchy.visible_modules(hierarchy.full_prefix())
+        assert full == {"I", "O", "M3"} | {f"M{i}" for i in range(5, 16)}
+
+    def test_defining_prefix_for_modules(self, hierarchy):
+        assert hierarchy.defining_prefix_for_modules(["M5"]) == frozenset(
+            {"W1", "W2", "W4"}
+        )
+        assert hierarchy.defining_prefix_for_modules(["M2"]) == frozenset({"W1"})
+        assert hierarchy.defining_prefix_for_modules(["M5", "M13"]) == frozenset(
+            {"W1", "W2", "W3", "W4"}
+        )
+
+    def test_prefix_hiding_modules(self, hierarchy):
+        assert hierarchy.prefix_hiding_modules(["M13"]) == frozenset(
+            {"W1", "W2", "W4"}
+        )
+        # M5 lives in W4: it stays hidden as long as W4 is not expanded, so
+        # the maximal hiding prefix may still expand W2 and W3.
+        assert hierarchy.prefix_hiding_modules(["M5"]) == frozenset(
+            {"W1", "W2", "W3"}
+        )
+        # Modules declared in the root cannot be hidden by any prefix.
+        assert hierarchy.prefix_hiding_modules(["M1"]) is None
+        # Hiding a module also forbids expanding its descendants' workflows.
+        assert hierarchy.prefix_hiding_modules(["M3"]) == frozenset({"W1", "W3"})

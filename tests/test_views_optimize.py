@@ -1,0 +1,109 @@
+"""Tests for view optimisation (minimal/maximal prefixes, utility search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasiblePrivacyError
+from repro.views.optimize import (
+    best_prefix,
+    default_utility,
+    greedy_prefix,
+    maximal_prefix_hiding_modules,
+    minimal_prefix_for_modules,
+    minimal_view_containing,
+    prefixes_hiding_modules,
+    view_utility_profile,
+)
+from repro.views.spec_view import specification_view
+
+
+class TestMinimalPrefixes:
+    def test_minimal_prefix_for_modules(self, gallery_spec):
+        assert minimal_prefix_for_modules(gallery_spec, ["M2"]) == frozenset({"W1"})
+        assert minimal_prefix_for_modules(gallery_spec, ["M5", "M2"]) == frozenset(
+            {"W1", "W2", "W4"}
+        )
+
+    def test_minimal_view_containing(self, gallery_spec):
+        view = minimal_view_containing(gallery_spec, ["M13"])
+        assert view.is_visible("M13")
+        assert view.prefix == frozenset({"W1", "W3"})
+        # Minimality: removing W3 would hide M13.
+        smaller = specification_view(gallery_spec, {"W1"})
+        assert not smaller.is_visible("M13")
+
+
+class TestHidingPrefixes:
+    def test_maximal_prefix_hiding_modules(self, gallery_spec):
+        assert maximal_prefix_hiding_modules(gallery_spec, ["M13"]) == frozenset(
+            {"W1", "W2", "W4"}
+        )
+        assert maximal_prefix_hiding_modules(gallery_spec, ["M5"]) == frozenset(
+            {"W1", "W2", "W3"}
+        )
+
+    def test_root_modules_cannot_be_hidden(self, gallery_spec):
+        with pytest.raises(InfeasiblePrivacyError):
+            maximal_prefix_hiding_modules(gallery_spec, ["M2"])
+
+    def test_prefixes_hiding_modules_enumeration(self, gallery_spec):
+        hiding = prefixes_hiding_modules(gallery_spec, ["M13"])
+        assert frozenset({"W1"}) in hiding
+        assert frozenset({"W1", "W2", "W4"}) in hiding
+        assert all("W3" not in prefix for prefix in hiding)
+        # The maximal one is indeed among them and is the largest.
+        maximal = maximal_prefix_hiding_modules(gallery_spec, ["M13"])
+        assert maximal in hiding
+        assert all(len(prefix) <= len(maximal) for prefix in hiding)
+
+
+class TestUtilitySearch:
+    def test_default_utility_increases_with_expansion(self, gallery_spec):
+        coarse = specification_view(gallery_spec, {"W1"})
+        fine = specification_view(gallery_spec, {"W1", "W2", "W3", "W4"})
+        assert default_utility(fine) > default_utility(coarse)
+
+    def test_best_prefix_unconstrained_is_full_expansion(self, gallery_spec):
+        prefix, score = best_prefix(gallery_spec)
+        assert prefix == frozenset({"W1", "W2", "W3", "W4"})
+        assert score == default_utility(specification_view(gallery_spec, prefix))
+
+    def test_best_prefix_with_feasibility_constraint(self, gallery_spec):
+        forbidden = {"M13", "M11"}
+
+        def feasible(prefix):
+            view = specification_view(gallery_spec, prefix)
+            return not (forbidden & view.visible_modules)
+
+        prefix, _ = best_prefix(gallery_spec, feasible=feasible)
+        assert "W3" not in prefix
+        assert prefix == frozenset({"W1", "W2", "W4"})
+
+    def test_best_prefix_infeasible_raises(self, gallery_spec):
+        with pytest.raises(InfeasiblePrivacyError):
+            best_prefix(gallery_spec, feasible=lambda prefix: False)
+
+    def test_greedy_matches_exact_on_gallery(self, gallery_spec):
+        exact_prefix, exact_score = best_prefix(gallery_spec)
+        greedy_result, greedy_score = greedy_prefix(gallery_spec)
+        assert greedy_result == exact_prefix
+        assert greedy_score == exact_score
+
+    def test_greedy_respects_feasibility(self, gallery_spec):
+        def feasible(prefix):
+            return "W3" not in prefix
+
+        prefix, _ = greedy_prefix(gallery_spec, feasible=feasible)
+        assert "W3" not in prefix
+        assert "W4" in prefix  # still expands what it may
+
+    def test_greedy_infeasible_root_raises(self, gallery_spec):
+        with pytest.raises(InfeasiblePrivacyError):
+            greedy_prefix(gallery_spec, feasible=lambda prefix: False)
+
+    def test_view_utility_profile_is_sorted(self, gallery_spec):
+        profile = view_utility_profile(gallery_spec)
+        assert len(profile) == 6
+        scores = [score for _, score in profile]
+        assert scores == sorted(scores)

@@ -1,0 +1,128 @@
+"""Tests for specification views and execution views (Figs. 2 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPrefixError
+from repro.views.exec_view import collapse_execution, execution_view, hidden_data_ids
+from repro.views.spec_view import (
+    all_views,
+    expand_specification,
+    full_expansion,
+    root_view,
+    specification_view,
+)
+
+
+class TestSpecificationViews:
+    def test_root_view_shows_only_top_level(self, gallery_spec):
+        view = root_view(gallery_spec)
+        assert view.visible_modules == {"M1", "M2"}
+        assert view.graph.has_edge("M1", "M2")
+        assert view.graph.edge("I", "M1").labels == ("SNPs", "ethnicity")
+
+    def test_partial_expansion_w2(self, gallery_spec):
+        view = specification_view(gallery_spec, {"W1", "W2"})
+        assert view.visible_modules == {"M2", "M3", "M4"}
+        assert view.graph.has_edge("I", "M3")
+        assert view.graph.has_edge("M4", "M2")
+        assert not view.graph.has_module("M1")
+
+    def test_fig5_view(self, gallery_spec):
+        view = specification_view(gallery_spec, {"W1", "W2", "W4"})
+        assert view.visible_modules == {"M2", "M3", "M5", "M6", "M7", "M8"}
+        assert view.graph.has_edge("M3", "M5")
+        assert view.graph.has_edge("M8", "M2")
+        assert view.graph.edge("M8", "M2").labels == ("disorders",)
+
+    def test_full_expansion_matches_paper_statement(self, gallery_spec):
+        view = full_expansion(gallery_spec)
+        assert view.visible_modules == {"M3"} | {f"M{i}" for i in range(5, 16)}
+        assert view.graph.has_edge("M3", "M5")
+        assert view.graph.has_edge("M8", "M9")
+        view.graph.validate()
+
+    def test_invalid_prefix_rejected(self, gallery_spec):
+        with pytest.raises(InvalidPrefixError):
+            expand_specification(gallery_spec, {"W1", "W4"})
+
+    def test_all_views_enumerates_every_prefix(self, gallery_spec):
+        views = all_views(gallery_spec)
+        assert len(views) == 6
+        sizes = sorted(view.size() for view in views)
+        assert sizes[0] == 2  # root view: M1, M2
+        assert sizes[-1] == 12  # full expansion
+
+    def test_view_metadata_helpers(self, gallery_spec):
+        view = specification_view(gallery_spec, {"W1", "W2", "W4"})
+        assert view.is_visible("M5") and not view.is_visible("M13")
+        assert ("M3", "M8") in view.reachable_module_pairs()
+        assert "M5 -> M6" in view.render()
+
+    def test_views_of_single_level_spec(self, pipeline_spec):
+        view = root_view(pipeline_spec)
+        assert view.prefix == frozenset({"P1"})
+        assert view.visible_modules == {"A", "B", "C"}
+
+
+class TestExecutionViews:
+    def test_fig2_view(self, gallery_spec, fig4_execution):
+        view = execution_view(fig4_execution, gallery_spec, {"W1"})
+        graph = view.graph
+        assert set(graph.nodes) == {"I", "O", "S1:M1", "S8:M2"}
+        assert graph.data_on_edge("I", "S1:M1") == frozenset({"d0", "d1"})
+        assert graph.data_on_edge("S1:M1", "S8:M2") == frozenset({"d10"})
+        assert graph.data_on_edge("S8:M2", "O") == frozenset({"d19"})
+        assert view.visible_data_ids == {"d0", "d1", "d2", "d3", "d4", "d10", "d19"}
+        assert view.visible_module_ids == {"M1", "M2"}
+
+    def test_intermediate_view_keeps_w2_but_collapses_m4(
+        self, gallery_spec, fig4_execution
+    ):
+        view = execution_view(fig4_execution, gallery_spec, {"W1", "W2"})
+        graph = view.graph
+        assert graph.has_node("S2:M3")
+        assert graph.has_node("S3:M4")  # collapsed composite
+        assert not graph.has_node("S4:M5")
+        assert graph.has_node("S8:M2")  # M2 collapsed because W3 not in prefix
+        assert graph.data_on_edge("S2:M3", "S3:M4") == frozenset({"d5"})
+        assert graph.data_on_edge("S3:M4", "S1:M1:end") == frozenset({"d10"})
+
+    def test_full_prefix_view_is_the_execution_itself(
+        self, gallery_spec, fig4_execution
+    ):
+        view = execution_view(
+            fig4_execution, gallery_spec, {"W1", "W2", "W3", "W4"}
+        )
+        assert set(view.graph.nodes) == set(fig4_execution.nodes)
+        assert len(view.graph.edges) == len(fig4_execution.edges)
+        assert set(view.graph.data_items) == set(fig4_execution.data_items)
+
+    def test_collapsed_items_reattributed_to_collapsed_node(
+        self, gallery_spec, fig4_execution
+    ):
+        view = collapse_execution(fig4_execution, gallery_spec, {"W1"})
+        assert view.data_item("d10").producer == "S1:M1"
+        assert view.data_item("d19").producer == "S8:M2"
+
+    def test_hidden_data_ids(self, gallery_spec, fig4_execution):
+        hidden = hidden_data_ids(fig4_execution, gallery_spec, {"W1"})
+        assert hidden == set(fig4_execution.data_items) - {
+            "d0", "d1", "d2", "d3", "d4", "d10", "d19",
+        }
+
+    def test_view_is_consistent_for_engine_executions(
+        self, gallery_spec, engine_execution
+    ):
+        view = execution_view(engine_execution, gallery_spec, {"W1"})
+        assert view.visible_module_ids == {"M1", "M2"}
+        assert view.graph.module_reachable_pairs() == {("M1", "M2")}
+
+    def test_view_rendering_mentions_prefix(self, gallery_spec, fig4_execution):
+        view = execution_view(fig4_execution, gallery_spec, {"W1"})
+        assert "prefix {W1}" in view.render()
+
+    def test_invalid_prefix_rejected(self, gallery_spec, fig4_execution):
+        with pytest.raises(InvalidPrefixError):
+            execution_view(fig4_execution, gallery_spec, {"W2"})

@@ -1,0 +1,119 @@
+"""Tests for the gallery specifications and the random generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import WorkflowExecutor
+from repro.workflow import (
+    GeneratorConfig,
+    diamond_specification,
+    disease_susceptibility_specification,
+    random_keyword_queries,
+    random_specification,
+    small_pipeline_specification,
+)
+from repro.workflow.generator import DEFAULT_KEYWORD_POOL
+
+
+class TestGallery:
+    def test_disease_specification_matches_fig1(self):
+        spec = disease_susceptibility_specification()
+        spec.validate()
+        assert spec.root_id == "W1"
+        assert spec.find_module("M1").subworkflow_id == "W2"
+        assert spec.find_module("M2").subworkflow_id == "W3"
+        assert spec.find_module("M4").subworkflow_id == "W4"
+        w1 = spec.workflow("W1")
+        assert w1.edge("I", "M1").labels == ("SNPs", "ethnicity")
+        assert w1.edge("M1", "M2").labels == ("disorders",)
+        assert w1.edge("M2", "O").labels == ("prognosis",)
+        w3 = spec.workflow("W3")
+        assert w3.has_edge("M13", "M11")
+        assert w3.has_edge("M10", "M11")
+        assert w3.has_edge("M13", "M14")
+
+    def test_small_pipeline_is_single_level(self):
+        spec = small_pipeline_specification()
+        spec.validate()
+        assert spec.expansion_children("P1") == []
+        assert len(spec.module_ids()) == 5
+
+    def test_diamond_has_one_expansion(self):
+        spec = diamond_specification()
+        spec.validate()
+        assert spec.expansion_children("D1") == ["D2"]
+        assert spec.find_module("D.left").is_composite
+
+
+class TestGeneratorConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(workflows=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(modules_per_workflow=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(edge_probability=1.5)
+
+
+class TestRandomSpecification:
+    def test_is_deterministic_for_a_seed(self):
+        a = random_specification(GeneratorConfig(seed=3))
+        b = random_specification(GeneratorConfig(seed=3))
+        assert a.module_ids() == b.module_ids()
+        assert a.expansion_edges() == b.expansion_edges()
+        assert [g.edges for g in a.workflows.values()] == [
+            g.edges for g in b.workflows.values()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_specification(GeneratorConfig(seed=3))
+        b = random_specification(GeneratorConfig(seed=4))
+        assert [g.edges for g in a.workflows.values()] != [
+            g.edges for g in b.workflows.values()
+        ]
+
+    def test_requested_size_is_respected(self):
+        config = GeneratorConfig(workflows=5, modules_per_workflow=7, seed=9)
+        spec = random_specification(config)
+        spec.validate()
+        assert len(spec) == 5
+        # At least workflows * modules processing modules (hosts may be added).
+        processing = [m for _, m in spec.all_modules() if not m.is_io]
+        assert len(processing) >= 5 * 7
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_generated_specifications_are_executable(self, seed):
+        spec = random_specification(
+            GeneratorConfig(workflows=3, modules_per_workflow=4, seed=seed)
+        )
+        execution = WorkflowExecutor(spec).execute({})
+        execution.validate()
+        generated_modules = {m.module_id for _, m in spec.all_modules() if not m.is_io}
+        assert execution.executed_module_ids() == generated_modules
+
+    def test_keywords_come_from_the_pool(self):
+        spec = random_specification(GeneratorConfig(seed=5))
+        for _, module in spec.all_modules():
+            for keyword in module.keywords:
+                assert keyword in DEFAULT_KEYWORD_POOL
+
+
+class TestRandomKeywordQueries:
+    def test_queries_match_existing_terms(self):
+        spec = random_specification(GeneratorConfig(seed=6))
+        queries = random_keyword_queries(spec, 5, seed=1)
+        assert len(queries) == 5
+        vocabulary = set()
+        for _, module in spec.all_modules():
+            vocabulary.update(module.keywords)
+            vocabulary.update(module.name.lower().split())
+        for query in queries:
+            for phrase in query:
+                assert phrase in vocabulary
+
+    def test_queries_are_deterministic(self):
+        spec = random_specification(GeneratorConfig(seed=6))
+        assert random_keyword_queries(spec, 3, seed=2) == random_keyword_queries(
+            spec, 3, seed=2
+        )

@@ -1,0 +1,199 @@
+"""Tests for repro.workflow.graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CycleError,
+    DuplicateModuleError,
+    InvalidEdgeError,
+    SpecificationError,
+    UnknownModuleError,
+)
+from repro.workflow.builder import WorkflowGraphBuilder
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.module import ModuleKind, make_module
+
+
+def simple_graph() -> WorkflowGraph:
+    return (
+        WorkflowGraphBuilder("W")
+        .input("I")
+        .atomic("A", "Step A")
+        .atomic("B", "Step B")
+        .atomic("C", "Step C")
+        .output("O")
+        .edge("I", "A", "in")
+        .edge("A", "B", "ab")
+        .edge("A", "C", "ac")
+        .edge("B", "C", "bc")
+        .edge("C", "O", "out")
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_duplicate_module_rejected(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("A"))
+        with pytest.raises(DuplicateModuleError):
+            graph.add_module(make_module("A"))
+
+    def test_edges_require_known_endpoints(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("A"))
+        with pytest.raises(UnknownModuleError):
+            graph.add_edge("A", "B")
+
+    def test_output_cannot_have_outgoing_edges(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("O", kind=ModuleKind.OUTPUT))
+        graph.add_module(make_module("A"))
+        with pytest.raises(InvalidEdgeError):
+            graph.add_edge("O", "A")
+
+    def test_input_cannot_have_incoming_edges(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("I", kind=ModuleKind.INPUT))
+        graph.add_module(make_module("A"))
+        with pytest.raises(InvalidEdgeError):
+            graph.add_edge("A", "I")
+
+    def test_adding_parallel_edge_merges_labels(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("A"))
+        graph.add_module(make_module("B"))
+        graph.add_edge("A", "B", ("x",))
+        graph.add_edge("A", "B", ("y", "x"))
+        assert graph.edge("A", "B").labels == ("x", "y")
+        assert len(graph.edges) == 1
+
+    def test_empty_workflow_id_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkflowGraph("")
+
+    def test_remove_edge_and_module(self):
+        graph = simple_graph()
+        graph.remove_edge("A", "B")
+        assert not graph.has_edge("A", "B")
+        graph.remove_module("B")
+        assert not graph.has_module("B")
+        assert "B" not in graph.successors("A")
+
+    def test_remove_unknown_module_raises(self):
+        with pytest.raises(UnknownModuleError):
+            simple_graph().remove_module("Z")
+
+
+class TestAccessors:
+    def test_successors_and_predecessors_are_sorted(self):
+        graph = simple_graph()
+        assert graph.successors("A") == ["B", "C"]
+        assert graph.predecessors("C") == ["A", "B"]
+
+    def test_in_out_edges(self):
+        graph = simple_graph()
+        assert {e.target for e in graph.out_edges("A")} == {"B", "C"}
+        assert {e.source for e in graph.in_edges("C")} == {"A", "B"}
+
+    def test_io_module_lookup(self):
+        graph = simple_graph()
+        assert graph.input_module().module_id == "I"
+        assert graph.output_module().module_id == "O"
+
+    def test_missing_io_modules_raise(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("A"))
+        with pytest.raises(SpecificationError):
+            graph.input_module()
+
+    def test_module_categories(self, gallery_spec):
+        w2 = gallery_spec.workflow("W2")
+        assert {m.module_id for m in w2.composite_modules()} == {"M4"}
+        assert {m.module_id for m in w2.atomic_modules()} == {"M3"}
+        assert {m.module_id for m in w2.processing_modules()} == {"M3", "M4"}
+
+    def test_entry_and_exit_modules(self):
+        graph = simple_graph()
+        assert graph.entry_modules() == ["A"]
+        assert graph.exit_modules() == ["C"]
+
+    def test_all_labels(self):
+        assert simple_graph().all_labels() == {"in", "ab", "ac", "bc", "out"}
+
+    def test_unknown_lookups_raise(self):
+        graph = simple_graph()
+        with pytest.raises(UnknownModuleError):
+            graph.module("Z")
+        with pytest.raises(InvalidEdgeError):
+            graph.edge("A", "O")
+
+
+class TestStructure:
+    def test_topological_order_is_deterministic_and_valid(self):
+        graph = simple_graph()
+        order = graph.topological_order()
+        assert order == graph.topological_order()
+        position = {module_id: index for index, module_id in enumerate(order)}
+        for edge in graph.edges:
+            assert position[edge.source] < position[edge.target]
+
+    def test_cycle_detection(self):
+        graph = WorkflowGraph("W")
+        for module_id in ("A", "B"):
+            graph.add_module(make_module(module_id))
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "A")
+        with pytest.raises(CycleError):
+            graph.topological_order()
+        assert not graph.is_acyclic()
+
+    def test_descendants_and_ancestors(self):
+        graph = simple_graph()
+        assert graph.descendants("A") == {"B", "C", "O"}
+        assert graph.ancestors("C") == {"A", "B", "I"}
+
+    def test_reachability(self):
+        graph = simple_graph()
+        assert graph.is_reachable("I", "O")
+        assert graph.is_reachable("A", "A")
+        assert not graph.is_reachable("B", "A")
+        assert ("A", "O") in graph.reachable_pairs()
+
+    def test_validate_requires_connection_to_io(self):
+        graph = WorkflowGraph("W")
+        graph.add_module(make_module("I", kind=ModuleKind.INPUT))
+        graph.add_module(make_module("O", kind=ModuleKind.OUTPUT))
+        graph.add_module(make_module("A"))
+        graph.add_module(make_module("B"))
+        graph.add_edge("I", "A")
+        graph.add_edge("A", "O")
+        # B is disconnected: not reachable from the input.
+        with pytest.raises(SpecificationError):
+            graph.validate()
+
+
+class TestConversions:
+    def test_to_networkx_preserves_structure(self):
+        graph = simple_graph()
+        nx_graph = graph.to_networkx()
+        assert set(nx_graph.nodes) == set(graph.modules)
+        assert nx_graph.has_edge("A", "B")
+        assert nx_graph.nodes["A"]["kind"] == "atomic"
+        assert nx_graph.edges["A", "B"]["labels"] == ("ab",)
+
+    def test_copy_is_independent(self):
+        graph = simple_graph()
+        clone = graph.copy()
+        clone.remove_edge("A", "B")
+        assert graph.has_edge("A", "B")
+        assert clone == clone and graph != clone
+
+    def test_equality_and_len_and_iteration(self):
+        graph = simple_graph()
+        assert graph == simple_graph()
+        assert len(graph) == 5
+        assert "A" in graph
+        assert {m.module_id for m in graph} == {"I", "A", "B", "C", "O"}
+        assert "WorkflowGraph" in repr(graph)

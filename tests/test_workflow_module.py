@@ -1,0 +1,79 @@
+"""Tests for repro.workflow.module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workflow.module import DataEdge, Module, ModuleKind, make_module
+
+
+class TestModule:
+    def test_defaults(self):
+        module = Module(module_id="M1", name="Align Reads")
+        assert module.kind is ModuleKind.ATOMIC
+        assert module.keywords == ()
+        assert module.subworkflow_id is None
+        assert module.is_atomic and not module.is_composite and not module.is_io
+
+    def test_composite_requires_subworkflow(self):
+        with pytest.raises(SpecificationError):
+            Module(module_id="M1", name="X", kind=ModuleKind.COMPOSITE)
+
+    def test_non_composite_cannot_reference_subworkflow(self):
+        with pytest.raises(SpecificationError):
+            Module(module_id="M1", name="X", subworkflow_id="W2")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(SpecificationError):
+            Module(module_id="", name="X")
+
+    def test_io_predicates(self):
+        assert Module(module_id="I", name="Input", kind=ModuleKind.INPUT).is_io
+        assert Module(module_id="O", name="Output", kind=ModuleKind.OUTPUT).is_io
+
+    def test_search_terms_are_lowercased(self):
+        module = Module(
+            module_id="M1", name="Query OMIM", keywords=("Genetics", "LOOKUP")
+        )
+        assert module.search_terms() == ("query omim", "genetics", "lookup")
+
+    def test_metadata_dict_roundtrip(self):
+        module = make_module("M1", "X", metadata={"owner": "lab", "version": 2})
+        assert module.metadata_dict == {"owner": "lab", "version": 2}
+
+    def test_with_metadata_merges(self):
+        module = make_module("M1", "X", metadata={"owner": "lab"})
+        updated = module.with_metadata(version=3)
+        assert updated.metadata_dict == {"owner": "lab", "version": 3}
+        assert module.metadata_dict == {"owner": "lab"}
+
+    def test_modules_are_hashable_and_equal_by_value(self):
+        a = make_module("M1", "X", keywords=("k",))
+        b = make_module("M1", "X", keywords=("k",))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestMakeModule:
+    def test_kind_accepts_strings(self):
+        assert make_module("M1", kind="composite", subworkflow_id="W2").is_composite
+        assert make_module("I", kind="input").kind is ModuleKind.INPUT
+
+    def test_name_defaults_to_id(self):
+        assert make_module("M7").name == "M7"
+
+
+class TestDataEdge:
+    def test_labels_are_normalised_to_tuples(self):
+        edge = DataEdge(source="A", target="B", labels=["x", "y"])
+        assert edge.labels == ("x", "y")
+        assert edge.key == ("A", "B")
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(SpecificationError):
+            DataEdge(source="A", target="A")
+
+    def test_with_labels_replaces(self):
+        edge = DataEdge(source="A", target="B", labels=("x",))
+        assert edge.with_labels(("y", "z")).labels == ("y", "z")

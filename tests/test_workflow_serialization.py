@@ -1,0 +1,102 @@
+"""Tests for repro.workflow.serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workflow import (
+    disease_susceptibility_specification,
+    small_pipeline_specification,
+)
+from repro.workflow.serialization import (
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    module_from_dict,
+    module_to_dict,
+    specification_from_dict,
+    specification_from_json,
+    specification_to_dict,
+    specification_to_json,
+)
+
+
+class TestModuleSerialization:
+    def test_roundtrip_atomic(self, gallery_spec):
+        module = gallery_spec.find_module("M5")
+        assert module_from_dict(module_to_dict(module)) == module
+
+    def test_roundtrip_composite_with_metadata(self, gallery_spec):
+        module = gallery_spec.find_module("M1").with_metadata(owner="upenn")
+        assert module_from_dict(module_to_dict(module)) == module
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(SpecificationError):
+            module_from_dict({"module_id": "M1"})
+        with pytest.raises(SpecificationError):
+            module_from_dict({"module_id": "M1", "name": "x", "kind": "banana"})
+
+
+class TestGraphSerialization:
+    def test_roundtrip(self, gallery_spec):
+        graph = gallery_spec.workflow("W4")
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SpecificationError):
+            graph_from_dict({"name": "x"})
+        with pytest.raises(SpecificationError):
+            graph_from_dict(
+                {
+                    "workflow_id": "W",
+                    "modules": [{"module_id": "A", "name": "A", "kind": "atomic"}],
+                    "edges": [{"source": "A"}],
+                }
+            )
+
+
+class TestSpecificationSerialization:
+    def test_dict_roundtrip(self):
+        spec = disease_susceptibility_specification()
+        payload = specification_to_dict(spec)
+        assert payload["format"] == FORMAT_VERSION
+        restored = specification_from_dict(payload)
+        assert restored.module_ids() == spec.module_ids()
+        assert restored.expansion_edges() == spec.expansion_edges()
+        for workflow_id in spec.workflow_ids():
+            assert restored.workflow(workflow_id) == spec.workflow(workflow_id)
+
+    def test_json_roundtrip(self):
+        spec = small_pipeline_specification()
+        text = specification_to_json(spec)
+        parsed = json.loads(text)
+        assert parsed["root_id"] == "P1"
+        restored = specification_from_json(text)
+        assert restored.module_ids() == spec.module_ids()
+
+    def test_unsupported_format_rejected(self):
+        spec = small_pipeline_specification()
+        payload = specification_to_dict(spec)
+        payload["format"] = "something-else"
+        with pytest.raises(SpecificationError):
+            specification_from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecificationError):
+            specification_from_json("{not json")
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(SpecificationError):
+            specification_from_dict({"format": FORMAT_VERSION, "workflows": []})
+
+    def test_deserialised_specification_is_validated(self):
+        spec = small_pipeline_specification()
+        payload = specification_to_dict(spec)
+        # Break the payload: reference a missing subworkflow.
+        payload["workflows"][0]["modules"][1]["kind"] = "composite"
+        payload["workflows"][0]["modules"][1]["subworkflow_id"] = "missing"
+        with pytest.raises(SpecificationError):
+            specification_from_dict(payload)

@@ -1,0 +1,193 @@
+"""Tests for repro.workflow.specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    SpecificationError,
+    UnknownModuleError,
+    UnknownWorkflowError,
+)
+from repro.workflow.builder import SpecificationBuilder, WorkflowGraphBuilder
+from repro.workflow.specification import (
+    WorkflowSpecification,
+    specification_from_graphs,
+)
+
+
+def two_level_graphs():
+    root = (
+        WorkflowGraphBuilder("R")
+        .input("R.I")
+        .composite("C1", "Composite", subworkflow_id="S")
+        .output("R.O")
+        .edge("R.I", "C1", "x")
+        .edge("C1", "R.O", "y")
+        .build()
+    )
+    sub = (
+        WorkflowGraphBuilder("S")
+        .input("S.I")
+        .atomic("A1", "Inner")
+        .output("S.O")
+        .edge("S.I", "A1", "x")
+        .edge("A1", "S.O", "y")
+        .build()
+    )
+    return root, sub
+
+
+class TestAccessors:
+    def test_workflow_lookup(self, gallery_spec):
+        assert gallery_spec.workflow("W2").workflow_id == "W2"
+        assert gallery_spec.has_workflow("W3")
+        with pytest.raises(UnknownWorkflowError):
+            gallery_spec.workflow("W9")
+
+    def test_workflow_ids_root_first(self, gallery_spec):
+        assert gallery_spec.workflow_ids()[0] == "W1"
+        assert set(gallery_spec.workflow_ids()) == {"W1", "W2", "W3", "W4"}
+
+    def test_root_property(self, gallery_spec):
+        assert gallery_spec.root.workflow_id == "W1"
+
+    def test_find_module_and_defining_workflow(self, gallery_spec):
+        assert gallery_spec.find_module("M13").name == "Reformat"
+        assert gallery_spec.defining_workflow("M13") == "W3"
+        assert gallery_spec.defining_workflow("M4") == "W2"
+        with pytest.raises(UnknownModuleError):
+            gallery_spec.find_module("M99")
+
+    def test_module_id_listings(self, gallery_spec):
+        assert "M4" in gallery_spec.composite_module_ids()
+        assert "M5" in gallery_spec.atomic_module_ids()
+        assert len(gallery_spec.module_ids()) == 23
+
+    def test_all_labels(self, gallery_spec):
+        labels = gallery_spec.all_labels()
+        assert {"SNPs", "disorders", "prognosis", "query"}.issubset(labels)
+
+    def test_dunder_methods(self, gallery_spec):
+        assert "W2" in gallery_spec
+        assert len(gallery_spec) == 4
+        assert "WorkflowSpecification" in repr(gallery_spec)
+
+
+class TestExpansionRelation:
+    def test_children_and_parent(self, gallery_spec):
+        assert gallery_spec.expansion_children("W1") == ["W2", "W3"]
+        assert gallery_spec.expansion_children("W2") == ["W4"]
+        assert gallery_spec.expansion_parent("W4") == "W2"
+        assert gallery_spec.expansion_parent("W1") is None
+
+    def test_expansion_parent_unknown(self, gallery_spec):
+        with pytest.raises(UnknownWorkflowError):
+            gallery_spec.expansion_parent("W9")
+
+    def test_composite_for(self, gallery_spec):
+        assert gallery_spec.composite_for("W4").module_id == "M4"
+        assert gallery_spec.composite_for("W1") is None
+
+    def test_expansion_edges_and_depth(self, gallery_spec):
+        assert set(gallery_spec.expansion_edges()) == {
+            ("W1", "W2"),
+            ("W1", "W3"),
+            ("W2", "W4"),
+        }
+        assert gallery_spec.expansion_depth("W1") == 0
+        assert gallery_spec.expansion_depth("W4") == 2
+
+
+class TestValidation:
+    def test_valid_specification_passes(self, gallery_spec):
+        gallery_spec.validate()
+
+    def test_missing_root_rejected(self):
+        spec = WorkflowSpecification("R")
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_composite_referencing_unknown_workflow_rejected(self):
+        root, _ = two_level_graphs()
+        spec = WorkflowSpecification("R")
+        spec.add_workflow(root)
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_unused_workflow_rejected(self):
+        root, sub = two_level_graphs()
+        orphan = (
+            WorkflowGraphBuilder("X")
+            .input("X.I")
+            .atomic("XA")
+            .output("X.O")
+            .edge("X.I", "XA")
+            .edge("XA", "X.O")
+            .build()
+        )
+        spec = WorkflowSpecification("R")
+        for graph in (root, sub, orphan):
+            spec.add_workflow(graph)
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_duplicate_module_ids_across_workflows_rejected(self):
+        _, sub = two_level_graphs()
+        # The root declares a module with the same id ("A1") as a module of
+        # the subworkflow, which must be rejected: module ids are global.
+        root = (
+            WorkflowGraphBuilder("R")
+            .input("R.I")
+            .composite("C1", "Composite", subworkflow_id="S")
+            .atomic("A1", "Clashing module")
+            .output("R.O")
+            .edge("R.I", "C1", "x")
+            .edge("C1", "A1", "y")
+            .edge("A1", "R.O", "z")
+            .build()
+        )
+        spec = WorkflowSpecification("R")
+        spec.add_workflow(root)
+        spec.add_workflow(sub)
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_workflow_shared_by_two_composites_rejected(self):
+        root = (
+            WorkflowGraphBuilder("R")
+            .input("R.I")
+            .composite("C1", subworkflow_id="S")
+            .composite("C2", subworkflow_id="S")
+            .output("R.O")
+            .edge("R.I", "C1", "x")
+            .edge("R.I", "C2", "x")
+            .edge("C1", "R.O", "y")
+            .edge("C2", "R.O", "y")
+            .build()
+        )
+        _, sub = two_level_graphs()
+        spec = WorkflowSpecification("R")
+        spec.add_workflow(root)
+        spec.add_workflow(sub)
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_duplicate_workflow_registration_rejected(self):
+        root, _ = two_level_graphs()
+        spec = WorkflowSpecification("R")
+        spec.add_workflow(root)
+        with pytest.raises(SpecificationError):
+            spec.add_workflow(root)
+
+
+class TestBuilders:
+    def test_specification_from_graphs(self):
+        spec = specification_from_graphs("R", two_level_graphs())
+        assert spec.find_module("A1").name == "Inner"
+
+    def test_specification_builder(self):
+        root, sub = two_level_graphs()
+        spec = SpecificationBuilder("R", "demo").add(root).add(sub).build()
+        assert spec.name == "demo"
+        assert spec.expansion_children("R") == ["S"]
