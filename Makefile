@@ -1,0 +1,18 @@
+# Single entrypoints for contributors and CI.  `make test` runs exactly the
+# tier-1 command from ROADMAP.md; `make bench` runs the pytest-benchmark
+# suites and writes a BENCH_<date>.json perf snapshot; `make lint` is a
+# dependency-free sanity pass (byte-compiles every tree we ship).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -3,12 +3,27 @@
 Regenerates the E1 table and asserts its expected shape: achieving a higher
 privacy level Gamma never gets cheaper, the greedy solver never beats the
 exact optimum, and every solver meets the requested Gamma.
+
+Also guards the Gamma-kernel perf contract: on the E1 workload the
+memoized kernel must perform at least 5x fewer full-table scans than the
+naive evaluation semantics while producing identical solver outputs, and
+the branch-and-bound exact solver must handle a larger relation
+(6 attributes over domain size 4) that exhaustive enumeration with naive
+Gamma evaluation made intractable.
 """
 
 from __future__ import annotations
 
 from repro.experiments import e1_module_privacy
 from repro.experiments.reporting import format_table
+from repro.experiments.workloads import random_relations
+from repro.privacy.module_privacy import (
+    exact_safe_subset,
+    greedy_safe_subset,
+    randomized_safe_subset,
+    reference_optimal_cost,
+)
+from repro.privacy.relations import ModuleRelation
 
 
 def test_e1_module_privacy_solvers(benchmark):
@@ -50,3 +65,66 @@ def test_e1_greedy_tracks_optimum(benchmark):
     # The greedy heuristic should stay within 2x of the optimum on these
     # small relations (it is typically within a few percent).
     assert headline["greedy_cost_overhead"] <= 2.0
+
+
+def test_e1_kernel_scan_reduction(benchmark):
+    """Perf contract: >= 5x fewer full-table scans on the E1 workload,
+    with solver outputs identical to the naive reference semantics."""
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    headline = e1_module_privacy.headline(rows)
+    print()
+    print(f"kernel scan reduction on E1: {headline['kernel_scan_reduction']}x")
+    assert headline["kernel_scan_reduction"] >= 5.0
+
+    # Identical outputs: the exact solver's cost at every (module, gamma)
+    # matches the brute-force optimum computed with the reference oracle.
+    config = e1_module_privacy.E1Config()
+    relations = {
+        relation.module_id: relation
+        for relation in random_relations(
+            config.modules,
+            n_inputs=config.n_inputs,
+            n_outputs=config.n_outputs,
+            domain_size=config.domain_size,
+            seed=config.seed,
+        )
+    }
+    exact_rows = [row for row in rows if row["solver"] == "exact"]
+    assert exact_rows
+    for row in exact_rows:
+        relation = relations[str(row["module"])]
+        reference_cost = reference_optimal_cost(relation, int(row["gamma"]))
+        assert abs(float(row["cost"]) - reference_cost) <= 1e-9
+
+
+def test_large_relation_solvers(benchmark):
+    """A 6-attribute, domain-4 relation (64 rows, 64 subsets x 64 inputs
+    per naive exact pass) is solved across three Gamma levels; previously
+    intractable for the enumerate-and-sort exact solver with naive Gamma."""
+
+    def workload():
+        relation = ModuleRelation.random(
+            "L", n_inputs=3, n_outputs=3, domain_size=4, seed=7
+        )
+        results = {
+            gamma: {
+                "exact": exact_safe_subset(relation, gamma),
+                "greedy": greedy_safe_subset(relation, gamma),
+                "randomized": randomized_safe_subset(relation, gamma, seed=7),
+            }
+            for gamma in (4, 16, 64)
+        }
+        return relation, results
+
+    relation, results = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for gamma, by_solver in results.items():
+        assert by_solver["exact"].optimal
+        for result in by_solver.values():
+            assert result.gamma >= gamma
+        assert by_solver["exact"].cost <= by_solver["greedy"].cost + 1e-9
+        assert by_solver["exact"].cost <= by_solver["randomized"].cost + 1e-9
+    stats = relation.kernel_stats
+    print()
+    print(f"large-relation kernel stats: {stats}")
+    # Branch-and-bound stays lazy: nowhere near the 2^6 * inputs naive work.
+    assert stats["naive_equivalent_scans"] >= 5 * stats["full_table_scans"]

@@ -1,0 +1,128 @@
+"""Run the pytest-benchmark suites and record a machine-readable snapshot.
+
+Executes every ``benchmarks/bench_*.py`` suite under pytest-benchmark and
+writes ``BENCH_<date>.json`` mapping each benchmark name to its timing
+statistics (mean/stddev/min/max/rounds).  Keeping one snapshot per day in
+version control (or CI artifacts) makes the perf trajectory of the hot
+paths -- the Gamma kernel above all -- trackable across PRs.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--output-dir DIR] [--pattern GLOB]
+
+Exits with pytest's exit code so CI fails when a benchmark assertion
+(e.g. the kernel scan-reduction contract) regresses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def resolve_targets(pattern: str) -> list[str]:
+    """Expand a directory target to its ``bench_*.py`` suites.
+
+    There is no pytest config teaching collection about the ``bench_``
+    prefix, so a bare directory would collect nothing; explicit file paths
+    are always collected.
+    """
+    target = REPO_ROOT / pattern
+    if target.is_dir():
+        suites = sorted(target.glob("bench_*.py"))
+        if suites:
+            return [str(path.relative_to(REPO_ROOT)) for path in suites]
+    return [pattern]
+
+
+def run_suites(
+    pattern: str, raw_json_path: pathlib.Path, extra_args: list[str] | None = None
+) -> int:
+    """Run the benchmark suites, writing pytest-benchmark's raw JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *resolve_targets(pattern),
+        "-q",
+        f"--benchmark-json={raw_json_path}",
+        *(extra_args or []),
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    return completed.returncode
+
+
+def summarize(raw: dict) -> dict[str, dict[str, float]]:
+    """Condense pytest-benchmark's raw JSON to name -> timing stats."""
+    summary: dict[str, dict[str, float]] = {}
+    for entry in raw.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        summary[entry["name"]] = {
+            "mean": stats.get("mean", 0.0),
+            "stddev": stats.get("stddev", 0.0),
+            "min": stats.get("min", 0.0),
+            "max": stats.get("max", 0.0),
+            "rounds": stats.get("rounds", 0),
+        }
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="directory for BENCH_<date>.json (default: repository root)",
+    )
+    parser.add_argument(
+        "--pattern",
+        default="benchmarks",
+        help="pytest target for the suites (default: the benchmarks/ tree)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json_path = pathlib.Path(tmp) / "benchmark-raw.json"
+        exit_code = run_suites(args.pattern, raw_json_path, args.pytest_args)
+        raw = {}
+        if raw_json_path.exists():
+            try:
+                raw = json.loads(raw_json_path.read_text())
+            except json.JSONDecodeError:
+                raw = {}  # pytest crashed before writing stats
+
+    date = _datetime.date.today().isoformat()
+    output_path = args.output_dir / f"BENCH_{date}.json"
+    document = {
+        "generated": _datetime.datetime.now().isoformat(timespec="seconds"),
+        "pytest_exit_code": exit_code,
+        "pattern": args.pattern,
+        "benchmarks": summarize(raw),
+    }
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output_path} ({len(document['benchmarks'])} benchmarks)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,13 +107,13 @@ class ModuleFunctionAttack:
 
     def observe_all(self) -> None:
         """Observe every row of the relation (the limit of repeated runs)."""
-        for key in self.relation.rows:
+        for key in self.relation.rows_view:
             self.observe(key)
 
     def observe_random(self, runs: int, *, seed: int = 0) -> None:
         """Observe ``runs`` executions on uniformly random inputs."""
         rng = random.Random(seed)
-        keys = sorted(self.relation.rows)
+        keys = sorted(self.relation.rows_view)
         for _ in range(runs):
             self.observe(rng.choice(keys))
 
@@ -169,7 +169,7 @@ class ModuleFunctionAttack:
     def report(self, probe_inputs: Sequence[tuple] | None = None) -> AttackReport:
         """Summarise the attack over ``probe_inputs`` (all inputs by default)."""
         probes = list(probe_inputs) if probe_inputs is not None else sorted(
-            self.relation.rows
+            self.relation.rows_view
         )
         counts: list[int] = []
         successes: list[float] = []

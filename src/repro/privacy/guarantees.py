@@ -6,6 +6,11 @@ analytical guarantee is the Gamma bound of the safe subset; this module
 checks it directly on the relation and, in addition, validates it
 empirically by running the adversary of :mod:`repro.adversary.module_attack`
 against increasing numbers of observed executions.
+
+Analytical checks go through the relation's memoized Gamma kernel
+(:mod:`repro.privacy.relations`), so re-checking the same hidden set --
+as :func:`guarantee_curve` and :func:`workflow_guarantees` do for every
+observation count -- costs O(1) after the first evaluation.
 """
 
 from __future__ import annotations

@@ -7,13 +7,21 @@ views: every prefix hides some modules and some connectivity facts (its
 privacy score against a set of sensitive components) while exposing a
 certain amount of structure (its utility score).  Experiment E4 traces the
 resulting frontier.
+
+For *module* privacy the same trade-off appears on the Gamma axis: higher
+required privacy levels force hiding more (or heavier) attributes.
+:func:`gamma_cost_frontier` sweeps Gamma and reports the hiding cost at
+each level; because every solver call shares the relation's memoized Gamma
+kernel, the whole sweep re-derives no partition twice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.privacy.module_privacy import solve_safe_subset
+from repro.privacy.relations import ModuleRelation
 from repro.views.hierarchy import ExpansionHierarchy, Prefix
 from repro.views.spec_view import SpecificationView, specification_view
 from repro.workflow.specification import WorkflowSpecification
@@ -142,3 +150,65 @@ def best_view_under_privacy(
     if not feasible:
         return None
     return max(feasible, key=lambda p: p.utility)
+
+
+# ---------------------------------------------------------------------- #
+# Module-privacy trade-off: Gamma versus hiding cost
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GammaCostPoint:
+    """One point of a module's Gamma/hiding-cost frontier."""
+
+    module_id: str
+    gamma: int
+    cost: float
+    hidden: frozenset[str]
+    achieved_gamma: int
+    evaluations: int
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form for experiment tables."""
+        return {
+            "module": self.module_id,
+            "gamma": self.gamma,
+            "cost": self.cost,
+            "hidden": ", ".join(sorted(self.hidden)),
+            "achieved_gamma": self.achieved_gamma,
+            "evaluations": self.evaluations,
+        }
+
+
+def gamma_cost_frontier(
+    relation: ModuleRelation,
+    *,
+    gammas: Sequence[int] | None = None,
+    solver: str = "exact",
+    costs: Mapping[str, float] | None = None,
+) -> list[GammaCostPoint]:
+    """The hiding cost of every requested privacy level of one module.
+
+    Sweeps ``gammas`` (default: every achievable level from 1 to
+    ``max_gamma``) and solves the safe-subset problem at each level.  The
+    sweep shares the relation's memoized Gamma kernel, so consecutive
+    levels reuse each other's partitions and subset evaluations; cost is
+    monotone non-decreasing in Gamma by construction.
+    """
+    max_gamma = relation.max_gamma()
+    if gammas is None:
+        gammas = range(1, max_gamma + 1)
+    points = []
+    for gamma in gammas:
+        if gamma > max_gamma:
+            continue
+        result = solve_safe_subset(relation, gamma, solver=solver, costs=costs)
+        points.append(
+            GammaCostPoint(
+                module_id=relation.module_id,
+                gamma=gamma,
+                cost=result.cost,
+                hidden=result.hidden,
+                achieved_gamma=result.gamma,
+                evaluations=result.evaluations,
+            )
+        )
+    return points

@@ -50,16 +50,39 @@ class KeywordIndex:
                 self.postings.setdefault(term, set()).add((spec_id, module.module_id))
 
     def lookup(self, term: str) -> set[Posting]:
-        """Postings of a single normalised term."""
-        return set(self.postings.get(term, set()))
+        """Postings of a single normalised term (defensive copy)."""
+        postings = self._postings_for(term)
+        return set(postings) if postings else set()
+
+    def _postings_for(self, term: str) -> set[Posting] | None:
+        """Internal read path: the stored posting set, no copy.
+
+        Callers must not mutate the result.
+        """
+        return self.postings.get(term)
 
     def lookup_all(self, terms: Iterable[str]) -> set[Posting]:
-        """Postings matching *all* terms (intersection by specification+module)."""
-        results: set[Posting] | None = None
+        """Postings matching *all* terms (intersection by specification+module).
+
+        Short-circuits as soon as any term is unknown or the running
+        intersection empties, and intersects smallest posting list first so
+        the working set never exceeds the rarest term's postings.
+        """
+        posting_sets = []
         for term in terms:
-            postings = self.lookup(term)
-            results = postings if results is None else results & postings
-        return results or set()
+            postings = self._postings_for(term)
+            if not postings:
+                return set()
+            posting_sets.append(postings)
+        if not posting_sets:
+            return set()
+        posting_sets.sort(key=len)
+        results = set(posting_sets[0])
+        for postings in posting_sets[1:]:
+            results &= postings
+            if not results:
+                break
+        return results
 
     def vocabulary_size(self) -> int:
         """Number of distinct indexed terms."""
