@@ -1,18 +1,24 @@
 # Single entrypoints for contributors and CI.  `make test` runs exactly the
 # tier-1 command from ROADMAP.md; `make bench` runs the pytest-benchmark
-# suites and writes a BENCH_<date>.json perf snapshot; `make lint` is a
-# dependency-free sanity pass (byte-compiles every tree we ship).
+# suites and writes a BENCH_<date>.json perf snapshot; `make bench-check`
+# re-runs the suites and fails on a >30% regression of the guarded
+# (kernel/adversary) ops versus the committed baseline in
+# benchmarks/baselines/; `make lint` is a dependency-free sanity pass
+# (byte-compiles every tree we ship).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint
+.PHONY: test bench bench-check lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -28,7 +28,7 @@ from repro.privacy.relations import ModuleRelation
 
 def test_e1_module_privacy_solvers(benchmark):
     """E1: safe-subset cost versus privacy level across solvers."""
-    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=5, iterations=1)
     print()
     print(format_table(rows, title="E1 -- module privacy: safe-subset solvers"))
     print(e1_module_privacy.headline(rows))
@@ -60,7 +60,7 @@ def test_e1_module_privacy_solvers(benchmark):
 
 def test_e1_greedy_tracks_optimum(benchmark):
     """E1 headline: the greedy solver stays close to the optimal cost."""
-    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=5, iterations=1)
     headline = e1_module_privacy.headline(rows)
     # The greedy heuristic should stay within 2x of the optimum on these
     # small relations (it is typically within a few percent).
@@ -70,7 +70,7 @@ def test_e1_greedy_tracks_optimum(benchmark):
 def test_e1_kernel_scan_reduction(benchmark):
     """Perf contract: >= 5x fewer full-table scans on the E1 workload,
     with solver outputs identical to the naive reference semantics."""
-    rows = benchmark.pedantic(e1_module_privacy.run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(e1_module_privacy.run, rounds=5, iterations=1)
     headline = e1_module_privacy.headline(rows)
     print()
     print(f"kernel scan reduction on E1: {headline['kernel_scan_reduction']}x")
@@ -116,7 +116,7 @@ def test_large_relation_solvers(benchmark):
         }
         return relation, results
 
-    relation, results = benchmark.pedantic(workload, rounds=1, iterations=1)
+    relation, results = benchmark.pedantic(workload, rounds=3, iterations=1)
     for gamma, by_solver in results.items():
         assert by_solver["exact"].optimal
         for result in by_solver.values():

@@ -21,6 +21,7 @@ import datetime as _datetime
 import json
 import os
 import pathlib
+import platform
 import subprocess
 import sys
 import tempfile
@@ -114,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
     output_path = args.output_dir / f"BENCH_{date}.json"
     document = {
         "generated": _datetime.datetime.now().isoformat(timespec="seconds"),
+        # Machine tag keys check_regression.py's per-machine baselines
+        # (absolute times are not comparable across machines).  Ephemeral
+        # CI runners with random hostnames should set BENCH_MACHINE to a
+        # stable runner-class label so baselines survive across runs.
+        "machine": os.environ.get("BENCH_MACHINE") or platform.node(),
         "pytest_exit_code": exit_code,
         "pattern": args.pattern,
         "benchmarks": summarize(raw),

@@ -2,6 +2,7 @@
 
 from repro.adversary.module_attack import (
     AttackReport,
+    CandidateSet,
     ModuleFunctionAttack,
     attack_curve,
 )
@@ -14,6 +15,7 @@ from repro.adversary.structure_attack import (
 
 __all__ = [
     "AttackReport",
+    "CandidateSet",
     "ModuleFunctionAttack",
     "StructureAttackReport",
     "attack_after_edge_deletion",

@@ -8,6 +8,20 @@ of a module's rows across repeated executions and tries to predict the
 module's output for inputs it cares about.  Experiment E2 uses it to show
 how the candidate-output set shrinks with the number of observed runs and
 how hiding a safe subset keeps it above the promised level Gamma.
+
+The attack rides on the Gamma evaluation kernel of
+:mod:`repro.privacy.relations`: observations are visible-projection block
+refinements (a dict from visible-input projection to the visible-output
+projections seen with it), candidate counts are computed *analytically*
+as ``distinct projections x hidden-domain completions`` without ever
+materializing the output-domain product, and the full-observation limit
+reads the per-block distinct counts straight from the relation's
+(possibly registry-shared) kernel.  :class:`CandidateSet` keeps the old
+set-like API -- ``len``, ``in``, iteration -- as a lazy view, so small
+spaces can still be enumerated while a probe against a 10^6-sized output
+space answers in O(1) memory.  The pre-kernel semantics are kept as
+``reference_candidate_outputs`` / ``reference_report``: a slow oracle for
+equivalence tests and the benchmarks' speedup baseline.
 """
 
 from __future__ import annotations
@@ -15,10 +29,10 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import PrivacyError
-from repro.privacy.relations import ModuleRelation
+from repro.privacy.relations import Attribute, ModuleRelation
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,126 @@ class AttackReport:
         }
 
 
+class CandidateSet:
+    """Lazy set of output tuples consistent with the adversary's view.
+
+    Behaves like the eager ``set`` the attack used to return -- ``len``,
+    membership and iteration all work -- but the elements are never
+    materialized unless iterated: the cardinality is computed analytically
+    (``distinct observed projections x hidden-domain completions``, or the
+    full output-domain product for an unobserved probe), and membership
+    checks one projection lookup plus per-component domain tests.
+    """
+
+    __slots__ = ("_outputs", "_visible_indices", "_projections", "_size")
+
+    def __init__(
+        self,
+        outputs: Sequence[Attribute],
+        visible_indices: Sequence[int],
+        projections: frozenset[tuple] | None,
+    ) -> None:
+        self._outputs = tuple(outputs)
+        self._visible_indices = tuple(visible_indices)
+        self._projections = projections
+        if projections is None:
+            size = 1
+            for attribute in self._outputs:
+                size *= len(attribute.domain)
+        else:
+            size = len(projections)
+            for index, attribute in enumerate(self._outputs):
+                if index not in self._visible_indices:
+                    size *= len(attribute.domain)
+        self._size = size
+
+    @property
+    def observed(self) -> bool:
+        """Whether the probe's visible projection was ever observed."""
+        return self._projections is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, candidate: object) -> bool:
+        if not isinstance(candidate, tuple) or len(candidate) != len(self._outputs):
+            return False
+        for index, attribute in enumerate(self._outputs):
+            if candidate[index] not in attribute.domain:
+                return False
+        if self._projections is None:
+            return True
+        visible = tuple(candidate[index] for index in self._visible_indices)
+        return visible in self._projections
+
+    def __iter__(self) -> Iterator[tuple]:
+        hidden_domains = [
+            attribute.domain
+            for index, attribute in enumerate(self._outputs)
+            if index not in self._visible_indices
+        ]
+        if self._projections is None:
+            yield from itertools.product(
+                *[attribute.domain for attribute in self._outputs]
+            )
+            return
+        visible_set = set(self._visible_indices)
+        for projection in sorted(self._projections, key=repr):
+            for completion in itertools.product(*hidden_domains):
+                projection_iter = iter(projection)
+                completion_iter = iter(completion)
+                yield tuple(
+                    next(projection_iter) if index in visible_set
+                    else next(completion_iter)
+                    for index in range(len(self._outputs))
+                )
+
+    #: Above this cardinality, equality between structurally different lazy
+    #: sets is not decided by enumeration (falls back to identity).
+    _EQ_ENUMERATION_LIMIT = 4096
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality against sets and other candidate sets.
+
+        Comparisons stay analytic wherever possible: cardinalities are
+        checked first, structurally identical lazy sets compare their
+        projection sets, and a materialized ``set`` is membership-tested
+        element by element (O(1) each).  Only small (<= 4096 element)
+        structurally *different* lazy pairs are decided by enumeration;
+        larger ones fall back to identity rather than materializing the
+        output product this class exists to avoid.
+        """
+        if isinstance(other, CandidateSet):
+            if self._outputs == other._outputs:
+                if self._projections is None and other._projections is None:
+                    return True
+                if (
+                    self._visible_indices == other._visible_indices
+                    and self._projections == other._projections
+                ):
+                    return True
+            if len(self) != len(other):
+                return False
+            if len(other) > self._EQ_ENUMERATION_LIMIT:
+                return NotImplemented
+            return all(candidate in self for candidate in other)
+        if isinstance(other, (set, frozenset)):
+            return len(self) == len(other) and all(
+                candidate in self for candidate in other
+            )
+        return NotImplemented
+
+    # Lazy views are mutable-ish (observations evolve), never hashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        kind = "unobserved" if self._projections is None else "observed"
+        return f"CandidateSet({kind}, size={self._size})"
+
+
 class ModuleFunctionAttack:
     """Reconstructs a module's visible relation from observed executions.
 
@@ -90,25 +224,78 @@ class ModuleFunctionAttack:
             if attribute.name not in self.hidden
         ]
         # Observed visible rows: visible-input projection -> set of
-        # visible-output projections seen with it.
+        # visible-output projections seen with it (the adversary's block
+        # refinement of the relation's visible-input partition).
         self._observations: dict[tuple, set[tuple]] = {}
         self._observed_runs = 0
+        self._fully_observed = False
+        # Analytic factors: free completions on hidden output attributes,
+        # and the full output space for unobserved probes.
+        self._hidden_completions = 1
+        for index, attribute in enumerate(relation.outputs):
+            if index not in self._visible_output_indices:
+                self._hidden_completions *= len(attribute.domain)
+        self._output_space = relation.output_space_size()
+        # (probe, visible-input projection, truth's visible-output
+        # projection) per row, fetched once from the relation's memoized
+        # table -- the projections depend only on the relation and hidden
+        # set, not the observations.
+        self._probe_projections: tuple[tuple[tuple, tuple, tuple], ...] | None = None
+        self._projection_by_key: dict[tuple, tuple[tuple, tuple]] | None = None
+
+    def _default_probe_projections(self) -> tuple[tuple[tuple, tuple, tuple], ...]:
+        if self._probe_projections is None:
+            # Memoized on the relation per visibility pair, so repeated
+            # attacks under the same hiding share one table.
+            self._probe_projections = self.relation.visible_projection_table(
+                self.hidden
+            )
+        return self._probe_projections
+
+    def _projections_for(self, key: tuple) -> tuple[tuple, tuple]:
+        """(visible-input, visible-output) projections of one relation row.
+
+        O(arity) per key; a per-key memo is only built once the memoized
+        full table exists (bulk observers), so a few observations on a
+        huge relation never materialize the whole table.
+        """
+        if self._projection_by_key is None and self._probe_projections is not None:
+            self._projection_by_key = {
+                probe: (visible_input, visible_output)
+                for probe, visible_input, visible_output in self._probe_projections
+            }
+        if self._projection_by_key is not None:
+            projections = self._projection_by_key.get(key)
+            if projections is None:
+                self.relation.output_for(key)  # raises for unknown inputs
+                raise AssertionError("unreachable")  # pragma: no cover
+            return projections
+        output_tuple = self.relation.output_for(key)
+        return (
+            tuple(key[i] for i in self._visible_input_indices),
+            tuple(output_tuple[i] for i in self._visible_output_indices),
+        )
 
     # ------------------------------------------------------------------ #
     # Observation
     # ------------------------------------------------------------------ #
     def observe(self, input_tuple: tuple) -> None:
         """Observe one execution of the module on ``input_tuple``."""
-        output_tuple = self.relation.output_for(input_tuple)
-        visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
-        visible_output = tuple(output_tuple[i] for i in self._visible_output_indices)
+        visible_input, visible_output = self._projections_for(tuple(input_tuple))
         self._observations.setdefault(visible_input, set()).add(visible_output)
         self._observed_runs += 1
 
     def observe_all(self) -> None:
-        """Observe every row of the relation (the limit of repeated runs)."""
-        for key in self.relation.rows_view:
-            self.observe(key)
+        """Observe every row of the relation (the limit of repeated runs).
+
+        Marks the attack fully observed, which lets :meth:`report` read
+        candidate counts directly from the relation's Gamma kernel.
+        """
+        observations = self._observations
+        for _, visible_input, visible_output in self._default_probe_projections():
+            observations.setdefault(visible_input, set()).add(visible_output)
+        self._observed_runs += len(self.relation.rows_view)
+        self._fully_observed = True
 
     def observe_random(self, runs: int, *, seed: int = 0) -> None:
         """Observe ``runs`` executions on uniformly random inputs."""
@@ -125,13 +312,107 @@ class ModuleFunctionAttack:
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
-    def candidate_outputs(self, input_tuple: tuple) -> set[tuple]:
+    def candidate_outputs(self, input_tuple: tuple) -> CandidateSet:
         """Output tuples consistent with the observations for ``input_tuple``.
 
         If no observed row matches the visible projection of the input, the
-        adversary cannot rule anything out and the full output space is
-        returned.
+        adversary cannot rule anything out and the candidate set spans the
+        full output space.  The returned :class:`CandidateSet` is lazy --
+        counting and membership never materialize the output-domain
+        product.
         """
+        visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
+        observed_projections = self._observations.get(visible_input)
+        return CandidateSet(
+            self.relation.outputs,
+            self._visible_output_indices,
+            frozenset(observed_projections) if observed_projections else None,
+        )
+
+    def candidate_count(self, input_tuple: tuple) -> int:
+        """Analytic candidate-output count for one probe (O(1))."""
+        visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
+        observed_projections = self._observations.get(visible_input)
+        if not observed_projections:
+            return self._output_space
+        return len(observed_projections) * self._hidden_completions
+
+    def guess(self, input_tuple: tuple, *, seed: int = 0) -> tuple:
+        """The adversary's single best guess (uniform among candidates).
+
+        Enumerates the candidate set, so only sensible for small output
+        spaces (use :meth:`candidate_count` for large ones).
+        """
+        candidates = sorted(self.candidate_outputs(input_tuple), key=repr)
+        rng = random.Random(seed)
+        return rng.choice(candidates)
+
+    def report(self, probe_inputs: Sequence[tuple] | None = None) -> AttackReport:
+        """Summarise the attack over ``probe_inputs`` (all inputs by default).
+
+        Candidate counts are analytic; after :meth:`observe_all` they come
+        straight from the relation's memoized Gamma kernel (one grouped
+        pass shared with every other consumer of the kernel), so a report
+        is O(probes) regardless of the output-space size.
+        """
+        if probe_inputs is not None:
+            rows = self.relation.rows_view
+            probe_rows = []
+            for probe in probe_inputs:
+                probe = tuple(probe)
+                self.relation.output_for(probe)  # validate the probe
+                probe_rows.append(
+                    (
+                        probe,
+                        tuple(probe[i] for i in self._visible_input_indices),
+                        tuple(
+                            rows[probe][i] for i in self._visible_output_indices
+                        ),
+                    )
+                )
+        else:
+            probe_rows = self._default_probe_projections()
+        kernel_counts: dict[tuple, int] | None = None
+        if self._fully_observed:
+            # The adversary's blocks coincide with the kernel's partition
+            # blocks once every row has been observed.
+            kernel_counts = self.relation.candidate_output_counts(self.hidden)
+        counts: list[int] = []
+        successes: list[float] = []
+        determined = 0
+        observations = self._observations
+        hidden_completions = self._hidden_completions
+        for probe, visible_input, truth_visible in probe_rows:
+            if kernel_counts is not None:
+                count = kernel_counts[probe]
+                truth_is_candidate = True
+            else:
+                projections = observations.get(visible_input)
+                if not projections:
+                    count = self._output_space
+                    truth_is_candidate = True
+                else:
+                    count = len(projections) * hidden_completions
+                    truth_is_candidate = truth_visible in projections
+            counts.append(count)
+            successes.append((1.0 / count) if truth_is_candidate else 0.0)
+            if count == 1 and truth_is_candidate:
+                determined += 1
+        return AttackReport(
+            module_id=self.relation.module_id,
+            observations=self._observed_runs,
+            min_candidates=min(counts) if counts else 0,
+            mean_candidates=(sum(counts) / len(counts)) if counts else 0.0,
+            determined_inputs=determined,
+            guess_success_rate=(sum(successes) / len(successes)) if successes else 0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference oracle (pre-kernel semantics, kept for equivalence tests
+    # and as the benchmarks' speedup baseline)
+    # ------------------------------------------------------------------ #
+    def reference_candidate_outputs(self, input_tuple: tuple) -> set[tuple]:
+        """Naive candidate set: materializes every completion eagerly."""
         visible_input = tuple(input_tuple[i] for i in self._visible_input_indices)
         hidden_output_domains = [
             attribute.domain
@@ -160,14 +441,10 @@ class ModuleFunctionAttack:
                 candidates.add(tuple(full))
         return candidates
 
-    def guess(self, input_tuple: tuple, *, seed: int = 0) -> tuple:
-        """The adversary's single best guess (uniform among candidates)."""
-        candidates = sorted(self.candidate_outputs(input_tuple), key=repr)
-        rng = random.Random(seed)
-        return rng.choice(candidates)
-
-    def report(self, probe_inputs: Sequence[tuple] | None = None) -> AttackReport:
-        """Summarise the attack over ``probe_inputs`` (all inputs by default)."""
+    def reference_report(
+        self, probe_inputs: Sequence[tuple] | None = None
+    ) -> AttackReport:
+        """Naive report: one materialized candidate set per probe."""
         probes = list(probe_inputs) if probe_inputs is not None else sorted(
             self.relation.rows_view
         )
@@ -175,7 +452,7 @@ class ModuleFunctionAttack:
         successes: list[float] = []
         determined = 0
         for probe in probes:
-            candidates = self.candidate_outputs(probe)
+            candidates = self.reference_candidate_outputs(probe)
             counts.append(len(candidates))
             truth = self.relation.output_for(probe)
             successes.append((1.0 / len(candidates)) if truth in candidates else 0.0)
@@ -201,11 +478,23 @@ def attack_curve(
     """Attack reports for increasing numbers of observed executions.
 
     Used by experiment E2 to plot "what the adversary knows" as a function
-    of how much provenance has been published.
+    of how much provenance has been published.  One attack instance is
+    reused across the curve and only the *delta* of executions is observed
+    per entry (O(max runs) total instead of O(sum of runs)); the reports
+    are identical to re-observing from scratch because each entry's
+    observations are the same prefix of the seeded random draw.  A
+    non-monotone ``run_counts`` entry falls back to a fresh replay.
     """
+    hidden = set(hidden)
+    keys = sorted(relation.rows_view)
     reports = []
+    attack = ModuleFunctionAttack(relation, hidden)
+    rng = random.Random(seed)
     for runs in run_counts:
-        attack = ModuleFunctionAttack(relation, hidden)
-        attack.observe_random(runs, seed=seed)
+        if runs < attack.observed_runs:
+            attack = ModuleFunctionAttack(relation, hidden)
+            rng = random.Random(seed)
+        while attack.observed_runs < runs:
+            attack.observe(rng.choice(keys))
         reports.append(attack.report())
     return reports

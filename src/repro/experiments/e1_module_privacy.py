@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.experiments.reporting import ResultTable
 from repro.experiments.workloads import random_relations
+from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.module_privacy import (
     exact_safe_subset,
     greedy_safe_subset,
@@ -42,15 +43,28 @@ class E1Config:
     seed: int = 41
 
 
-def run(config: E1Config | None = None) -> ResultTable:
-    """Run E1 and return one row per (module, gamma, solver)."""
+def run(
+    config: E1Config | None = None,
+    *,
+    registry: GammaKernelRegistry | None = None,
+) -> ResultTable:
+    """Run E1 and return one row per (module, gamma, solver).
+
+    All relations attach to one :class:`GammaKernelRegistry` (created
+    fresh when not supplied), so any structurally identical modules in
+    the workload share a memoized, size-accounted Gamma kernel across
+    every solver run.
+    """
     config = config or E1Config()
+    if registry is None:
+        registry = GammaKernelRegistry()
     relations = random_relations(
         config.modules,
         n_inputs=config.n_inputs,
         n_outputs=config.n_outputs,
         domain_size=config.domain_size,
         seed=config.seed,
+        registry=registry,
     )
     solvers = {
         "exact": exact_safe_subset,

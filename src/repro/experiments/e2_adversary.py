@@ -10,16 +10,27 @@ subset hiding chosen for a target Gamma.  The expected shape: without
 hiding the adversary's guessing success rate climbs to 1.0 as observations
 accumulate; with the safe subset it is capped near 1/Gamma no matter how
 many executions are observed.
+
+Since the adversary was ported onto the Gamma kernel the default workload
+is the 6-attribute/domain-4 relation of E4's ``frontier_run`` (64 rows,
+64-tuple output space) -- intractable for the old tuple-materializing
+attack sweep.  The observation sweep is incremental (one attack instance,
+delta observations via :func:`attack_curve`), and a structurally identical
+twin module -- the same analysis step deployed in a second workflow -- is
+solved through the same :class:`GammaKernelRegistry` kernel to exercise
+cross-relation sharing; its stats are surfaced by :func:`kernel_headline`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.adversary.module_attack import ModuleFunctionAttack
+from repro.adversary.module_attack import ModuleFunctionAttack, attack_curve
 from repro.experiments.reporting import ResultTable
 from repro.experiments.workloads import random_relations
+from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.module_privacy import greedy_safe_subset
+from repro.privacy.relations import ModuleRelation
 
 
 @dataclass(frozen=True)
@@ -27,45 +38,70 @@ class E2Config:
     """Parameters of experiment E2."""
 
     gamma: int = 4
-    domain_size: int = 3
-    n_inputs: int = 2
-    n_outputs: int = 2
+    domain_size: int = 4
+    n_inputs: int = 3
+    n_outputs: int = 3
     run_counts: tuple[int, ...] = (1, 3, 6, 12, 25, 50)
     seed: int = 43
+    kernel_budget_bytes: int | None = None
 
 
-def run(config: E2Config | None = None) -> ResultTable:
-    """Run E2 and return one row per (hiding, observations)."""
+def run(
+    config: E2Config | None = None,
+    *,
+    registry: GammaKernelRegistry | None = None,
+) -> ResultTable:
+    """Run E2 and return one row per (hiding, observations).
+
+    ``registry`` (created with the config's byte budget when omitted) is
+    threaded through relation construction so callers -- benchmarks above
+    all -- can inspect sharing and eviction statistics afterwards.
+    """
     config = config or E2Config()
+    if registry is None:
+        registry = GammaKernelRegistry(budget_bytes=config.kernel_budget_bytes)
     relation = random_relations(
         1,
         n_inputs=config.n_inputs,
         n_outputs=config.n_outputs,
         domain_size=config.domain_size,
         seed=config.seed,
+        registry=registry,
     )[0]
     safe = greedy_safe_subset(relation, config.gamma)
+    # The same module deployed in a second workflow: structurally identical
+    # (same seed), so its whole safe-subset search is served by the shared
+    # kernel warmed above.
+    twin = ModuleRelation.random(
+        f"{relation.module_id}-twin",
+        n_inputs=config.n_inputs,
+        n_outputs=config.n_outputs,
+        domain_size=config.domain_size,
+        seed=config.seed,
+        registry=registry,
+    )
+    greedy_safe_subset(twin, config.gamma)
     settings = {
         "no hiding": frozenset(),
         f"safe subset (gamma={config.gamma})": safe.hidden,
     }
     rows: ResultTable = []
     for setting_name, hidden in settings.items():
-        for runs in config.run_counts:
-            attack = ModuleFunctionAttack(relation, hidden)
-            attack.observe_random(runs, seed=config.seed)
-            report = attack.report()
+        for report in attack_curve(
+            relation, hidden, config.run_counts, seed=config.seed
+        ):
             rows.append(
                 {
                     "setting": setting_name,
-                    "observations": runs,
+                    "observations": report.observations,
                     "min_candidates": report.min_candidates,
                     "mean_candidates": round(report.mean_candidates, 2),
                     "determined_inputs": report.determined_inputs,
                     "guess_success_rate": round(report.guess_success_rate, 4),
                 }
             )
-        # The limit case: the adversary has seen every row.
+        # The limit case: the adversary has seen every row, so the report
+        # comes straight from the shared Gamma kernel.
         attack = ModuleFunctionAttack(relation, hidden)
         attack.observe_all()
         report = attack.report()
@@ -99,12 +135,33 @@ def headline(rows: ResultTable) -> dict[str, float]:
     }
 
 
+def kernel_headline(registry: GammaKernelRegistry) -> dict[str, float]:
+    """Sharing/size statistics of the registry threaded through a run.
+
+    ``shared_kernels``/``kernel_bytes_in_use`` are live gauges (garbage-
+    collected relations release their kernels); ``sharing_hits`` is the
+    registry-lifetime count of attach requests served by an existing
+    kernel -- the durable evidence of cross-relation sharing.
+    """
+    stats = registry.kernel_stats
+    return {
+        "kernels": float(stats["kernels"]),
+        "relations_attached": float(stats["relations_attached"]),
+        "shared_kernels": float(stats["shared_kernels"]),
+        "sharing_hits": float(stats["sharing_hits"]),
+        "kernel_bytes_in_use": float(stats["bytes_in_use"]),
+        "kernel_evictions": float(stats["evictions"]),
+    }
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
     from repro.experiments.reporting import print_table
 
-    rows = run()
+    registry = GammaKernelRegistry()
+    rows = run(registry=registry)
     print_table(rows, title="E2 -- adversary over repeated executions")
     print(headline(rows))
+    print(kernel_headline(registry))
 
 
 if __name__ == "__main__":  # pragma: no cover

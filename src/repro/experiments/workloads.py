@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 
 from repro.execution.engine import WorkflowExecutor
+from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
 from repro.storage.repository import WorkflowRepository
 from repro.views.access import AccessViewPolicy
@@ -176,8 +177,14 @@ def random_relations(
     n_outputs: int = 2,
     domain_size: int = 3,
     seed: int = 29,
+    registry: "GammaKernelRegistry | None" = None,
 ) -> list[ModuleRelation]:
-    """Random module relations for the module-privacy experiments."""
+    """Random module relations for the module-privacy experiments.
+
+    With a ``registry``, the relations attach to its shared Gamma kernels
+    (structurally identical relations -- e.g. twins generated from the
+    same seed -- resolve to the same kernel).
+    """
     return [
         ModuleRelation.random(
             f"P{index + 1}",
@@ -185,6 +192,7 @@ def random_relations(
             n_outputs=n_outputs,
             domain_size=domain_size,
             seed=seed + index,
+            registry=registry,
         )
         for index in range(count)
     ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.adversary.module_attack import ModuleFunctionAttack
+from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import WorkflowPrivacyRequirements
 
@@ -66,12 +67,19 @@ def empirical_guarantee(
     *,
     observations: int | None = None,
     seed: int = 0,
+    registry: GammaKernelRegistry | None = None,
 ) -> GuaranteeReport:
     """Check the guarantee against a simulated adversary.
 
     ``observations`` defaults to observing every row of the relation, which
-    is the strongest adversary repeated executions can produce.
+    is the strongest adversary repeated executions can produce.  With a
+    ``registry``, the relation is adopted into it first so the adversary's
+    full-observation counts and the analytical Gamma both come from the
+    shared kernel (warmed by any structurally identical module checked
+    earlier).
     """
+    if registry is not None and relation.registry is not registry:
+        registry.adopt(relation)
     hidden_set = set(hidden)
     attack = ModuleFunctionAttack(relation, hidden_set)
     full_observation = observations is None
@@ -107,9 +115,16 @@ def workflow_guarantees(
     *,
     observations: int | None = None,
     seed: int = 0,
+    registry: GammaKernelRegistry | None = None,
 ) -> list[GuaranteeReport]:
-    """Check every module-privacy requirement under a shared hidden-label set."""
+    """Check every module-privacy requirement under a shared hidden-label set.
+
+    The requirements' kernel registry (or an explicit ``registry``) is
+    threaded through, so structurally identical modules are checked
+    against one shared kernel.
+    """
     hidden = set(hidden_labels)
+    registry = registry if registry is not None else requirements.registry
     reports = []
     for requirement in requirements.requirements:
         relevant = hidden & set(requirement.relation.attribute_names())
@@ -120,6 +135,7 @@ def workflow_guarantees(
                 requirement.gamma,
                 observations=observations,
                 seed=seed,
+                registry=registry,
             )
         )
     return reports

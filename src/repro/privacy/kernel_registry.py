@@ -1,0 +1,372 @@
+"""Shared, size-accounted Gamma evaluation kernels.
+
+Large workflows routinely contain many *structurally identical* modules:
+the same analysis step stamped out over several branches, or the same
+module observed across "multiple executions of a workflow on different
+initial inputs" (the paper's repeated-execution threat model).  Their
+Gamma evaluation state -- row partitions by visible-input projection and
+per-block candidate counts -- depends only on the relation's *structure*
+(domain sizes and the equality pattern of the row table), not on
+attribute names or concrete values.  The registry exploits that:
+
+* :class:`RelationStructure` canonicalizes a relation by renaming every
+  attribute positionally and every value to its index in the attribute's
+  domain, so two relations that differ only in naming hash to the same
+  signature;
+* :class:`SharedGammaKernel` holds the memoized partition / kernel-entry
+  caches for one structure, with per-entry byte accounting (roughly
+  ``entries x row count`` machine words) and LRU eviction past a
+  configurable byte budget -- evicted entries are transparently
+  recomputed on the next request;
+* :class:`GammaKernelRegistry` maps signatures to kernels so every
+  structurally identical relation attaches to the same kernel, in the
+  spirit of PROBE-style shared provenance stores: one module's solver
+  run warms the cache for all of its twins.
+
+``ModuleRelation`` owns a private, unbounded kernel by default; passing
+``registry=`` at construction (or calling ``GammaKernelRegistry.adopt``)
+switches it to the shared, budgeted kernel.  ``kernel_stats`` on both
+the kernel and the registry expose hit/eviction counters and byte
+gauges used by the benchmarks and experiment headlines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PrivacyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.privacy.relations import ModuleRelation
+
+#: Approximate cost of one cached integer (CPython small-int pointer).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RelationStructure:
+    """Canonical, name-free structure of a module relation.
+
+    Two relations share a structure exactly when they have the same input
+    and output arities, the same per-position domain sizes, and row tables
+    that are identical after renaming every value to its position in the
+    owning attribute's domain.  Row *order* is part of the signature (the
+    canonical columns are ordered), which is conservative: relations built
+    the same way -- e.g. enumerated from the same function or generated
+    from the same seed -- always match, while permuted tables are treated
+    as distinct rather than risking an unsound merge.
+    """
+
+    input_domain_sizes: tuple[int, ...]
+    output_domain_sizes: tuple[int, ...]
+    input_columns: tuple[tuple[int, ...], ...]
+    output_columns: tuple[tuple[int, ...], ...]
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows of the canonical table."""
+        return len(self.input_columns[0]) if self.input_columns else 0
+
+    @classmethod
+    def of(cls, relation: "ModuleRelation") -> "RelationStructure":
+        """Canonicalize ``relation`` (values become domain positions)."""
+        row_keys = tuple(relation.rows_view)
+        input_columns = []
+        for position, attribute in enumerate(relation.inputs):
+            code = {value: index for index, value in enumerate(attribute.domain)}
+            input_columns.append(tuple(code[key[position]] for key in row_keys))
+        rows = relation.rows_view
+        output_columns = []
+        for position, attribute in enumerate(relation.outputs):
+            code = {value: index for index, value in enumerate(attribute.domain)}
+            output_columns.append(
+                tuple(code[rows[key][position]] for key in row_keys)
+            )
+        return cls(
+            input_domain_sizes=tuple(len(a.domain) for a in relation.inputs),
+            output_domain_sizes=tuple(len(a.domain) for a in relation.outputs),
+            input_columns=tuple(input_columns),
+            output_columns=tuple(output_columns),
+        )
+
+
+class SharedGammaKernel:
+    """Memoized Gamma evaluation state for one relation structure.
+
+    The kernel caches two kinds of entries in a single LRU:
+
+    * partitions -- block id per row for a visible-input index tuple,
+      computed by incremental refinement of the prefix partition
+      (``row_count`` words each);
+    * kernel entries -- (partition, per-block candidate counts, Gamma)
+      for a (visible-inputs, visible-outputs) pair
+      (``row_count + blocks`` words each).
+
+    When a ``budget_bytes`` is set, least-recently-used entries are
+    evicted once the accounted size exceeds it; the most recent entry is
+    always retained so evaluations make progress even under a budget
+    smaller than a single entry.  Evicted entries are recomputed on
+    demand (partitions recursively re-refine from their surviving
+    prefix), so eviction never changes results -- only counters.
+    """
+
+    def __init__(
+        self,
+        structure: RelationStructure,
+        *,
+        budget_bytes: int | None = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise PrivacyError("kernel byte budget must be >= 0")
+        self.structure = structure
+        self.budget_bytes = budget_bytes
+        # key -> (payload, cost_bytes); ordered oldest-first for LRU.
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self._bytes_in_use = 0
+        self._peak_bytes = 0
+        self._attached = 0
+        self._counters: dict[str, int] = {
+            "partition_hits": 0,
+            "partition_refinements": 0,
+            "grouping_passes": 0,
+            "kernel_hits": 0,
+            "evictions": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Attachment accounting
+    # ------------------------------------------------------------------ #
+    def attach(self) -> None:
+        """Record one more relation backed by this kernel."""
+        self._attached += 1
+
+    def detach(self) -> None:
+        """Record that a relation rebound away from this kernel."""
+        if self._attached > 0:
+            self._attached -= 1
+
+    @property
+    def attached_relations(self) -> int:
+        """How many relations currently share this kernel."""
+        return self._attached
+
+    # ------------------------------------------------------------------ #
+    # LRU cache plumbing
+    # ------------------------------------------------------------------ #
+    def _cache_get(self, key: tuple) -> object | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def _cache_put(self, key: tuple, payload: object, cost: int) -> None:
+        stale = self._entries.pop(key, None)
+        if stale is not None:  # pragma: no cover - keys are computed once
+            self._bytes_in_use -= stale[1]
+        self._entries[key] = (payload, cost)
+        self._bytes_in_use += cost
+        self._peak_bytes = max(self._peak_bytes, self._bytes_in_use)
+        if self.budget_bytes is None:
+            return
+        while self._bytes_in_use > self.budget_bytes and len(self._entries) > 1:
+            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            self._bytes_in_use -= evicted_cost
+            self._counters["evictions"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def partition(self, visible_inputs: tuple[int, ...]) -> tuple[int, ...]:
+        """Block id per row of the partition by visible-input projection."""
+        key = ("partition", visible_inputs)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._counters["partition_hits"] += 1
+            return cached  # type: ignore[return-value]
+        if not visible_inputs:
+            partition: tuple[int, ...] = (0,) * self.structure.row_count
+        else:
+            base = self.partition(visible_inputs[:-1])
+            column = self.structure.input_columns[visible_inputs[-1]]
+            block_ids: dict[tuple[int, int], int] = {}
+            refined = []
+            for block, value in zip(base, column):
+                pair = (block, value)
+                block_id = block_ids.get(pair)
+                if block_id is None:
+                    block_id = len(block_ids)
+                    block_ids[pair] = block_id
+                refined.append(block_id)
+            partition = tuple(refined)
+            self._counters["partition_refinements"] += 1
+        self._cache_put(key, partition, self.structure.row_count * WORD_BYTES)
+        return partition
+
+    def entry(
+        self, visible_inputs: tuple[int, ...], visible_outputs: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """(partition, per-block candidate counts, Gamma) for a visibility pair."""
+        key = ("kernel", visible_inputs, visible_outputs)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._counters["kernel_hits"] += 1
+            return cached  # type: ignore[return-value]
+        partition = self.partition(visible_inputs)
+        block_count = (max(partition) + 1) if partition else 0
+        columns = [self.structure.output_columns[index] for index in visible_outputs]
+        distinct = [0] * block_count
+        seen: set[tuple] = set()
+        for row, block in enumerate(partition):
+            pair = (block, tuple(column[row] for column in columns))
+            if pair not in seen:
+                seen.add(pair)
+                distinct[block] += 1
+        self._counters["grouping_passes"] += 1
+        hidden_combinations = 1
+        visible_output_set = set(visible_outputs)
+        for index, size in enumerate(self.structure.output_domain_sizes):
+            if index not in visible_output_set:
+                hidden_combinations *= size
+        counts = tuple(count * hidden_combinations for count in distinct)
+        entry = (partition, counts, min(counts) if counts else 0)
+        cost = (self.structure.row_count + len(counts)) * WORD_BYTES
+        self._cache_put(key, entry, cost)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Instrumentation
+    # ------------------------------------------------------------------ #
+    @property
+    def counters(self) -> dict[str, int]:
+        """Work counters (hits, refinements, passes, evictions)."""
+        return dict(self._counters)
+
+    @property
+    def structure_bytes(self) -> int:
+        """Fixed cost of the canonical column store (outside the budget).
+
+        The structure must stay resident while any relation is attached,
+        so it is reported separately rather than competing with the
+        evictable cache entries for the byte budget.
+        """
+        columns = len(self.structure.input_columns) + len(
+            self.structure.output_columns
+        )
+        return columns * self.structure.row_count * WORD_BYTES
+
+    @property
+    def kernel_stats(self) -> dict[str, int]:
+        """Counters plus size gauges for this kernel."""
+        stats = dict(self._counters)
+        stats["bytes_in_use"] = self._bytes_in_use
+        stats["peak_bytes"] = self._peak_bytes
+        stats["structure_bytes"] = self.structure_bytes
+        stats["cached_entries"] = len(self._entries)
+        stats["attached_relations"] = self._attached
+        return stats
+
+    def reset_counters(self) -> None:
+        """Zero the work counters (caches and gauges are kept)."""
+        for key in self._counters:
+            self._counters[key] = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGammaKernel(rows={self.structure.row_count}, "
+            f"attached={self._attached}, entries={len(self._entries)}, "
+            f"bytes={self._bytes_in_use})"
+        )
+
+
+class GammaKernelRegistry:
+    """Shares one :class:`SharedGammaKernel` per relation structure.
+
+    ``budget_bytes`` applies to each kernel created by the registry (the
+    per-kernel LRU budget); ``None`` means unbounded.  The registry
+    itself is cheap -- one dict entry per distinct structure.
+    """
+
+    def __init__(self, *, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise PrivacyError("kernel byte budget must be >= 0")
+        self.budget_bytes = budget_bytes
+        self._kernels: dict[RelationStructure, SharedGammaKernel] = {}
+        self._sharing_hits = 0
+        self._relations_attached = 0
+
+    def kernel_for(self, structure: RelationStructure) -> SharedGammaKernel:
+        """The shared kernel for ``structure`` (created on first request)."""
+        kernel = self._kernels.get(structure)
+        if kernel is None:
+            kernel = SharedGammaKernel(structure, budget_bytes=self.budget_bytes)
+            self._kernels[structure] = kernel
+        else:
+            self._sharing_hits += 1
+        kernel.attach()
+        self._relations_attached += 1
+        return kernel
+
+    def adopt(self, relation: "ModuleRelation") -> SharedGammaKernel:
+        """Re-point an existing relation at this registry's shared kernel."""
+        return relation.bind_registry(self)
+
+    def release(self, kernel: SharedGammaKernel) -> bool:
+        """Drop a kernel no relation is attached to any more.
+
+        Called when a relation rebinds away from this registry, so
+        abandoned kernels (and their structure keys, which hold the full
+        canonical row table) do not accumulate for the registry's
+        lifetime.  Returns whether the kernel was removed.
+        """
+        if kernel.attached_relations > 0:
+            return False
+        structure = kernel.structure
+        if self._kernels.get(structure) is kernel:
+            del self._kernels[structure]
+            return True
+        return False
+
+    @property
+    def kernels(self) -> tuple[SharedGammaKernel, ...]:
+        """Every kernel created by this registry."""
+        return tuple(self._kernels.values())
+
+    @property
+    def kernel_stats(self) -> dict[str, int]:
+        """Aggregate sharing, size and eviction statistics.
+
+        ``shared_kernels`` counts kernels backing more than one relation
+        -- the cross-relation sharing the registry exists for;
+        ``sharing_hits`` counts attach requests served by an existing
+        kernel instead of building a new one.
+        """
+        kernels = list(self._kernels.values())
+        return {
+            "kernels": len(kernels),
+            "relations_attached": self._relations_attached,
+            "shared_kernels": sum(
+                1 for kernel in kernels if kernel.attached_relations > 1
+            ),
+            "sharing_hits": self._sharing_hits,
+            "bytes_in_use": sum(k.kernel_stats["bytes_in_use"] for k in kernels),
+            "peak_bytes": sum(k.kernel_stats["peak_bytes"] for k in kernels),
+            "structure_bytes": sum(k.structure_bytes for k in kernels),
+            "cached_entries": sum(
+                k.kernel_stats["cached_entries"] for k in kernels
+            ),
+            "evictions": sum(k.counters["evictions"] for k in kernels),
+        }
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __repr__(self) -> str:
+        stats = self.kernel_stats
+        return (
+            f"GammaKernelRegistry(kernels={stats['kernels']}, "
+            f"attached={stats['relations_attached']}, "
+            f"bytes={stats['bytes_in_use']})"
+        )

@@ -33,18 +33,67 @@ O(rows) passes actually performed, and the scans the naive semantics
 would have performed) used by the benchmarks to track the speedup.  The
 pre-kernel implementation is kept as ``reference_candidate_outputs`` /
 ``reference_achieved_gamma`` -- a slow oracle for equivalence tests.
+
+Kernel sharing and eviction contract
+------------------------------------
+The caches above live in a :class:`~repro.privacy.kernel_registry.SharedGammaKernel`
+keyed by the relation's *canonical structure* (per-position domain sizes
+plus the row table with every value renamed to its domain index -- see
+:class:`~repro.privacy.kernel_registry.RelationStructure`).  By default
+each relation owns a private, unbounded kernel, so its counters behave
+exactly as documented above.  Constructing the relation with
+``registry=`` (or calling ``GammaKernelRegistry.adopt(relation)``)
+attaches it to the registry's shared kernel for its structure instead:
+
+* *sharing* -- all structurally identical relations (same structure up
+  to attribute and value renaming, in row order) resolve to one kernel,
+  so a Gamma evaluated through one relation is a cache hit for all of
+  its twins; ``kernel_stats`` counters then aggregate the work of every
+  attached relation, and ``reset_kernel_stats`` zeroes the shared
+  counters for all of them;
+* *eviction* -- a registry ``budget_bytes`` bounds each kernel's
+  accounted cache size (entries cost about ``row_count`` words per
+  partition and ``row_count + blocks`` words per kernel entry);
+  least-recently-used entries past the budget are dropped and
+  transparently recomputed on the next request, so eviction affects the
+  ``evictions`` / ``grouping_passes`` counters but never the values of
+  ``achieved_gamma`` / ``candidate_outputs``.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import PrivacyError
 from repro.execution.behaviors import TableBehavior
+from repro.privacy.kernel_registry import (
+    GammaKernelRegistry,
+    RelationStructure,
+    SharedGammaKernel,
+)
+
+#: Max visibility pairs whose adversary projection tables a relation retains.
+PROJECTION_TABLE_SLOTS = 8
+
+
+def _release_abandoned_kernel(
+    registry: GammaKernelRegistry | None, kernel: SharedGammaKernel
+) -> None:
+    """Finalizer: detach a garbage-collected relation from its kernel.
+
+    Module-level (not a method) so the weakref finalizer does not keep
+    the relation alive; dropping the last relation of a registry kernel
+    releases the kernel from the registry too.
+    """
+    kernel.detach()
+    if registry is not None:
+        registry.release(kernel)
 
 
 @dataclass(frozen=True)
@@ -99,6 +148,8 @@ class ModuleRelation:
         inputs: Sequence[Attribute],
         outputs: Sequence[Attribute],
         rows: Mapping[tuple, tuple],
+        *,
+        registry: GammaKernelRegistry | None = None,
     ) -> None:
         if not inputs:
             raise PrivacyError(f"module {module_id!r} must have at least one input")
@@ -137,37 +188,52 @@ class ModuleRelation:
             self._rows[key] = value
         if not self._rows:
             raise PrivacyError(f"module {module_id!r} has an empty relation")
-        self._build_kernel()
+        self._build_kernel(registry)
 
-    def _build_kernel(self) -> None:
-        """Precompute the column store and evaluation caches (see module doc)."""
+    def _build_kernel(self, registry: GammaKernelRegistry | None) -> None:
+        """Canonicalize the table and attach an evaluation kernel (module doc)."""
         self._row_keys: tuple[tuple, ...] = tuple(self._rows)
         self._row_index: dict[tuple, int] = {
             key: index for index, key in enumerate(self._row_keys)
         }
-        self._input_columns: tuple[tuple, ...] = tuple(
-            tuple(key[position] for key in self._row_keys)
-            for position in range(len(self.inputs))
-        )
-        values = tuple(self._rows[key] for key in self._row_keys)
-        self._output_columns: tuple[tuple, ...] = tuple(
-            tuple(value[position] for value in values)
-            for position in range(len(self.outputs))
-        )
-        # visible-input index tuple -> block id per row (partition of the rows).
-        self._partition_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
-        # (visible-input idx, visible-output idx) -> (partition, per-block
-        # candidate counts, Gamma).
-        self._kernel_cache: dict[tuple, tuple] = {}
+        self._structure = RelationStructure.of(self)
+        self._kernel_finalizer: weakref.finalize | None = None
         self._stats: dict[str, int] = {
             "gamma_calls": 0,
             "candidate_calls": 0,
-            "kernel_hits": 0,
-            "partition_hits": 0,
-            "partition_refinements": 0,
-            "grouping_passes": 0,
             "reference_scans": 0,
         }
+        # Visible-projection tables handed to the adversary, memoized per
+        # visibility pair.  Value-level (unlike the canonical kernel state),
+        # so it lives on the relation rather than the shared kernel; a small
+        # LRU cap keeps it from growing with the number of hidden sets
+        # probed (each entry is O(rows)).
+        self._projection_tables: OrderedDict[tuple, tuple] = OrderedDict()
+        if registry is not None:
+            kernel = registry.kernel_for(self._structure)
+        else:
+            kernel = SharedGammaKernel(self._structure)
+            kernel.attach()
+        self._attach_kernel(registry, kernel)
+
+    def _attach_kernel(
+        self, registry: GammaKernelRegistry | None, kernel: SharedGammaKernel
+    ) -> None:
+        """Bind a kernel and arm a finalizer that detaches it on GC.
+
+        The finalizer is what lets a long-lived registry reclaim kernels
+        whose relations were simply dropped (no explicit rebind): the
+        last garbage-collected relation releases the shared kernel.
+        Rebinding never touches the relation-level work counters or
+        projection tables -- only the kernel reference changes.
+        """
+        if self._kernel_finalizer is not None:
+            self._kernel_finalizer.detach()
+        self._registry = registry
+        self._kernel = kernel
+        self._kernel_finalizer = weakref.finalize(
+            self, _release_abandoned_kernel, registry, kernel
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -179,13 +245,15 @@ class ModuleRelation:
         inputs: Sequence[Attribute],
         outputs: Sequence[Attribute],
         function: Callable[[tuple], tuple],
+        *,
+        registry: GammaKernelRegistry | None = None,
     ) -> "ModuleRelation":
         """Enumerate ``function`` over the full input domain product."""
         rows = {}
         domains = [attribute.domain for attribute in inputs]
         for key in itertools.product(*domains):
             rows[key] = tuple(function(key))
-        return cls(module_id, inputs, outputs, rows)
+        return cls(module_id, inputs, outputs, rows, registry=registry)
 
     @classmethod
     def from_table_behavior(
@@ -194,6 +262,7 @@ class ModuleRelation:
         behavior: TableBehavior,
         *,
         weights: Mapping[str, float] | None = None,
+        registry: GammaKernelRegistry | None = None,
     ) -> "ModuleRelation":
         """Build a relation from an execution-engine :class:`TableBehavior`.
 
@@ -226,7 +295,7 @@ class ModuleRelation:
             )
             for name, domain in zip(behavior.output_labels, output_domains)
         ]
-        return cls(module_id, inputs, outputs, rows)
+        return cls(module_id, inputs, outputs, rows, registry=registry)
 
     @classmethod
     def random(
@@ -238,6 +307,7 @@ class ModuleRelation:
         domain_size: int = 3,
         seed: int = 0,
         weights: Mapping[str, float] | None = None,
+        registry: GammaKernelRegistry | None = None,
     ) -> "ModuleRelation":
         """A random total function over uniform domains (for experiments)."""
         rng = random.Random(seed)
@@ -264,7 +334,7 @@ class ModuleRelation:
         rows = {}
         for key in itertools.product(*[domain] * n_inputs):
             rows[key] = tuple(rng.choice(domain) for _ in range(n_outputs))
-        return cls(module_id, inputs, outputs, rows)
+        return cls(module_id, inputs, outputs, rows, registry=registry)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -353,71 +423,18 @@ class ModuleRelation:
         )
         return visible_inputs, visible_outputs
 
-    def _partition(self, visible_inputs: tuple[int, ...]) -> tuple[int, ...]:
-        """Block id per row of the partition by visible-input projection.
-
-        Computed by incremental refinement: the partition for
-        ``visible_inputs`` refines the memoized partition for its prefix by
-        one column, so each new partition costs a single O(rows) pass.
-        """
-        cached = self._partition_cache.get(visible_inputs)
-        if cached is not None:
-            self._stats["partition_hits"] += 1
-            return cached
-        if not visible_inputs:
-            partition = (0,) * len(self._row_keys)
-        else:
-            base = self._partition(visible_inputs[:-1])
-            column = self._input_columns[visible_inputs[-1]]
-            block_ids: dict[tuple, int] = {}
-            refined = []
-            for block, value in zip(base, column):
-                pair = (block, value)
-                block_id = block_ids.get(pair)
-                if block_id is None:
-                    block_id = len(block_ids)
-                    block_ids[pair] = block_id
-                refined.append(block_id)
-            partition = tuple(refined)
-            self._stats["partition_refinements"] += 1
-        self._partition_cache[visible_inputs] = partition
-        return partition
-
     def _kernel_entry(
         self, visible_inputs: tuple[int, ...], visible_outputs: tuple[int, ...]
     ) -> tuple[tuple[int, ...], tuple[int, ...], int]:
         """(partition, per-block candidate counts, Gamma) for a visibility pair.
 
-        One grouped O(rows) pass counts the distinct visible-output
-        projections of every partition block, then scales by the free
-        completions on hidden output attributes.  Memoized, so repeated
-        Gamma/candidate queries for the same hidden set are O(1).
+        Delegates to the (possibly shared) :class:`SharedGammaKernel`:
+        one grouped O(rows) pass counts the distinct visible-output
+        projections of every partition block, scaled by the free
+        completions on hidden output attributes, memoized under the
+        kernel's byte budget.
         """
-        cache_key = (visible_inputs, visible_outputs)
-        entry = self._kernel_cache.get(cache_key)
-        if entry is not None:
-            self._stats["kernel_hits"] += 1
-            return entry
-        partition = self._partition(visible_inputs)
-        block_count = max(partition) + 1
-        columns = [self._output_columns[index] for index in visible_outputs]
-        distinct = [0] * block_count
-        seen: set[tuple] = set()
-        for row, block in enumerate(partition):
-            pair = (block, tuple(column[row] for column in columns))
-            if pair not in seen:
-                seen.add(pair)
-                distinct[block] += 1
-        self._stats["grouping_passes"] += 1
-        hidden_combinations = 1
-        visible_output_set = set(visible_outputs)
-        for index, attribute in enumerate(self.outputs):
-            if index not in visible_output_set:
-                hidden_combinations *= len(attribute.domain)
-        counts = tuple(count * hidden_combinations for count in distinct)
-        entry = (partition, counts, min(counts))
-        self._kernel_cache[cache_key] = entry
-        return entry
+        return self._kernel.entry(visible_inputs, visible_outputs)
 
     def candidate_outputs(self, key: tuple, hidden: Iterable[str]) -> int:
         """Number of output tuples consistent with the visible provenance.
@@ -449,6 +466,37 @@ class ModuleRelation:
         return {
             key: counts[partition[row]] for row, key in enumerate(self._row_keys)
         }
+
+    def visible_projection_table(
+        self, hidden: Iterable[str]
+    ) -> tuple[tuple[tuple, tuple, tuple], ...]:
+        """(key, visible-input, visible-output) projections of every row.
+
+        Sorted by key and memoized per visibility pair (LRU, at most
+        :data:`PROJECTION_TABLE_SLOTS` pairs retained); this is what a
+        provenance observer sees of the relation, and the adversary's
+        observation machinery is built on it.
+        """
+        hidden_set = self._validate_hidden(hidden)
+        visibility = self._visible_indices(hidden_set)
+        cached = self._projection_tables.get(visibility)
+        if cached is None:
+            visible_inputs, visible_outputs = visibility
+            rows = self._rows
+            cached = tuple(
+                (
+                    key,
+                    tuple(key[index] for index in visible_inputs),
+                    tuple(rows[key][index] for index in visible_outputs),
+                )
+                for key in sorted(rows)
+            )
+            self._projection_tables[visibility] = cached
+            while len(self._projection_tables) > PROJECTION_TABLE_SLOTS:
+                self._projection_tables.popitem(last=False)
+        else:
+            self._projection_tables.move_to_end(visibility)
+        return cached
 
     def achieved_gamma(self, hidden: Iterable[str]) -> int:
         """The privacy level Gamma achieved by hiding ``hidden``.
@@ -504,6 +552,43 @@ class ModuleRelation:
     # Kernel instrumentation
     # ------------------------------------------------------------------ #
     @property
+    def kernel(self) -> SharedGammaKernel:
+        """The evaluation kernel backing this relation (possibly shared)."""
+        return self._kernel
+
+    @property
+    def registry(self) -> GammaKernelRegistry | None:
+        """The registry the kernel was obtained from, if any."""
+        return self._registry
+
+    @property
+    def structure_signature(self) -> RelationStructure:
+        """The canonical structure used for cross-relation kernel sharing."""
+        return self._structure
+
+    def bind_registry(self, registry: GammaKernelRegistry) -> SharedGammaKernel:
+        """Attach this relation to ``registry``'s shared kernel.
+
+        Structurally identical relations already adopted by the registry
+        resolve to the same kernel, so their memoized partitions and
+        Gamma entries are reused immediately.  Idempotent: re-adopting
+        into the current registry is a no-op, so attachment and sharing
+        statistics stay honest.  Otherwise the previous (private or
+        shared) kernel is detached and dropped; no results change because
+        the kernel state is a pure cache.
+        """
+        if self._registry is registry:
+            return self._kernel
+        previous_kernel = self._kernel
+        previous_registry = self._registry
+        previous_kernel.detach()
+        self._attach_kernel(registry, registry.kernel_for(self._structure))
+        if previous_registry is not None:
+            # Abandoned shared kernels must not pile up in the old registry.
+            previous_registry.release(previous_kernel)
+        return self._kernel
+
+    @property
     def kernel_stats(self) -> dict[str, int]:
         """Counters of kernel work, plus derived scan accounting.
 
@@ -511,9 +596,12 @@ class ModuleRelation:
         actually performed; ``naive_equivalent_scans`` is what the reference
         semantics would have performed for the same call sequence (one scan
         per input per Gamma call, one per candidate call).  Their ratio is
-        the benchmarks' headline speedup metric.
+        the benchmarks' headline speedup metric.  When the kernel is shared
+        through a registry the kernel-side counters (hits, passes,
+        evictions) aggregate the work of every attached relation.
         """
         stats = dict(self._stats)
+        stats.update(self._kernel.counters)
         stats["full_table_scans"] = (
             stats["partition_refinements"] + stats["grouping_passes"]
         )
@@ -523,9 +611,14 @@ class ModuleRelation:
         return stats
 
     def reset_kernel_stats(self) -> None:
-        """Zero the work counters (caches are kept -- they stay valid)."""
+        """Zero the work counters (caches are kept -- they stay valid).
+
+        On a shared kernel this zeroes the shared counters too, for every
+        attached relation.
+        """
         for key in self._stats:
             self._stats[key] = 0
+        self._kernel.reset_counters()
 
     def is_safe(self, hidden: Iterable[str], gamma: int) -> bool:
         """Whether hiding ``hidden`` guarantees privacy level ``gamma``."""

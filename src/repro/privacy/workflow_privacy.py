@@ -26,6 +26,7 @@ from typing import Iterable, Mapping
 
 from repro.errors import InfeasiblePrivacyError, PolicyError, PrivacyError
 from repro.execution.graph import ExecutionGraph
+from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
 
 
@@ -90,19 +91,43 @@ class WorkflowPrivacyRequirements:
     Attribute names of every relation are interpreted as data labels of the
     workflow, so hiding a label simultaneously hides the corresponding
     attribute in every module that produces or consumes it.
+
+    When a :class:`GammaKernelRegistry` is supplied, every registered
+    relation is adopted into it, so structurally identical private modules
+    (the same analysis step stamped out over several workflow branches)
+    share one memoized, size-accounted Gamma kernel across the whole
+    secure-view search.
     """
 
     requirements: list[ModulePrivacyRequirement] = field(default_factory=list)
     label_weights: dict[str, float] = field(default_factory=dict)
+    registry: GammaKernelRegistry | None = None
     _scopes_cache: list[tuple[ModulePrivacyRequirement, frozenset[str]]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
     def add(self, relation: ModuleRelation, gamma: int) -> "WorkflowPrivacyRequirements":
         """Register a private module and its target privacy level."""
+        if self.registry is not None and relation.registry is not self.registry:
+            self.registry.adopt(relation)
         self.requirements.append(ModulePrivacyRequirement(relation=relation, gamma=gamma))
         self._scopes_cache = None
         return self
+
+    def kernel_stats(self) -> dict[str, int]:
+        """Aggregate Gamma-kernel statistics for the registered modules.
+
+        Registry stats (sharing, bytes, evictions) when a registry is
+        attached; otherwise per-relation counters summed over the distinct
+        kernels of the registered relations.
+        """
+        if self.registry is not None:
+            return self.registry.kernel_stats
+        totals: dict[str, int] = {}
+        for kernel in {r.relation.kernel for r in self.requirements}:
+            for key, value in kernel.kernel_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def set_weight(self, label: str, weight: float) -> "WorkflowPrivacyRequirements":
         """Set the utility weight (hiding cost) of a data label."""

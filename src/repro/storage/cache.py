@@ -18,6 +18,9 @@ from repro.errors import StorageError
 
 GroupKey = tuple[str, ...]
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -65,15 +68,22 @@ class GroupQueryCache:
     # ------------------------------------------------------------------ #
     # Core operations
     # ------------------------------------------------------------------ #
-    def get(self, group: GroupKey, query_key: Hashable) -> object | None:
-        """Look up a cached result, returning ``None`` on a miss."""
+    def get(
+        self, group: GroupKey, query_key: Hashable, default: object = None
+    ) -> object | None:
+        """Look up a cached result, returning ``default`` on a miss.
+
+        A stored ``None`` is a legitimate hit; pass a private sentinel as
+        ``default`` (as :meth:`get_or_compute` does) to tell the two
+        apart.
+        """
         key = (tuple(group), query_key)
         if key in self._entries:
             self._hits += 1
             self._entries.move_to_end(key)
             return self._entries[key]
         self._misses += 1
-        return None
+        return default
 
     def put(self, group: GroupKey, query_key: Hashable, result: object) -> None:
         """Store a result for a group."""
@@ -90,9 +100,14 @@ class GroupQueryCache:
         query_key: Hashable,
         compute: Callable[[], object],
     ) -> object:
-        """Return the cached result or compute, store and return it."""
-        cached = self.get(group, query_key)
-        if cached is not None:
+        """Return the cached result or compute, store and return it.
+
+        A cached ``None`` counts as a hit (checked via a sentinel), so
+        queries with a legitimately empty result are not recomputed and
+        re-stored on every call.
+        """
+        cached = self.get(group, query_key, _MISS)
+        if cached is not _MISS:
             return cached
         result = compute()
         self.put(group, query_key, result)

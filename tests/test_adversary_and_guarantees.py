@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary.module_attack import ModuleFunctionAttack, attack_curve
+from repro.adversary.module_attack import (
+    CandidateSet,
+    ModuleFunctionAttack,
+    attack_curve,
+)
 from repro.adversary.structure_attack import (
     attack_after_edge_deletion,
     infer_reachability,
@@ -73,6 +77,97 @@ class TestModuleFunctionAttack:
         means = [report.mean_candidates for report in reports]
         assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
         assert [r.observations for r in reports] == [1, 4, 9, 20]
+
+    def test_attack_curve_incremental_matches_from_scratch(self, weighted_relation):
+        """Regression: reusing one attack + observing deltas must produce the
+        same reports as re-observing from scratch per entry (the old O(sum
+        of runs) behaviour)."""
+        run_counts = [1, 3, 7, 15, 30]
+        incremental = attack_curve(weighted_relation, {"u"}, run_counts, seed=5)
+        from_scratch = []
+        for runs in run_counts:
+            attack = ModuleFunctionAttack(weighted_relation, {"u"})
+            attack.observe_random(runs, seed=5)
+            from_scratch.append(attack.report())
+        assert incremental == from_scratch
+
+    def test_attack_curve_handles_non_monotone_run_counts(self, weighted_relation):
+        reports = attack_curve(weighted_relation, set(), [9, 3, 20], seed=1)
+        assert [r.observations for r in reports] == [9, 3, 20]
+        fresh = ModuleFunctionAttack(weighted_relation)
+        fresh.observe_random(3, seed=1)
+        assert reports[1] == fresh.report()
+
+    def test_unobserved_probe_on_huge_output_space_is_lazy(self):
+        """Regression: an unobserved probe on a 10^6-size output space must
+        answer analytically instead of materializing the domain product."""
+        big_domain = tuple(range(100))
+        relation = ModuleRelation(
+            "BIG",
+            inputs=[Attribute("k", (0, 1), role="input")],
+            outputs=[
+                Attribute(f"o{i}", big_domain, role="output") for i in range(3)
+            ],
+            rows={(0,): (0, 0, 0), (1,): (1, 1, 1)},
+        )
+        attack = ModuleFunctionAttack(relation)
+        candidates = attack.candidate_outputs((0,))
+        assert isinstance(candidates, CandidateSet)
+        assert len(candidates) == 10**6
+        assert not candidates.observed
+        assert (7, 42, 99) in candidates
+        assert (7, 42, 100) not in candidates
+        # Iteration stays lazy: taking a few elements never builds the rest.
+        import itertools as _it
+
+        assert len(list(_it.islice(candidates, 5))) == 5
+        report = attack.report()
+        assert report.min_candidates == 10**6
+        assert report.guess_success_rate == pytest.approx(1e-6)
+        # Equality between huge lazy sets stays analytic: two unobserved
+        # probes over the same outputs are equal without enumeration, even
+        # when the attacks hide different attributes.
+        other = ModuleFunctionAttack(relation, hidden={"o0"})
+        assert candidates == other.candidate_outputs((0,))
+
+    def test_single_observation_does_not_materialize_projection_table(
+        self, weighted_relation
+    ):
+        """Regression: observe() on one execution must stay O(arity) --
+        the full visible-projection table is only built by bulk paths."""
+        attack = ModuleFunctionAttack(weighted_relation, hidden={"u"})
+        attack.observe((0, 1))
+        assert attack._probe_projections is None
+        candidates = attack.candidate_outputs((0, 1))
+        assert weighted_relation.output_for((0, 1)) in candidates
+
+    def test_candidate_set_value_equality(self, weighted_relation):
+        attack = ModuleFunctionAttack(weighted_relation, hidden={"u"})
+        attack.observe_all()
+        probe = (0, 1)
+        lazy = attack.candidate_outputs(probe)
+        assert lazy == attack.reference_candidate_outputs(probe)
+        assert lazy == attack.candidate_outputs(probe)
+        assert lazy != set()
+        assert lazy != {("nope",)}
+        assert (lazy == 42) is False  # non-set types are simply unequal
+
+    def test_candidate_set_matches_reference_semantics(self, weighted_relation):
+        attack = ModuleFunctionAttack(weighted_relation, hidden={"y", "u"})
+        attack.observe_random(6, seed=3)
+        for key in weighted_relation.rows_view:
+            lazy = attack.candidate_outputs(key)
+            eager = attack.reference_candidate_outputs(key)
+            assert set(lazy) == eager
+            assert len(lazy) == len(eager)
+            assert attack.candidate_count(key) == len(eager)
+            for candidate in eager:
+                assert candidate in lazy
+
+    def test_full_observation_report_equals_reference_report(self, weighted_relation):
+        attack = ModuleFunctionAttack(weighted_relation, hidden={"y", "v"})
+        attack.observe_all()
+        assert attack.report() == attack.reference_report()
 
 
 class TestStructureAttack:

@@ -1,0 +1,279 @@
+"""Tests for the shared, size-accounted Gamma kernel registry."""
+
+from __future__ import annotations
+
+import itertools
+import random as stdlib_random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyError
+from repro.privacy.kernel_registry import (
+    WORD_BYTES,
+    GammaKernelRegistry,
+    RelationStructure,
+    SharedGammaKernel,
+)
+from repro.privacy.relations import Attribute, ModuleRelation
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _twin_relations(registry, *, seed=7, n_inputs=2, n_outputs=2, domain_size=3):
+    """Two structurally identical relations with different names."""
+    first = ModuleRelation.random(
+        "A", n_inputs=n_inputs, n_outputs=n_outputs,
+        domain_size=domain_size, seed=seed, registry=registry,
+    )
+    second = ModuleRelation.random(
+        "B", n_inputs=n_inputs, n_outputs=n_outputs,
+        domain_size=domain_size, seed=seed, registry=registry,
+    )
+    return first, second
+
+
+class TestStructureSignature:
+    def test_renamed_attributes_and_values_share_a_signature(self):
+        plain = ModuleRelation(
+            "P",
+            inputs=[Attribute("a", (0, 1), role="input")],
+            outputs=[Attribute("b", ("x", "y"), role="output")],
+            rows={(0,): ("x",), (1,): ("y",)},
+        )
+        renamed = ModuleRelation(
+            "Q",
+            inputs=[Attribute("in", ("lo", "hi"), role="input")],
+            outputs=[Attribute("out", (10, 20), role="output")],
+            rows={("lo",): (10,), ("hi",): (20,)},
+        )
+        assert plain.structure_signature == renamed.structure_signature
+
+    def test_different_tables_do_not_share(self):
+        a = ModuleRelation.random("A", seed=1)
+        b = ModuleRelation.random("B", seed=2)
+        assert a.structure_signature != b.structure_signature
+
+
+class TestKernelSharing:
+    def test_structurally_identical_relations_resolve_to_one_kernel(self):
+        registry = GammaKernelRegistry()
+        first, second = _twin_relations(registry)
+        assert first.kernel is second.kernel
+        stats = registry.kernel_stats
+        assert stats["kernels"] == 1
+        assert stats["relations_attached"] == 2
+        assert stats["shared_kernels"] == 1
+        assert stats["sharing_hits"] == 1
+
+    def test_shared_kernel_serves_the_twin_from_cache(self):
+        registry = GammaKernelRegistry()
+        first, second = _twin_relations(registry)
+        first.reset_kernel_stats()
+        gamma = first.achieved_gamma({"A.in0"})
+        # Same structural query through the twin: pure cache hit, and the
+        # same Gamma even though the attribute names differ.
+        assert second.achieved_gamma({"B.in0"}) == gamma
+        stats = second.kernel_stats
+        assert stats["kernel_hits"] == 1
+        assert stats["grouping_passes"] == 1
+
+    def test_adopt_preserves_relation_work_counters(self):
+        """Regression: rebinding must not zero gamma/candidate counters."""
+        relation = ModuleRelation.random("M", seed=1)
+        relation.achieved_gamma({"M.in0"})
+        relation.candidate_outputs((0, 0), {"M.in0"})
+        table = relation.visible_projection_table({"M.in0"})
+        GammaKernelRegistry().adopt(relation)
+        stats = relation.kernel_stats
+        assert stats["gamma_calls"] == 1
+        assert stats["candidate_calls"] == 1
+        assert relation.visible_projection_table({"M.in0"}) == table
+
+    def test_adopt_is_idempotent(self):
+        registry = GammaKernelRegistry()
+        relation = ModuleRelation.random("S", seed=3, registry=registry)
+        kernel = relation.kernel
+        assert registry.adopt(relation) is kernel
+        assert registry.adopt(relation) is kernel
+        assert kernel.attached_relations == 1
+        stats = registry.kernel_stats
+        assert stats["relations_attached"] == 1
+        assert stats["shared_kernels"] == 0
+        assert stats["sharing_hits"] == 0
+
+    def test_rebinding_detaches_from_the_previous_kernel(self):
+        first_registry = GammaKernelRegistry()
+        second_registry = GammaKernelRegistry()
+        relation = ModuleRelation.random("S", seed=3, registry=first_registry)
+        old_kernel = relation.kernel
+        relation.bind_registry(second_registry)
+        assert old_kernel.attached_relations == 0
+        assert relation.kernel.attached_relations == 1
+        # The abandoned kernel is released, not leaked for the registry's
+        # lifetime.
+        assert first_registry.kernel_stats["kernels"] == 0
+
+    def test_garbage_collected_relations_release_their_kernel(self):
+        """A long-lived registry must not retain kernels whose relations
+        were simply dropped (no explicit rebind)."""
+        import gc
+
+        registry = GammaKernelRegistry()
+        first, second = _twin_relations(registry)
+        kernel = first.kernel
+        del first
+        gc.collect()
+        assert kernel.attached_relations == 1
+        assert registry.kernel_stats["kernels"] == 1
+        del second
+        gc.collect()
+        assert kernel.attached_relations == 0
+        assert registry.kernel_stats["kernels"] == 0
+
+    def test_release_keeps_kernels_with_attached_relations(self):
+        registry = GammaKernelRegistry()
+        first, second = _twin_relations(registry)
+        other = GammaKernelRegistry()
+        other.adopt(first)
+        # The twin still uses the kernel, so it stays registered.
+        assert registry.kernel_stats["kernels"] == 1
+        assert second.kernel.attached_relations == 1
+
+    def test_adopt_rebinds_an_existing_relation(self):
+        registry = GammaKernelRegistry()
+        solo = ModuleRelation.random("S", seed=3)
+        private_kernel = solo.kernel
+        shared = registry.adopt(solo)
+        assert solo.kernel is shared
+        assert solo.kernel is not private_kernel
+        assert solo.registry is registry
+        # A twin constructed afterwards lands on the same kernel.
+        twin = ModuleRelation.random("T", seed=3, registry=registry)
+        assert twin.kernel is shared
+
+    def test_distinct_structures_get_distinct_kernels(self):
+        registry = GammaKernelRegistry()
+        # Keep the relations alive: dropped relations release their kernel.
+        first = ModuleRelation.random("A", seed=1, registry=registry)
+        second = ModuleRelation.random("B", seed=2, registry=registry)
+        stats = registry.kernel_stats
+        assert stats["kernels"] == 2
+        assert stats["shared_kernels"] == 0
+        assert first.kernel is not second.kernel
+
+
+class TestSizeAccountingAndEviction:
+    def test_bytes_accounting_matches_entry_costs(self):
+        relation = ModuleRelation.random("A", seed=5)
+        kernel = relation.kernel
+        assert kernel.kernel_stats["bytes_in_use"] == 0
+        relation.achieved_gamma({"A.in0"})
+        stats = kernel.kernel_stats
+        rows = len(relation.rows_view)
+        # At least the partitions of the refinement chain (the empty prefix
+        # included) are cached at row_count words each, plus the kernel entry.
+        partitions = stats["partition_refinements"] + 1
+        assert stats["bytes_in_use"] >= partitions * rows * WORD_BYTES
+        assert stats["peak_bytes"] == stats["bytes_in_use"]
+        assert stats["cached_entries"] == partitions + 1
+
+    def test_small_budget_evicts_and_results_survive(self):
+        budget = 4 * 9 * WORD_BYTES  # room for only a few 9-row entries
+        registry = GammaKernelRegistry(budget_bytes=budget)
+        relation = ModuleRelation.random("A", seed=9, registry=registry)
+        names = relation.attribute_names()
+        expected = {}
+        for size in range(len(names) + 1):
+            for subset in itertools.combinations(names, size):
+                expected[subset] = relation.achieved_gamma(subset)
+        stats = relation.kernel.kernel_stats
+        assert stats["evictions"] > 0
+        assert stats["bytes_in_use"] <= budget
+        # Evicted entries recompute to the same Gamma values.
+        for subset, gamma in expected.items():
+            assert relation.achieved_gamma(subset) == gamma
+            assert relation.reference_achieved_gamma(subset) == gamma
+
+    def test_budget_smaller_than_one_entry_still_progresses(self):
+        registry = GammaKernelRegistry(budget_bytes=1)
+        relation = ModuleRelation.random("A", seed=2, registry=registry)
+        gamma = relation.achieved_gamma({"A.in0"})
+        assert gamma == relation.reference_achieved_gamma({"A.in0"})
+        assert relation.kernel.kernel_stats["evictions"] > 0
+
+    def test_projection_tables_are_capped(self):
+        """The adversary-facing projection memo must not grow with the
+        number of distinct hidden sets probed."""
+        from repro.privacy.relations import PROJECTION_TABLE_SLOTS
+
+        relation = ModuleRelation.random(
+            "P", n_inputs=2, n_outputs=2, domain_size=2, seed=1
+        )
+        names = relation.attribute_names()
+        tables = {}
+        for size in range(len(names) + 1):
+            for subset in itertools.combinations(names, size):
+                tables[subset] = relation.visible_projection_table(subset)
+        assert len(relation._projection_tables) <= PROJECTION_TABLE_SLOTS
+        # Evicted tables recompute identically.
+        for subset, table in tables.items():
+            assert relation.visible_projection_table(subset) == table
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PrivacyError):
+            GammaKernelRegistry(budget_bytes=-1)
+        structure = RelationStructure.of(ModuleRelation.random("A", seed=0))
+        with pytest.raises(PrivacyError):
+            SharedGammaKernel(structure, budget_bytes=-8)
+
+
+RELATION_SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+@given(
+    seed=RELATION_SEEDS,
+    subset_seed=st.integers(min_value=0, max_value=1_000),
+    budget_entries=st.integers(min_value=1, max_value=6),
+)
+@RELAXED
+def test_evicting_kernel_matches_reference_oracle(seed, subset_seed, budget_entries):
+    """Gamma under a tiny LRU budget equals the naive reference semantics."""
+    registry = GammaKernelRegistry(budget_bytes=budget_entries * 9 * WORD_BYTES)
+    relation = ModuleRelation.random(
+        "H", n_inputs=2, n_outputs=2, domain_size=3, seed=seed, registry=registry
+    )
+    rng = stdlib_random.Random(subset_seed)
+    names = relation.attribute_names()
+    for _ in range(8):
+        hidden = {name for name in names if rng.random() < 0.5}
+        assert relation.achieved_gamma(hidden) == (
+            relation.reference_achieved_gamma(hidden)
+        )
+        key = rng.choice(sorted(relation.rows_view))
+        assert relation.candidate_outputs(key, hidden) == (
+            relation.reference_candidate_outputs(key, hidden)
+        )
+
+
+@given(seed=RELATION_SEEDS, subset_seed=st.integers(min_value=0, max_value=1_000))
+@RELAXED
+def test_shared_twins_agree_with_their_references(seed, subset_seed):
+    """Twin relations sharing a kernel stay equivalent to their own oracles."""
+    registry = GammaKernelRegistry()
+    first, second = _twin_relations(registry, seed=seed)
+    rng = stdlib_random.Random(subset_seed)
+    hidden_positions = [index for index in range(4) if rng.random() < 0.5]
+    first_names = first.attribute_names()
+    second_names = second.attribute_names()
+    hidden_first = {first_names[index] for index in hidden_positions}
+    hidden_second = {second_names[index] for index in hidden_positions}
+    gamma = first.achieved_gamma(hidden_first)
+    assert gamma == second.achieved_gamma(hidden_second)
+    assert gamma == first.reference_achieved_gamma(hidden_first)
+    assert gamma == second.reference_achieved_gamma(hidden_second)

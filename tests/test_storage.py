@@ -233,6 +233,30 @@ class TestGroupQueryCache:
         assert cache.get_or_compute(("g",), "q", compute) == "value"
         assert len(calls) == 1
 
+    def test_get_or_compute_caches_none_results(self):
+        """Regression: a stored ``None`` must hit, not recompute + re-put."""
+        cache = GroupQueryCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_compute(("g",), "empty", compute) is None
+        assert cache.get_or_compute(("g",), "empty", compute) is None
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.entries == 1
+
+    def test_get_default_distinguishes_miss_from_cached_none(self):
+        cache = GroupQueryCache()
+        sentinel = object()
+        assert cache.get(("g",), "q", sentinel) is sentinel
+        cache.put(("g",), "q", None)
+        assert cache.get(("g",), "q", sentinel) is None
+
     def test_invalidation(self):
         cache = GroupQueryCache()
         cache.put(("a",), "q1", 1)
