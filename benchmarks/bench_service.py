@@ -1,0 +1,132 @@
+"""Benchmarks for the sharded Gamma evaluation service (repro.service).
+
+Three contracts from ISSUE 3:
+
+* **equivalence** -- the sharded service returns exactly the in-process
+  kernel's results on the full 6-attribute/domain-4 sweep;
+* **warm start** -- restarting against a snapshot directory skips at
+  least 90% of the cold partition/grouping computations (measured on
+  kernel counters, so it holds regardless of machine speed);
+* **strong scaling** -- with 4 workers the sweep completes at least 2x
+  faster than ``workers=0``.  Scaling is physics: it needs cores.  The
+  assertion is enforced on machines with >= 4 CPUs and reported (but
+  not asserted) on smaller ones, where the same run measures the IPC
+  overhead ceiling instead.
+
+The ``service``-named benchmarks are regression-guarded by
+``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments.e9_sharding import E9Config, workload_requests
+from repro.service import ShardCoordinator
+
+#: The 6-attribute/domain-4 workload of E2/E4/E9 (64-row relations).
+CONFIG = E9Config(n_inputs=3, n_outputs=3, domain_size=4, seed=71)
+
+#: Structures per sweep: enough work that dispatch overhead amortizes.
+SWEEP_MODULES = 24
+
+
+def _cold_work(stats: dict[str, int]) -> int:
+    return stats.get("partition_refinements", 0) + stats.get("grouping_passes", 0)
+
+
+def _run_sweep(workers: int, requests, snapshot_dir: str | None = None):
+    with ShardCoordinator(workers, snapshot_dir=snapshot_dir) as coordinator:
+        started = time.perf_counter()
+        gammas = coordinator.gammas(requests)
+        elapsed = time.perf_counter() - started
+        stats = coordinator.kernel_stats()
+        preloaded = coordinator.preloaded_entries
+    return gammas, elapsed, stats, preloaded
+
+
+def test_service_inprocess_sweep(benchmark):
+    """Baseline: the in-process fallback sweeping the E9 workload."""
+    requests = workload_requests(SWEEP_MODULES, CONFIG)
+    gammas = benchmark.pedantic(
+        lambda: ShardCoordinator(0).gammas(requests), rounds=3, iterations=1
+    )
+    assert len(gammas) == len(requests)
+    assert min(gammas) >= 1
+
+
+def test_service_sharded_sweep_equivalence_and_scaling(benchmark):
+    """Sharded sweep: byte-identical results; >=2x with 4 workers on >=4 cores."""
+    requests = workload_requests(SWEEP_MODULES, CONFIG)
+    baseline, inprocess_elapsed, _, _ = _run_sweep(0, requests)
+
+    cores = os.cpu_count() or 1
+    workers = 4 if cores >= 4 else max(2, cores)
+    gammas = benchmark.pedantic(
+        lambda: _run_sweep(workers, requests)[0], rounds=3, iterations=1
+    )
+    assert gammas == baseline, "sharded sweep diverged from the in-process kernel"
+
+    _, sharded_elapsed, _, _ = _run_sweep(workers, requests)
+    speedup = inprocess_elapsed / sharded_elapsed if sharded_elapsed else 0.0
+    print()
+    print(
+        f"strong scaling: {workers} workers, {len(requests)} tasks, "
+        f"{inprocess_elapsed * 1000:.1f} ms in-process -> "
+        f"{sharded_elapsed * 1000:.1f} ms sharded ({speedup:.2f}x, {cores} cores)"
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x with {workers} workers on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+
+
+def test_service_warm_start_skips_cold_work(benchmark):
+    """A warm restart skips >=90% of the cold partition computations."""
+    requests = workload_requests(SWEEP_MODULES, CONFIG)
+    snapshot_dir = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        _, _, cold_stats, cold_preloaded = _run_sweep(0, requests, snapshot_dir)
+        assert cold_preloaded == 0
+        cold = _cold_work(cold_stats)
+        assert cold > 0
+
+        def warm_sweep():
+            return _run_sweep(0, requests, snapshot_dir)
+
+        _, _, warm_stats, warm_preloaded = benchmark.pedantic(
+            warm_sweep, rounds=3, iterations=1
+        )
+        warm = _cold_work(warm_stats)
+        print()
+        print(
+            f"warm start: cold work {cold} -> {warm} "
+            f"({warm_preloaded} entries preloaded)"
+        )
+        assert warm_preloaded > 0
+        assert warm <= 0.1 * cold, (
+            f"warm restart recomputed {warm}/{cold} partition computations"
+        )
+    finally:
+        shutil.rmtree(snapshot_dir, ignore_errors=True)
+
+
+def test_service_sharded_warm_restart(benchmark):
+    """Sharded workers preload their own shard's snapshots on start."""
+    requests = workload_requests(8, CONFIG)
+    snapshot_dir = tempfile.mkdtemp(prefix="bench-service-shard-")
+    try:
+        baseline, _, cold_stats, _ = _run_sweep(2, requests, snapshot_dir)
+        cold = _cold_work(cold_stats)
+        gammas, _, warm_stats, warm_preloaded = benchmark.pedantic(
+            lambda: _run_sweep(2, requests, snapshot_dir), rounds=2, iterations=1
+        )
+        assert gammas == baseline
+        assert warm_preloaded > 0
+        assert _cold_work(warm_stats) <= 0.1 * cold
+    finally:
+        shutil.rmtree(snapshot_dir, ignore_errors=True)

@@ -4,8 +4,9 @@
 into a temporary directory, loads the newest committed baseline from
 ``benchmarks/baselines/BENCH_*.json``, and fails (exit code 1) when any
 *guarded* benchmark -- the Gamma-kernel and adversary operations, the
-hot paths this repository's perf story rests on -- regressed by more
-than the threshold (default 30%, ``BENCH_CHECK_THRESHOLD`` overrides,
+keyword/storage query ops, and the sharded evaluation service: the hot
+paths this repository's perf story rests on -- regressed by more than
+the threshold (default 30%, ``BENCH_CHECK_THRESHOLD`` overrides,
 e.g. ``0.5`` for 50%).
 
 Absolute times are only comparable on the machine that recorded them,
@@ -35,12 +36,20 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
-#: Substrings selecting the guarded benchmarks (kernel + adversary ops).
+#: Substrings selecting the guarded benchmarks: the Gamma-kernel and
+#: adversary hot paths, plus (since PR 3) the keyword-search/storage
+#: query ops and the sharded evaluation service.  Markers are chosen to
+#: match the query/service benchmarks but not the figure-layer ones
+#: (e.g. ``keyword_search`` matches E5 and the gallery search, not
+#: ``test_fig5_keyword_answer`` -- figures are not a guarded hot path).
 GUARDED_MARKERS = (
     "kernel",
     "adversary",
     "module_privacy",
     "registry",
+    "keyword_search",
+    "storage",
+    "service",
 )
 
 

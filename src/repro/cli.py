@@ -16,6 +16,7 @@ Run ``python -m repro.cli --help`` for the full usage.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
@@ -74,7 +75,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    rows = ALL_EXPERIMENTS[experiment_id]()
+    runner = ALL_EXPERIMENTS[experiment_id]
+    kwargs = {}
+    if args.workers is not None:
+        if "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = args.workers
+        else:
+            print(
+                f"note: {experiment_id} does not take --workers; ignoring",
+                file=sys.stderr,
+            )
+    rows = runner(**kwargs)
     print(format_table(rows, title=f"{experiment_id} result table"))
     print()
     print("headline:", ALL_HEADLINES[experiment_id](rows))
@@ -138,8 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--verbose", action="store_true", help="print renderings")
     figures.set_defaults(handler=_cmd_figures)
 
-    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E8)")
+    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for experiments backed by the sharded Gamma "
+            "evaluation service (E9); 0 forces the in-process fallback"
+        ),
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     search = subparsers.add_parser("search", help="query the demo repository")

@@ -92,6 +92,14 @@ class QueryParseError(QueryError):
     """A textual query could not be parsed."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the sharded evaluation service."""
+
+
+class WorkerCrashError(ServiceError):
+    """A worker process died and the work could not be recovered."""
+
+
 class StorageError(ReproError):
     """Base class for errors raised by the repository / storage subsystem."""
 

@@ -1,7 +1,7 @@
 """Experiment and figure harness.
 
 ``reproduce_all_figures`` rebuilds every figure of the paper;
-``ALL_EXPERIMENTS`` maps experiment ids (E1-E8) to their ``run`` functions;
+``ALL_EXPERIMENTS`` maps experiment ids (E1-E9) to their ``run`` functions;
 ``run_experiment`` dispatches by id.  Each experiment module also exposes a
 ``headline`` function producing the aggregate numbers quoted in
 ``EXPERIMENTS.md`` and a ``main`` entry point that prints the full table.
@@ -16,6 +16,7 @@ from repro.experiments import (
     e6_storage,
     e7_index,
     e8_ranking,
+    e9_sharding,
 )
 from repro.experiments.figures import (
     FIG5_QUERY,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = {
     "E6": e6_storage.run,
     "E7": e7_index.run,
     "E8": e8_ranking.run,
+    "E9": e9_sharding.run,
 }
 
 #: Headline aggregators keyed by experiment id.
@@ -68,11 +70,12 @@ ALL_HEADLINES = {
     "E6": e6_storage.headline,
     "E7": e7_index.headline,
     "E8": e8_ranking.headline,
+    "E9": e9_sharding.headline,
 }
 
 
 def run_experiment(experiment_id: str) -> ResultTable:
-    """Run one experiment by id (``"E1"`` ... ``"E8"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E9"``)."""
     try:
         runner = ALL_EXPERIMENTS[experiment_id.upper()]
     except KeyError:

@@ -16,12 +16,15 @@ observation count -- costs O(1) after the first evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.adversary.module_attack import ModuleFunctionAttack
 from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import WorkflowPrivacyRequirements
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.service.coordinator import ShardCoordinator
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,7 @@ def empirical_guarantee(
     observations: int | None = None,
     seed: int = 0,
     registry: GammaKernelRegistry | None = None,
+    analytical_gamma: int | None = None,
 ) -> GuaranteeReport:
     """Check the guarantee against a simulated adversary.
 
@@ -76,7 +80,10 @@ def empirical_guarantee(
     ``registry``, the relation is adopted into it first so the adversary's
     full-observation counts and the analytical Gamma both come from the
     shared kernel (warmed by any structurally identical module checked
-    earlier).
+    earlier).  ``analytical_gamma`` lets a caller that already evaluated
+    the worst-case bound -- e.g. :func:`workflow_guarantees` batching the
+    evaluations on the sharded service -- pass it in instead of
+    re-deriving it locally.
     """
     if registry is not None and relation.registry is not registry:
         registry.adopt(relation)
@@ -88,7 +95,11 @@ def empirical_guarantee(
     else:
         attack.observe_random(observations, seed=seed)
     report = attack.report()
-    analytical = relation.achieved_gamma(hidden_set)
+    analytical = (
+        relation.achieved_gamma(hidden_set)
+        if analytical_gamma is None
+        else analytical_gamma
+    )
     empirical = report.min_candidates
     # With full observation the adversary's candidate sets are exactly the
     # worst-case sets of the Gamma analysis, so the perceived candidate count
@@ -116,17 +127,35 @@ def workflow_guarantees(
     observations: int | None = None,
     seed: int = 0,
     registry: GammaKernelRegistry | None = None,
+    service: "ShardCoordinator | None" = None,
 ) -> list[GuaranteeReport]:
     """Check every module-privacy requirement under a shared hidden-label set.
 
     The requirements' kernel registry (or an explicit ``registry``) is
     threaded through, so structurally identical modules are checked
-    against one shared kernel.
+    against one shared kernel.  With a ``service``, the analytical Gamma
+    of every module is evaluated in one batch on the sharded evaluation
+    service (the empirical adversary simulation stays local -- it needs
+    the concrete relation values, which never cross the service wire).
+    The batch is only dispatched for partial observation: the default
+    full-observation adversary warms the local kernel entry anyway
+    (``report()`` reads the same per-block counts), so a remote
+    evaluation would be pure added work there.
     """
     hidden = set(hidden_labels)
     registry = registry if registry is not None else requirements.registry
+    analytical_gammas: list[int | None] = [None] * len(requirements.requirements)
+    if service is not None and observations is not None and requirements.requirements:
+        requests = []
+        for requirement in requirements.requirements:
+            relation = requirement.relation
+            relevant = hidden & set(relation.attribute_names())
+            requests.append(
+                (relation.structure_signature, *relation.visibility_of(relevant))
+            )
+        analytical_gammas = list(service.gammas(requests))
     reports = []
-    for requirement in requirements.requirements:
+    for requirement, analytical in zip(requirements.requirements, analytical_gammas):
         relevant = hidden & set(requirement.relation.attribute_names())
         reports.append(
             empirical_guarantee(
@@ -136,6 +165,7 @@ def workflow_guarantees(
                 observations=observations,
                 seed=seed,
                 registry=registry,
+                analytical_gamma=analytical,
             )
         )
     return reports

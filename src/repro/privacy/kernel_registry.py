@@ -32,9 +32,10 @@ gauges used by the benchmarks and experiment headlines.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import PrivacyError
 
@@ -43,6 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 #: Approximate cost of one cached integer (CPython small-int pointer).
 WORD_BYTES = 8
+
+#: Callback invoked with ``(structure, key, payload, cost)`` when a cache
+#: entry is evicted -- the persistence layer uses it to spill warm entries
+#: to disk instead of losing them.
+EvictionSink = Callable[["RelationStructure", tuple, object, int], None]
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,32 @@ class RelationStructure:
     def row_count(self) -> int:
         """Number of rows of the canonical table."""
         return len(self.input_columns[0]) if self.input_columns else 0
+
+    @property
+    def signature(self) -> str:
+        """Stable, process-independent hex digest of the structure.
+
+        ``hash()`` of the dataclass would do within one interpreter, but
+        the sharded evaluation service routes work across *processes* by
+        signature, so the digest must not depend on ``PYTHONHASHSEED`` or
+        interpreter internals.  The fields are all ints and tuples of
+        ints, whose ``repr`` is deterministic, so hashing the repr gives
+        a canonical 128-bit name for the structure.  Cached on first use
+        (the instance is frozen but not slotted).
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            material = repr(
+                (
+                    self.input_domain_sizes,
+                    self.output_domain_sizes,
+                    self.input_columns,
+                    self.output_columns,
+                )
+            ).encode("ascii")
+            cached = hashlib.blake2b(material, digest_size=16).hexdigest()
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
     @classmethod
     def of(cls, relation: "ModuleRelation") -> "RelationStructure":
@@ -117,11 +149,18 @@ class SharedGammaKernel:
         structure: RelationStructure,
         *,
         budget_bytes: int | None = None,
+        accountant: "GammaKernelRegistry | None" = None,
+        eviction_sink: EvictionSink | None = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes < 0:
             raise PrivacyError("kernel byte budget must be >= 0")
         self.structure = structure
         self.budget_bytes = budget_bytes
+        #: Registry charged for this kernel's entries (registry-wide LRU);
+        #: ``None`` for private kernels and per-kernel-budget registries.
+        self._accountant = accountant
+        #: Where evicted entries go before being dropped (persistence).
+        self.eviction_sink = eviction_sink
         # key -> (payload, cost_bytes); ordered oldest-first for LRU.
         self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
         self._bytes_in_use = 0
@@ -133,6 +172,7 @@ class SharedGammaKernel:
             "grouping_passes": 0,
             "kernel_hits": 0,
             "evictions": 0,
+            "preloaded": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -160,6 +200,8 @@ class SharedGammaKernel:
         if entry is None:
             return None
         self._entries.move_to_end(key)
+        if self._accountant is not None:
+            self._accountant._record_touch(self, key)
         return entry[0]
 
     def _cache_put(self, key: tuple, payload: object, cost: int) -> None:
@@ -169,12 +211,68 @@ class SharedGammaKernel:
         self._entries[key] = (payload, cost)
         self._bytes_in_use += cost
         self._peak_bytes = max(self._peak_bytes, self._bytes_in_use)
-        if self.budget_bytes is None:
-            return
-        while self._bytes_in_use > self.budget_bytes and len(self._entries) > 1:
-            _, (_, evicted_cost) = self._entries.popitem(last=False)
-            self._bytes_in_use -= evicted_cost
-            self._counters["evictions"] += 1
+        if self.budget_bytes is not None:
+            while self._bytes_in_use > self.budget_bytes and len(self._entries) > 1:
+                victim, (payload_out, evicted_cost) = self._entries.popitem(last=False)
+                self._bytes_in_use -= evicted_cost
+                self._counters["evictions"] += 1
+                if self.eviction_sink is not None:
+                    self.eviction_sink(self.structure, victim, payload_out, evicted_cost)
+                if self._accountant is not None:
+                    self._accountant._record_drop(self, victim)
+        if self._accountant is not None:
+            # The registry may evict across kernels (including this one, but
+            # never the entry just inserted) to respect its global budget.
+            self._accountant._record_put(self, key, cost)
+
+    def drop_entry(self, key: tuple) -> bool:
+        """Evict one entry on behalf of the registry-wide LRU.
+
+        Spills the payload to the :attr:`eviction_sink` first (if armed)
+        and counts a normal eviction; the caller (the registry) maintains
+        its own accounting, so the accountant is *not* notified.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        payload, cost = entry
+        self._bytes_in_use -= cost
+        self._counters["evictions"] += 1
+        if self.eviction_sink is not None:
+            self.eviction_sink(self.structure, key, payload, cost)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (warm-kernel persistence)
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> tuple[tuple[tuple, object, int], ...]:
+        """Every cached entry as ``(key, payload, cost)``, oldest first.
+
+        The payloads are pure tuples of ints, so a snapshot of the export
+        round-trips through pickle byte-identically.
+        """
+        return tuple(
+            (key, payload, cost) for key, (payload, cost) in self._entries.items()
+        )
+
+    def import_entries(
+        self, entries: Iterable[tuple[tuple, object, int]]
+    ) -> int:
+        """Preload cached entries (from a snapshot) without recomputation.
+
+        Entries already present locally are skipped; imported entries are
+        subject to the normal budget/LRU discipline and are counted in the
+        ``preloaded`` counter rather than as refinements or passes.
+        Returns the number of entries actually imported.
+        """
+        imported = 0
+        for key, payload, cost in entries:
+            if key in self._entries:
+                continue
+            self._cache_put(key, payload, cost)
+            self._counters["preloaded"] += 1
+            imported += 1
+        return imported
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -284,29 +382,124 @@ class SharedGammaKernel:
 class GammaKernelRegistry:
     """Shares one :class:`SharedGammaKernel` per relation structure.
 
-    ``budget_bytes`` applies to each kernel created by the registry (the
-    per-kernel LRU budget); ``None`` means unbounded.  The registry
-    itself is cheap -- one dict entry per distinct structure.
+    Two byte budgets are supported, separately or together:
+
+    * ``budget_bytes`` applies to *each* kernel created by the registry
+      (the original per-kernel LRU budget);
+    * ``total_budget_bytes`` bounds the accounted size of the cache
+      entries of *all* kernels combined, with one least-recently-used
+      order across kernels -- a cold kernel's entries are evicted to make
+      room for a hot one, whichever structure they belong to.  This is
+      what lets one worker process serve many tenants' structures under
+      a single memory cap.
+
+    ``None`` (the default for both) means unbounded.  ``eviction_sink``
+    is handed to every kernel so evicted entries can be spilled to disk
+    by the persistence layer instead of being lost.
     """
 
-    def __init__(self, *, budget_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        budget_bytes: int | None = None,
+        total_budget_bytes: int | None = None,
+        eviction_sink: EvictionSink | None = None,
+    ) -> None:
         if budget_bytes is not None and budget_bytes < 0:
             raise PrivacyError("kernel byte budget must be >= 0")
+        if total_budget_bytes is not None and total_budget_bytes < 0:
+            raise PrivacyError("registry byte budget must be >= 0")
         self.budget_bytes = budget_bytes
+        self.total_budget_bytes = total_budget_bytes
+        self._eviction_sink = eviction_sink
         self._kernels: dict[RelationStructure, SharedGammaKernel] = {}
         self._sharing_hits = 0
         self._relations_attached = 0
+        # Cross-kernel LRU: (kernel id, entry key) -> (kernel, cost),
+        # oldest first.  Only maintained when total_budget_bytes is set.
+        self._lru: OrderedDict[
+            tuple[int, tuple], tuple[SharedGammaKernel, int]
+        ] = OrderedDict()
+        self._lru_bytes = 0
+        self._cross_evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Registry-wide LRU accounting (called back by the kernels)
+    # ------------------------------------------------------------------ #
+    def _record_put(self, kernel: SharedGammaKernel, key: tuple, cost: int) -> None:
+        slot = (id(kernel), key)
+        stale = self._lru.pop(slot, None)
+        if stale is not None:  # pragma: no cover - keys are computed once
+            self._lru_bytes -= stale[1]
+        self._lru[slot] = (kernel, cost)
+        self._lru_bytes += cost
+        if self.total_budget_bytes is None:
+            return
+        # The entry just inserted is newest and survives (progress under
+        # budgets smaller than one entry), mirroring the per-kernel LRU.
+        while self._lru_bytes > self.total_budget_bytes and len(self._lru) > 1:
+            (_, victim_key), (victim_kernel, victim_cost) = self._lru.popitem(
+                last=False
+            )
+            self._lru_bytes -= victim_cost
+            self._cross_evictions += 1
+            victim_kernel.drop_entry(victim_key)
+
+    def _record_touch(self, kernel: SharedGammaKernel, key: tuple) -> None:
+        slot = (id(kernel), key)
+        if slot in self._lru:
+            self._lru.move_to_end(slot)
+
+    def _record_drop(self, kernel: SharedGammaKernel, key: tuple) -> None:
+        stale = self._lru.pop((id(kernel), key), None)
+        if stale is not None:
+            self._lru_bytes -= stale[1]
+
+    def _forget_kernel(self, kernel: SharedGammaKernel) -> None:
+        """Purge a released kernel's entries from the cross-kernel LRU."""
+        kernel_id = id(kernel)
+        for slot in [s for s in self._lru if s[0] == kernel_id]:
+            _, cost = self._lru.pop(slot)
+            self._lru_bytes -= cost
+
+    def _new_kernel(self, structure: RelationStructure) -> SharedGammaKernel:
+        return SharedGammaKernel(
+            structure,
+            budget_bytes=self.budget_bytes,
+            accountant=self if self.total_budget_bytes is not None else None,
+            eviction_sink=self._eviction_sink,
+        )
+
+    def set_eviction_sink(self, sink: EvictionSink | None) -> None:
+        """Arm (or disarm) the eviction spill callback, incl. existing kernels."""
+        self._eviction_sink = sink
+        for kernel in self._kernels.values():
+            kernel.eviction_sink = sink
 
     def kernel_for(self, structure: RelationStructure) -> SharedGammaKernel:
         """The shared kernel for ``structure`` (created on first request)."""
         kernel = self._kernels.get(structure)
         if kernel is None:
-            kernel = SharedGammaKernel(structure, budget_bytes=self.budget_bytes)
+            kernel = self._new_kernel(structure)
             self._kernels[structure] = kernel
         else:
             self._sharing_hits += 1
         kernel.attach()
         self._relations_attached += 1
+        return kernel
+
+    def ensure_kernel(self, structure: RelationStructure) -> SharedGammaKernel:
+        """The kernel for ``structure`` without attaching a relation.
+
+        Used by the evaluation service and the persistence preloader,
+        which serve *structures* directly (no :class:`ModuleRelation`
+        exists in the worker process); attachment accounting stays
+        honest for the relations that do bind.
+        """
+        kernel = self._kernels.get(structure)
+        if kernel is None:
+            kernel = self._new_kernel(structure)
+            self._kernels[structure] = kernel
         return kernel
 
     def adopt(self, relation: "ModuleRelation") -> SharedGammaKernel:
@@ -326,6 +519,7 @@ class GammaKernelRegistry:
         structure = kernel.structure
         if self._kernels.get(structure) is kernel:
             del self._kernels[structure]
+            self._forget_kernel(kernel)
             return True
         return False
 
@@ -333,6 +527,20 @@ class GammaKernelRegistry:
     def kernels(self) -> tuple[SharedGammaKernel, ...]:
         """Every kernel created by this registry."""
         return tuple(self._kernels.values())
+
+    def aggregate_counters(self) -> dict[str, int]:
+        """Per-kernel work counters summed across every kernel.
+
+        Complements :attr:`kernel_stats` (sharing and size gauges) with
+        the hit/refinement/pass counters the evaluation service reports
+        per shard -- the cold-work accounting behind the warm-start
+        speedup metrics.
+        """
+        totals: dict[str, int] = {}
+        for kernel in self._kernels.values():
+            for key, value in kernel.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @property
     def kernel_stats(self) -> dict[str, int]:
@@ -358,6 +566,8 @@ class GammaKernelRegistry:
                 k.kernel_stats["cached_entries"] for k in kernels
             ),
             "evictions": sum(k.counters["evictions"] for k in kernels),
+            "cross_evictions": self._cross_evictions,
+            "preloaded": sum(k.counters["preloaded"] for k in kernels),
         }
 
     def __len__(self) -> int:

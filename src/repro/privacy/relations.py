@@ -423,6 +423,17 @@ class ModuleRelation:
         )
         return visible_inputs, visible_outputs
 
+    def visibility_of(
+        self, hidden: Iterable[str]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Public (visible-input, visible-output) index pair for ``hidden``.
+
+        This pair plus :attr:`structure_signature` fully determines a Gamma
+        evaluation, which is how the sharded evaluation service ships a
+        relation's work to a worker process without shipping the relation.
+        """
+        return self._visible_indices(self._validate_hidden(hidden))
+
     def _kernel_entry(
         self, visible_inputs: tuple[int, ...], visible_outputs: tuple[int, ...]
     ) -> tuple[tuple[int, ...], tuple[int, ...], int]:

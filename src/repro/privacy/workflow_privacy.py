@@ -16,18 +16,35 @@ cached on the relation, and the exact solver explores label subsets
 lazily in best-first branch-and-bound order (admissible bound = subset
 cost, monotone-feasibility pruning) instead of materializing all 2^n
 label combinations.
+
+Two further accelerations sit on top of the kernel:
+
+* **cross-module incremental bound** -- Gamma is monotone in the hidden
+  set, so once a module's requirement is met by some subset it is met by
+  every superset; the exact solver carries the still-unsatisfied module
+  indices down the search tree, and a subtree never re-evaluates modules
+  its ancestors already discharged;
+* **sharded evaluation** -- passing a
+  :class:`~repro.service.coordinator.ShardCoordinator` as ``service``
+  routes the per-module Gamma evaluations of each search node to the
+  multi-process service in one batch (structurally identical modules hit
+  the same warm worker kernel); ``workers=0`` coordinators fall back to
+  an in-process registry with byte-identical results.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.errors import InfeasiblePrivacyError, PolicyError, PrivacyError
 from repro.execution.graph import ExecutionGraph
 from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.service.coordinator import ShardCoordinator
 
 
 @dataclass(frozen=True)
@@ -199,6 +216,59 @@ class WorkflowPrivacyRequirements:
             for requirement, scope in self._label_scopes()
         )
 
+    def unsatisfied_indices(
+        self,
+        hidden_labels: Iterable[str],
+        indices: Sequence[int] | None = None,
+        *,
+        service: "ShardCoordinator | None" = None,
+        first_only: bool = False,
+    ) -> tuple[int, ...]:
+        """Requirement indices (among ``indices``) not met by ``hidden_labels``.
+
+        This is the workhorse of the exact solver's cross-module
+        incremental bound: a search node only re-checks the modules its
+        parent left unsatisfied (Gamma is monotone in the hidden set, so
+        satisfied modules stay satisfied in every descendant).  With a
+        ``service``, the checked modules' Gamma evaluations are shipped
+        to the sharded evaluation service as one batch; otherwise each
+        comes from the relation's local memoized kernel.
+
+        ``first_only`` short-circuits at the first unsatisfied module --
+        for callers that only need feasibility (is *anything* unmet?),
+        not the full set.  The service path still evaluates the whole
+        batch: one round trip beats per-module short-circuiting.
+        """
+        hidden = set(hidden_labels)
+        scopes = self._label_scopes()
+        if indices is None:
+            indices = range(len(scopes))
+        if service is not None and len(indices) > 1:
+            requests = []
+            for index in indices:
+                requirement, scope = scopes[index]
+                relation = requirement.relation
+                visible_inputs, visible_outputs = relation.visibility_of(
+                    hidden & scope
+                )
+                requests.append(
+                    (relation.structure_signature, visible_inputs, visible_outputs)
+                )
+            gammas = service.gammas(requests)
+            return tuple(
+                index
+                for index, gamma in zip(indices, gammas)
+                if gamma < scopes[index][0].gamma
+            )
+        unsatisfied = []
+        for index in indices:
+            requirement, scope = scopes[index]
+            if requirement.relation.achieved_gamma(hidden & scope) < requirement.gamma:
+                unsatisfied.append(index)
+                if first_only:
+                    break
+        return tuple(unsatisfied)
+
     def requested_gammas(self) -> dict[str, int]:
         """Mapping from private module id to requested Gamma."""
         return {r.module_id: r.gamma for r in self.requirements}
@@ -223,7 +293,11 @@ class WorkflowPrivacyRequirements:
 # ---------------------------------------------------------------------- #
 # Solvers
 # ---------------------------------------------------------------------- #
-def exact_secure_view(requirements: WorkflowPrivacyRequirements) -> SecureViewResult:
+def exact_secure_view(
+    requirements: WorkflowPrivacyRequirements,
+    *,
+    service: "ShardCoordinator | None" = None,
+) -> SecureViewResult:
     """Minimum-cost set of labels meeting every requirement, found by
     best-first branch-and-bound.
 
@@ -232,36 +306,65 @@ def exact_secure_view(requirements: WorkflowPrivacyRequirements) -> SecureViewRe
     are non-negative, a subset's cost lower-bounds every superset and the
     first satisfying subset popped is optimal.  Monotonicity of each
     module's Gamma in the hidden set prunes branches whose maximal
-    extension cannot satisfy the requirements.  Exponential in the worst
-    case, intended for small workflows and as the optimality baseline of
-    experiment E1.
+    extension cannot satisfy the requirements.
+
+    Every frontier node carries the indices of the modules still
+    unsatisfied on its subset (the cross-module incremental bound):
+    descendants re-evaluate only those, so a module discharged near the
+    root is never touched again anywhere in its subtree.  With a
+    ``service``, each node's remaining per-module Gamma evaluations run
+    as one batch on the sharded evaluation service (in parallel across
+    worker processes); results are identical either way.  Exponential in
+    the worst case, intended for small workflows and as the optimality
+    baseline of experiment E1.
     """
     labels = requirements.all_labels()
     evaluations = 1
-    if not requirements.satisfied_by(labels):
+    all_indices = tuple(range(len(requirements.requirements)))
+    if requirements.unsatisfied_indices(
+        labels, all_indices, service=service, first_only=True
+    ):
         raise InfeasiblePrivacyError(
             "the requirements cannot be met even when hiding every label"
         )
     weights = {label: requirements.weight_of(label) for label in labels}
     order = sorted(labels, key=lambda label: (weights[label], label))
-    frontier: list[tuple[float, int, tuple[str, ...], int]] = [(0.0, 0, (), 0)]
+    # (cost, size, subset, next position, indices of still-unsatisfied
+    # modules as of the *parent's* evaluation -- the child narrows them).
+    frontier: list[tuple[float, int, tuple[str, ...], int, tuple[int, ...]]] = [
+        (0.0, 0, (), 0, all_indices)
+    ]
     while frontier:
-        cost, size, subset, next_position = heapq.heappop(frontier)
+        cost, size, subset, next_position, unsatisfied = heapq.heappop(frontier)
         evaluations += 1
-        if requirements.satisfied_by(subset):
+        unsatisfied = requirements.unsatisfied_indices(
+            subset, unsatisfied, service=service
+        )
+        if not unsatisfied:
             return requirements._result(
                 set(subset), optimal=True, evaluations=evaluations
             )
         if next_position >= len(order):
             continue
         evaluations += 1
-        if not requirements.satisfied_by(subset + tuple(order[next_position:])):
+        if requirements.unsatisfied_indices(
+            subset + tuple(order[next_position:]),
+            unsatisfied,
+            service=service,
+            first_only=True,
+        ):
             continue
         for position in range(next_position, len(order)):
             label = order[position]
             heapq.heappush(
                 frontier,
-                (cost + weights[label], size + 1, subset + (label,), position + 1),
+                (
+                    cost + weights[label],
+                    size + 1,
+                    subset + (label,),
+                    position + 1,
+                    unsatisfied,
+                ),
             )
     raise InfeasiblePrivacyError(
         "no label subset satisfies the requirements"
@@ -320,11 +423,19 @@ def greedy_secure_view(requirements: WorkflowPrivacyRequirements) -> SecureViewR
 
 
 def secure_view(
-    requirements: WorkflowPrivacyRequirements, *, solver: str = "greedy"
+    requirements: WorkflowPrivacyRequirements,
+    *,
+    solver: str = "greedy",
+    service: "ShardCoordinator | None" = None,
 ) -> SecureViewResult:
-    """Compute a secure view with the requested solver (``exact``/``greedy``)."""
+    """Compute a secure view with the requested solver (``exact``/``greedy``).
+
+    ``service`` (a :class:`~repro.service.coordinator.ShardCoordinator`)
+    parallelizes the exact solver's per-module Gamma evaluations; the
+    greedy solver's incremental single-module probes stay local.
+    """
     if solver == "exact":
-        return exact_secure_view(requirements)
+        return exact_secure_view(requirements, service=service)
     if solver == "greedy":
         return greedy_secure_view(requirements)
     raise PrivacyError(f"unknown secure-view solver {solver!r}")

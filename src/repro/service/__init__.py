@@ -1,0 +1,38 @@
+"""Sharded multi-process Gamma evaluation service with warm-kernel persistence.
+
+The paper's secure-view search is bounded by Gamma evaluation over module
+relations; this subsystem distributes that work across worker processes.
+Work is hash-partitioned by canonical
+:class:`~repro.privacy.kernel_registry.RelationStructure` signature, so
+structurally identical relations always hit the same worker's warm
+kernel; warm kernels are snapshotted to disk on eviction/shutdown and
+preloaded on worker start, so repeated sweeps skip cold-start entirely.
+``workers=0`` is a fully equivalent in-process fallback.
+"""
+
+from repro.service.coordinator import GammaRequest, ShardCoordinator
+from repro.service.persistence import KernelSnapshotStore
+from repro.service.protocol import (
+    WANT_ENTRY,
+    WANT_GAMMA,
+    GammaBatch,
+    GammaTask,
+    ShardReport,
+    TaskResult,
+    merge_kernel_stats,
+    shard_of,
+)
+
+__all__ = [
+    "GammaBatch",
+    "GammaRequest",
+    "GammaTask",
+    "KernelSnapshotStore",
+    "ShardCoordinator",
+    "ShardReport",
+    "TaskResult",
+    "WANT_ENTRY",
+    "WANT_GAMMA",
+    "merge_kernel_stats",
+    "shard_of",
+]

@@ -1,0 +1,435 @@
+"""The shard coordinator: route Gamma work to warm kernels across processes.
+
+:class:`ShardCoordinator` is the client-facing front of the service.  It
+hash-partitions evaluation requests across ``workers`` processes by
+canonical structure signature (:func:`~repro.service.protocol.shard_of`),
+so every structurally identical relation -- whichever client submitted it
+-- is served by the same worker's warm :class:`GammaKernelRegistry`
+shard.  With ``workers=0`` the coordinator degrades to an in-process
+registry running the *same* per-task code path
+(:func:`~repro.service.worker.process_batch`), which is both the
+no-dependency fallback and the oracle the sharded path is tested
+byte-identical against.
+
+Fault handling: a batch is re-dispatched when its worker process is
+found dead (the respawned worker preloads persisted kernel snapshots, so
+recovery starts warm); the batch's :class:`ShardReport` is flagged
+``retried``.  A shard that keeps dying past ``max_restarts`` raises
+:class:`~repro.errors.WorkerCrashError` instead of looping forever.
+
+The coordinator is a context manager; on close it asks every worker to
+snapshot its warm kernels to ``snapshot_dir`` (when configured) so the
+next coordinator -- in this process or another -- starts warm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.errors import ServiceError, WorkerCrashError
+from repro.privacy.kernel_registry import (
+    GammaKernelRegistry,
+    RelationStructure,
+    SharedGammaKernel,
+)
+from repro.service.persistence import KernelSnapshotStore
+from repro.service.protocol import (
+    CRASH,
+    SHUTDOWN,
+    WANT_GAMMA,
+    GammaBatch,
+    GammaTask,
+    ShardReport,
+    TaskResult,
+    merge_kernel_stats,
+    shard_of,
+)
+from repro.service.worker import process_batch, serve_shard
+
+#: One evaluation request: (canonical structure, visible inputs, visible outputs).
+GammaRequest = tuple[RelationStructure, tuple[int, ...], tuple[int, ...]]
+
+
+class _Shard:
+    """Coordinator-side state of one worker process."""
+
+    __slots__ = ("shard_id", "process", "task_queue", "shipped", "restarts")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.process = None
+        self.task_queue = None
+        #: Structure signatures already shipped to the live process.
+        self.shipped: set[str] = set()
+        self.restarts = 0
+
+
+class ShardCoordinator:
+    """Sharded (or in-process, ``workers=0``) Gamma evaluation service."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        budget_bytes: int | None = None,
+        total_budget_bytes: int | None = None,
+        snapshot_dir: str | None = None,
+        start_method: str | None = None,
+        task_timeout: float = 120.0,
+        max_restarts: int = 3,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"worker count must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
+        self.task_timeout = float(task_timeout)
+        self.max_restarts = int(max_restarts)
+        self._budget_bytes = budget_bytes
+        self._total_budget_bytes = total_budget_bytes
+        self._task_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        #: Every structure ever submitted, for re-shipping after respawns
+        #: (a respawned worker's ``shipped`` set resets, and snapshots are
+        #: not guaranteed to cover mid-flight structures).  This retention
+        #: is unbounded -- O(rows x arity) per distinct structure -- which
+        #: is fine for solver-lifetime coordinators; a coordinator-side
+        #: structure LRU for long-lived multi-tenant use is a ROADMAP item.
+        self._structures: dict[str, RelationStructure] = {}
+        self._last_reports: dict[int, ShardReport] = {}
+        self._tasks_dispatched = 0
+        self._batches_dispatched = 0
+        self._retried_batches = 0
+        self._closed = False
+        self._registry: GammaKernelRegistry | None = None
+        self._store: KernelSnapshotStore | None = None
+        self._kernels: dict[str, SharedGammaKernel] = {}
+        self._preloaded = 0
+        self._shards: list[_Shard] = []
+        if self.workers == 0:
+            self._registry = GammaKernelRegistry(
+                budget_bytes=budget_bytes, total_budget_bytes=total_budget_bytes
+            )
+            if self.snapshot_dir is not None:
+                self._store = KernelSnapshotStore(self.snapshot_dir)
+                self._preloaded = self._store.warm_registry(self._registry)
+                self._store.arm(self._registry)
+            self._kernels = {
+                kernel.structure.signature: kernel
+                for kernel in self._registry.kernels
+            }
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            chosen = start_method or ("fork" if "fork" in methods else "spawn")
+            if chosen not in methods:
+                raise ServiceError(
+                    f"start method {chosen!r} unavailable (have {methods})"
+                )
+            self._context = multiprocessing.get_context(chosen)
+            self._result_queue = self._context.Queue()
+            for shard_id in range(self.workers):
+                shard = _Shard(shard_id)
+                self._start_worker(shard)
+                self._shards.append(shard)
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _start_worker(self, shard: _Shard) -> None:
+        shard.task_queue = self._context.Queue()
+        shard.shipped = set()
+        shard.process = self._context.Process(
+            target=serve_shard,
+            args=(
+                shard.shard_id,
+                self.workers,
+                shard.task_queue,
+                self._result_queue,
+                self._budget_bytes,
+                self._total_budget_bytes,
+                self.snapshot_dir,
+            ),
+            daemon=True,
+            name=f"gamma-shard-{shard.shard_id}",
+        )
+        shard.process.start()
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead worker (fresh queue -- the old one is suspect)."""
+        if shard.restarts >= self.max_restarts:
+            raise WorkerCrashError(
+                f"shard {shard.shard_id} died {shard.restarts + 1} times "
+                f"(max_restarts={self.max_restarts}); giving up"
+            )
+        shard.process.join(timeout=0.5)
+        old_queue = shard.task_queue
+        shard.restarts += 1
+        self._start_worker(shard)
+        # Abandon the dead worker's queue without blocking on its feeder.
+        old_queue.cancel_join_thread()
+        old_queue.close()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation API
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, requests: Iterable[GammaRequest], *, want: str = WANT_GAMMA
+    ) -> list[TaskResult]:
+        """Evaluate every request, preserving request order in the result.
+
+        Each request is ``(structure, visible_inputs, visible_outputs)``;
+        with ``want="entry"`` the results carry the full kernel-entry
+        payload (per-block counts and partition) instead of Gamma only.
+        """
+        if self._closed:
+            raise ServiceError("coordinator is closed")
+        tasks: list[GammaTask] = []
+        for structure, visible_inputs, visible_outputs in requests:
+            signature = structure.signature
+            self._structures[signature] = structure
+            tasks.append(
+                GammaTask(
+                    next(self._task_ids),
+                    signature,
+                    tuple(visible_inputs),
+                    tuple(visible_outputs),
+                    want,
+                )
+            )
+        if not tasks:
+            return []
+        self._tasks_dispatched += len(tasks)
+        if self.workers == 0:
+            return list(self._evaluate_local(tasks))
+        return self._evaluate_sharded(tasks)
+
+    def gammas(self, requests: Iterable[GammaRequest]) -> list[int]:
+        """Just the Gamma of every request, in request order."""
+        return [result.gamma for result in self.evaluate(requests)]
+
+    def _evaluate_local(self, tasks: list[GammaTask]) -> tuple[TaskResult, ...]:
+        assert self._registry is not None
+        batch_id = next(self._batch_ids)
+        self._batches_dispatched += 1
+        missing = {
+            task.signature: self._structures[task.signature]
+            for task in tasks
+            if task.signature not in self._kernels
+        }
+        batch = GammaBatch(batch_id, 0, tuple(tasks), missing)
+        results = process_batch(batch, self._kernels, self._registry)
+        self._last_reports[0] = ShardReport(
+            shard_id=0,
+            batch_id=batch_id,
+            completed=len(results),
+            kernel_stats={
+                **self._registry.kernel_stats,
+                **self._registry.aggregate_counters(),
+            },
+            preloaded_entries=self._preloaded,
+        )
+        return results
+
+    def _dispatch(self, shard: _Shard, batch: GammaBatch) -> None:
+        signatures = {task.signature for task in batch.tasks}
+        missing = {
+            signature: self._structures[signature]
+            for signature in signatures
+            if signature not in shard.shipped
+        }
+        shard.task_queue.put(replace(batch, structures=missing))
+        shard.shipped |= signatures
+
+    def _evaluate_sharded(self, tasks: list[GammaTask]) -> list[TaskResult]:
+        by_shard: dict[int, list[GammaTask]] = {}
+        for task in tasks:
+            by_shard.setdefault(shard_of(task.signature, self.workers), []).append(
+                task
+            )
+        pending: dict[int, tuple[_Shard, GammaBatch]] = {}
+        retried: set[int] = set()
+        for shard_id, shard_tasks in by_shard.items():
+            shard = self._shards[shard_id]
+            batch = GammaBatch(next(self._batch_ids), shard_id, tuple(shard_tasks))
+            self._batches_dispatched += 1
+            if not shard.process.is_alive():
+                self._respawn(shard)
+                retried.add(batch.batch_id)
+                self._retried_batches += 1
+            pending[batch.batch_id] = (shard, batch)
+            self._dispatch(shard, batch)
+
+        results_by_id: dict[int, TaskResult] = {}
+        deadline = time.monotonic() + self.task_timeout
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                now = time.monotonic()
+                respawned = False
+                for batch_id, (shard, batch) in list(pending.items()):
+                    if shard.process.is_alive():
+                        continue
+                    self._respawn(shard)
+                    self._dispatch(shard, batch)
+                    retried.add(batch_id)
+                    self._retried_batches += 1
+                    respawned = True
+                if respawned:
+                    deadline = now + self.task_timeout
+                elif now > deadline:
+                    raise ServiceError(
+                        f"timed out after {self.task_timeout}s waiting for "
+                        f"{len(pending)} pending batch(es)"
+                    )
+                continue
+            kind = message[0]
+            if kind == "stopped":  # stale shutdown ack from a replaced worker
+                continue
+            if kind == "error":
+                _, shard_id, batch_id, text = message
+                if batch_id not in pending:
+                    # Left over from an evaluate() call that already
+                    # raised; must not poison this (unrelated) call.
+                    continue
+                raise ServiceError(
+                    f"shard {shard_id} failed batch {batch_id}:\n{text}"
+                )
+            _, shard_id, batch_id, results, report = message
+            if batch_id not in pending:
+                # Completed by both the dead worker and its replacement;
+                # results are deterministic, so either copy is fine.
+                continue
+            del pending[batch_id]
+            if batch_id in retried:
+                report = replace(report, retried=True)
+            self._last_reports[shard_id] = report
+            for result in results:
+                results_by_id[result.task_id] = result
+        return [results_by_id[task.task_id] for task in tasks]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def shard_reports(self) -> tuple[ShardReport, ...]:
+        """The latest report of every shard that has completed a batch."""
+        return tuple(
+            self._last_reports[shard_id] for shard_id in sorted(self._last_reports)
+        )
+
+    def kernel_stats(self) -> dict[str, int]:
+        """Service-wide kernel statistics, merged across shards.
+
+        In-process mode reads the live registry; sharded mode merges the
+        latest (cumulative) report of every shard, so the numbers lag
+        until each shard has completed at least one batch.
+        """
+        if self.workers == 0:
+            assert self._registry is not None
+            return {
+                **self._registry.kernel_stats,
+                **self._registry.aggregate_counters(),
+            }
+        return merge_kernel_stats(
+            report.kernel_stats for report in self._last_reports.values()
+        )
+
+    @property
+    def preloaded_entries(self) -> int:
+        """Cache entries restored from snapshots at (worker) start."""
+        if self.workers == 0:
+            return self._preloaded
+        return sum(
+            report.preloaded_entries for report in self._last_reports.values()
+        )
+
+    @property
+    def worker_restarts(self) -> int:
+        """How many times a dead worker was replaced."""
+        return sum(shard.restarts for shard in self._shards)
+
+    def service_stats(self) -> dict[str, int]:
+        """Coordinator-side dispatch counters (for experiment tables)."""
+        return {
+            "workers": self.workers,
+            "tasks": self._tasks_dispatched,
+            "batches": self._batches_dispatched,
+            "retried_batches": self._retried_batches,
+            "worker_restarts": self.worker_restarts,
+            "preloaded_entries": self.preloaded_entries,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Fault injection and shutdown
+    # ------------------------------------------------------------------ #
+    def inject_crash(self, shard_id: int) -> None:
+        """Make one worker die abruptly (crash-recovery test/ops hook)."""
+        if self.workers == 0:
+            raise ServiceError("no worker processes to crash in-process mode")
+        self._shards[shard_id].task_queue.put(CRASH)
+
+    def close(self, *, snapshot: bool = True) -> None:
+        """Shut the service down, snapshotting warm kernels by default.
+
+        Workers always snapshot on a clean :data:`SHUTDOWN`; pass
+        ``snapshot=False`` to terminate them without persisting (used
+        when a caller wants a genuinely cold next start).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.workers == 0:
+            if snapshot and self._store is not None and self._registry is not None:
+                self._store.snapshot_registry(self._registry)
+            return
+        waiting = []
+        for shard in self._shards:
+            if not shard.process.is_alive():
+                continue
+            if snapshot:
+                try:
+                    shard.task_queue.put(SHUTDOWN)
+                    waiting.append(shard.shard_id)
+                except (ValueError, OSError):  # pragma: no cover - queue gone
+                    pass
+        deadline = time.monotonic() + 10.0
+        acked: set[int] = set()
+        while len(acked) < len(waiting) and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                if all(
+                    not self._shards[shard_id].process.is_alive()
+                    for shard_id in waiting
+                    if shard_id not in acked
+                ):
+                    break
+                continue
+            if message[0] == "stopped":
+                acked.add(message[1])
+        for shard in self._shards:
+            shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=2.0)
+            shard.task_queue.cancel_join_thread()
+            shard.task_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._result_queue.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "in-process" if self.workers == 0 else f"{self.workers} workers"
+        return (
+            f"ShardCoordinator({mode}, tasks={self._tasks_dispatched}, "
+            f"restarts={self.worker_restarts})"
+        )

@@ -1,0 +1,302 @@
+"""Warm-kernel persistence: snapshot Gamma kernels to disk and preload them.
+
+*HyProv* motivates serving provenance workloads from a persistent store
+instead of rebuilding state per process; here the state worth keeping is
+the warm Gamma kernel -- memoized partitions and kernel entries that a
+cold worker would have to recompute with O(rows) passes.  The store
+writes one snapshot file per :class:`RelationStructure` (named by its
+process-independent signature), containing the canonical structure and
+the kernel's cached entries.
+
+Two flows feed the store:
+
+* **shutdown snapshots** -- :meth:`KernelSnapshotStore.snapshot_registry`
+  dumps every kernel's live entries when a worker (or the in-process
+  coordinator) shuts down;
+* **eviction spills** -- armed as the registry's ``eviction_sink``, the
+  store buffers entries evicted under a byte budget so they reappear in
+  the next snapshot instead of being lost (disk is the overflow tier of
+  the cross-kernel LRU).
+
+On worker start, :meth:`warm_registry` restores every snapshot the shard
+owns, so repeated sweeps skip cold-start entirely: preloaded entries are
+served as cache hits and counted in the kernels' ``preloaded`` counter.
+
+Snapshots are pickles of tuples of ints (plus the structure dataclass);
+they are a local cache directory, not an interchange format -- load only
+directories you wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.errors import ServiceError
+from repro.privacy.kernel_registry import (
+    GammaKernelRegistry,
+    RelationStructure,
+    SharedGammaKernel,
+)
+
+#: Snapshot file suffix (one file per relation structure).
+SNAPSHOT_SUFFIX = ".kernel.pkl"
+
+#: Snapshot format version, bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+#: Default in-memory spill buffer bound before flushing to disk (bytes of
+#: accounted entry cost, not pickle size).
+DEFAULT_SPILL_FLUSH_BYTES = 4 * 1024 * 1024
+
+
+class KernelSnapshotStore:
+    """Directory-backed snapshots of warm Gamma kernels.
+
+    ``spill_flush_bytes`` bounds the in-memory buffer of
+    eviction-spilled entries: once the accounted cost of buffered spills
+    exceeds it, every buffer is merged into its on-disk snapshot, so a
+    long-running budgeted worker stays capped at (byte budget + spill
+    bound) resident instead of accumulating every evicted entry in RAM.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        spill_flush_bytes: int = DEFAULT_SPILL_FLUSH_BYTES,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.spill_flush_bytes = spill_flush_bytes
+        # Eviction spills buffered per signature until the next snapshot
+        # or flush: signature -> {entry key -> (payload, cost)}.
+        self._spilled: dict[str, dict[tuple, tuple[object, int]]] = {}
+        self._spilled_structures: dict[str, RelationStructure] = {}
+        self._spill_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Paths and directory scanning
+    # ------------------------------------------------------------------ #
+    def path_for(self, signature: str) -> Path:
+        """The snapshot file of one structure signature."""
+        return self.directory / f"{signature}{SNAPSHOT_SUFFIX}"
+
+    def signatures(self) -> tuple[str, ...]:
+        """Signatures with a snapshot on disk, sorted."""
+        return tuple(
+            sorted(
+                path.name[: -len(SNAPSHOT_SUFFIX)]
+                for path in self.directory.glob(f"*{SNAPSHOT_SUFFIX}")
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.signatures())
+
+    # ------------------------------------------------------------------ #
+    # Eviction spill sink
+    # ------------------------------------------------------------------ #
+    def record_eviction(
+        self, structure: RelationStructure, key: tuple, payload: object, cost: int
+    ) -> None:
+        """Buffer an evicted entry for the next snapshot (``eviction_sink``).
+
+        The buffer is bounded: past :attr:`spill_flush_bytes` every spill
+        buffer is merged into its on-disk snapshot, so eviction pressure
+        translates into disk writes, not unbounded resident memory.
+        """
+        signature = structure.signature
+        self._spilled_structures[signature] = structure
+        bucket = self._spilled.setdefault(signature, {})
+        stale = bucket.get(key)
+        if stale is not None:
+            self._spill_bytes -= stale[1]
+        bucket[key] = (payload, cost)
+        self._spill_bytes += cost
+        if self._spill_bytes > self.spill_flush_bytes:
+            self.flush_spills()
+
+    def flush_spills(self) -> int:
+        """Merge every buffered spill into its on-disk snapshot.
+
+        Returns the number of snapshot files written.  Buffers are
+        cleared; live kernel entries are *not* touched (they are written
+        by :meth:`snapshot_kernel` / :meth:`snapshot_registry`, which
+        merge with what this wrote).
+        """
+        written = 0
+        for signature, structure in list(self._spilled_structures.items()):
+            entries = self._spilled.pop(signature, {})
+            del self._spilled_structures[signature]
+            if not entries:
+                continue
+            merged = self._entries_on_disk(signature)
+            merged.update(entries)
+            self._write_snapshot(signature, structure, merged)
+            written += 1
+        self._spill_bytes = 0
+        return written
+
+    def arm(self, registry: GammaKernelRegistry) -> None:
+        """Install this store as ``registry``'s eviction spill sink."""
+        registry.set_eviction_sink(self.record_eviction)
+
+    # ------------------------------------------------------------------ #
+    # Writing snapshots
+    # ------------------------------------------------------------------ #
+    def _entries_on_disk(self, signature: str) -> dict[tuple, tuple[object, int]]:
+        """The existing snapshot's entries, ``{}`` if absent or unreadable.
+
+        A torn or corrupt file is about to be atomically replaced by the
+        caller, so it is treated as empty rather than fatal.
+        """
+        try:
+            existing = self.load(signature)
+        except ServiceError:
+            return {}
+        if existing is None:
+            return {}
+        return {key: (payload, cost) for key, payload, cost in existing[1]}
+
+    def _write_snapshot(
+        self,
+        signature: str,
+        structure: RelationStructure,
+        entries: dict[tuple, tuple[object, int]],
+    ) -> Path:
+        """Atomically write one snapshot (temp file + rename), torn-write safe."""
+        document = {
+            "version": SNAPSHOT_VERSION,
+            "structure": structure,
+            "entries": tuple(
+                (key, payload, cost) for key, (payload, cost) in entries.items()
+            ),
+        }
+        path = self.path_for(signature)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=SNAPSHOT_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+        return path
+
+    def snapshot_kernel(self, kernel: SharedGammaKernel) -> Path:
+        """Write one kernel's warm state (disk + spilled + live entries).
+
+        Later sources win on key conflicts: live cache entries over the
+        spill buffer over what an earlier flush already put on disk --
+        freshest copy survives, and entries evicted (then flushed) under
+        a budget are not lost when the shrunken live set is snapshotted.
+        """
+        signature = kernel.structure.signature
+        entries = self._entries_on_disk(signature)
+        spilled = self._spilled.pop(signature, {})
+        self._spilled_structures.pop(signature, None)
+        self._spill_bytes -= sum(cost for _, cost in spilled.values())
+        entries.update(spilled)
+        for key, payload, cost in kernel.export_entries():
+            entries[key] = (payload, cost)
+        return self._write_snapshot(signature, kernel.structure, entries)
+
+    def snapshot_registry(self, registry: GammaKernelRegistry) -> int:
+        """Snapshot every kernel of ``registry`` (plus spill-only structures).
+
+        Entries evicted from kernels that were themselves released can
+        survive only through their spill buffer; they are flushed too.
+        Returns the number of snapshot files written.
+        """
+        written = 0
+        for kernel in registry.kernels:
+            self.snapshot_kernel(kernel)
+            written += 1
+        # Spill buffers whose kernel is gone: persist them standalone.
+        written += self.flush_spills()
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Reading snapshots
+    # ------------------------------------------------------------------ #
+    def load(
+        self, signature: str
+    ) -> tuple[RelationStructure, tuple[tuple[tuple, object, int], ...]] | None:
+        """One snapshot as ``(structure, entries)``, or ``None`` if absent."""
+        path = self.path_for(signature)
+        if not path.is_file():
+            return None
+        try:
+            document = pickle.loads(path.read_bytes())
+        except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            raise ServiceError(f"corrupt kernel snapshot {path}: {exc}") from exc
+        if document.get("version") != SNAPSHOT_VERSION:
+            raise ServiceError(
+                f"kernel snapshot {path} has unsupported version "
+                f"{document.get('version')!r}"
+            )
+        return document["structure"], document["entries"]
+
+    def iter_snapshots(
+        self,
+    ) -> Iterator[tuple[RelationStructure, tuple[tuple[tuple, object, int], ...]]]:
+        """Every readable snapshot in the directory.
+
+        Snapshots are a cache: a corrupt file (torn write, disk-full
+        remnant) is deleted and skipped rather than raised, so one bad
+        file can never crash-loop a restarting worker into
+        ``WorkerCrashError`` -- it just costs that structure a cold
+        start.
+        """
+        for signature in self.signatures():
+            try:
+                snapshot = self.load(signature)
+            except ServiceError:
+                try:
+                    self.path_for(signature).unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                continue
+            if snapshot is not None:
+                yield snapshot
+
+    def warm_registry(
+        self,
+        registry: GammaKernelRegistry,
+        *,
+        owns: Callable[[str], bool] | None = None,
+    ) -> int:
+        """Preload every owned snapshot into ``registry``'s kernels.
+
+        ``owns`` filters by signature -- a shard passes its ownership
+        predicate so it only pays memory for structures the coordinator
+        will actually route to it (the shard map is signature-stable).
+        Returns the number of cache entries preloaded.
+        """
+        preloaded = 0
+        for structure, entries in self.iter_snapshots():
+            if owns is not None and not owns(structure.signature):
+                continue
+            kernel = registry.ensure_kernel(structure)
+            preloaded += kernel.import_entries(entries)
+        return preloaded
+
+    def clear(self) -> int:
+        """Delete every snapshot file; returns how many were removed."""
+        removed = 0
+        for signature in self.signatures():
+            self.path_for(signature).unlink()
+            removed += 1
+        self._spilled.clear()
+        self._spilled_structures.clear()
+        self._spill_bytes = 0
+        return removed

@@ -1,0 +1,141 @@
+"""Wire protocol of the sharded Gamma evaluation service.
+
+Davidson et al. decompose workflow-level privacy into per-module Gamma
+subproblems, and PR 2's :class:`~repro.privacy.kernel_registry.RelationStructure`
+made those subproblems *nameless*: a Gamma evaluation is fully described
+by a canonical structure plus a (visible-inputs, visible-outputs) index
+pair.  That is exactly what crosses the process boundary here -- never a
+:class:`~repro.privacy.relations.ModuleRelation`, never attribute names
+or values.
+
+* :func:`shard_of` hash-partitions structures across shards by their
+  process-independent :attr:`RelationStructure.signature`, so every
+  evaluation of a given structure -- from any client relation, in any
+  batch -- lands on the same worker's warm kernel;
+* :class:`GammaTask` is one evaluation request; :class:`GammaBatch`
+  groups the tasks bound for one shard together with the structures the
+  shard has not seen yet (structures are shipped at most once per worker
+  lifetime);
+* :class:`TaskResult` carries the Gamma (and, when ``want="entry"``, the
+  full kernel-entry payload) back; :class:`ShardReport` carries the
+  shard's merged ``kernel_stats`` and warm-start gauges, and is flagged
+  ``retried`` by the coordinator when the batch had to be re-dispatched
+  after a worker crash.
+
+Everything here is a plain dataclass over ints, strings and tuples, so
+batches pickle cheaply under either multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ServiceError
+from repro.privacy.kernel_registry import RelationStructure
+
+#: Control message asking a worker to snapshot its kernels and exit.
+SHUTDOWN = "__shutdown__"
+
+#: Control message making a worker die abruptly (``os._exit``) *without*
+#: snapshotting -- the crash-recovery test hook.
+CRASH = "__crash__"
+
+#: ``GammaTask.want`` values: return only the Gamma, or the full entry.
+WANT_GAMMA = "gamma"
+WANT_ENTRY = "entry"
+
+
+def shard_of(signature: str, shards: int) -> int:
+    """The shard owning ``signature`` among ``shards`` workers.
+
+    Uses the leading 64 bits of the structure digest, which is stable
+    across processes and machines -- the property that lets a restarted
+    worker preload exactly the kernels it will be asked about.
+    """
+    if shards <= 0:
+        raise ServiceError(f"shard count must be positive, got {shards}")
+    return int(signature[:16], 16) % shards
+
+
+@dataclass(frozen=True)
+class GammaTask:
+    """One Gamma evaluation: a structure signature plus a visibility pair."""
+
+    task_id: int
+    signature: str
+    visible_inputs: tuple[int, ...]
+    visible_outputs: tuple[int, ...]
+    want: str = WANT_GAMMA
+
+    def __post_init__(self) -> None:
+        if self.want not in (WANT_GAMMA, WANT_ENTRY):
+            raise ServiceError(f"unknown task payload kind {self.want!r}")
+
+
+@dataclass(frozen=True)
+class GammaBatch:
+    """The tasks bound for one shard in one round trip.
+
+    ``structures`` maps signature to canonical structure for exactly the
+    signatures this shard has not been sent before; the worker registers
+    them with its registry shard and resolves every later task by
+    signature alone.
+    """
+
+    batch_id: int
+    shard_id: int
+    tasks: tuple[GammaTask, ...]
+    structures: Mapping[str, RelationStructure] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """The outcome of one :class:`GammaTask`.
+
+    ``counts`` and ``partition`` are populated only for ``want="entry"``
+    tasks, keeping the common (Gamma-only) reply small on the wire.
+    """
+
+    task_id: int
+    signature: str
+    gamma: int
+    counts: tuple[int, ...] | None = None
+    partition: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's account of one processed batch.
+
+    ``kernel_stats`` is the worker registry's aggregate at the time the
+    batch completed (cumulative over the worker's lifetime, so the
+    coordinator keeps only the latest report per shard);
+    ``preloaded_entries`` counts cache entries restored from persisted
+    snapshots at worker start -- the warm-start gauge; ``retried`` is
+    set by the coordinator when this batch was re-dispatched after a
+    worker crash.
+    """
+
+    shard_id: int
+    batch_id: int
+    completed: int
+    kernel_stats: Mapping[str, int]
+    preloaded_entries: int = 0
+    retried: bool = False
+
+
+def merge_kernel_stats(
+    reports: Iterable[Mapping[str, int]]
+) -> dict[str, int]:
+    """Sum per-shard kernel statistics into one service-wide view.
+
+    Every gauge/counter in the shard registries' ``kernel_stats`` is
+    additive across disjoint shards (kernels, bytes, hits, evictions),
+    so a plain key-wise sum is the correct merge.
+    """
+    totals: dict[str, int] = {}
+    for stats in reports:
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals

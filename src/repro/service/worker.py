@@ -1,0 +1,135 @@
+"""Worker-process loop of the sharded Gamma evaluation service.
+
+Each worker owns one :class:`GammaKernelRegistry` *shard*: the kernels of
+every structure whose signature hashes to its shard id.  Because the
+shard map is signature-stable, structurally identical relations -- from
+any client, in any batch -- always land on the same warm kernel, which
+is the whole point of sharding by structure rather than round-robin.
+
+Lifecycle:
+
+1. on start, preload persisted kernel snapshots for owned signatures
+   (warm start -- repeated sweeps skip the cold partition computations);
+2. serve :class:`GammaBatch` messages from the task queue, replying with
+   ``("batch", shard_id, batch_id, results, report)`` tuples;
+3. on :data:`SHUTDOWN`, snapshot every kernel back to disk and exit.
+
+A failure inside a batch is reported as ``("error", shard_id, batch_id,
+text)`` rather than killing the worker; the :data:`CRASH` control message
+(test hook) kills the process abruptly via ``os._exit`` to exercise the
+coordinator's crash recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import TYPE_CHECKING
+
+from repro.privacy.kernel_registry import GammaKernelRegistry, SharedGammaKernel
+from repro.service.persistence import KernelSnapshotStore
+from repro.service.protocol import (
+    CRASH,
+    SHUTDOWN,
+    WANT_ENTRY,
+    GammaBatch,
+    ShardReport,
+    TaskResult,
+    shard_of,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing.queues
+
+
+def process_batch(
+    batch: GammaBatch,
+    kernels: dict[str, SharedGammaKernel],
+    registry: GammaKernelRegistry,
+) -> tuple[TaskResult, ...]:
+    """Evaluate one batch against the shard's registry.
+
+    Shared by the worker loop and the coordinator's in-process fallback,
+    so ``workers=0`` and ``workers=N`` run literally the same code per
+    task -- the byte-identical-results guarantee rests on this.
+    """
+    for signature, structure in batch.structures.items():
+        if signature not in kernels:
+            kernels[signature] = registry.ensure_kernel(structure)
+    results = []
+    for task in batch.tasks:
+        kernel = kernels.get(task.signature)
+        if kernel is None:
+            raise KeyError(
+                f"shard received task for unknown structure {task.signature!r} "
+                "(batch did not ship it and no earlier batch did)"
+            )
+        partition, counts, gamma = kernel.entry(
+            task.visible_inputs, task.visible_outputs
+        )
+        if task.want == WANT_ENTRY:
+            results.append(
+                TaskResult(task.task_id, task.signature, gamma, counts, partition)
+            )
+        else:
+            results.append(TaskResult(task.task_id, task.signature, gamma))
+    return tuple(results)
+
+
+def serve_shard(
+    shard_id: int,
+    shards: int,
+    task_queue: "multiprocessing.queues.Queue",
+    result_queue: "multiprocessing.queues.Queue",
+    budget_bytes: int | None,
+    total_budget_bytes: int | None,
+    snapshot_dir: str | None,
+) -> None:
+    """The worker process entry point (must stay module-level picklable)."""
+    registry = GammaKernelRegistry(
+        budget_bytes=budget_bytes, total_budget_bytes=total_budget_bytes
+    )
+    store: KernelSnapshotStore | None = None
+    preloaded = 0
+    if snapshot_dir is not None:
+        store = KernelSnapshotStore(snapshot_dir)
+        preloaded = store.warm_registry(
+            registry, owns=lambda signature: shard_of(signature, shards) == shard_id
+        )
+        store.arm(registry)
+    kernels: dict[str, SharedGammaKernel] = {
+        kernel.structure.signature: kernel for kernel in registry.kernels
+    }
+    while True:
+        message = task_queue.get()
+        if message == SHUTDOWN:
+            if store is not None:
+                store.snapshot_registry(registry)
+            result_queue.put(("stopped", shard_id))
+            return
+        if message == CRASH:
+            # Crash-recovery hook: die like a SIGKILL'd worker would --
+            # no snapshot, no goodbye message, no atexit handlers.
+            os._exit(17)
+        batch = message
+        try:
+            results = process_batch(batch, kernels, registry)
+        except Exception:
+            result_queue.put(
+                ("error", shard_id, batch.batch_id, traceback.format_exc())
+            )
+            continue
+        report = ShardReport(
+            shard_id=shard_id,
+            batch_id=batch.batch_id,
+            completed=len(results),
+            # Size/sharing gauges plus the work counters (refinements,
+            # passes, hits) -- the coordinator's warm/cold accounting
+            # needs both.
+            kernel_stats={
+                **registry.kernel_stats,
+                **registry.aggregate_counters(),
+            },
+            preloaded_entries=preloaded,
+        )
+        result_queue.put(("batch", shard_id, batch.batch_id, results, report))
