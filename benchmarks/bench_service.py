@@ -1,4 +1,4 @@
-"""Benchmarks for the sharded Gamma evaluation service (repro.service).
+"""Benchmarks for the Gamma evaluation service (repro.service).
 
 Three contracts from ISSUE 3:
 
@@ -13,6 +13,16 @@ Three contracts from ISSUE 3:
   not asserted) on smaller ones, where the same run measures the IPC
   overhead ceiling instead.
 
+And one from ISSUE 4:
+
+* **pipelined dispatch** -- a deep secure-view search over the socket
+  transport with ``pipeline_depth`` k >= 4 must beat per-node dispatch
+  (k = 1): speculation hides the per-node round trip.  Like strong
+  scaling, the speedup needs spare cores (on one core the speculative
+  batches still compete with the client for CPU), so the assertion is
+  enforced on >= 4-CPU machines and reported on smaller ones; result
+  equality against the in-process oracle is asserted everywhere.
+
 The ``service``-named benchmarks are regression-guarded by
 ``check_regression.py``.
 """
@@ -25,7 +35,9 @@ import tempfile
 import time
 
 from repro.experiments.e9_sharding import E9Config, workload_requests
-from repro.service import ShardCoordinator
+from repro.experiments.e10_transport import E10Config, build_requirements
+from repro.privacy.workflow_privacy import exact_secure_view
+from repro.service import GammaServer, ShardCoordinator
 
 #: The 6-attribute/domain-4 workload of E2/E4/E9 (64-row relations).
 CONFIG = E9Config(n_inputs=3, n_outputs=3, domain_size=4, seed=71)
@@ -113,6 +125,61 @@ def test_service_warm_start_skips_cold_work(benchmark):
         )
     finally:
         shutil.rmtree(snapshot_dir, ignore_errors=True)
+
+
+def test_service_pipelined_dispatch_deep_search(benchmark):
+    """Pipelined (k=4) secure-view search over a socket beats per-node dispatch.
+
+    One warm server, two searches: ``pipeline_depth=1`` (one round trip
+    per search node) versus ``pipeline_depth=4`` (top-4 frontier nodes
+    speculatively in flight).  Equality with the local oracle is
+    asserted unconditionally; the speedup only on >= 4 cores.
+    """
+    config = E10Config(modules=3, seed=83)
+    oracle = exact_secure_view(build_requirements(config))
+    socket_dir = tempfile.mkdtemp(prefix="bench-pipeline-")
+    try:
+        with GammaServer(("unix", os.path.join(socket_dir, "bench.sock"))) as server:
+
+            def search(depth: int):
+                with ShardCoordinator(address=server.address) as client:
+                    started = time.perf_counter()
+                    result = exact_secure_view(
+                        build_requirements(config),
+                        service=client,
+                        pipeline_depth=depth,
+                    )
+                    return result, time.perf_counter() - started
+
+            # Warm the server's kernels once so both depths measure
+            # dispatch, not cold partition work.
+            search(1)
+            sequential, sequential_elapsed = search(1)
+            pipelined = benchmark.pedantic(
+                lambda: search(4), rounds=3, iterations=1
+            )
+            result, pipelined_elapsed = pipelined
+            for candidate in (sequential, result):
+                assert candidate.hidden_labels == oracle.hidden_labels
+                assert candidate.cost == oracle.cost
+                assert candidate.evaluations == oracle.evaluations
+            cores = os.cpu_count() or 1
+            speedup = (
+                sequential_elapsed / pipelined_elapsed if pipelined_elapsed else 0.0
+            )
+            print()
+            print(
+                f"pipelined dispatch: depth 1 {sequential_elapsed * 1000:.1f} ms -> "
+                f"depth 4 {pipelined_elapsed * 1000:.1f} ms "
+                f"({speedup:.2f}x, {cores} cores)"
+            )
+            if cores >= 4:
+                assert speedup >= 1.0, (
+                    f"expected pipelining to beat per-node dispatch on "
+                    f"{cores} cores, got {speedup:.2f}x"
+                )
+    finally:
+        shutil.rmtree(socket_dir, ignore_errors=True)
 
 
 def test_service_sharded_warm_restart(benchmark):

@@ -38,9 +38,11 @@ BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
 #: Substrings selecting the guarded benchmarks: the Gamma-kernel and
 #: adversary hot paths, plus (since PR 3) the keyword-search/storage
-#: query ops and the sharded evaluation service.  Markers are chosen to
-#: match the query/service benchmarks but not the figure-layer ones
-#: (e.g. ``keyword_search`` matches E5 and the gallery search, not
+#: query ops and the evaluation service -- which since PR 4 includes
+#: the pipelined-dispatch deep-search op
+#: (``test_service_pipelined_dispatch_deep_search``).  Markers are
+#: chosen to match the query/service benchmarks but not the figure-layer
+#: ones (e.g. ``keyword_search`` matches E5 and the gallery search, not
 #: ``test_fig5_keyword_answer`` -- figures are not a guarded hot path).
 GUARDED_MARKERS = (
     "kernel",

@@ -9,6 +9,10 @@ Subcommands:
   execution) at a chosen access level.
 * ``validate spec.json`` — validate a specification stored as JSON.
 * ``info`` — print the library version and the demo repository statistics.
+* ``serve`` — run a standalone Gamma evaluation server (unix/TCP socket)
+  that any number of client processes share as a warm kernel service.
+* ``snapshots gc`` — garbage-collect and compact a kernel snapshot
+  directory (age/size bounds) for long-lived deployments.
 
 Run ``python -m repro.cli --help`` for the full usage.
 """
@@ -128,6 +132,58 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import GammaServer
+
+    if args.unix:
+        address: str | tuple = ("unix", args.unix)
+    else:
+        address = ("tcp", args.host, args.port)
+    server = GammaServer(
+        address,
+        workers=args.workers,
+        budget_bytes=args.budget_bytes,
+        total_budget_bytes=args.total_budget_bytes,
+        snapshot_dir=args.snapshot_dir,
+        allow_pickle=not args.no_pickle,
+    )
+    print(f"gamma server listening on {server.address} "
+          f"(workers={args.workers}, snapshot_dir={args.snapshot_dir})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_snapshots_gc(args: argparse.Namespace) -> int:
+    from repro.service.persistence import KernelSnapshotStore
+
+    store = KernelSnapshotStore(args.directory)
+    max_age = None if args.max_age_hours is None else args.max_age_hours * 3600.0
+    report = store.gc(
+        max_age_seconds=max_age,
+        max_total_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    prefix = "would remove" if args.dry_run else "removed"
+    print(
+        f"{prefix} {report['removed_by_age']} snapshot(s) by age, "
+        f"{report['removed_by_size']} by size; kept {report['kept']} "
+        f"({report['bytes_before']} -> {report['bytes_after']} bytes)"
+    )
+    if args.compact and not args.dry_run:
+        compaction = store.compact()
+        print(
+            f"compacted {compaction['rewritten']} snapshot(s), dropped "
+            f"{compaction['dropped']} unreadable "
+            f"({compaction['bytes_before']} -> {compaction['bytes_after']} bytes)"
+        )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     del args
     repository = build_demo_repository()
@@ -149,18 +205,62 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--verbose", action="store_true", help="print renderings")
     figures.set_defaults(handler=_cmd_figures)
 
-    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
+    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E10)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
     experiment.add_argument(
         "--workers",
         type=int,
         default=None,
         help=(
-            "worker processes for experiments backed by the sharded Gamma "
-            "evaluation service (E9); 0 forces the in-process fallback"
+            "worker processes for experiments backed by the Gamma "
+            "evaluation service (E9/E10); 0 forces the in-process fallback"
         ),
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a standalone Gamma evaluation server (shared warm kernels)",
+    )
+    serve.add_argument("--unix", help="unix socket path to listen on")
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument("--port", type=int, default=7441, help="TCP bind port")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="backend worker processes (0 = in-process registry)",
+    )
+    serve.add_argument("--budget-bytes", type=int, default=None,
+                       help="per-kernel cache byte budget")
+    serve.add_argument("--total-budget-bytes", type=int, default=None,
+                       help="registry-wide cache byte budget (cross-kernel LRU)")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="warm-kernel snapshot directory (persist + preload)")
+    serve.add_argument(
+        "--no-pickle",
+        action="store_true",
+        help="refuse pickle frames (msgpack only; safe for untrusted peers)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    snapshots = subparsers.add_parser(
+        "snapshots", help="manage kernel snapshot directories"
+    )
+    snapshots_sub = snapshots.add_subparsers(dest="snapshots_command", required=True)
+    gc = snapshots_sub.add_parser(
+        "gc", help="bound a snapshot directory by age/size; optionally compact"
+    )
+    gc.add_argument("directory", help="snapshot directory to collect")
+    gc.add_argument("--max-age-hours", type=float, default=None,
+                    help="delete snapshots older than this many hours")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="delete oldest snapshots until the directory fits")
+    gc.add_argument("--compact", action="store_true",
+                    help="rewrite surviving snapshots in canonical form")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
+    gc.set_defaults(handler=_cmd_snapshots_gc)
 
     search = subparsers.add_parser("search", help="query the demo repository")
     search.add_argument("query", help='e.g. "Database, Disorder Risks" or "PROVENANCE d10"')

@@ -1,7 +1,7 @@
 """Experiment and figure harness.
 
 ``reproduce_all_figures`` rebuilds every figure of the paper;
-``ALL_EXPERIMENTS`` maps experiment ids (E1-E9) to their ``run`` functions;
+``ALL_EXPERIMENTS`` maps experiment ids (E1-E10) to their ``run`` functions;
 ``run_experiment`` dispatches by id.  Each experiment module also exposes a
 ``headline`` function producing the aggregate numbers quoted in
 ``EXPERIMENTS.md`` and a ``main`` entry point that prints the full table.
@@ -17,6 +17,7 @@ from repro.experiments import (
     e7_index,
     e8_ranking,
     e9_sharding,
+    e10_transport,
 )
 from repro.experiments.figures import (
     FIG5_QUERY,
@@ -58,6 +59,7 @@ ALL_EXPERIMENTS = {
     "E7": e7_index.run,
     "E8": e8_ranking.run,
     "E9": e9_sharding.run,
+    "E10": e10_transport.run,
 }
 
 #: Headline aggregators keyed by experiment id.
@@ -71,11 +73,12 @@ ALL_HEADLINES = {
     "E7": e7_index.headline,
     "E8": e8_ranking.headline,
     "E9": e9_sharding.headline,
+    "E10": e10_transport.headline,
 }
 
 
 def run_experiment(experiment_id: str) -> ResultTable:
-    """Run one experiment by id (``"E1"`` ... ``"E9"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E10"``)."""
     try:
         runner = ALL_EXPERIMENTS[experiment_id.upper()]
     except KeyError:

@@ -1,13 +1,18 @@
-"""Sharded multi-process Gamma evaluation service with warm-kernel persistence.
+"""Transport-abstracted Gamma evaluation service with warm-kernel persistence.
 
 The paper's secure-view search is bounded by Gamma evaluation over module
-relations; this subsystem distributes that work across worker processes.
-Work is hash-partitioned by canonical
-:class:`~repro.privacy.kernel_registry.RelationStructure` signature, so
-structurally identical relations always hit the same worker's warm
-kernel; warm kernels are snapshotted to disk on eviction/shutdown and
-preloaded on worker start, so repeated sweeps skip cold-start entirely.
-``workers=0`` is a fully equivalent in-process fallback.
+relations; this subsystem distributes that work.  The *policy* layer
+(:class:`ShardCoordinator`) hash-partitions requests by canonical
+:class:`~repro.privacy.kernel_registry.RelationStructure` signature,
+ships structures once, correlates out-of-order completions by request
+id and retries around crashes.  The *mechanics* live behind the
+:class:`~repro.service.transport.Transport` interface: in-process
+(``workers=0``, the oracle), a multiprocess worker pool, or
+length-prefixed frames over unix/TCP sockets to a standalone
+:class:`~repro.service.server.GammaServer` (``repro serve``) shared by
+many client processes.  Warm kernels are snapshotted to disk on
+eviction/shutdown and preloaded on start, so repeated sweeps skip
+cold-start entirely; every transport returns byte-identical results.
 """
 
 from repro.service.coordinator import GammaRequest, ShardCoordinator
@@ -22,17 +27,33 @@ from repro.service.protocol import (
     merge_kernel_stats,
     shard_of,
 )
+from repro.service.server import GammaServer
+from repro.service.transport import (
+    InProcessTransport,
+    MultiprocessTransport,
+    SocketTransport,
+    Transport,
+    build_transport,
+    parse_address,
+)
 
 __all__ = [
     "GammaBatch",
     "GammaRequest",
+    "GammaServer",
     "GammaTask",
+    "InProcessTransport",
     "KernelSnapshotStore",
+    "MultiprocessTransport",
     "ShardCoordinator",
     "ShardReport",
+    "SocketTransport",
     "TaskResult",
+    "Transport",
     "WANT_ENTRY",
     "WANT_GAMMA",
+    "build_transport",
     "merge_kernel_stats",
+    "parse_address",
     "shard_of",
 ]

@@ -1,46 +1,57 @@
-"""The shard coordinator: route Gamma work to warm kernels across processes.
+"""The coordinator: route Gamma work to warm kernels over any transport.
 
 :class:`ShardCoordinator` is the client-facing front of the service.  It
-hash-partitions evaluation requests across ``workers`` processes by
-canonical structure signature (:func:`~repro.service.protocol.shard_of`),
-so every structurally identical relation -- whichever client submitted it
--- is served by the same worker's warm :class:`GammaKernelRegistry`
-shard.  With ``workers=0`` the coordinator degrades to an in-process
-registry running the *same* per-task code path
-(:func:`~repro.service.worker.process_batch`), which is both the
-no-dependency fallback and the oracle the sharded path is tested
-byte-identical against.
+is *policy only*: it hash-partitions evaluation requests across shards
+by canonical structure signature
+(:func:`~repro.service.protocol.shard_of`), ships each structure to a
+shard at most once, correlates completions by batch/request id, stamps
+per-batch dispatch latency, and retries batches whose shard died.  The
+mechanics of moving batches live behind the
+:class:`~repro.service.transport.Transport` interface: an in-process
+registry (``workers=0`` -- the no-dependency fallback and the oracle
+every other transport is tested byte-identical against), a
+multiprocess worker pool (``workers=N``), or a socket connection to a
+standalone :mod:`repro.service.server` (``address=...``).
 
-Fault handling: a batch is re-dispatched when its worker process is
-found dead (the respawned worker preloads persisted kernel snapshots, so
-recovery starts warm); the batch's :class:`ShardReport` is flagged
-``retried``.  A shard that keeps dying past ``max_restarts`` raises
+Two client APIs:
+
+* the synchronous :meth:`~ShardCoordinator.evaluate` /
+  :meth:`~ShardCoordinator.gammas` of PR 3, unchanged in semantics;
+* an asynchronous :meth:`~ShardCoordinator.submit` /
+  :meth:`~ShardCoordinator.collect` / :meth:`~ShardCoordinator.discard`
+  triple keyed by *request id*.  A pipelining caller (the secure-view
+  solver's speculative frontier evaluation) keeps several requests in
+  flight, collects them in whatever order it needs, and discards the
+  requests of pruned search nodes -- late results for discarded
+  requests are dropped on receipt.
+
+Fault handling: a batch is re-dispatched when its shard is found dead
+(respawned workers and reconnected servers start warm from snapshots);
+the batch's :class:`ShardReport` is flagged ``retried``.  A shard that
+keeps dying past the transport's ``max_restarts`` raises
 :class:`~repro.errors.WorkerCrashError` instead of looping forever.
 
-The coordinator is a context manager; on close it asks every worker to
-snapshot its warm kernels to ``snapshot_dir`` (when configured) so the
-next coordinator -- in this process or another -- starts warm.
+The coordinator is a context manager; on close it asks the transport to
+snapshot warm kernels (where that is meaningful) so the next
+coordinator starts warm.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
-import queue as queue_module
 import time
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from repro.errors import ServiceError, WorkerCrashError
-from repro.privacy.kernel_registry import (
-    GammaKernelRegistry,
-    RelationStructure,
-    SharedGammaKernel,
-)
+from repro.errors import ServiceError
+from repro.privacy.kernel_registry import RelationStructure
 from repro.service.persistence import KernelSnapshotStore
 from repro.service.protocol import (
-    CRASH,
-    SHUTDOWN,
+    MSG_BATCH,
+    MSG_ERROR,
+    MSG_NEED,
+    MSG_STOPPED,
     WANT_GAMMA,
     GammaBatch,
     GammaTask,
@@ -49,268 +60,401 @@ from repro.service.protocol import (
     merge_kernel_stats,
     shard_of,
 )
-from repro.service.worker import process_batch, serve_shard
+from repro.service.transport import (
+    InProcessTransport,
+    Transport,
+    TransportSendError,
+    build_transport,
+)
 
 #: One evaluation request: (canonical structure, visible inputs, visible outputs).
 GammaRequest = tuple[RelationStructure, tuple[int, ...], tuple[int, ...]]
 
+#: Default cap on coordinator-retained canonical structures.  Structures
+#: are only needed again for crash-recovery re-shipping (and are then
+#: almost always the *current* request's, i.e. the most recently used);
+#: older ones are re-loadable from the snapshot store when configured.
+DEFAULT_STRUCTURE_CACHE = 4096
 
-class _Shard:
-    """Coordinator-side state of one worker process."""
+#: How many per-batch dispatch latencies are retained for percentiles.
+LATENCY_WINDOW = 8192
 
-    __slots__ = ("shard_id", "process", "task_queue", "shipped", "restarts")
 
-    def __init__(self, shard_id: int) -> None:
-        self.shard_id = shard_id
-        self.process = None
-        self.task_queue = None
-        #: Structure signatures already shipped to the live process.
-        self.shipped: set[str] = set()
-        self.restarts = 0
+class _PendingRequest:
+    """Coordinator-side state of one in-flight logical request."""
+
+    __slots__ = ("request_id", "tasks", "batches", "results", "error")
+
+    def __init__(self, request_id: int, tasks: list[GammaTask]) -> None:
+        self.request_id = request_id
+        self.tasks = tasks
+        #: Batches not yet completed, by batch id.
+        self.batches: dict[int, GammaBatch] = {}
+        self.results: dict[int, TaskResult] = {}
+        #: Failure text banked until *this* request is collected -- a
+        #: speculative request's error must not abort an unrelated
+        #: ``collect`` that happened to be pumping when it arrived.
+        self.error: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.error is not None or not self.batches
 
 
 class ShardCoordinator:
-    """Sharded (or in-process, ``workers=0``) Gamma evaluation service."""
+    """Transport-agnostic (in-process / multiprocess / socket) Gamma service."""
 
     def __init__(
         self,
         workers: int = 0,
         *,
+        transport: Transport | None = None,
+        address: str | tuple | None = None,
         budget_bytes: int | None = None,
         total_budget_bytes: int | None = None,
         snapshot_dir: str | None = None,
         start_method: str | None = None,
         task_timeout: float = 120.0,
         max_restarts: int = 3,
+        structure_cache_size: int = DEFAULT_STRUCTURE_CACHE,
+        codec: str | None = None,
+        allow_pickle: bool = True,
     ) -> None:
-        if workers < 0:
-            raise ServiceError(f"worker count must be >= 0, got {workers}")
-        self.workers = int(workers)
+        if structure_cache_size < 1:
+            raise ServiceError("structure cache must hold at least one structure")
+        if transport is None:
+            transport = build_transport(
+                workers,
+                address=address,
+                budget_bytes=budget_bytes,
+                total_budget_bytes=total_budget_bytes,
+                snapshot_dir=snapshot_dir,
+                start_method=start_method,
+                max_restarts=max_restarts,
+                codec=codec,
+                allow_pickle=allow_pickle,
+            )
+        self.transport = transport
+        #: Kept for introspection/compat: 0 means "no local worker pool".
+        self.workers = (
+            0 if isinstance(transport, InProcessTransport) else transport.shard_count
+        )
         self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
         self.task_timeout = float(task_timeout)
-        self.max_restarts = int(max_restarts)
-        self._budget_bytes = budget_bytes
-        self._total_budget_bytes = total_budget_bytes
+        self.structure_cache_size = int(structure_cache_size)
         self._task_ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
-        #: Every structure ever submitted, for re-shipping after respawns
-        #: (a respawned worker's ``shipped`` set resets, and snapshots are
-        #: not guaranteed to cover mid-flight structures).  This retention
-        #: is unbounded -- O(rows x arity) per distinct structure -- which
-        #: is fine for solver-lifetime coordinators; a coordinator-side
-        #: structure LRU for long-lived multi-tenant use is a ROADMAP item.
-        self._structures: dict[str, RelationStructure] = {}
+        self._request_ids = itertools.count(1)
+        #: LRU of canonical structures for (re-)shipping, most recent last.
+        #: Capped: on miss the snapshot store re-ships, unlike PR 3's
+        #: retain-everything dict (the ROADMAP's coordinator-memory leak).
+        self._structures: "OrderedDict[str, RelationStructure]" = OrderedDict()
+        #: Read-only store handle for structure re-ship on LRU miss.
+        self._structure_store = (
+            KernelSnapshotStore(self.snapshot_dir)
+            if self.snapshot_dir is not None
+            else None
+        )
+        self._pending: dict[int, _PendingRequest] = {}
+        self._batch_requests: dict[int, int] = {}
+        self._dispatch_times: dict[int, float] = {}
+        self._retried_batch_ids: set[int] = set()
         self._last_reports: dict[int, ShardReport] = {}
+        self._latencies_ms: list[float] = []
         self._tasks_dispatched = 0
         self._batches_dispatched = 0
         self._retried_batches = 0
+        self._structure_evictions = 0
+        self._structure_reloads = 0
         self._closed = False
-        self._registry: GammaKernelRegistry | None = None
-        self._store: KernelSnapshotStore | None = None
-        self._kernels: dict[str, SharedGammaKernel] = {}
-        self._preloaded = 0
-        self._shards: list[_Shard] = []
-        if self.workers == 0:
-            self._registry = GammaKernelRegistry(
-                budget_bytes=budget_bytes, total_budget_bytes=total_budget_bytes
-            )
-            if self.snapshot_dir is not None:
-                self._store = KernelSnapshotStore(self.snapshot_dir)
-                self._preloaded = self._store.warm_registry(self._registry)
-                self._store.arm(self._registry)
-            self._kernels = {
-                kernel.structure.signature: kernel
-                for kernel in self._registry.kernels
-            }
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            chosen = start_method or ("fork" if "fork" in methods else "spawn")
-            if chosen not in methods:
-                raise ServiceError(
-                    f"start method {chosen!r} unavailable (have {methods})"
-                )
-            self._context = multiprocessing.get_context(chosen)
-            self._result_queue = self._context.Queue()
-            for shard_id in range(self.workers):
-                shard = _Shard(shard_id)
-                self._start_worker(shard)
-                self._shards.append(shard)
 
     # ------------------------------------------------------------------ #
-    # Worker lifecycle
+    # Structure cache
     # ------------------------------------------------------------------ #
-    def _start_worker(self, shard: _Shard) -> None:
-        shard.task_queue = self._context.Queue()
-        shard.shipped = set()
-        shard.process = self._context.Process(
-            target=serve_shard,
-            args=(
-                shard.shard_id,
-                self.workers,
-                shard.task_queue,
-                self._result_queue,
-                self._budget_bytes,
-                self._total_budget_bytes,
-                self.snapshot_dir,
-            ),
-            daemon=True,
-            name=f"gamma-shard-{shard.shard_id}",
+    def _remember_structure(self, structure: RelationStructure) -> None:
+        signature = structure.signature
+        self._structures[signature] = structure
+        self._structures.move_to_end(signature)
+        while len(self._structures) > self.structure_cache_size:
+            self._structures.popitem(last=False)
+            self._structure_evictions += 1
+
+    def _structure_for(self, signature: str) -> RelationStructure:
+        structure = self._structures.get(signature)
+        if structure is not None:
+            self._structures.move_to_end(signature)
+            return structure
+        if self._structure_store is not None:
+            snapshot = self._structure_store.load(signature)
+            if snapshot is not None:
+                self._structure_reloads += 1
+                self._remember_structure(snapshot[0])
+                return snapshot[0]
+        raise ServiceError(
+            f"structure {signature!r} fell out of the coordinator cache and "
+            "no snapshot store holds it; raise structure_cache_size or "
+            "configure snapshot_dir"
         )
-        shard.process.start()
-
-    def _respawn(self, shard: _Shard) -> None:
-        """Replace a dead worker (fresh queue -- the old one is suspect)."""
-        if shard.restarts >= self.max_restarts:
-            raise WorkerCrashError(
-                f"shard {shard.shard_id} died {shard.restarts + 1} times "
-                f"(max_restarts={self.max_restarts}); giving up"
-            )
-        shard.process.join(timeout=0.5)
-        old_queue = shard.task_queue
-        shard.restarts += 1
-        self._start_worker(shard)
-        # Abandon the dead worker's queue without blocking on its feeder.
-        old_queue.cancel_join_thread()
-        old_queue.close()
 
     # ------------------------------------------------------------------ #
-    # Evaluation API
+    # Asynchronous evaluation API (request id keyed)
     # ------------------------------------------------------------------ #
-    def evaluate(
+    def submit(
         self, requests: Iterable[GammaRequest], *, want: str = WANT_GAMMA
-    ) -> list[TaskResult]:
-        """Evaluate every request, preserving request order in the result.
+    ) -> int:
+        """Dispatch every request as one logical unit; returns a request id.
 
         Each request is ``(structure, visible_inputs, visible_outputs)``;
         with ``want="entry"`` the results carry the full kernel-entry
         payload (per-block counts and partition) instead of Gamma only.
+        The caller later passes the id to :meth:`collect` (block until
+        complete) or :meth:`discard` (drop an abandoned speculation).
         """
         if self._closed:
             raise ServiceError("coordinator is closed")
         tasks: list[GammaTask] = []
         for structure, visible_inputs, visible_outputs in requests:
-            signature = structure.signature
-            self._structures[signature] = structure
+            self._remember_structure(structure)
             tasks.append(
                 GammaTask(
                     next(self._task_ids),
-                    signature,
+                    structure.signature,
                     tuple(visible_inputs),
                     tuple(visible_outputs),
                     want,
                 )
             )
+        request_id = next(self._request_ids)
+        pending = _PendingRequest(request_id, tasks)
+        self._pending[request_id] = pending
         if not tasks:
-            return []
+            return request_id
         self._tasks_dispatched += len(tasks)
-        if self.workers == 0:
-            return list(self._evaluate_local(tasks))
-        return self._evaluate_sharded(tasks)
+        shards = self.transport.shard_count
+        by_shard: dict[int, list[GammaTask]] = {}
+        for task in tasks:
+            shard_id = shard_of(task.signature, shards) if shards > 1 else 0
+            by_shard.setdefault(shard_id, []).append(task)
+        for shard_id, shard_tasks in by_shard.items():
+            batch = GammaBatch(
+                next(self._batch_ids),
+                shard_id,
+                tuple(shard_tasks),
+                {},
+                request_id,
+            )
+            self._batches_dispatched += 1
+            pending.batches[batch.batch_id] = batch
+            self._batch_requests[batch.batch_id] = request_id
+            self._dispatch(batch)
+        return request_id
+
+    def collect(self, request_id: int) -> list[TaskResult]:
+        """Block until ``request_id`` completes; results in request order.
+
+        Completions for *other* in-flight requests received while
+        waiting are banked for their own ``collect`` calls, so requests
+        may be collected in any order.
+        """
+        pending = self._pending.get(request_id)
+        if pending is None:
+            raise ServiceError(f"unknown or discarded request id {request_id}")
+        deadline = time.monotonic() + self.task_timeout
+        while not pending.done:
+            deadline = self._pump(deadline)
+        del self._pending[request_id]
+        if pending.error is not None:
+            raise ServiceError(pending.error)
+        return [pending.results[task.task_id] for task in pending.tasks]
+
+    def discard(self, request_id: int) -> None:
+        """Drop an in-flight request (a pruned speculation).
+
+        Work already dispatched is not recalled -- shards will finish
+        and their results are dropped on receipt; the warm cache
+        entries they produced remain, so speculation is never wasted
+        twice.
+        """
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        for batch_id in pending.batches:
+            self._batch_requests.pop(batch_id, None)
+            self._dispatch_times.pop(batch_id, None)
+            self._retried_batch_ids.discard(batch_id)
+
+    # ------------------------------------------------------------------ #
+    # Synchronous evaluation API (PR 3 surface, unchanged semantics)
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, requests: Iterable[GammaRequest], *, want: str = WANT_GAMMA
+    ) -> list[TaskResult]:
+        """Evaluate every request, preserving request order in the result."""
+        return self.collect(self.submit(requests, want=want))
 
     def gammas(self, requests: Iterable[GammaRequest]) -> list[int]:
         """Just the Gamma of every request, in request order."""
         return [result.gamma for result in self.evaluate(requests)]
 
-    def _evaluate_local(self, tasks: list[GammaTask]) -> tuple[TaskResult, ...]:
-        assert self._registry is not None
-        batch_id = next(self._batch_ids)
-        self._batches_dispatched += 1
-        missing = {
-            task.signature: self._structures[task.signature]
-            for task in tasks
-            if task.signature not in self._kernels
-        }
-        batch = GammaBatch(batch_id, 0, tuple(tasks), missing)
-        results = process_batch(batch, self._kernels, self._registry)
-        self._last_reports[0] = ShardReport(
-            shard_id=0,
-            batch_id=batch_id,
-            completed=len(results),
-            kernel_stats={
-                **self._registry.kernel_stats,
-                **self._registry.aggregate_counters(),
-            },
-            preloaded_entries=self._preloaded,
-        )
-        return results
+    # ------------------------------------------------------------------ #
+    # Dispatch and the result pump
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, batch: GammaBatch) -> None:
+        """Ship structures as needed and hand the batch to its shard."""
+        shard_id = batch.shard_id
+        if self.transport.crashed_shards((shard_id,)):
+            self._recover(shard_id, exclude=batch.batch_id)
+            self._mark_retried(batch.batch_id)
+        self._send(batch)
 
-    def _dispatch(self, shard: _Shard, batch: GammaBatch) -> None:
+    def _send(self, batch: GammaBatch) -> None:
         signatures = {task.signature for task in batch.tasks}
-        missing = {
-            signature: self._structures[signature]
-            for signature in signatures
-            if signature not in shard.shipped
-        }
-        shard.task_queue.put(replace(batch, structures=missing))
-        shard.shipped |= signatures
-
-    def _evaluate_sharded(self, tasks: list[GammaTask]) -> list[TaskResult]:
-        by_shard: dict[int, list[GammaTask]] = {}
-        for task in tasks:
-            by_shard.setdefault(shard_of(task.signature, self.workers), []).append(
-                task
+        missing = self.transport.unshipped(batch.shard_id, signatures)
+        shipped = replace(
+            batch,
+            structures={
+                signature: self._structure_for(signature) for signature in missing
+            },
+        )
+        self._dispatch_times[batch.batch_id] = time.monotonic()
+        try:
+            self.transport.submit(shipped)
+        except TransportSendError:
+            # The shard died under our hands: recover it, then ship once
+            # more (recover raises WorkerCrashError past max_restarts).
+            self._recover(batch.shard_id, exclude=batch.batch_id)
+            self._mark_retried(batch.batch_id)
+            missing = self.transport.unshipped(batch.shard_id, signatures)
+            shipped = replace(
+                batch,
+                structures={
+                    signature: self._structure_for(signature)
+                    for signature in missing
+                },
             )
-        pending: dict[int, tuple[_Shard, GammaBatch]] = {}
-        retried: set[int] = set()
-        for shard_id, shard_tasks in by_shard.items():
-            shard = self._shards[shard_id]
-            batch = GammaBatch(next(self._batch_ids), shard_id, tuple(shard_tasks))
-            self._batches_dispatched += 1
-            if not shard.process.is_alive():
-                self._respawn(shard)
-                retried.add(batch.batch_id)
-                self._retried_batches += 1
-            pending[batch.batch_id] = (shard, batch)
-            self._dispatch(shard, batch)
+            self._dispatch_times[batch.batch_id] = time.monotonic()
+            self.transport.submit(shipped)
+        self.transport.mark_shipped(batch.shard_id, signatures)
 
-        results_by_id: dict[int, TaskResult] = {}
-        deadline = time.monotonic() + self.task_timeout
-        while pending:
-            try:
-                message = self._result_queue.get(timeout=0.05)
-            except queue_module.Empty:
-                now = time.monotonic()
-                respawned = False
-                for batch_id, (shard, batch) in list(pending.items()):
-                    if shard.process.is_alive():
-                        continue
-                    self._respawn(shard)
-                    self._dispatch(shard, batch)
-                    retried.add(batch_id)
-                    self._retried_batches += 1
-                    respawned = True
-                if respawned:
-                    deadline = now + self.task_timeout
-                elif now > deadline:
-                    raise ServiceError(
-                        f"timed out after {self.task_timeout}s waiting for "
-                        f"{len(pending)} pending batch(es)"
-                    )
+    def _mark_retried(self, batch_id: int) -> None:
+        if batch_id not in self._retried_batch_ids:
+            self._retried_batch_ids.add(batch_id)
+            self._retried_batches += 1
+
+    def _pending_batches_of(self, shard_id: int) -> list[GammaBatch]:
+        return [
+            batch
+            for pending in self._pending.values()
+            for batch in pending.batches.values()
+            if batch.shard_id == shard_id
+        ]
+
+    def _recover(self, shard_id: int, *, exclude: int | None = None) -> None:
+        """Replace a dead shard and re-dispatch its pending batches."""
+        self.transport.recover(shard_id)
+        for batch in self._pending_batches_of(shard_id):
+            if batch.batch_id == exclude:
                 continue
-            kind = message[0]
-            if kind == "stopped":  # stale shutdown ack from a replaced worker
-                continue
-            if kind == "error":
-                _, shard_id, batch_id, text = message
-                if batch_id not in pending:
-                    # Left over from an evaluate() call that already
-                    # raised; must not poison this (unrelated) call.
-                    continue
-                raise ServiceError(
-                    f"shard {shard_id} failed batch {batch_id}:\n{text}"
+            self._mark_retried(batch.batch_id)
+            self._send(batch)
+
+    def _pending_shards(self) -> set[int]:
+        return {
+            batch.shard_id
+            for pending in self._pending.values()
+            for batch in pending.batches.values()
+        }
+
+    def _pump(self, deadline: float) -> float:
+        """One poll step: deliver a message or handle crash/timeout.
+
+        Returns the (possibly refreshed) collect deadline.
+        """
+        message = self.transport.poll(0.05)
+        if message is None:
+            now = time.monotonic()
+            crashed = self.transport.crashed_shards(self._pending_shards())
+            if crashed:
+                for shard_id in crashed:
+                    self._recover(shard_id)
+                return now + self.task_timeout
+            if now > deadline:
+                pending_batches = sum(
+                    len(pending.batches) for pending in self._pending.values()
                 )
-            _, shard_id, batch_id, results, report = message
-            if batch_id not in pending:
-                # Completed by both the dead worker and its replacement;
-                # results are deterministic, so either copy is fine.
-                continue
-            del pending[batch_id]
-            if batch_id in retried:
-                report = replace(report, retried=True)
-            self._last_reports[shard_id] = report
-            for result in results:
-                results_by_id[result.task_id] = result
-        return [results_by_id[task.task_id] for task in tasks]
+                raise ServiceError(
+                    f"timed out after {self.task_timeout}s waiting for "
+                    f"{pending_batches} pending batch(es)"
+                )
+            return deadline
+        kind = message[0]
+        if kind == MSG_STOPPED:  # stale shutdown ack from a replaced worker
+            return deadline
+        if kind == MSG_ERROR:
+            _, shard_id, batch_id, text = message
+            request_id = self._batch_requests.get(batch_id)
+            if request_id is None or request_id not in self._pending:
+                # Left over from a request that already failed or was
+                # discarded; must not poison this (unrelated) call.
+                return deadline
+            # Bank the failure on its own request: it surfaces when (and
+            # only when) that request is collected, so a failed
+            # speculation that the search never consumes is harmless --
+            # exactly like sequential dispatch, which would never have
+            # dispatched it.
+            failed = self._pending[request_id]
+            failed.error = f"shard {shard_id} failed batch {batch_id}:\n{text}"
+            for stale in failed.batches:
+                self._batch_requests.pop(stale, None)
+                self._dispatch_times.pop(stale, None)
+                self._retried_batch_ids.discard(stale)
+            failed.batches.clear()
+            return deadline
+        if kind == MSG_NEED:
+            # The server's structure cache no longer holds signatures we
+            # treated as shipped: forget the marks and re-ship the batch.
+            _, batch_id, signatures = message
+            request_id = self._batch_requests.get(batch_id)
+            if request_id is None or request_id not in self._pending:
+                return deadline
+            batch = self._pending[request_id].batches.get(batch_id)
+            if batch is None:  # pragma: no cover - need after completion
+                return deadline
+            self.transport.unship(batch.shard_id, signatures)
+            self._send(batch)
+            return time.monotonic() + self.task_timeout
+        if kind != MSG_BATCH:  # pragma: no cover - unknown message kind
+            raise ServiceError(f"unexpected service message {message[0]!r}")
+        _, shard_id, batch_id, results, report = message
+        received = time.monotonic()
+        dispatched = self._dispatch_times.pop(batch_id, None)
+        request_id = self._batch_requests.pop(batch_id, None)
+        if request_id is None or request_id not in self._pending:
+            # Completed by both a dead worker and its replacement, or
+            # belonged to a discarded speculation; results are
+            # deterministic, so dropping this copy is always safe.
+            return deadline
+        pending = self._pending[request_id]
+        batch = pending.batches.pop(batch_id, None)
+        if batch is None:  # pragma: no cover - duplicate completion
+            return deadline
+        latency_ms = 0.0 if dispatched is None else (received - dispatched) * 1000.0
+        report = replace(
+            report,
+            retried=batch_id in self._retried_batch_ids,
+            dispatch_latency_ms=round(latency_ms, 6),
+        )
+        self._retried_batch_ids.discard(batch_id)
+        self._latencies_ms.append(latency_ms)
+        if len(self._latencies_ms) > LATENCY_WINDOW:
+            del self._latencies_ms[: -LATENCY_WINDOW // 2]
+        self._last_reports[shard_id] = report
+        for result in results:
+            pending.results[result.task_id] = result
+        # A completion is proof of liveness: the timeout bounds silence,
+        # not total request runtime (a many-batch request streaming
+        # steady results must never time out mid-stream).
+        return received + self.task_timeout
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -322,104 +466,89 @@ class ShardCoordinator:
         )
 
     def kernel_stats(self) -> dict[str, int]:
-        """Service-wide kernel statistics, merged across shards.
+        """Service-wide kernel statistics.
 
-        In-process mode reads the live registry; sharded mode merges the
-        latest (cumulative) report of every shard, so the numbers lag
-        until each shard has completed at least one batch.
+        The in-process transport reads its live registry; remote
+        transports merge the latest (cumulative) report of every shard,
+        so the numbers lag until each shard has completed a batch.
         """
-        if self.workers == 0:
-            assert self._registry is not None
-            return {
-                **self._registry.kernel_stats,
-                **self._registry.aggregate_counters(),
-            }
+        live = self.transport.live_kernel_stats()
+        if live is not None:
+            return live
         return merge_kernel_stats(
             report.kernel_stats for report in self._last_reports.values()
         )
 
     @property
     def preloaded_entries(self) -> int:
-        """Cache entries restored from snapshots at (worker) start."""
-        if self.workers == 0:
-            return self._preloaded
+        """Cache entries restored from snapshots at (worker/server) start."""
+        live = self.transport.live_kernel_stats()
+        if live is not None:
+            return self.transport.preloaded_entries
         return sum(
             report.preloaded_entries for report in self._last_reports.values()
         )
 
     @property
     def worker_restarts(self) -> int:
-        """How many times a dead worker was replaced."""
-        return sum(shard.restarts for shard in self._shards)
+        """How many times a dead shard was recovered."""
+        return self.transport.restarts
 
-    def service_stats(self) -> dict[str, int]:
+    def latency_percentiles(self) -> dict[str, float]:
+        """Dispatch-to-result latency percentiles (ms) over recent batches.
+
+        This is where "where does wall-clock go" comes from in E10 and
+        ``bench_service``: transport time is the gap between these and
+        pure kernel time.
+        """
+        if not self._latencies_ms:
+            return {}
+        ordered = sorted(self._latencies_ms)
+
+        def at(fraction: float) -> float:
+            index = min(len(ordered) - 1, int(fraction * len(ordered)))
+            return round(ordered[index], 3)
+
+        return {
+            "p50_ms": at(0.50),
+            "p90_ms": at(0.90),
+            "p99_ms": at(0.99),
+            "max_ms": round(ordered[-1], 3),
+        }
+
+    def service_stats(self) -> dict[str, object]:
         """Coordinator-side dispatch counters (for experiment tables)."""
         return {
+            "transport": self.transport.name,
             "workers": self.workers,
             "tasks": self._tasks_dispatched,
             "batches": self._batches_dispatched,
             "retried_batches": self._retried_batches,
             "worker_restarts": self.worker_restarts,
             "preloaded_entries": self.preloaded_entries,
+            "structures_cached": len(self._structures),
+            "structure_evictions": self._structure_evictions,
+            "structure_reloads": self._structure_reloads,
+            **self.latency_percentiles(),
         }
 
     # ------------------------------------------------------------------ #
     # Fault injection and shutdown
     # ------------------------------------------------------------------ #
     def inject_crash(self, shard_id: int) -> None:
-        """Make one worker die abruptly (crash-recovery test/ops hook)."""
-        if self.workers == 0:
-            raise ServiceError("no worker processes to crash in-process mode")
-        self._shards[shard_id].task_queue.put(CRASH)
+        """Make one shard die abruptly (crash-recovery test/ops hook)."""
+        self.transport.inject_crash(shard_id)
 
     def close(self, *, snapshot: bool = True) -> None:
         """Shut the service down, snapshotting warm kernels by default.
 
-        Workers always snapshot on a clean :data:`SHUTDOWN`; pass
-        ``snapshot=False`` to terminate them without persisting (used
-        when a caller wants a genuinely cold next start).
+        Pass ``snapshot=False`` to stop without persisting (used when a
+        caller wants a genuinely cold next start).
         """
         if self._closed:
             return
         self._closed = True
-        if self.workers == 0:
-            if snapshot and self._store is not None and self._registry is not None:
-                self._store.snapshot_registry(self._registry)
-            return
-        waiting = []
-        for shard in self._shards:
-            if not shard.process.is_alive():
-                continue
-            if snapshot:
-                try:
-                    shard.task_queue.put(SHUTDOWN)
-                    waiting.append(shard.shard_id)
-                except (ValueError, OSError):  # pragma: no cover - queue gone
-                    pass
-        deadline = time.monotonic() + 10.0
-        acked: set[int] = set()
-        while len(acked) < len(waiting) and time.monotonic() < deadline:
-            try:
-                message = self._result_queue.get(timeout=0.1)
-            except queue_module.Empty:
-                if all(
-                    not self._shards[shard_id].process.is_alive()
-                    for shard_id in waiting
-                    if shard_id not in acked
-                ):
-                    break
-                continue
-            if message[0] == "stopped":
-                acked.add(message[1])
-        for shard in self._shards:
-            shard.process.join(timeout=2.0)
-            if shard.process.is_alive():
-                shard.process.terminate()
-                shard.process.join(timeout=2.0)
-            shard.task_queue.cancel_join_thread()
-            shard.task_queue.close()
-        self._result_queue.cancel_join_thread()
-        self._result_queue.close()
+        self.transport.close(snapshot=snapshot)
 
     def __enter__(self) -> "ShardCoordinator":
         return self
@@ -428,8 +557,8 @@ class ShardCoordinator:
         self.close()
 
     def __repr__(self) -> str:
-        mode = "in-process" if self.workers == 0 else f"{self.workers} workers"
         return (
-            f"ShardCoordinator({mode}, tasks={self._tasks_dispatched}, "
+            f"ShardCoordinator({self.transport.name}, shards="
+            f"{self.transport.shard_count}, tasks={self._tasks_dispatched}, "
             f"restarts={self.worker_restarts})"
         )

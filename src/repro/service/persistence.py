@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -300,3 +301,128 @@ class KernelSnapshotStore:
         self._spilled_structures.clear()
         self._spill_bytes = 0
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection and compaction (long-lived deployments)
+    # ------------------------------------------------------------------ #
+    def total_bytes(self) -> int:
+        """On-disk size of every snapshot file, in bytes."""
+        total = 0
+        for signature in self.signatures():
+            try:
+                total += self.path_for(signature).stat().st_size
+            except OSError:  # pragma: no cover - raced with a delete
+                pass
+        return total
+
+    def gc(
+        self,
+        *,
+        max_age_seconds: float | None = None,
+        max_total_bytes: int | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> dict[str, int]:
+        """Bound the store by snapshot age and/or total size.
+
+        Snapshots are a cache, so deleting one only costs the next
+        start of that structure a cold computation -- it never loses
+        results.  Two independent bounds:
+
+        * ``max_age_seconds`` -- snapshots not touched (mtime) within
+          the window are deleted: structures a long-lived deployment
+          stopped seeing;
+        * ``max_total_bytes`` -- oldest-mtime-first deletion until the
+          store fits: the disk-tier analogue of the registry's LRU byte
+          budget.
+
+        Buffered eviction spills are flushed first so the decision sees
+        the true on-disk state.  ``dry_run`` reports without deleting.
+        Returns counters: ``scanned``, ``removed_by_age``,
+        ``removed_by_size``, ``kept``, ``bytes_before``, ``bytes_after``.
+        """
+        if not dry_run:
+            self.flush_spills()
+        timestamp = time.time() if now is None else float(now)
+        entries: list[tuple[float, int, str]] = []  # (mtime, size, signature)
+        for signature in self.signatures():
+            try:
+                stat = self.path_for(signature).stat()
+            except OSError:  # pragma: no cover - raced with a delete
+                continue
+            entries.append((stat.st_mtime, stat.st_size, signature))
+        bytes_before = sum(size for _, size, _ in entries)
+        removed_by_age = removed_by_size = 0
+        survivors: list[tuple[float, int, str]] = []
+        for mtime, size, signature in entries:
+            if (
+                max_age_seconds is not None
+                and timestamp - mtime > max_age_seconds
+            ):
+                if not dry_run:
+                    self.path_for(signature).unlink(missing_ok=True)
+                removed_by_age += 1
+            else:
+                survivors.append((mtime, size, signature))
+        remaining = sum(size for _, size, _ in survivors)
+        if max_total_bytes is not None:
+            survivors.sort()  # oldest mtime first: disk-tier LRU order
+            index = 0
+            while remaining > max_total_bytes and index < len(survivors):
+                mtime, size, signature = survivors[index]
+                if not dry_run:
+                    self.path_for(signature).unlink(missing_ok=True)
+                removed_by_size += 1
+                remaining -= size
+                index += 1
+            survivors = survivors[index:]
+        return {
+            "scanned": len(entries),
+            "removed_by_age": removed_by_age,
+            "removed_by_size": removed_by_size,
+            "kept": len(survivors),
+            "bytes_before": bytes_before,
+            "bytes_after": remaining,
+        }
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite every snapshot in canonical form; drop unreadable ones.
+
+        Long-lived stores accumulate pickle-layout slack from
+        incremental spill merges and the odd torn write; compaction
+        re-serializes each snapshot from its parsed form (identical
+        entries, freshest pickle protocol, deduplicated keys) and
+        deletes files that no longer load.  Returns ``rewritten``,
+        ``dropped``, ``bytes_before`` and ``bytes_after``.
+        """
+        self.flush_spills()
+        rewritten = dropped = bytes_before = bytes_after = 0
+        for signature in self.signatures():
+            path = self.path_for(signature)
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - raced with a delete
+                continue
+            bytes_before += size
+            try:
+                snapshot = self.load(signature)
+            except ServiceError:
+                path.unlink(missing_ok=True)
+                dropped += 1
+                continue
+            if snapshot is None:  # pragma: no cover - raced with a delete
+                continue
+            structure, entries = snapshot
+            self._write_snapshot(
+                signature,
+                structure,
+                {key: (payload, cost) for key, payload, cost in entries},
+            )
+            rewritten += 1
+            bytes_after += path.stat().st_size
+        return {
+            "rewritten": rewritten,
+            "dropped": dropped,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+        }

@@ -15,24 +15,48 @@ or values.
 * :class:`GammaTask` is one evaluation request; :class:`GammaBatch`
   groups the tasks bound for one shard together with the structures the
   shard has not seen yet (structures are shipped at most once per worker
-  lifetime);
+  lifetime), and carries the ``request_id`` of the client-side logical
+  request it belongs to -- the correlation key that lets a pipelining
+  client keep several requests in flight and match out-of-order
+  completions;
 * :class:`TaskResult` carries the Gamma (and, when ``want="entry"``, the
   full kernel-entry payload) back; :class:`ShardReport` carries the
-  shard's merged ``kernel_stats`` and warm-start gauges, and is flagged
+  shard's merged ``kernel_stats`` and warm-start gauges, is flagged
   ``retried`` by the coordinator when the batch had to be re-dispatched
-  after a worker crash.
+  after a worker crash, and (coordinator-side) records the
+  dispatch-to-result latency of its batch.
 
 Everything here is a plain dataclass over ints, strings and tuples, so
 batches pickle cheaply under either multiprocessing start method.
+
+**Transport-neutral encoding.**  The socket transport cannot assume the
+peer shares a pickle-compatible code base, so every protocol object has
+a *wire form* built from nothing but lists, dicts, strings, ints and
+bools (:func:`message_to_wire` / :func:`message_from_wire`).  Frames on
+a socket are ``4-byte big-endian length || 1-byte codec tag || payload``
+(:func:`write_frame` / :func:`read_frame`); the payload is the wire form
+serialized with msgpack when the ``msgpack`` package is importable and
+with pickle otherwise.  Because the wire form is plain data, both codecs
+produce byte-for-byte the same structure on decode.  Pickle frames are
+only safe between mutually trusting endpoints (unpickling runs code);
+the server refuses them when ``allow_pickle=False``.
 """
 
 from __future__ import annotations
 
+import pickle
+import socket
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.errors import ServiceError
 from repro.privacy.kernel_registry import RelationStructure
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the baked image has no msgpack
+    msgpack = None
 
 #: Control message asking a worker to snapshot its kernels and exit.
 SHUTDOWN = "__shutdown__"
@@ -44,6 +68,14 @@ CRASH = "__crash__"
 #: ``GammaTask.want`` values: return only the Gamma, or the full entry.
 WANT_GAMMA = "gamma"
 WANT_ENTRY = "entry"
+
+#: Message kinds exchanged between transports/servers and the coordinator.
+MSG_BATCH = "batch"
+MSG_ERROR = "error"
+MSG_NEED = "need"
+MSG_STATS = "stats"
+MSG_STOP = "stop"
+MSG_STOPPED = "stopped"
 
 
 def shard_of(signature: str, shards: int) -> int:
@@ -80,13 +112,17 @@ class GammaBatch:
     ``structures`` maps signature to canonical structure for exactly the
     signatures this shard has not been sent before; the worker registers
     them with its registry shard and resolves every later task by
-    signature alone.
+    signature alone.  ``request_id`` names the client-side logical
+    request (a pipelined solver keeps several in flight); the server
+    echoes ``batch_id`` back, and the coordinator maps it to the
+    request, so completions may arrive in any order.
     """
 
     batch_id: int
     shard_id: int
     tasks: tuple[GammaTask, ...]
     structures: Mapping[str, RelationStructure] = field(default_factory=dict)
+    request_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,7 +150,10 @@ class ShardReport:
     ``preloaded_entries`` counts cache entries restored from persisted
     snapshots at worker start -- the warm-start gauge; ``retried`` is
     set by the coordinator when this batch was re-dispatched after a
-    worker crash.
+    worker crash; ``dispatch_latency_ms`` is stamped by the coordinator
+    with the wall-clock time from batch dispatch to result receipt --
+    the per-transport latency that E10 and ``bench_service`` break wall
+    time down by.
     """
 
     shard_id: int
@@ -123,6 +162,298 @@ class ShardReport:
     kernel_stats: Mapping[str, int]
     preloaded_entries: int = 0
     retried: bool = False
+    dispatch_latency_ms: float = 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Transport-neutral wire forms
+# ---------------------------------------------------------------------- #
+def structure_to_wire(structure: RelationStructure) -> list:
+    """A :class:`RelationStructure` as nested lists of ints."""
+    return [
+        list(structure.input_domain_sizes),
+        list(structure.output_domain_sizes),
+        [list(column) for column in structure.input_columns],
+        [list(column) for column in structure.output_columns],
+    ]
+
+
+def structure_from_wire(wire: list) -> RelationStructure:
+    """Rebuild a :class:`RelationStructure` from its wire form."""
+    input_sizes, output_sizes, input_columns, output_columns = wire
+    return RelationStructure(
+        input_domain_sizes=tuple(input_sizes),
+        output_domain_sizes=tuple(output_sizes),
+        input_columns=tuple(tuple(column) for column in input_columns),
+        output_columns=tuple(tuple(column) for column in output_columns),
+    )
+
+
+def task_to_wire(task: GammaTask) -> list:
+    return [
+        task.task_id,
+        task.signature,
+        list(task.visible_inputs),
+        list(task.visible_outputs),
+        task.want,
+    ]
+
+
+def task_from_wire(wire: list) -> GammaTask:
+    task_id, signature, visible_inputs, visible_outputs, want = wire
+    return GammaTask(
+        task_id, signature, tuple(visible_inputs), tuple(visible_outputs), want
+    )
+
+
+def batch_to_wire(batch: GammaBatch) -> list:
+    return [
+        batch.batch_id,
+        batch.shard_id,
+        batch.request_id,
+        [task_to_wire(task) for task in batch.tasks],
+        {
+            signature: structure_to_wire(structure)
+            for signature, structure in batch.structures.items()
+        },
+    ]
+
+
+def batch_from_wire(wire: list) -> GammaBatch:
+    batch_id, shard_id, request_id, tasks, structures = wire
+    return GammaBatch(
+        batch_id,
+        shard_id,
+        tuple(task_from_wire(task) for task in tasks),
+        {
+            signature: structure_from_wire(structure)
+            for signature, structure in structures.items()
+        },
+        request_id,
+    )
+
+
+def result_to_wire(result: TaskResult) -> list:
+    return [
+        result.task_id,
+        result.signature,
+        result.gamma,
+        None if result.counts is None else list(result.counts),
+        None if result.partition is None else list(result.partition),
+    ]
+
+
+def result_from_wire(wire: list) -> TaskResult:
+    task_id, signature, gamma, counts, partition = wire
+    return TaskResult(
+        task_id,
+        signature,
+        gamma,
+        None if counts is None else tuple(counts),
+        None if partition is None else tuple(partition),
+    )
+
+
+def report_to_wire(report: ShardReport) -> list:
+    return [
+        report.shard_id,
+        report.batch_id,
+        report.completed,
+        dict(report.kernel_stats),
+        report.preloaded_entries,
+        report.retried,
+        report.dispatch_latency_ms,
+    ]
+
+
+def report_from_wire(wire: list) -> ShardReport:
+    shard_id, batch_id, completed, kernel_stats, preloaded, retried, latency = wire
+    return ShardReport(
+        shard_id, batch_id, completed, kernel_stats, preloaded, retried, latency
+    )
+
+
+def message_to_wire(message: tuple) -> list:
+    """A coordinator/server message tuple as plain wire data.
+
+    Handled shapes (first element is the message kind):
+
+    * ``("batch", GammaBatch)`` -- client request;
+    * ``("batch", shard_id, batch_id, results, report)`` -- completion;
+    * ``("error", shard_id, batch_id, text)``;
+    * ``("need", batch_id, [signature, ...])`` -- server asking the
+      client to re-ship structures its cache no longer holds;
+    * ``("stats",)`` / ``("stats", mapping)`` / ``("stop",)`` /
+      ``("stopped", shard_id)`` -- passed through verbatim.
+    """
+    kind = message[0]
+    if kind == MSG_BATCH and len(message) == 2:
+        return [kind, batch_to_wire(message[1])]
+    if kind == MSG_BATCH:
+        _, shard_id, batch_id, results, report = message
+        return [
+            kind,
+            shard_id,
+            batch_id,
+            [result_to_wire(result) for result in results],
+            report_to_wire(report),
+        ]
+    return [kind, *[list(part) if isinstance(part, tuple) else part for part in message[1:]]]
+
+
+def message_from_wire(wire: list) -> tuple:
+    """Invert :func:`message_to_wire`."""
+    kind = wire[0]
+    if kind == MSG_BATCH and len(wire) == 2:
+        return (kind, batch_from_wire(wire[1]))
+    if kind == MSG_BATCH:
+        _, shard_id, batch_id, results, report = wire
+        return (
+            kind,
+            shard_id,
+            batch_id,
+            tuple(result_from_wire(result) for result in results),
+            report_from_wire(report),
+        )
+    if kind == MSG_NEED:
+        _, batch_id, signatures = wire
+        return (kind, batch_id, tuple(signatures))
+    return tuple(wire)
+
+
+# ---------------------------------------------------------------------- #
+# Framing: length prefix + codec tag + encoded wire form
+# ---------------------------------------------------------------------- #
+#: Codec tags carried in the frame header.
+CODEC_PICKLE = "pickle"
+CODEC_MSGPACK = "msgpack"
+
+_CODEC_BYTES = {CODEC_PICKLE: b"P", CODEC_MSGPACK: b"M"}
+_CODEC_NAMES = {byte: name for name, byte in _CODEC_BYTES.items()}
+
+#: Frames above this size are rejected before allocation (corruption guard).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def default_codec() -> str:
+    """msgpack when importable, pickle otherwise (the baked fallback)."""
+    return CODEC_MSGPACK if msgpack is not None else CODEC_PICKLE
+
+
+def encode_payload(wire: object, codec: str) -> bytes:
+    """Serialize an already-wire-form object with the chosen codec."""
+    if codec == CODEC_PICKLE:
+        return pickle.dumps(wire, protocol=pickle.HIGHEST_PROTOCOL)
+    if codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ServiceError("msgpack codec requested but msgpack is not installed")
+        return msgpack.packb(wire, use_bin_type=True)
+    raise ServiceError(f"unknown frame codec {codec!r}")
+
+
+def decode_payload(payload: bytes, codec: str, *, allow_pickle: bool = True) -> object:
+    """Deserialize a frame payload (refusing pickle when disallowed)."""
+    if codec == CODEC_PICKLE:
+        if not allow_pickle:
+            raise ServiceError(
+                "peer sent a pickle frame but this endpoint only accepts "
+                "msgpack (allow_pickle=False)"
+            )
+        return pickle.loads(payload)
+    if codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ServiceError("msgpack frame received but msgpack is not installed")
+        return msgpack.unpackb(payload, raw=False, strict_map_key=False)
+    raise ServiceError(f"unknown frame codec {codec!r}")
+
+
+def encode_frame(message: tuple, codec: str | None = None) -> bytes:
+    """One message as a complete frame (header + payload)."""
+    codec = codec or default_codec()
+    payload = encode_payload(message_to_wire(message), codec)
+    return _LENGTH.pack(len(payload)) + _CODEC_BYTES[codec] + payload
+
+
+def decode_frame_from_buffer(
+    buffer: bytearray, *, allow_pickle: bool = True
+) -> tuple | None:
+    """Decode and consume one complete frame from ``buffer``.
+
+    Returns ``None`` when the buffer holds only part of a frame (the
+    bytes are left in place for the caller to extend) -- this is what
+    lets a polling client survive a receive timeout that lands
+    mid-frame without desyncing the stream.  Raises
+    :class:`ServiceError` on unknown codec tags and oversized lengths.
+    """
+    header_size = _LENGTH.size + 1
+    if len(buffer) < header_size:
+        return None
+    (length,) = _LENGTH.unpack(bytes(buffer[: _LENGTH.size]))
+    codec = _CODEC_NAMES.get(bytes(buffer[_LENGTH.size : header_size]))
+    if codec is None:
+        raise ServiceError(
+            f"unknown frame codec tag {bytes(buffer[_LENGTH.size:header_size])!r}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    if len(buffer) < header_size + length:
+        return None
+    payload = bytes(buffer[header_size : header_size + length])
+    del buffer[: header_size + length]
+    return message_from_wire(decode_payload(payload, codec, allow_pickle=allow_pickle))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Exactly ``n`` bytes from ``sock``, or ``None`` on orderly EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ServiceError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, message: tuple, codec: str | None = None) -> None:
+    """Send one framed message on a (blocking or timeout) socket."""
+    sock.sendall(encode_frame(message, codec))
+
+
+def read_frame(
+    sock: socket.socket, *, allow_pickle: bool = True, with_codec: bool = False
+) -> tuple | None:
+    """Read one framed message; ``None`` on orderly EOF.
+
+    With ``with_codec=True`` returns ``(message, codec)`` so a server
+    can answer in whatever codec the client speaks.  Raises
+    :class:`ServiceError` on torn frames, unknown codec tags and
+    oversized lengths (a corrupted or hostile peer must not drive an
+    arbitrary-size allocation).
+    """
+    header = _recv_exact(sock, _LENGTH.size + 1)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header[: _LENGTH.size])
+    codec = _CODEC_NAMES.get(header[_LENGTH.size : _LENGTH.size + 1])
+    if codec is None:
+        raise ServiceError(f"unknown frame codec tag {header[-1:]!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ServiceError("connection closed between frame header and payload")
+    message = message_from_wire(
+        decode_payload(payload, codec, allow_pickle=allow_pickle)
+    )
+    return (message, codec) if with_codec else message
 
 
 def merge_kernel_stats(

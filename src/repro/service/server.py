@@ -1,0 +1,390 @@
+"""Standalone Gamma evaluation server: one warm kernel service, many clients.
+
+HyProv and the distributed-ledger provenance line both argue for a
+*shared* provenance/evaluation service reachable across process and
+machine boundaries; this module is that endpoint for Gamma evaluation.
+``repro serve`` (or :class:`GammaServer` embedded in tests) listens on a
+unix-domain socket and/or a TCP port, speaks the length-prefixed frame
+protocol of :mod:`repro.service.protocol`, and serves every connected
+client from one shared, snapshot-backed
+:class:`~repro.service.coordinator.ShardCoordinator` backend -- so the
+kernels one tenant warmed are hits for every other tenant with a
+structurally identical module.
+
+Handled frames (one reply per request, in the client's codec):
+
+* ``("batch", GammaBatch)`` -> ``("batch", shard_id, batch_id, results,
+  report)`` or ``("error", shard_id, batch_id, traceback)``.  Clients
+  ship each structure once per connection; the server keeps a bounded
+  structure LRU shared across clients and answers ``("need", batch_id,
+  signatures)`` when a batch references structures it no longer holds,
+  asking the client to re-ship instead of failing.
+* ``("stats",)`` -> ``("stats", kernel_and_service_stats)``.
+* ``("stop",)`` -> ``("stopped", 0)`` and a server shutdown (admin
+  hook; disable with ``allow_remote_stop=False``).
+
+Concurrency: one thread per client connection; backend calls are
+serialized by a lock (the registry is not thread-safe), so a
+multi-client server interleaves *requests*, not kernel mutations.
+Pipelining clients still win: frames queue in the socket while the
+backend computes, hiding the client's serialization and round-trip
+latency.
+
+Security: a pickle frame executes arbitrary code when decoded, so TCP
+servers outside a trusted host should run ``allow_pickle=False`` (the
+msgpack codec is data-only).  TLS/auth for TCP is a ROADMAP follow-on;
+until then bind loopback or a unix socket.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import threading
+import traceback
+from collections import OrderedDict
+
+from repro.errors import ServiceError
+from repro.privacy.kernel_registry import RelationStructure
+from repro.service.coordinator import ShardCoordinator
+from repro.service.protocol import (
+    MSG_BATCH,
+    MSG_ERROR,
+    MSG_NEED,
+    MSG_STATS,
+    MSG_STOP,
+    MSG_STOPPED,
+    WANT_ENTRY,
+    GammaBatch,
+    ShardReport,
+    TaskResult,
+    read_frame,
+    write_frame,
+)
+from repro.service.transport import parse_address
+
+#: Default cap on the server-side structure LRU (shared across clients).
+DEFAULT_SERVER_STRUCTURES = 4096
+
+
+class GammaServer:
+    """Socket front-end over a shared :class:`ShardCoordinator` backend.
+
+    ``address`` accepts the forms of
+    :func:`repro.service.transport.parse_address`; TCP port 0 picks a
+    free port (read the bound address back from :attr:`address`).
+    ``workers`` configures the backend: 0 serves from one in-process
+    registry, N shards across a local worker pool.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple,
+        *,
+        workers: int = 0,
+        budget_bytes: int | None = None,
+        total_budget_bytes: int | None = None,
+        snapshot_dir: str | None = None,
+        structure_cache_size: int = DEFAULT_SERVER_STRUCTURES,
+        allow_pickle: bool = True,
+        allow_remote_stop: bool = True,
+        backlog: int = 16,
+    ) -> None:
+        parsed = parse_address(address)
+        self.allow_pickle = bool(allow_pickle)
+        self.allow_remote_stop = bool(allow_remote_stop)
+        if structure_cache_size < 1:
+            raise ServiceError("structure cache must hold at least one structure")
+        self.structure_cache_size = int(structure_cache_size)
+        self._structures: "OrderedDict[str, RelationStructure]" = OrderedDict()
+        self._structures_lock = threading.Lock()
+        self._backend = ShardCoordinator(
+            workers,
+            budget_bytes=budget_bytes,
+            total_budget_bytes=total_budget_bytes,
+            snapshot_dir=snapshot_dir,
+        )
+        self._backend_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._unix_path: str | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closed = False
+        self._batches_served = 0
+        self._clients_served = 0
+
+        if parsed[0] == "unix":
+            path = parsed[1]
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(path)
+            self._unix_path = path
+            self.address: tuple = ("unix", path)
+        else:
+            _, host, port = parsed
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            bound_host, bound_port = self._listener.getsockname()
+            self.address = ("tcp", bound_host, bound_port)
+        self._listener.listen(backlog)
+        self._listener.settimeout(0.2)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "GammaServer":
+        """Begin accepting clients on a background thread."""
+        if self._accept_thread is not None:
+            raise ServiceError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gamma-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept clients until :meth:`close` (the CLI foreground mode)."""
+        self.start()
+        try:
+            self._stop_event.wait()
+        finally:
+            self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed under us
+                break
+            if conn.family == socket.AF_INET:
+                # Pipelined clients write many small frames back to back;
+                # without NODELAY, Nagle + delayed ACK serializes them
+                # into ~40ms stalls.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._connections_lock:
+                self._connections.add(conn)
+            self._clients_served += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="gamma-server-client",
+                daemon=True,
+            )
+            thread.start()
+            # Prune finished client threads so a long-lived server does
+            # not retain one Thread object per client ever connected.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+
+    def close(self, *, snapshot: bool = True) -> None:
+        """Stop accepting, drop clients, snapshot and close the backend."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_event.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self._unix_path)
+        self._backend.close(snapshot=snapshot)
+
+    def __enter__(self) -> "GammaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Structure cache (shared across client connections)
+    # ------------------------------------------------------------------ #
+    def _register_structures(
+        self, batch: GammaBatch
+    ) -> tuple[tuple[str, ...], dict[str, RelationStructure]]:
+        """Adopt shipped structures; returns (missing, resolved) atomically.
+
+        The batch's own signatures are *pinned* during eviction (the
+        cache may transiently exceed its cap), so a batch larger than
+        the cache -- or a concurrent tenant churning the LRU -- cannot
+        evict the structures this batch is about to evaluate: that
+        would turn the recoverable ``need``-re-ship path into a
+        livelock (client re-ships, server immediately re-evicts).  The
+        resolved mapping is captured under the same lock, so another
+        client's insertions after return cannot invalidate it.
+        """
+        pinned = {task.signature for task in batch.tasks}
+        with self._structures_lock:
+            for signature, structure in batch.structures.items():
+                self._structures[signature] = structure
+                self._structures.move_to_end(signature)
+            for victim in list(self._structures):
+                if len(self._structures) <= self.structure_cache_size:
+                    break
+                if victim in pinned:
+                    continue
+                del self._structures[victim]
+            missing = []
+            resolved: dict[str, RelationStructure] = {}
+            for task in batch.tasks:
+                structure = self._structures.get(task.signature)
+                if structure is None:
+                    missing.append(task.signature)
+                else:
+                    self._structures.move_to_end(task.signature)
+                    resolved[task.signature] = structure
+            return tuple(dict.fromkeys(missing)), resolved
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def _evaluate(
+        self, batch: GammaBatch, structures: dict[str, RelationStructure]
+    ) -> tuple[tuple[TaskResult, ...], ShardReport]:
+        want_entry = any(task.want == WANT_ENTRY for task in batch.tasks)
+        requests = [
+            (structures[task.signature], task.visible_inputs, task.visible_outputs)
+            for task in batch.tasks
+        ]
+        with self._backend_lock:
+            backend_results = self._backend.evaluate(
+                requests, want=WANT_ENTRY if want_entry else batch.tasks[0].want
+            )
+            kernel_stats = self._backend.kernel_stats()
+            preloaded = self._backend.preloaded_entries
+        results = []
+        for task, backend_result in zip(batch.tasks, backend_results):
+            if task.want == WANT_ENTRY:
+                results.append(
+                    TaskResult(
+                        task.task_id,
+                        task.signature,
+                        backend_result.gamma,
+                        backend_result.counts,
+                        backend_result.partition,
+                    )
+                )
+            else:
+                results.append(
+                    TaskResult(task.task_id, task.signature, backend_result.gamma)
+                )
+        self._batches_served += 1
+        report = ShardReport(
+            shard_id=batch.shard_id,
+            batch_id=batch.batch_id,
+            completed=len(results),
+            kernel_stats=kernel_stats,
+            preloaded_entries=preloaded,
+        )
+        return tuple(results), report
+
+    def stats(self) -> dict[str, object]:
+        """Service-wide stats (kernel counters + server gauges)."""
+        with self._backend_lock:
+            stats: dict[str, object] = dict(self._backend.kernel_stats())
+            stats["preloaded"] = self._backend.preloaded_entries
+        stats["server_batches"] = self._batches_served
+        stats["server_clients"] = self._clients_served
+        with self._structures_lock:
+            stats["server_structures"] = len(self._structures)
+        return stats
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stop_event.is_set():
+                try:
+                    frame = read_frame(
+                        conn, allow_pickle=self.allow_pickle, with_codec=True
+                    )
+                except ServiceError:
+                    break  # torn frame / refused codec: drop the client
+                except OSError:
+                    break
+                if frame is None:
+                    break
+                message, codec = frame
+                kind = message[0]
+                try:
+                    if kind == MSG_BATCH:
+                        batch: GammaBatch = message[1]
+                        missing, structures = self._register_structures(batch)
+                        if missing:
+                            write_frame(
+                                conn, (MSG_NEED, batch.batch_id, missing), codec
+                            )
+                            continue
+                        if not batch.tasks:
+                            report = ShardReport(
+                                shard_id=batch.shard_id,
+                                batch_id=batch.batch_id,
+                                completed=0,
+                                kernel_stats={},
+                            )
+                            write_frame(
+                                conn,
+                                (MSG_BATCH, batch.shard_id, batch.batch_id, (), report),
+                                codec,
+                            )
+                            continue
+                        try:
+                            results, report = self._evaluate(batch, structures)
+                        except Exception:
+                            write_frame(
+                                conn,
+                                (
+                                    MSG_ERROR,
+                                    batch.shard_id,
+                                    batch.batch_id,
+                                    traceback.format_exc(),
+                                ),
+                                codec,
+                            )
+                            continue
+                        write_frame(
+                            conn,
+                            (MSG_BATCH, batch.shard_id, batch.batch_id, results, report),
+                            codec,
+                        )
+                    elif kind == MSG_STATS:
+                        write_frame(conn, (MSG_STATS, self.stats()), codec)
+                    elif kind == MSG_STOP:
+                        write_frame(conn, (MSG_STOPPED, 0), codec)
+                        if self.allow_remote_stop:
+                            self._stop_event.set()
+                        break
+                    else:
+                        write_frame(
+                            conn,
+                            (MSG_ERROR, 0, 0, f"unknown message kind {kind!r}"),
+                            codec,
+                        )
+                except OSError:
+                    break  # client went away mid-reply
+        finally:
+            with self._connections_lock:
+                self._connections.discard(conn)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GammaServer({self.address}, backend={self._backend!r}, "
+            f"batches={self._batches_served})"
+        )

@@ -1,0 +1,706 @@
+"""Transports of the Gamma evaluation service: how batches reach kernels.
+
+PR 3's coordinator was welded to multiprocessing queues on one host;
+this module separates the *policy* layer (routing, retry, structure
+shipping, result correlation -- :mod:`repro.service.coordinator`) from
+the *mechanics* of moving a :class:`~repro.service.protocol.GammaBatch`
+to a warm kernel and a result back.  A :class:`Transport` owns worker
+lifecycle and crash signaling; the coordinator drives any of them
+through the same six verbs (``unshipped`` / ``submit`` / ``poll`` /
+``crashed_shards`` / ``recover`` / ``close``):
+
+* :class:`InProcessTransport` -- no processes, no queues: ``submit``
+  evaluates the batch synchronously against a local registry and queues
+  the completion message.  This is the ``workers=0`` fallback and the
+  oracle every other transport is property-tested byte-identical
+  against.
+* :class:`MultiprocessTransport` -- PR 3's sharded worker pool (one
+  :class:`~repro.privacy.kernel_registry.GammaKernelRegistry` shard per
+  process, queues per shard, crash detection by liveness probe,
+  respawn with warm-snapshot preload), extracted out of the old
+  ``ShardCoordinator``.
+* :class:`SocketTransport` -- length-prefixed frames (msgpack or
+  pickle, :mod:`repro.service.protocol`) over a unix-domain or TCP
+  socket to a standalone :mod:`repro.service.server` process, so
+  several client processes -- or machines -- share one warm
+  multi-tenant kernel service.  A broken connection is signaled exactly
+  like a crashed worker: ``crashed_shards`` reports it, ``recover``
+  reconnects (bounded by ``max_restarts``), and the coordinator
+  re-ships and re-dispatches the affected batches.
+
+Transports never interpret results; correlation by ``batch_id`` /
+``request_id``, ordering and retry accounting stay in the coordinator,
+which is what keeps the three implementations interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import queue as queue_module
+import socket
+import time
+from collections import deque
+from typing import Iterable
+
+from repro.errors import ServiceError, WorkerCrashError
+from repro.privacy.kernel_registry import GammaKernelRegistry, SharedGammaKernel
+from repro.service.persistence import KernelSnapshotStore
+from repro.service.protocol import (
+    CRASH,
+    MSG_BATCH,
+    MSG_STATS,
+    SHUTDOWN,
+    GammaBatch,
+    ShardReport,
+    decode_frame_from_buffer,
+    write_frame,
+)
+from repro.service.worker import process_batch, serve_shard
+
+
+class TransportSendError(ServiceError):
+    """A batch could not be handed to its shard (connection/queue died).
+
+    The coordinator treats this like a crash observed at dispatch time:
+    it recovers the shard and re-dispatches, rather than failing the
+    request.
+    """
+
+
+class Transport(abc.ABC):
+    """How batches reach warm kernels and results come back.
+
+    One *shard* is one failure/warmth domain: a worker process, or a
+    remote server connection.  The coordinator routes tasks to shards
+    by structure signature, ships each structure at most once per shard
+    lifetime (``unshipped`` tracks that; a recovered shard forgets), and
+    interprets the messages ``poll`` yields.
+    """
+
+    #: Human-readable transport name (experiment tables, repr).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def shard_count(self) -> int:
+        """How many shards tasks can be routed to (>= 1)."""
+
+    @abc.abstractmethod
+    def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
+        """The subset of ``signatures`` this shard has not been sent."""
+
+    @abc.abstractmethod
+    def mark_shipped(self, shard_id: int, signatures: Iterable[str]) -> None:
+        """Record structures as shipped (until the shard is recovered)."""
+
+    @abc.abstractmethod
+    def unship(self, shard_id: int, signatures: Iterable[str]) -> None:
+        """Forget shipped marks (server asked for a re-ship)."""
+
+    @abc.abstractmethod
+    def submit(self, batch: GammaBatch) -> None:
+        """Hand one batch to its shard.  Raises TransportSendError."""
+
+    @abc.abstractmethod
+    def poll(self, timeout: float) -> tuple | None:
+        """The next message from any shard, or ``None`` within ``timeout``."""
+
+    @abc.abstractmethod
+    def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
+        """Which of ``shard_ids`` are dead and need :meth:`recover`."""
+
+    @abc.abstractmethod
+    def recover(self, shard_id: int) -> None:
+        """Replace a dead shard (respawn/reconnect), starting it warm.
+
+        Raises :class:`WorkerCrashError` past the transport's restart
+        budget instead of looping forever.
+        """
+
+    @property
+    def restarts(self) -> int:
+        """How many shard recoveries happened over this transport's life."""
+        return 0
+
+    @property
+    def preloaded_entries(self) -> int:
+        """Snapshot entries preloaded locally (in-process transport only);
+        remote transports report 0 and the coordinator reads the gauge
+        from shard reports instead."""
+        return 0
+
+    def live_kernel_stats(self) -> dict[str, int] | None:
+        """Authoritative kernel stats, for transports with local state."""
+        return None
+
+    def inject_crash(self, shard_id: int) -> None:
+        """Make one shard die abruptly (crash-recovery test/ops hook)."""
+        raise ServiceError(f"{self.name} transport has no workers to crash")
+
+    @abc.abstractmethod
+    def close(self, *, snapshot: bool = True) -> None:
+        """Shut the transport down (snapshotting warm kernels by default)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shards={self.shard_count})"
+
+
+# ---------------------------------------------------------------------- #
+# In-process: the workers=0 oracle
+# ---------------------------------------------------------------------- #
+class InProcessTransport(Transport):
+    """Synchronous evaluation against a local registry (no processes).
+
+    ``submit`` runs :func:`~repro.service.worker.process_batch` --
+    literally the code a worker process would run -- and queues the
+    completion message for ``poll``, so the coordinator drives the
+    in-process and sharded paths through one code path and the results
+    are byte-identical by construction.
+    """
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        *,
+        budget_bytes: int | None = None,
+        total_budget_bytes: int | None = None,
+        snapshot_dir: str | None = None,
+    ) -> None:
+        self.registry = GammaKernelRegistry(
+            budget_bytes=budget_bytes, total_budget_bytes=total_budget_bytes
+        )
+        self.store: KernelSnapshotStore | None = None
+        self._preloaded = 0
+        if snapshot_dir is not None:
+            self.store = KernelSnapshotStore(snapshot_dir)
+            self._preloaded = self.store.warm_registry(self.registry)
+            self.store.arm(self.registry)
+        self._kernels: dict[str, SharedGammaKernel] = {
+            kernel.structure.signature: kernel for kernel in self.registry.kernels
+        }
+        self._ready: deque[tuple] = deque()
+        self._closed = False
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
+        return {
+            signature for signature in signatures if signature not in self._kernels
+        }
+
+    def mark_shipped(self, shard_id: int, signatures: Iterable[str]) -> None:
+        pass  # process_batch registers the kernels; nothing to track
+
+    def unship(self, shard_id: int, signatures: Iterable[str]) -> None:
+        pass  # pragma: no cover - local kernels are never forgotten
+
+    def submit(self, batch: GammaBatch) -> None:
+        results = process_batch(batch, self._kernels, self.registry)
+        report = ShardReport(
+            shard_id=0,
+            batch_id=batch.batch_id,
+            completed=len(results),
+            kernel_stats={
+                **self.registry.kernel_stats,
+                **self.registry.aggregate_counters(),
+            },
+            preloaded_entries=self._preloaded,
+        )
+        self._ready.append((MSG_BATCH, 0, batch.batch_id, results, report))
+
+    def poll(self, timeout: float) -> tuple | None:
+        return self._ready.popleft() if self._ready else None
+
+    def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
+        return ()
+
+    def recover(self, shard_id: int) -> None:  # pragma: no cover - unreachable
+        raise ServiceError("in-process transport has no shard to recover")
+
+    @property
+    def preloaded_entries(self) -> int:
+        return self._preloaded
+
+    def live_kernel_stats(self) -> dict[str, int]:
+        return {
+            **self.registry.kernel_stats,
+            **self.registry.aggregate_counters(),
+        }
+
+    def close(self, *, snapshot: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if snapshot and self.store is not None:
+            self.store.snapshot_registry(self.registry)
+
+
+# ---------------------------------------------------------------------- #
+# Multiprocess: one registry shard per worker process (PR 3's pool)
+# ---------------------------------------------------------------------- #
+class _Shard:
+    """Transport-side state of one worker process."""
+
+    __slots__ = ("shard_id", "process", "task_queue", "shipped", "restarts")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.process = None
+        self.task_queue = None
+        #: Structure signatures already shipped to the live process.
+        self.shipped: set[str] = set()
+        self.restarts = 0
+
+
+class MultiprocessTransport(Transport):
+    """Queues to a pool of worker processes on this host.
+
+    Each worker owns the :class:`GammaKernelRegistry` shard of the
+    signatures hashing to it and preloads its own snapshots on (re)start
+    -- see :func:`~repro.service.worker.serve_shard`.  A dead worker is
+    detected by liveness probe, replaced with a fresh queue, and its
+    shipped-structure set reset so the coordinator re-ships.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        budget_bytes: int | None = None,
+        total_budget_bytes: int | None = None,
+        snapshot_dir: str | None = None,
+        start_method: str | None = None,
+        max_restarts: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"worker count must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.max_restarts = int(max_restarts)
+        self._budget_bytes = budget_bytes
+        self._total_budget_bytes = total_budget_bytes
+        self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
+        methods = multiprocessing.get_all_start_methods()
+        chosen = start_method or ("fork" if "fork" in methods else "spawn")
+        if chosen not in methods:
+            raise ServiceError(
+                f"start method {chosen!r} unavailable (have {methods})"
+            )
+        self._context = multiprocessing.get_context(chosen)
+        self._result_queue = self._context.Queue()
+        self._shards: list[_Shard] = []
+        self._closed = False
+        for shard_id in range(self.workers):
+            shard = _Shard(shard_id)
+            self._start_worker(shard)
+            self._shards.append(shard)
+
+    # -- worker lifecycle ------------------------------------------------
+    def _start_worker(self, shard: _Shard) -> None:
+        shard.task_queue = self._context.Queue()
+        shard.shipped = set()
+        shard.process = self._context.Process(
+            target=serve_shard,
+            args=(
+                shard.shard_id,
+                self.workers,
+                shard.task_queue,
+                self._result_queue,
+                self._budget_bytes,
+                self._total_budget_bytes,
+                self.snapshot_dir,
+            ),
+            daemon=True,
+            name=f"gamma-shard-{shard.shard_id}",
+        )
+        shard.process.start()
+
+    @property
+    def shard_count(self) -> int:
+        return self.workers
+
+    def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
+        shipped = self._shards[shard_id].shipped
+        return {signature for signature in signatures if signature not in shipped}
+
+    def mark_shipped(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._shards[shard_id].shipped.update(signatures)
+
+    def unship(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._shards[shard_id].shipped.difference_update(signatures)
+
+    def submit(self, batch: GammaBatch) -> None:
+        try:
+            self._shards[batch.shard_id].task_queue.put(batch)
+        except (ValueError, OSError) as exc:
+            raise TransportSendError(
+                f"shard {batch.shard_id} queue rejected batch "
+                f"{batch.batch_id}: {exc}"
+            ) from exc
+
+    def poll(self, timeout: float) -> tuple | None:
+        try:
+            return self._result_queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
+        return tuple(
+            shard_id
+            for shard_id in shard_ids
+            if not self._shards[shard_id].process.is_alive()
+        )
+
+    def recover(self, shard_id: int) -> None:
+        """Replace a dead worker (fresh queue -- the old one is suspect)."""
+        shard = self._shards[shard_id]
+        if shard.restarts >= self.max_restarts:
+            raise WorkerCrashError(
+                f"shard {shard.shard_id} died {shard.restarts + 1} times "
+                f"(max_restarts={self.max_restarts}); giving up"
+            )
+        shard.process.join(timeout=0.5)
+        old_queue = shard.task_queue
+        shard.restarts += 1
+        self._start_worker(shard)
+        # Abandon the dead worker's queue without blocking on its feeder.
+        old_queue.cancel_join_thread()
+        old_queue.close()
+
+    @property
+    def restarts(self) -> int:
+        return sum(shard.restarts for shard in self._shards)
+
+    def inject_crash(self, shard_id: int) -> None:
+        self._shards[shard_id].task_queue.put(CRASH)
+
+    def close(self, *, snapshot: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        waiting = []
+        for shard in self._shards:
+            if not shard.process.is_alive():
+                continue
+            if snapshot:
+                try:
+                    shard.task_queue.put(SHUTDOWN)
+                    waiting.append(shard.shard_id)
+                except (ValueError, OSError):  # pragma: no cover - queue gone
+                    pass
+        deadline = time.monotonic() + 10.0
+        acked: set[int] = set()
+        while len(acked) < len(waiting) and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                if all(
+                    not self._shards[shard_id].process.is_alive()
+                    for shard_id in waiting
+                    if shard_id not in acked
+                ):
+                    break
+                continue
+            if message[0] == "stopped":
+                acked.add(message[1])
+        for shard in self._shards:
+            shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=2.0)
+            shard.task_queue.cancel_join_thread()
+            shard.task_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._result_queue.close()
+
+
+# ---------------------------------------------------------------------- #
+# Socket: frames to a standalone server (unix domain or TCP)
+# ---------------------------------------------------------------------- #
+def parse_address(address: str | tuple) -> tuple:
+    """Normalize a service address.
+
+    Accepted forms: ``"unix:/path.sock"`` or a plain ``"/path.sock"``
+    (unix domain), ``"tcp:host:port"`` or ``"host:port"`` (TCP), and
+    the already-parsed tuples ``("unix", path)`` / ``("tcp", host,
+    port)``.
+    """
+    if isinstance(address, tuple):
+        if address and address[0] in ("unix", "tcp"):
+            return address
+        raise ServiceError(f"unrecognized service address {address!r}")
+    if address.startswith("unix:"):
+        return ("unix", address[len("unix:") :])
+    if address.startswith("/"):
+        return ("unix", address)
+    rest = address[len("tcp:") :] if address.startswith("tcp:") else address
+    host, separator, port = rest.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ServiceError(
+            f"unrecognized service address {address!r} "
+            "(want unix:/path, /path, tcp:host:port or host:port)"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+def connect(address: str | tuple, *, timeout: float = 10.0) -> socket.socket:
+    """A connected socket to a Gamma server at ``address``."""
+    parsed = parse_address(address)
+    if parsed[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        target: str | tuple = parsed[1]
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        target = (parsed[1], parsed[2])
+    sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except OSError as exc:
+        sock.close()
+        raise ServiceError(f"cannot connect to Gamma server at {parsed}: {exc}") from exc
+    return sock
+
+
+class SocketTransport(Transport):
+    """Frames over one connection to a :mod:`repro.service.server`.
+
+    The server is a single logical shard from the client's view (it
+    shards internally however it likes); warmth lives server-side, so
+    any number of client processes share one multi-tenant kernel
+    service.  Structure shipping is tracked per *connection*: a
+    reconnect (after a dropped connection or server restart) clears the
+    shipped set and the coordinator re-ships -- and a server whose
+    structure cache evicted an old signature asks for a re-ship with a
+    ``("need", batch_id, signatures)`` message instead of failing.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        address: str | tuple,
+        *,
+        codec: str | None = None,
+        connect_timeout: float = 10.0,
+        max_restarts: int = 3,
+        allow_pickle: bool = True,
+    ) -> None:
+        self.address = parse_address(address)
+        self.codec = codec
+        #: Refuse pickle-tagged reply frames (pickle executes code on
+        #: decode) -- pair with a ``--no-pickle`` server and the msgpack
+        #: codec when the peer is not fully trusted.
+        self.allow_pickle = bool(allow_pickle)
+        self.connect_timeout = float(connect_timeout)
+        self.max_restarts = int(max_restarts)
+        self._restarts = 0
+        self._shipped: set[str] = set()
+        self._pending: deque[tuple] = deque()
+        #: Bytes received but not yet forming a complete frame.  A recv
+        #: timeout can land mid-frame; the partial bytes must survive to
+        #: the next poll or the stream desyncs and a healthy connection
+        #: gets torn down as "crashed".
+        self._rxbuf = bytearray()
+        self._dead = False
+        self._closed = False
+        self._sock = connect(self.address, timeout=self.connect_timeout)
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
+        return {
+            signature
+            for signature in signatures
+            if signature not in self._shipped
+        }
+
+    def mark_shipped(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._shipped.update(signatures)
+
+    def unship(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._shipped.difference_update(signatures)
+
+    def submit(self, batch: GammaBatch) -> None:
+        if self._dead:
+            raise TransportSendError("connection to Gamma server is down")
+        # Drain replies already queued in the kernel buffers first: a
+        # pipelining client that only writes while the server is
+        # blocked writing replies back would deadlock both directions
+        # once the buffers fill; keeping the read side empty breaks the
+        # cycle.
+        self._drain_ready()
+        try:
+            self._sock.settimeout(self.connect_timeout)
+            write_frame(self._sock, (MSG_BATCH, batch), self.codec)
+        except (OSError, ValueError) as exc:
+            self._dead = True
+            raise TransportSendError(
+                f"lost connection to Gamma server at {self.address}: {exc}"
+            ) from exc
+
+    def _decode_buffered(self) -> tuple | None:
+        """One frame from the receive buffer; marks the stream dead on
+        corruption (the only unrecoverable framing state)."""
+        try:
+            return decode_frame_from_buffer(
+                self._rxbuf, allow_pickle=self.allow_pickle
+            )
+        except ServiceError:
+            self._dead = True
+            return None
+
+    def _drain_ready(self) -> None:
+        """Bank every already-received frame without blocking."""
+        while not self._dead:
+            message = self._decode_buffered()
+            if message is not None:
+                self._pending.append(message)
+                continue
+            try:
+                self._sock.settimeout(0.0)  # non-blocking probe
+                chunk = self._sock.recv(1 << 16)
+            except (BlockingIOError, TimeoutError, socket.timeout):
+                return
+            except OSError:
+                self._dead = True
+                return
+            if not chunk:
+                self._dead = True
+                return
+            self._rxbuf += chunk
+
+    def _read_message(self, timeout: float) -> tuple | None:
+        """One complete frame within ``timeout``, buffering partial reads."""
+        message = self._decode_buffered()
+        if message is not None or self._dead:
+            return message
+        deadline = time.monotonic() + max(timeout, 0.001)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                self._sock.settimeout(remaining)
+                chunk = self._sock.recv(1 << 16)
+            except (TimeoutError, socket.timeout):
+                return None
+            except OSError:
+                self._dead = True
+                return None
+            if not chunk:  # orderly EOF: server went away
+                self._dead = True
+                return None
+            self._rxbuf += chunk
+            message = self._decode_buffered()
+            if message is not None or self._dead:
+                return message
+
+    def poll(self, timeout: float) -> tuple | None:
+        if self._pending:
+            return self._pending.popleft()
+        if self._dead:
+            return None
+        return self._read_message(timeout)
+
+    def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
+        return tuple(shard_ids) if self._dead else ()
+
+    def recover(self, shard_id: int) -> None:
+        if self._restarts >= self.max_restarts:
+            raise WorkerCrashError(
+                f"connection to {self.address} dropped "
+                f"{self._restarts + 1} times (max_restarts="
+                f"{self.max_restarts}); giving up"
+            )
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        self._restarts += 1
+        self._sock = connect(self.address, timeout=self.connect_timeout)
+        self._shipped = set()
+        self._rxbuf.clear()
+        self._dead = False
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def fetch_stats(self, timeout: float = 10.0) -> dict[str, int]:
+        """The server's service-wide kernel stats, fetched synchronously.
+
+        Batch completions arriving while waiting are buffered for the
+        next :meth:`poll`, so a stats probe never loses results.
+        """
+        if self._dead:
+            raise ServiceError("connection to Gamma server is down")
+        write_frame(self._sock, (MSG_STATS,), self.codec)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and not self._dead:
+            message = self._read_message(deadline - time.monotonic())
+            if message is None:
+                continue
+            if message[0] == MSG_STATS and len(message) == 2:
+                return dict(message[1])
+            self._pending.append(message)
+        raise ServiceError("Gamma server did not answer the stats probe")
+
+    def close(self, *, snapshot: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def build_transport(
+    workers: int = 0,
+    *,
+    address: str | tuple | None = None,
+    budget_bytes: int | None = None,
+    total_budget_bytes: int | None = None,
+    snapshot_dir: str | None = None,
+    start_method: str | None = None,
+    max_restarts: int = 3,
+    codec: str | None = None,
+    allow_pickle: bool = True,
+) -> Transport:
+    """The transport a coordinator should use for the given settings.
+
+    ``address`` selects the socket transport; otherwise ``workers``
+    picks in-process (0) or the multiprocess pool (>= 1), mirroring the
+    pre-transport ``ShardCoordinator(workers=...)`` behavior.
+    """
+    if address is not None:
+        return SocketTransport(
+            address,
+            codec=codec,
+            max_restarts=max_restarts,
+            allow_pickle=allow_pickle,
+        )
+    if workers < 0:
+        raise ServiceError(f"worker count must be >= 0, got {workers}")
+    if workers == 0:
+        return InProcessTransport(
+            budget_bytes=budget_bytes,
+            total_budget_bytes=total_budget_bytes,
+            snapshot_dir=snapshot_dir,
+        )
+    return MultiprocessTransport(
+        workers,
+        budget_bytes=budget_bytes,
+        total_budget_bytes=total_budget_bytes,
+        snapshot_dir=snapshot_dir,
+        start_method=start_method,
+        max_restarts=max_restarts,
+    )

@@ -11,7 +11,8 @@ Lifecycle:
 1. on start, preload persisted kernel snapshots for owned signatures
    (warm start -- repeated sweeps skip the cold partition computations);
 2. serve :class:`GammaBatch` messages from the task queue, replying with
-   ``("batch", shard_id, batch_id, results, report)`` tuples;
+   ``("batch", shard_id, batch_id, results, report)`` tuples (the same
+   message shape every transport delivers to the coordinator);
 3. on :data:`SHUTDOWN`, snapshot every kernel back to disk and exit.
 
 A failure inside a batch is reported as ``("error", shard_id, batch_id,
@@ -30,6 +31,9 @@ from repro.privacy.kernel_registry import GammaKernelRegistry, SharedGammaKernel
 from repro.service.persistence import KernelSnapshotStore
 from repro.service.protocol import (
     CRASH,
+    MSG_BATCH,
+    MSG_ERROR,
+    MSG_STOPPED,
     SHUTDOWN,
     WANT_ENTRY,
     GammaBatch,
@@ -105,7 +109,7 @@ def serve_shard(
         if message == SHUTDOWN:
             if store is not None:
                 store.snapshot_registry(registry)
-            result_queue.put(("stopped", shard_id))
+            result_queue.put((MSG_STOPPED, shard_id))
             return
         if message == CRASH:
             # Crash-recovery hook: die like a SIGKILL'd worker would --
@@ -116,7 +120,7 @@ def serve_shard(
             results = process_batch(batch, kernels, registry)
         except Exception:
             result_queue.put(
-                ("error", shard_id, batch.batch_id, traceback.format_exc())
+                (MSG_ERROR, shard_id, batch.batch_id, traceback.format_exc())
             )
             continue
         report = ShardReport(
@@ -132,4 +136,4 @@ def serve_shard(
             },
             preloaded_entries=preloaded,
         )
-        result_queue.put(("batch", shard_id, batch.batch_id, results, report))
+        result_queue.put((MSG_BATCH, shard_id, batch.batch_id, results, report))

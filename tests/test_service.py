@@ -368,7 +368,7 @@ class TestCrashRecovery:
         try:
             # A leftover from a failed earlier call must be discarded,
             # not raised against this (unrelated) evaluation.
-            coordinator._result_queue.put(("error", 0, 999_999, "old failure"))
+            coordinator.transport._result_queue.put(("error", 0, 999_999, "old failure"))
             assert coordinator.gammas(entry_requests(relation))
         finally:
             coordinator.close(snapshot=False)
@@ -382,7 +382,7 @@ class TestCrashRecovery:
         try:
             relation = ModuleRelation.random("P", seed=44)
             coordinator.inject_crash(0)
-            coordinator._shards[0].process.join(timeout=5.0)
+            coordinator.transport._shards[0].process.join(timeout=5.0)
             from repro.errors import WorkerCrashError
 
             with pytest.raises(WorkerCrashError):
