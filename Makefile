@@ -1,5 +1,7 @@
 # Single entrypoints for contributors and CI.  `make test` runs exactly the
-# tier-1 command from ROADMAP.md; `make bench` runs the pytest-benchmark
+# tier-1 command from ROADMAP.md; `make test-conformance` runs only the
+# cross-transport conformance matrix (its own CI step, so transport
+# failures are attributed clearly); `make bench` runs the pytest-benchmark
 # suites and writes a BENCH_<date>.json perf snapshot; `make bench-check`
 # re-runs the suites and fails on a >30% regression of the guarded
 # (kernel/adversary) ops versus the committed baseline in
@@ -9,10 +11,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check lint
+.PHONY: test test-conformance bench bench-check lint
+
+# Extra pytest selection flags (CI's tier-1 step passes
+# PYTEST_FLAGS='-k "not conformance"' because the conformance matrix
+# already ran in its own step).
+PYTEST_FLAGS ?=
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
+
+test-conformance:
+	$(PYTHON) -m pytest -q -k conformance
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py

@@ -23,6 +23,16 @@ And one from ISSUE 4:
   enforced on >= 4-CPU machines and reported on smaller ones; result
   equality against the in-process oracle is asserted everywhere.
 
+And one from ISSUE 5:
+
+* **federation** -- the signature-routed connection pool over 1 vs 3
+  *separate server processes* (spawned via ``repro serve``, so the
+  speedup is real OS parallelism, not GIL-shared threads).  A cold
+  sweep must scale with federation size on >= 4 cores (reported on
+  smaller machines); byte-equality with the in-process oracle is
+  asserted everywhere, and the guarded op is the warm federated sweep
+  (pool dispatch overhead).
+
 The ``service``-named benchmarks are regression-guarded by
 ``check_regression.py``.
 """
@@ -30,7 +40,11 @@ The ``service``-named benchmarks are regression-guarded by
 from __future__ import annotations
 
 import os
+import pathlib
 import shutil
+import socket as socket_module
+import subprocess
+import sys
 import tempfile
 import time
 
@@ -180,6 +194,102 @@ def test_service_pipelined_dispatch_deep_search(benchmark):
                 )
     finally:
         shutil.rmtree(socket_dir, ignore_errors=True)
+
+
+def _spawn_federation(socket_dir: str, n_servers: int):
+    """``n_servers`` separate ``repro serve`` processes on unix sockets."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    processes, addresses = [], []
+    for index in range(n_servers):
+        path = os.path.join(socket_dir, f"fed-{n_servers}-{index}.sock")
+        processes.append(
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve", "--unix", path],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        )
+        addresses.append(f"unix:{path}")
+    deadline = time.monotonic() + 30.0
+    for address in addresses:
+        path = address[len("unix:") :]
+        while True:
+            probe = socket_module.socket(socket_module.AF_UNIX)
+            try:
+                probe.connect(path)
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(f"federation server at {path} never came up")
+                time.sleep(0.05)
+            finally:
+                probe.close()
+    return processes, addresses
+
+
+def _stop_federation(processes) -> None:
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+            process.kill()
+            process.wait(timeout=5.0)
+
+
+def test_service_federated_pool_scaling(benchmark):
+    """Signature-routed pool over 1 vs 3 server processes; scaling needs cores.
+
+    The cold sweep's partition work parallelizes across the federation's
+    processes, so cold time must drop with federation size wherever the
+    hardware can show it (>= 4 cores); the guarded benchmark op is the
+    warm federated sweep -- the pool's steady-state dispatch overhead.
+    """
+    requests = workload_requests(SWEEP_MODULES, CONFIG)
+    baseline = ShardCoordinator(0).gammas(requests)
+    socket_dir = tempfile.mkdtemp(prefix="bench-federation-")
+    cold: dict[int, float] = {}
+    try:
+        for n_servers in (1, 3):
+            processes, addresses = _spawn_federation(socket_dir, n_servers)
+            try:
+                with ShardCoordinator(
+                    endpoints=addresses, task_timeout=120.0
+                ) as client:
+                    started = time.perf_counter()
+                    gammas = client.gammas(requests)
+                    cold[n_servers] = time.perf_counter() - started
+                    assert gammas == baseline, (
+                        f"{n_servers}-server federation diverged from the "
+                        "in-process kernel"
+                    )
+                    if n_servers == 3:
+                        warm = benchmark.pedantic(
+                            lambda: client.gammas(requests), rounds=3, iterations=1
+                        )
+                        assert warm == baseline
+            finally:
+                _stop_federation(processes)
+    finally:
+        shutil.rmtree(socket_dir, ignore_errors=True)
+    cores = os.cpu_count() or 1
+    speedup = cold[1] / cold[3] if cold[3] else 0.0
+    print()
+    print(
+        f"federation: cold sweep {cold[1] * 1000:.1f} ms on 1 server -> "
+        f"{cold[3] * 1000:.1f} ms on 3 servers ({speedup:.2f}x, {cores} cores)"
+    )
+    if cores >= 4:
+        assert speedup >= 1.3, (
+            f"expected a 3-server federation to beat 1 server on {cores} "
+            f"cores, got {speedup:.2f}x"
+        )
 
 
 def test_service_sharded_warm_restart(benchmark):

@@ -80,13 +80,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 2
     runner = ALL_EXPERIMENTS[experiment_id]
+    parameters = inspect.signature(runner).parameters
     kwargs = {}
     if args.workers is not None:
-        if "workers" in inspect.signature(runner).parameters:
+        if "workers" in parameters:
             kwargs["workers"] = args.workers
         else:
             print(
                 f"note: {experiment_id} does not take --workers; ignoring",
+                file=sys.stderr,
+            )
+    if getattr(args, "endpoints", None):
+        if "endpoints" in parameters:
+            kwargs["endpoints"] = [
+                endpoint.strip()
+                for endpoint in args.endpoints.split(",")
+                if endpoint.strip()
+            ]
+        else:
+            print(
+                f"note: {experiment_id} does not take --endpoints; ignoring",
                 file=sys.stderr,
             )
     rows = runner(**kwargs)
@@ -205,7 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--verbose", action="store_true", help="print renderings")
     figures.set_defaults(handler=_cmd_figures)
 
-    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E10)")
+    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E11)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
     experiment.add_argument(
         "--workers",
@@ -214,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for experiments backed by the Gamma "
             "evaluation service (E9/E10); 0 forces the in-process fallback"
+        ),
+    )
+    experiment.add_argument(
+        "--endpoints",
+        default=None,
+        help=(
+            "comma-separated Gamma server addresses (host:port or "
+            "unix:/path) for federation experiments (E11): sweep an "
+            "already-running federation instead of spawning local servers"
         ),
     )
     experiment.set_defaults(handler=_cmd_experiment)

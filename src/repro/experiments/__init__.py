@@ -1,7 +1,7 @@
 """Experiment and figure harness.
 
 ``reproduce_all_figures`` rebuilds every figure of the paper;
-``ALL_EXPERIMENTS`` maps experiment ids (E1-E10) to their ``run`` functions;
+``ALL_EXPERIMENTS`` maps experiment ids (E1-E11) to their ``run`` functions;
 ``run_experiment`` dispatches by id.  Each experiment module also exposes a
 ``headline`` function producing the aggregate numbers quoted in
 ``EXPERIMENTS.md`` and a ``main`` entry point that prints the full table.
@@ -18,6 +18,7 @@ from repro.experiments import (
     e8_ranking,
     e9_sharding,
     e10_transport,
+    e11_federation,
 )
 from repro.experiments.figures import (
     FIG5_QUERY,
@@ -60,6 +61,7 @@ ALL_EXPERIMENTS = {
     "E8": e8_ranking.run,
     "E9": e9_sharding.run,
     "E10": e10_transport.run,
+    "E11": e11_federation.run,
 }
 
 #: Headline aggregators keyed by experiment id.
@@ -74,11 +76,12 @@ ALL_HEADLINES = {
     "E8": e8_ranking.headline,
     "E9": e9_sharding.headline,
     "E10": e10_transport.headline,
+    "E11": e11_federation.headline,
 }
 
 
 def run_experiment(experiment_id: str) -> ResultTable:
-    """Run one experiment by id (``"E1"`` ... ``"E10"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E11"``)."""
     try:
         runner = ALL_EXPERIMENTS[experiment_id.upper()]
     except KeyError:

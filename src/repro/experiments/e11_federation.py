@@ -1,0 +1,188 @@
+"""Experiment E11 -- federated serving: servers x tenants.
+
+E10 established that one :class:`~repro.service.server.GammaServer`
+serves the secure-view search byte-identically over any transport; this
+experiment scales the *server side* out.  A federation of N independent
+Gamma servers is fronted by the signature-routed
+:class:`~repro.service.pool.PooledTransport` (``ShardCoordinator(
+endpoints=[...])``), so every canonical structure lives on exactly one
+server's warm kernel, and T tenants run the paper's secure-view search
+against the same federation in turn.
+
+The sweep crosses federation size x tenant arrival order and reports,
+per cell, wall time, the solver's evaluation count, the batch/routing
+counters, and the servers' fairness gauges (queue-wait percentiles
+merged across the federation).  Every cell is oracle-checked against a
+local :class:`~repro.service.transport.InProcessTransport` solve --
+federation must never change the view, its cost, or the number of
+Gamma evaluations.  The expected shape on shared hardware: later
+tenants (``tenant`` > 1) are served from kernels the first tenant
+warmed (``warm`` cells speed up), and ``matches_oracle`` is True
+everywhere.  Wall-clock *scaling* with federation size needs separate
+server processes and spare cores -- that is ``bench_service``'s
+federation benchmark, not this correctness sweep.
+
+With ``--endpoints host:port,host:port`` (the CLI) the sweep runs
+against an already-running federation instead of spawning local
+servers, turning E11 into a deployment smoke test.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.reporting import ResultTable
+from repro.privacy.relations import ModuleRelation
+from repro.privacy.workflow_privacy import (
+    WorkflowPrivacyRequirements,
+    exact_secure_view,
+)
+from repro.service import GammaServer, ShardCoordinator
+
+
+@dataclass(frozen=True)
+class E11Config:
+    """Parameters of experiment E11.
+
+    ``servers`` is the federation-size sweep; ``tenants`` how many
+    tenants run the workload, in order, against each federation.  The
+    workload matches E10's (escalating Gamma targets over 2-in/2-out
+    domain-3 modules) so the two experiments' evaluation counts are
+    directly comparable.
+    """
+
+    servers: tuple[int, ...] = (1, 2, 3)
+    tenants: int = 2
+    modules: int = 3
+    n_inputs: int = 2
+    n_outputs: int = 2
+    domain_size: int = 3
+    pipeline_depth: int = 4
+    seed: int = 97
+
+
+def build_requirements(config: E11Config) -> WorkflowPrivacyRequirements:
+    """A fresh requirements object (fresh local kernels) for one cell."""
+    requirements = WorkflowPrivacyRequirements()
+    for index in range(config.modules):
+        relation = ModuleRelation.random(
+            f"E11M{index}",
+            n_inputs=config.n_inputs,
+            n_outputs=config.n_outputs,
+            domain_size=config.domain_size,
+            seed=config.seed + index,
+        )
+        requirements.add(relation, 2 + index % 2)
+    return requirements
+
+
+def run(
+    config: E11Config | None = None,
+    *,
+    endpoints: Sequence[str] | None = None,
+) -> ResultTable:
+    """Run E11: one row per (federation size, tenant).
+
+    ``endpoints`` (the CLI's ``--endpoints``) skips spawning local
+    servers and sweeps the tenants against the given federation
+    instead; the servers column then reports its size.
+    """
+    config = config or E11Config()
+    oracle = exact_secure_view(build_requirements(config))
+    rows: ResultTable = []
+    socket_dir = Path(tempfile.mkdtemp(prefix="e11-"))
+    try:
+        for n_servers in ([len(endpoints)] if endpoints else config.servers):
+            servers: list[GammaServer] = []
+            if endpoints:
+                addresses: list = list(endpoints)
+            else:
+                for index in range(n_servers):
+                    servers.append(
+                        GammaServer(
+                            ("unix", str(socket_dir / f"e11-{n_servers}-{index}.sock"))
+                        ).start()
+                    )
+                addresses = [server.address for server in servers]
+            try:
+                for tenant in range(1, config.tenants + 1):
+                    requirements = build_requirements(config)
+                    with ShardCoordinator(
+                        endpoints=addresses, task_timeout=120.0
+                    ) as client:
+                        started = time.perf_counter()
+                        result = exact_secure_view(
+                            requirements,
+                            service=client,
+                            pipeline_depth=config.pipeline_depth,
+                        )
+                        elapsed_ms = (time.perf_counter() - started) * 1000.0
+                        stats = client.service_stats()
+                        fed_stats = client.transport.fetch_stats()
+                    rows.append(
+                        {
+                            "servers": n_servers,
+                            "tenant": tenant,
+                            "time_ms": round(elapsed_ms, 3),
+                            "evaluations": result.evaluations,
+                            "cost": result.cost,
+                            "batches": stats["batches"],
+                            "retried": stats["retried_batches"],
+                            "p50_ms": stats.get("p50_ms", 0.0),
+                            "queue_p95_ms": fed_stats.get("queue_wait_p95_ms", 0),
+                            "matches_oracle": (
+                                result.hidden_labels == oracle.hidden_labels
+                                and result.cost == oracle.cost
+                                and result.evaluations == oracle.evaluations
+                            ),
+                        }
+                    )
+            finally:
+                for server in servers:
+                    server.close()
+    finally:
+        import shutil
+
+        shutil.rmtree(socket_dir, ignore_errors=True)
+    return rows
+
+
+def headline(rows: ResultTable) -> dict[str, object]:
+    """Aggregate numbers quoted in EXPERIMENTS.md.
+
+    ``best_warm_tenant_speedup`` compares tenant 1 (cold federation)
+    with the slowest later tenant per federation size -- the
+    multi-tenant warm-kernel effect the shared service exists for.
+    """
+    by_servers: dict[int, dict[int, float]] = {}
+    for row in rows:
+        by_servers.setdefault(int(row["servers"]), {})[int(row["tenant"])] = float(
+            row["time_ms"]
+        )
+    best = 0.0
+    for times in by_servers.values():
+        cold = times.get(1)
+        warm = [elapsed for tenant, elapsed in times.items() if tenant > 1]
+        if cold and warm and max(warm) > 0:
+            best = max(best, cold / max(warm))
+    return {
+        "all_match_oracle": all(bool(row["matches_oracle"]) for row in rows),
+        "best_warm_tenant_speedup": round(best, 2),
+        "federations": len(by_servers),
+    }
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    from repro.experiments.reporting import print_table
+
+    rows = run()
+    print_table(rows, title="E11 -- federated serving: servers x tenants")
+    print(headline(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -7,16 +7,23 @@ relations; this subsystem distributes that work.  The *policy* layer
 ships structures once, correlates out-of-order completions by request
 id and retries around crashes.  The *mechanics* live behind the
 :class:`~repro.service.transport.Transport` interface: in-process
-(``workers=0``, the oracle), a multiprocess worker pool, or
+(``workers=0``, the oracle), a multiprocess worker pool,
 length-prefixed frames over unix/TCP sockets to a standalone
 :class:`~repro.service.server.GammaServer` (``repro serve``) shared by
-many client processes.  Warm kernels are snapshotted to disk on
-eviction/shutdown and preloaded on start, so repeated sweeps skip
-cold-start entirely; every transport returns byte-identical results.
+many client processes, or a federated pool of several servers
+(:class:`~repro.service.pool.PooledTransport`,
+``ShardCoordinator(endpoints=[...])``) with per-endpoint reconnect and
+failover re-routing.  Servers schedule tenants fairly (bounded
+per-connection queues drained round-robin).  Warm kernels are
+snapshotted to disk on eviction/shutdown and preloaded on start, so
+repeated sweeps skip cold-start entirely; every transport returns
+byte-identical results (``tests/test_transport_conformance.py`` holds
+all of them to one conformance matrix).
 """
 
 from repro.service.coordinator import GammaRequest, ShardCoordinator
 from repro.service.persistence import KernelSnapshotStore
+from repro.service.pool import PooledTransport
 from repro.service.protocol import (
     WANT_ENTRY,
     WANT_GAMMA,
@@ -45,6 +52,7 @@ __all__ = [
     "InProcessTransport",
     "KernelSnapshotStore",
     "MultiprocessTransport",
+    "PooledTransport",
     "ShardCoordinator",
     "ShardReport",
     "SocketTransport",

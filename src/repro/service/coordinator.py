@@ -10,8 +10,15 @@ mechanics of moving batches live behind the
 :class:`~repro.service.transport.Transport` interface: an in-process
 registry (``workers=0`` -- the no-dependency fallback and the oracle
 every other transport is tested byte-identical against), a
-multiprocess worker pool (``workers=N``), or a socket connection to a
-standalone :mod:`repro.service.server` (``address=...``).
+multiprocess worker pool (``workers=N``), a socket connection to a
+standalone :mod:`repro.service.server` (``address=...``), or a
+federated pool of servers routed by structure signature
+(``endpoints=[...]`` -- :class:`~repro.service.pool.PooledTransport`).
+
+The coordinator is thread-safe: a reentrant lock serializes dispatch
+bookkeeping and the result pump, so the fair-scheduling server's
+dispatcher threads share one coordinator (and one worker pool's warm
+kernels) while multiprocess shards evaluate genuinely in parallel.
 
 Two client APIs:
 
@@ -39,10 +46,11 @@ coordinator starts warm.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.errors import ServiceError
 from repro.privacy.kernel_registry import RelationStructure
@@ -110,6 +118,7 @@ class ShardCoordinator:
         *,
         transport: Transport | None = None,
         address: str | tuple | None = None,
+        endpoints: Sequence[str | tuple] | None = None,
         budget_bytes: int | None = None,
         total_budget_bytes: int | None = None,
         snapshot_dir: str | None = None,
@@ -126,6 +135,7 @@ class ShardCoordinator:
             transport = build_transport(
                 workers,
                 address=address,
+                endpoints=endpoints,
                 budget_bytes=budget_bytes,
                 total_budget_bytes=total_budget_bytes,
                 snapshot_dir=snapshot_dir,
@@ -167,6 +177,16 @@ class ShardCoordinator:
         self._structure_evictions = 0
         self._structure_reloads = 0
         self._closed = False
+        #: Serializes dispatch bookkeeping and the result pump, so several
+        #: threads (the fair server's dispatchers) may submit/collect
+        #: concurrently.  Reentrant: evaluate() -> collect() -> _pump all
+        #: run under one holder.  Evaluation itself is only serialized on
+        #: the in-process transport (whose submit computes synchronously
+        #: under this lock -- the registry is not thread-safe); remote and
+        #: multiprocess shards keep evaluating in parallel because the
+        #: lock is released while their processes work and only taken for
+        #: the 50 ms poll slices of the pump.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Structure cache
@@ -210,59 +230,75 @@ class ShardCoordinator:
         The caller later passes the id to :meth:`collect` (block until
         complete) or :meth:`discard` (drop an abandoned speculation).
         """
-        if self._closed:
-            raise ServiceError("coordinator is closed")
-        tasks: list[GammaTask] = []
-        for structure, visible_inputs, visible_outputs in requests:
-            self._remember_structure(structure)
-            tasks.append(
-                GammaTask(
-                    next(self._task_ids),
-                    structure.signature,
-                    tuple(visible_inputs),
-                    tuple(visible_outputs),
-                    want,
+        with self._lock:
+            if self._closed:
+                raise ServiceError("coordinator is closed")
+            tasks: list[GammaTask] = []
+            for structure, visible_inputs, visible_outputs in requests:
+                self._remember_structure(structure)
+                tasks.append(
+                    GammaTask(
+                        next(self._task_ids),
+                        structure.signature,
+                        tuple(visible_inputs),
+                        tuple(visible_outputs),
+                        want,
+                    )
                 )
-            )
-        request_id = next(self._request_ids)
-        pending = _PendingRequest(request_id, tasks)
-        self._pending[request_id] = pending
-        if not tasks:
+            request_id = next(self._request_ids)
+            pending = _PendingRequest(request_id, tasks)
+            self._pending[request_id] = pending
+            if not tasks:
+                return request_id
+            self._tasks_dispatched += len(tasks)
+            shards = self.transport.shard_count
+            by_shard: dict[int, list[GammaTask]] = {}
+            for task in tasks:
+                shard_id = shard_of(task.signature, shards) if shards > 1 else 0
+                by_shard.setdefault(shard_id, []).append(task)
+            for shard_id, shard_tasks in by_shard.items():
+                batch = GammaBatch(
+                    next(self._batch_ids),
+                    shard_id,
+                    tuple(shard_tasks),
+                    {},
+                    request_id,
+                )
+                self._batches_dispatched += 1
+                pending.batches[batch.batch_id] = batch
+                self._batch_requests[batch.batch_id] = request_id
+                self._dispatch(batch)
             return request_id
-        self._tasks_dispatched += len(tasks)
-        shards = self.transport.shard_count
-        by_shard: dict[int, list[GammaTask]] = {}
-        for task in tasks:
-            shard_id = shard_of(task.signature, shards) if shards > 1 else 0
-            by_shard.setdefault(shard_id, []).append(task)
-        for shard_id, shard_tasks in by_shard.items():
-            batch = GammaBatch(
-                next(self._batch_ids),
-                shard_id,
-                tuple(shard_tasks),
-                {},
-                request_id,
-            )
-            self._batches_dispatched += 1
-            pending.batches[batch.batch_id] = batch
-            self._batch_requests[batch.batch_id] = request_id
-            self._dispatch(batch)
-        return request_id
 
     def collect(self, request_id: int) -> list[TaskResult]:
         """Block until ``request_id`` completes; results in request order.
 
         Completions for *other* in-flight requests received while
         waiting are banked for their own ``collect`` calls, so requests
-        may be collected in any order.
+        may be collected in any order -- including by different threads:
+        whichever collector holds the pump lock delivers everyone's
+        messages, and each waiter re-checks its own request between pump
+        slices.
         """
-        pending = self._pending.get(request_id)
+        with self._lock:
+            pending = self._pending.get(request_id)
         if pending is None:
             raise ServiceError(f"unknown or discarded request id {request_id}")
         deadline = time.monotonic() + self.task_timeout
+        delivered = -1
         while not pending.done:
-            deadline = self._pump(deadline)
-        del self._pending[request_id]
+            with self._lock:
+                if pending.done:
+                    break
+                if len(pending.results) != delivered:
+                    # Another thread's pump made progress on *this*
+                    # request; that is liveness too, so refresh our
+                    # patience exactly as _pump does for its caller.
+                    delivered = len(pending.results)
+                    deadline = max(deadline, time.monotonic() + self.task_timeout)
+                deadline = self._pump(deadline)
+        with self._lock:
+            self._pending.pop(request_id, None)
         if pending.error is not None:
             raise ServiceError(pending.error)
         return [pending.results[task.task_id] for task in pending.tasks]
@@ -275,13 +311,14 @@ class ShardCoordinator:
         entries they produced remain, so speculation is never wasted
         twice.
         """
-        pending = self._pending.pop(request_id, None)
-        if pending is None:
-            return
-        for batch_id in pending.batches:
-            self._batch_requests.pop(batch_id, None)
-            self._dispatch_times.pop(batch_id, None)
-            self._retried_batch_ids.discard(batch_id)
+        with self._lock:
+            pending = self._pending.pop(request_id, None)
+            if pending is None:
+                return
+            for batch_id in pending.batches:
+                self._batch_requests.pop(batch_id, None)
+                self._dispatch_times.pop(batch_id, None)
+                self._retried_batch_ids.discard(batch_id)
 
     # ------------------------------------------------------------------ #
     # Synchronous evaluation API (PR 3 surface, unchanged semantics)
@@ -461,9 +498,11 @@ class ShardCoordinator:
     # ------------------------------------------------------------------ #
     def shard_reports(self) -> tuple[ShardReport, ...]:
         """The latest report of every shard that has completed a batch."""
-        return tuple(
-            self._last_reports[shard_id] for shard_id in sorted(self._last_reports)
-        )
+        with self._lock:
+            return tuple(
+                self._last_reports[shard_id]
+                for shard_id in sorted(self._last_reports)
+            )
 
     def kernel_stats(self) -> dict[str, int]:
         """Service-wide kernel statistics.
@@ -472,22 +511,24 @@ class ShardCoordinator:
         transports merge the latest (cumulative) report of every shard,
         so the numbers lag until each shard has completed a batch.
         """
-        live = self.transport.live_kernel_stats()
-        if live is not None:
-            return live
-        return merge_kernel_stats(
-            report.kernel_stats for report in self._last_reports.values()
-        )
+        with self._lock:
+            live = self.transport.live_kernel_stats()
+            if live is not None:
+                return live
+            return merge_kernel_stats(
+                report.kernel_stats for report in self._last_reports.values()
+            )
 
     @property
     def preloaded_entries(self) -> int:
         """Cache entries restored from snapshots at (worker/server) start."""
-        live = self.transport.live_kernel_stats()
-        if live is not None:
-            return self.transport.preloaded_entries
-        return sum(
-            report.preloaded_entries for report in self._last_reports.values()
-        )
+        with self._lock:
+            live = self.transport.live_kernel_stats()
+            if live is not None:
+                return self.transport.preloaded_entries
+            return sum(
+                report.preloaded_entries for report in self._last_reports.values()
+            )
 
     @property
     def worker_restarts(self) -> int:

@@ -1,0 +1,303 @@
+"""Federated connection pool: one client, several Gamma servers.
+
+A single :class:`~repro.service.transport.SocketTransport` scales the
+service across *client* processes -- many tenants, one warm server --
+but the server itself stays one host.  HyProv-style federation goes the
+other way: :class:`PooledTransport` fans one client out over N
+independent :class:`~repro.service.server.GammaServer` endpoints, and
+the existing signature-hash routing of the coordinator
+(:func:`~repro.service.protocol.shard_of`) becomes the federation map.
+
+The pool presents one *logical shard per endpoint*, so the coordinator
+routes every structure -- consistently, by its process-independent
+signature digest -- to exactly one server, and that server's kernel for
+the structure is the only one ever warmed.  Mechanically:
+
+* each logical shard maps to one endpoint connection through a routing
+  table; every endpoint is an ordinary single-connection
+  :class:`SocketTransport` with its own shipped-structure set, receive
+  buffer, and reconnect budget;
+* ``poll`` multiplexes all live connections through ``select`` (banked
+  frames are drained round-robin first, so one chatty endpoint cannot
+  starve the others);
+* a dropped connection is a *crashed shard*, exactly like a dead
+  worker: ``crashed_shards`` reports every logical shard routed to it,
+  and ``recover`` reconnects the endpoint (independently per endpoint,
+  bounded by its ``max_restarts``);
+* an endpoint that cannot be reconnected -- its server is gone, or its
+  restart budget is spent -- is marked **lost** and its logical shards
+  *fail over*: each shard is deterministically re-routed to a surviving
+  endpoint (``live[shard % len(live)]``), the coordinator re-ships the
+  affected structures there and re-dispatches the pending batches.  The
+  pool only gives up (``WorkerCrashError``) when every endpoint is
+  lost.
+
+Because all of this hides behind the six transport verbs, the pipelined
+secure-view solver and the coordinator's ``submit``/``collect``/
+``discard`` API run unchanged over a federation of servers -- and the
+conformance suite holds the pool to byte-identical results with the
+in-process oracle, including under a mid-search endpoint kill.
+
+Stats caveat: the coordinator's merged ``kernel_stats`` sums the latest
+report per *logical shard*, so after a failover two shards may report
+the same server's cumulative counters twice; :meth:`fetch_stats` asks
+every live server directly for exact service-wide numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import select
+import time
+from typing import Iterable, Sequence
+
+from repro.errors import ServiceError, WorkerCrashError
+from repro.service.protocol import GammaBatch, merge_kernel_stats
+from repro.service.transport import (
+    SocketTransport,
+    Transport,
+    TransportSendError,
+    parse_address,
+)
+
+
+class PooledTransport(Transport):
+    """Signature-routed pool of connections to several Gamma servers."""
+
+    name = "pooled"
+
+    def __init__(
+        self,
+        endpoints: Sequence[str | tuple],
+        *,
+        codec: str | None = None,
+        connect_timeout: float = 10.0,
+        max_restarts: int = 3,
+        allow_pickle: bool = True,
+    ) -> None:
+        addresses = [parse_address(endpoint) for endpoint in endpoints]
+        if not addresses:
+            raise ServiceError("a connection pool needs at least one endpoint")
+        self._endpoints: list[SocketTransport] = [
+            SocketTransport(
+                address,
+                codec=codec,
+                connect_timeout=connect_timeout,
+                max_restarts=max_restarts,
+                allow_pickle=allow_pickle,
+            )
+            for address in addresses
+        ]
+        #: Logical shard -> endpoint index.  Starts as the identity (one
+        #: shard per endpoint) and is rewritten only by failover.
+        self._routing: list[int] = list(range(len(self._endpoints)))
+        #: Endpoints abandoned after a failed recovery (never revisited;
+        #: re-admitting a healed server needs the health-check follow-up).
+        self._lost: set[int] = set()
+        self._failovers = 0
+        #: Round-robin cursor for draining banked frames fairly.
+        self._drain_cursor = 0
+        self._closed = False
+
+    # -- routing --------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._endpoints)
+
+    @property
+    def endpoint_count(self) -> int:
+        """How many endpoints the pool was built over (lost ones included)."""
+        return len(self._endpoints)
+
+    @property
+    def lost_endpoints(self) -> tuple[int, ...]:
+        """Endpoint indices abandoned by failover, in index order."""
+        return tuple(sorted(self._lost))
+
+    @property
+    def failovers(self) -> int:
+        """How many logical shards were re-routed off a lost endpoint."""
+        return self._failovers
+
+    def endpoint_of(self, shard_id: int) -> int:
+        """The endpoint index currently serving a logical shard."""
+        return self._routing[shard_id]
+
+    def _live_indices(self) -> list[int]:
+        return [
+            index for index in range(len(self._endpoints)) if index not in self._lost
+        ]
+
+    def _endpoint_for(self, shard_id: int) -> SocketTransport:
+        return self._endpoints[self._routing[shard_id]]
+
+    # -- structure shipping (tracked per endpoint connection) -----------
+    def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
+        return self._endpoint_for(shard_id).unshipped(0, signatures)
+
+    def mark_shipped(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._endpoint_for(shard_id).mark_shipped(0, signatures)
+
+    def unship(self, shard_id: int, signatures: Iterable[str]) -> None:
+        self._endpoint_for(shard_id).unship(0, signatures)
+
+    # -- dispatch and poll ----------------------------------------------
+    def submit(self, batch: GammaBatch) -> None:
+        index = self._routing[batch.shard_id]
+        if index in self._lost:
+            raise TransportSendError(
+                f"endpoint {index} is lost; shard {batch.shard_id} awaits "
+                "re-routing"
+            )
+        self._endpoints[index].submit(batch)
+
+    def poll(self, timeout: float) -> tuple | None:
+        live = self._live_indices()
+        if not live:
+            time.sleep(min(max(timeout, 0.0), 0.01))
+            return None
+        # Banked frames first, rotating the starting endpoint so a busy
+        # server cannot starve the others' completions.
+        for offset in range(len(live)):
+            index = live[(self._drain_cursor + offset) % len(live)]
+            message = self._endpoints[index].buffered_message()
+            if message is not None:
+                self._drain_cursor = (self._drain_cursor + offset + 1) % len(live)
+                return message
+        # Nothing banked: wait on every live connection at once.  An
+        # endpoint whose socket fd is already gone (a severed connection
+        # not yet observed by any submit) would poison select for every
+        # healthy endpoint, so probe it dead instead of selecting on it;
+        # once flagged, crashed_shards surfaces its logical shards.
+        readable_map = {}
+        for endpoint in (self._endpoints[index] for index in live):
+            if endpoint.is_dead:
+                continue
+            if endpoint.raw_socket.fileno() < 0:
+                endpoint.poll(0.0)  # observes the closed socket: marks dead
+                continue
+            readable_map[endpoint.raw_socket] = endpoint
+        if not readable_map:
+            return None
+        try:
+            readable, _, _ = select.select(
+                list(readable_map), [], [], max(timeout, 0.0)
+            )
+        except (OSError, ValueError):
+            # A socket died between the fd check and select; let every
+            # endpoint observe its own state so the next poll selects
+            # only on the healthy ones.
+            for endpoint in readable_map.values():
+                if endpoint.raw_socket.fileno() < 0:
+                    endpoint.poll(0.0)
+            return None
+        for sock in readable:
+            message = readable_map[sock].poll(0.0)
+            if message is not None:
+                return message
+        return None
+
+    # -- crash handling: endpoint granularity ---------------------------
+    def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
+        crashed = []
+        for shard_id in shard_ids:
+            index = self._routing[shard_id]
+            if index in self._lost or self._endpoints[index].is_dead:
+                crashed.append(shard_id)
+        return tuple(crashed)
+
+    def recover(self, shard_id: int) -> None:
+        """Reconnect the shard's endpoint, or fail the shard over.
+
+        Reconnection is independent per endpoint (its own restart
+        budget).  When the endpoint cannot be brought back it is marked
+        lost and *this* shard is deterministically re-routed to a
+        surviving endpoint; sibling shards of the lost endpoint are
+        re-routed by their own ``recover`` calls (the coordinator issues
+        one per crashed shard), so every pending batch finds a live
+        home.  Raises :class:`WorkerCrashError` only when no endpoint
+        survives.
+        """
+        index = self._routing[shard_id]
+        if index not in self._lost:
+            endpoint = self._endpoints[index]
+            if not endpoint.is_dead:
+                return  # a sibling shard's recover already reconnected it
+            try:
+                endpoint.recover(0)
+                return
+            except (WorkerCrashError, ServiceError):
+                self._lost.add(index)
+                with contextlib.suppress(Exception):
+                    endpoint.close()
+        live = self._live_indices()
+        if not live:
+            raise WorkerCrashError(
+                f"all {len(self._endpoints)} pool endpoints are lost; "
+                "cannot re-route shard "
+                f"{shard_id} (restart budgets exhausted)"
+            )
+        self._routing[shard_id] = live[shard_id % len(live)]
+        self._failovers += 1
+
+    @property
+    def restarts(self) -> int:
+        return sum(endpoint.restarts for endpoint in self._endpoints) + self._failovers
+
+    def inject_crash(self, shard_id: int) -> None:
+        """Sever the shard's endpoint connection (test/ops hook)."""
+        self._endpoint_for(shard_id).inject_crash(0)
+
+    # -- introspection and shutdown -------------------------------------
+    def fetch_stats(self, timeout: float = 10.0) -> dict[str, int]:
+        """Exact service-wide stats: every live server probed and merged.
+
+        Counter gauges sum across the disjoint servers; the latency
+        percentiles (``*_ms``) are not additive, so the federation
+        reports the *worst* server's value instead.  ``timeout`` bounds
+        the whole probe, not each endpoint -- the deadline is shared
+        across the loop so N slow servers cannot stretch one call to
+        N x timeout.
+        """
+        deadline = time.monotonic() + timeout
+        reports = []
+        for index in self._live_indices():
+            endpoint = self._endpoints[index]
+            if endpoint.is_dead:
+                continue
+            reports.append(
+                endpoint.fetch_stats(max(deadline - time.monotonic(), 0.001))
+            )
+        if not reports:
+            raise ServiceError("no live pool endpoint to fetch stats from")
+        merged: dict = merge_kernel_stats(
+            {
+                key: value
+                for key, value in report.items()
+                if not key.endswith("_ms")
+            }
+            for report in reports
+        )
+        for key in {
+            key for report in reports for key in report if key.endswith("_ms")
+        }:
+            merged[key] = round(
+                max(float(report.get(key, 0.0)) for report in reports), 3
+            )
+        merged["pool_endpoints"] = len(self._endpoints)
+        merged["pool_lost_endpoints"] = len(self._lost)
+        return merged
+
+    def close(self, *, snapshot: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._endpoints:
+            with contextlib.suppress(Exception):
+                endpoint.close(snapshot=snapshot)
+
+    def __repr__(self) -> str:
+        return (
+            f"PooledTransport(endpoints={len(self._endpoints)}, "
+            f"lost={sorted(self._lost)}, failovers={self._failovers})"
+        )

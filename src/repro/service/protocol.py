@@ -153,7 +153,12 @@ class ShardReport:
     worker crash; ``dispatch_latency_ms`` is stamped by the coordinator
     with the wall-clock time from batch dispatch to result receipt --
     the per-transport latency that E10 and ``bench_service`` break wall
-    time down by.
+    time down by.  ``queue_depth`` and ``queue_wait_ms`` are stamped by
+    a fair-scheduling :class:`~repro.service.server.GammaServer`: how
+    many requests this tenant had queued when the batch arrived, and
+    how long the batch waited in its tenant queue before a dispatcher
+    picked it up -- the per-tenant fairness gauges (0 on transports
+    with no server-side queueing).
     """
 
     shard_id: int
@@ -163,6 +168,8 @@ class ShardReport:
     preloaded_entries: int = 0
     retried: bool = False
     dispatch_latency_ms: float = 0.0
+    queue_depth: int = 0
+    queue_wait_ms: float = 0.0
 
 
 # ---------------------------------------------------------------------- #
@@ -263,14 +270,13 @@ def report_to_wire(report: ShardReport) -> list:
         report.preloaded_entries,
         report.retried,
         report.dispatch_latency_ms,
+        report.queue_depth,
+        report.queue_wait_ms,
     ]
 
 
 def report_from_wire(wire: list) -> ShardReport:
-    shard_id, batch_id, completed, kernel_stats, preloaded, retried, latency = wire
-    return ShardReport(
-        shard_id, batch_id, completed, kernel_stats, preloaded, retried, latency
-    )
+    return ShardReport(*wire)
 
 
 def message_to_wire(message: tuple) -> list:

@@ -23,12 +23,25 @@ Handled frames (one reply per request, in the client's codec):
 * ``("stop",)`` -> ``("stopped", 0)`` and a server shutdown (admin
   hook; disable with ``allow_remote_stop=False``).
 
-Concurrency: one thread per client connection; backend calls are
-serialized by a lock (the registry is not thread-safe), so a
-multi-client server interleaves *requests*, not kernel mutations.
-Pipelining clients still win: frames queue in the socket while the
-backend computes, hiding the client's serialization and round-trip
-latency.
+Concurrency and fairness: one *reader* thread per client connection
+parses frames and answers the cheap ones (``need`` re-ships, stats,
+stop) inline; batch evaluations go through a small **fair scheduler**
+-- every connection owns a bounded request queue (a full queue blocks
+only that client's reader: natural per-tenant backpressure), and a pool
+of dispatcher threads drains the queues *round-robin, one batch per
+tenant per turn*.  A tenant flooding the server with slow batches
+therefore delays another tenant by at most one batch in flight per
+dispatcher, not by its whole backlog -- the old single backend lock
+served tenants strictly in arrival order.  Each completed batch's
+:class:`ShardReport` is stamped with the tenant's queue depth at
+arrival and the time the batch waited before dispatch
+(``queue_depth`` / ``queue_wait_ms``), and ``stats`` exposes the
+aggregate gauges.  Backend parallelism follows the backend's sharding:
+with a multiprocess backend the dispatcher pool is sized to the worker
+count and per-shard serialization is enforced by each worker draining
+its own task queue (the coordinator itself is thread-safe); with the
+in-process backend evaluation serializes on the coordinator's lock
+(the kernel registry is not thread-safe) and one dispatcher suffices.
 
 Security: a pickle frame executes arbitrary code when decoded, so TCP
 servers outside a trusted host should run ``allow_pickle=False`` (the
@@ -39,11 +52,15 @@ until then bind loopback or a unix socket.
 from __future__ import annotations
 
 import contextlib
+import itertools
 import os
+import queue as queue_module
 import socket
 import threading
+import time
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
+from dataclasses import replace
 
 from repro.errors import ServiceError
 from repro.privacy.kernel_registry import RelationStructure
@@ -67,6 +84,225 @@ from repro.service.transport import parse_address
 #: Default cap on the server-side structure LRU (shared across clients).
 DEFAULT_SERVER_STRUCTURES = 4096
 
+#: Default cap on one tenant's queued batches; a full queue blocks that
+#: tenant's reader thread (backpressure), never the other tenants.
+DEFAULT_TENANT_QUEUE = 32
+
+#: Hard cap on dispatcher threads, whatever the backend worker count.
+MAX_DISPATCHERS = 8
+
+#: Recent queue waits kept for the stats percentiles.
+WAIT_WINDOW = 2048
+
+
+#: Writer-thread shutdown sentinel (outbox items are always tuples).
+_WRITER_STOP = object()
+
+
+class _Tenant:
+    """Server-side queueing state of one client connection."""
+
+    __slots__ = (
+        "tenant_id",
+        "conn",
+        "pending",
+        "outbox",
+        "writer",
+        "enqueued",
+        "dispatched",
+        "closed",
+    )
+
+    def __init__(
+        self, tenant_id: int, conn: socket.socket, outbox_depth: int
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.conn = conn
+        #: Queued (batch, structures, codec, enqueued_at) items, FIFO.
+        self.pending: deque[tuple] = deque()
+        #: Outbound reply frames, drained by this tenant's writer thread.
+        #: Dispatchers must never block on a tenant's socket -- a tenant
+        #: that stops *reading* would otherwise park a shared dispatcher
+        #: mid-``sendall`` and starve every other tenant, the exact
+        #: head-of-line blocking the fair scheduler removes.  A full
+        #: outbox means the tenant is not consuming replies; it is
+        #: dropped, not waited for.
+        self.outbox: queue_module.Queue = queue_module.Queue(maxsize=outbox_depth)
+        self.writer: threading.Thread | None = None
+        self.enqueued = 0
+        self.dispatched = 0
+        self.closed = False
+
+    def start_writer(self) -> None:
+        self.writer = threading.Thread(
+            target=self._write_loop,
+            name=f"gamma-writer-{self.tenant_id}",
+            daemon=True,
+        )
+        self.writer.start()
+
+    def _write_loop(self) -> None:
+        while True:
+            item = self.outbox.get()
+            if item is _WRITER_STOP:
+                return
+            message, codec = item
+            try:
+                write_frame(self.conn, message, codec)
+            except (OSError, ValueError):
+                # Socket gone: stop writing; the reader observes the dead
+                # connection and unregisters the tenant.
+                return
+
+    def send(self, message: tuple, codec: str) -> bool:
+        """Queue one reply frame; drops the tenant when it stopped reading."""
+        try:
+            self.outbox.put_nowait((message, codec))
+            return True
+        except queue_module.Full:
+            self.drop()
+            return False
+
+    def drop(self) -> None:
+        """Sever a tenant that no longer consumes replies."""
+        with contextlib.suppress(OSError):
+            self.conn.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self.conn.close()
+
+    def stop_writer(self) -> None:
+        if self.writer is None:
+            return
+        # Unblock the writer even when the outbox is full of undeliverable
+        # replies -- drain first, then hand it the stop sentinel.
+        while True:
+            try:
+                self.outbox.put_nowait(_WRITER_STOP)
+                break
+            except queue_module.Full:
+                try:
+                    self.outbox.get_nowait()
+                except queue_module.Empty:  # pragma: no cover - race only
+                    pass
+        self.writer.join(timeout=2.0)
+
+
+class _FairScheduler:
+    """Round-robin drain of bounded per-tenant batch queues.
+
+    One condition variable guards every queue and the rotation order;
+    dispatchers take at most one batch per tenant per rotation turn, so
+    service time interleaves across tenants no matter how deep any one
+    backlog is.  Items of an unregistered (disconnected) tenant are
+    dropped instead of evaluated into a dead socket.
+    """
+
+    def __init__(self, dispatch, dispatchers: int, max_queue_depth: int) -> None:
+        if max_queue_depth < 1:
+            raise ServiceError("tenant queue must hold at least one batch")
+        self._dispatch = dispatch
+        self.max_queue_depth = int(max_queue_depth)
+        self.dispatchers = int(dispatchers)
+        self._cond = threading.Condition()
+        self._tenants: dict[int, _Tenant] = {}
+        self._rotation: deque[int] = deque()
+        self._waits_ms: deque[float] = deque(maxlen=WAIT_WINDOW)
+        self._stopping = False
+        self._threads = [
+            threading.Thread(
+                target=self._loop, name=f"gamma-dispatch-{index}", daemon=True
+            )
+            for index in range(self.dispatchers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- tenant lifecycle ----------------------------------------------
+    def register(self, tenant: _Tenant) -> None:
+        with self._cond:
+            self._tenants[tenant.tenant_id] = tenant
+            self._rotation.append(tenant.tenant_id)
+
+    def unregister(self, tenant: _Tenant) -> None:
+        with self._cond:
+            tenant.closed = True
+            tenant.pending.clear()
+            self._tenants.pop(tenant.tenant_id, None)
+            self._cond.notify_all()
+
+    def enqueue(self, tenant: _Tenant, item: tuple) -> bool:
+        """Queue one batch; blocks (backpressure) while the tenant is full."""
+        with self._cond:
+            while (
+                len(tenant.pending) >= self.max_queue_depth
+                and not self._stopping
+                and not tenant.closed
+            ):
+                self._cond.wait(0.1)
+            if self._stopping or tenant.closed:
+                return False
+            tenant.pending.append(item)
+            tenant.enqueued += 1
+            self._cond.notify()
+            return True
+
+    # -- dispatchers ----------------------------------------------------
+    def _pop_next(self) -> tuple[_Tenant, tuple] | None:
+        """The next (tenant, item) in round-robin order; None when idle."""
+        for _ in range(len(self._rotation)):
+            tenant_id = self._rotation.popleft()
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                continue  # disconnected; fell out of the rotation
+            self._rotation.append(tenant_id)
+            if tenant.pending:
+                item = tenant.pending.popleft()
+                tenant.dispatched += 1
+                self._cond.notify_all()  # a slot freed: wake blocked readers
+                return tenant, item
+        return None
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                entry = self._pop_next()
+                while entry is None and not self._stopping:
+                    self._cond.wait(0.2)
+                    entry = self._pop_next()
+                if entry is None:
+                    return  # stopping and drained
+            tenant, item = entry
+            wait_ms = (time.monotonic() - item[3]) * 1000.0
+            with self._cond:
+                self._waits_ms.append(wait_ms)
+            self._dispatch(tenant, item, wait_ms)
+
+    # -- gauges ---------------------------------------------------------
+    def queue_depth(self) -> int:
+        with self._cond:
+            return sum(len(tenant.pending) for tenant in self._tenants.values())
+
+    def tenant_count(self) -> int:
+        with self._cond:
+            return len(self._tenants)
+
+    def wait_percentiles(self) -> dict[str, float]:
+        with self._cond:
+            waits = sorted(self._waits_ms)
+        if not waits:
+            return {"queue_wait_p50_ms": 0.0, "queue_wait_p95_ms": 0.0}
+        return {
+            "queue_wait_p50_ms": round(waits[int(0.50 * (len(waits) - 1))], 3),
+            "queue_wait_p95_ms": round(waits[int(0.95 * (len(waits) - 1))], 3),
+        }
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
 
 class GammaServer:
     """Socket front-end over a shared :class:`ShardCoordinator` backend.
@@ -75,7 +311,11 @@ class GammaServer:
     :func:`repro.service.transport.parse_address`; TCP port 0 picks a
     free port (read the bound address back from :attr:`address`).
     ``workers`` configures the backend: 0 serves from one in-process
-    registry, N shards across a local worker pool.
+    registry, N shards across a local worker pool.  ``fair_dispatchers``
+    sizes the scheduler's dispatcher pool (default: one per backend
+    worker, capped at :data:`MAX_DISPATCHERS`; 1 for the in-process
+    backend, whose registry admits no concurrent evaluation anyway);
+    ``max_queue_depth`` bounds each tenant's request queue.
     """
 
     def __init__(
@@ -90,6 +330,8 @@ class GammaServer:
         allow_pickle: bool = True,
         allow_remote_stop: bool = True,
         backlog: int = 16,
+        fair_dispatchers: int | None = None,
+        max_queue_depth: int = DEFAULT_TENANT_QUEUE,
     ) -> None:
         parsed = parse_address(address)
         self.allow_pickle = bool(allow_pickle)
@@ -105,7 +347,16 @@ class GammaServer:
             total_budget_bytes=total_budget_bytes,
             snapshot_dir=snapshot_dir,
         )
-        self._backend_lock = threading.Lock()
+        if fair_dispatchers is None:
+            # Parallel dispatch only pays when backend shards can compute
+            # concurrently (one dispatcher can keep one shard busy).
+            fair_dispatchers = min(max(1, workers), MAX_DISPATCHERS)
+        if fair_dispatchers < 1:
+            raise ServiceError("the scheduler needs at least one dispatcher")
+        self._scheduler = _FairScheduler(
+            self._dispatch_item, fair_dispatchers, max_queue_depth
+        )
+        self._tenant_ids = itertools.count(1)
         self._stop_event = threading.Event()
         self._threads: list[threading.Thread] = []
         self._connections: set[socket.socket] = set()
@@ -113,6 +364,9 @@ class GammaServer:
         self._unix_path: str | None = None
         self._accept_thread: threading.Thread | None = None
         self._closed = False
+        #: Thread-safe batch counter: concurrent dispatchers is the fair
+        #: scheduler's designed common case, and `+= 1` loses increments.
+        self._batch_counter = itertools.count(1)
         self._batches_served = 0
         self._clients_served = 0
 
@@ -202,6 +456,7 @@ class GammaServer:
             self._accept_thread.join(timeout=2.0)
         for thread in self._threads:
             thread.join(timeout=2.0)
+        self._scheduler.stop()
         if self._unix_path is not None:
             with contextlib.suppress(OSError):
                 os.unlink(self._unix_path)
@@ -263,12 +518,13 @@ class GammaServer:
             (structures[task.signature], task.visible_inputs, task.visible_outputs)
             for task in batch.tasks
         ]
-        with self._backend_lock:
-            backend_results = self._backend.evaluate(
-                requests, want=WANT_ENTRY if want_entry else batch.tasks[0].want
-            )
-            kernel_stats = self._backend.kernel_stats()
-            preloaded = self._backend.preloaded_entries
+        # The coordinator is thread-safe; concurrent dispatchers evaluate
+        # in parallel wherever the backend's shards allow it.
+        backend_results = self._backend.evaluate(
+            requests, want=WANT_ENTRY if want_entry else batch.tasks[0].want
+        )
+        kernel_stats = self._backend.kernel_stats()
+        preloaded = self._backend.preloaded_entries
         results = []
         for task, backend_result in zip(batch.tasks, backend_results):
             if task.want == WANT_ENTRY:
@@ -285,7 +541,7 @@ class GammaServer:
                 results.append(
                     TaskResult(task.task_id, task.signature, backend_result.gamma)
                 )
-        self._batches_served += 1
+        self._batches_served = next(self._batch_counter)
         report = ShardReport(
             shard_id=batch.shard_id,
             batch_id=batch.batch_id,
@@ -296,17 +552,51 @@ class GammaServer:
         return tuple(results), report
 
     def stats(self) -> dict[str, object]:
-        """Service-wide stats (kernel counters + server gauges)."""
-        with self._backend_lock:
-            stats: dict[str, object] = dict(self._backend.kernel_stats())
-            stats["preloaded"] = self._backend.preloaded_entries
+        """Service-wide stats (kernel counters + server/fairness gauges)."""
+        stats: dict[str, object] = dict(self._backend.kernel_stats())
+        stats["preloaded"] = self._backend.preloaded_entries
         stats["server_batches"] = self._batches_served
         stats["server_clients"] = self._clients_served
+        stats["server_tenants"] = self._scheduler.tenant_count()
+        stats["server_queue_depth"] = self._scheduler.queue_depth()
+        stats["server_dispatchers"] = self._scheduler.dispatchers
+        stats.update(self._scheduler.wait_percentiles())
         with self._structures_lock:
             stats["server_structures"] = len(self._structures)
         return stats
 
+    def _dispatch_item(self, tenant: _Tenant, item: tuple, wait_ms: float) -> None:
+        """Evaluate one queued batch and reply to its tenant (scheduler hook).
+
+        The reply is handed to the tenant's writer thread, never written
+        here: a dispatcher blocking on one tenant's socket would starve
+        every other tenant.
+        """
+        batch, structures, codec, _enqueued_at, depth = item
+        try:
+            results, report = self._evaluate(batch, structures)
+        except Exception:
+            reply: tuple = (
+                MSG_ERROR,
+                batch.shard_id,
+                batch.batch_id,
+                traceback.format_exc(),
+            )
+        else:
+            report = replace(
+                report, queue_depth=depth, queue_wait_ms=round(wait_ms, 6)
+            )
+            reply = (MSG_BATCH, batch.shard_id, batch.batch_id, results, report)
+        tenant.send(reply, codec)
+
     def _serve_connection(self, conn: socket.socket) -> None:
+        # Outbox sized past the request queue so every queued batch's
+        # reply fits; overflow therefore means the client is not reading.
+        tenant = _Tenant(
+            next(self._tenant_ids), conn, self._scheduler.max_queue_depth * 2 + 8
+        )
+        tenant.start_writer()
+        self._scheduler.register(tenant)
         try:
             while not self._stop_event.is_set():
                 try:
@@ -321,63 +611,51 @@ class GammaServer:
                     break
                 message, codec = frame
                 kind = message[0]
-                try:
-                    if kind == MSG_BATCH:
-                        batch: GammaBatch = message[1]
-                        missing, structures = self._register_structures(batch)
-                        if missing:
-                            write_frame(
-                                conn, (MSG_NEED, batch.batch_id, missing), codec
-                            )
-                            continue
-                        if not batch.tasks:
-                            report = ShardReport(
-                                shard_id=batch.shard_id,
-                                batch_id=batch.batch_id,
-                                completed=0,
-                                kernel_stats={},
-                            )
-                            write_frame(
-                                conn,
-                                (MSG_BATCH, batch.shard_id, batch.batch_id, (), report),
-                                codec,
-                            )
-                            continue
-                        try:
-                            results, report = self._evaluate(batch, structures)
-                        except Exception:
-                            write_frame(
-                                conn,
-                                (
-                                    MSG_ERROR,
-                                    batch.shard_id,
-                                    batch.batch_id,
-                                    traceback.format_exc(),
-                                ),
-                                codec,
-                            )
-                            continue
-                        write_frame(
-                            conn,
-                            (MSG_BATCH, batch.shard_id, batch.batch_id, results, report),
-                            codec,
+                if kind == MSG_BATCH:
+                    batch: GammaBatch = message[1]
+                    missing, structures = self._register_structures(batch)
+                    if missing:
+                        if not tenant.send((MSG_NEED, batch.batch_id, missing), codec):
+                            break
+                        continue
+                    if not batch.tasks:
+                        report = ShardReport(
+                            shard_id=batch.shard_id,
+                            batch_id=batch.batch_id,
+                            completed=0,
+                            kernel_stats={},
                         )
-                    elif kind == MSG_STATS:
-                        write_frame(conn, (MSG_STATS, self.stats()), codec)
-                    elif kind == MSG_STOP:
-                        write_frame(conn, (MSG_STOPPED, 0), codec)
-                        if self.allow_remote_stop:
-                            self._stop_event.set()
+                        if not tenant.send(
+                            (MSG_BATCH, batch.shard_id, batch.batch_id, (), report),
+                            codec,
+                        ):
+                            break
+                        continue
+                    queued = (
+                        batch,
+                        structures,
+                        codec,
+                        time.monotonic(),
+                        len(tenant.pending),
+                    )
+                    if not self._scheduler.enqueue(tenant, queued):
+                        break  # server stopping under us
+                elif kind == MSG_STATS:
+                    if not tenant.send((MSG_STATS, self.stats()), codec):
                         break
-                    else:
-                        write_frame(
-                            conn,
-                            (MSG_ERROR, 0, 0, f"unknown message kind {kind!r}"),
-                            codec,
-                        )
-                except OSError:
-                    break  # client went away mid-reply
+                elif kind == MSG_STOP:
+                    tenant.send((MSG_STOPPED, 0), codec)
+                    if self.allow_remote_stop:
+                        self._stop_event.set()
+                    break
+                else:
+                    if not tenant.send(
+                        (MSG_ERROR, 0, 0, f"unknown message kind {kind!r}"), codec
+                    ):
+                        break
         finally:
+            self._scheduler.unregister(tenant)
+            tenant.stop_writer()  # flushes queued replies, then stops
             with self._connections_lock:
                 self._connections.discard(conn)
             with contextlib.suppress(OSError):

@@ -28,20 +28,27 @@ through the same six verbs (``unshipped`` / ``submit`` / ``poll`` /
   reconnects (bounded by ``max_restarts``), and the coordinator
   re-ships and re-dispatches the affected batches.
 
+* :class:`~repro.service.pool.PooledTransport` (in
+  :mod:`repro.service.pool`) -- HyProv-style federation: several
+  :class:`SocketTransport` connections to independent servers, one
+  logical shard each, with per-endpoint reconnect and failover
+  re-routing of shards whose endpoint is lost for good.
+
 Transports never interpret results; correlation by ``batch_id`` /
 ``request_id``, ordering and retry accounting stay in the coordinator,
-which is what keeps the three implementations interchangeable.
+which is what keeps the implementations interchangeable.
 """
 
 from __future__ import annotations
 
 import abc
+import contextlib
 import multiprocessing
 import queue as queue_module
 import socket
 import time
 from collections import deque
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.errors import ServiceError, WorkerCrashError
 from repro.privacy.kernel_registry import GammaKernelRegistry, SharedGammaKernel
@@ -610,6 +617,28 @@ class SocketTransport(Transport):
             return None
         return self._read_message(timeout)
 
+    def buffered_message(self) -> tuple | None:
+        """One already-received frame without touching the wire.
+
+        The connection pool uses this to drain each endpoint's banked
+        frames before blocking in ``select`` across all of them.
+        """
+        if self._pending:
+            return self._pending.popleft()
+        if self._dead:
+            return None
+        return self._decode_buffered()
+
+    @property
+    def is_dead(self) -> bool:
+        """Whether the connection is down and needs :meth:`recover`."""
+        return self._dead
+
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The live socket (pool-side ``select`` multiplexing hook)."""
+        return self._sock
+
     def crashed_shards(self, shard_ids: Iterable[int]) -> tuple[int, ...]:
         return tuple(shard_ids) if self._dead else ()
 
@@ -633,6 +662,19 @@ class SocketTransport(Transport):
     @property
     def restarts(self) -> int:
         return self._restarts
+
+    def inject_crash(self, shard_id: int) -> None:
+        """Sever the connection abruptly (connection-loss test/ops hook).
+
+        The next ``submit``/``poll`` observes the dead socket, flags the
+        shard crashed, and the coordinator reconnects through
+        :meth:`recover` -- the same path a dropped network or a bounced
+        server exercises.
+        """
+        with contextlib.suppress(OSError):
+            self._sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._sock.close()
 
     def fetch_stats(self, timeout: float = 10.0) -> dict[str, int]:
         """The server's service-wide kernel stats, fetched synchronously.
@@ -667,6 +709,7 @@ def build_transport(
     workers: int = 0,
     *,
     address: str | tuple | None = None,
+    endpoints: Sequence[str | tuple] | None = None,
     budget_bytes: int | None = None,
     total_budget_bytes: int | None = None,
     snapshot_dir: str | None = None,
@@ -677,10 +720,23 @@ def build_transport(
 ) -> Transport:
     """The transport a coordinator should use for the given settings.
 
-    ``address`` selects the socket transport; otherwise ``workers``
-    picks in-process (0) or the multiprocess pool (>= 1), mirroring the
-    pre-transport ``ShardCoordinator(workers=...)`` behavior.
+    ``endpoints`` (several server addresses) selects the federated
+    connection pool; ``address`` (one server) the single-connection
+    socket transport; otherwise ``workers`` picks in-process (0) or the
+    multiprocess pool (>= 1), mirroring the pre-transport
+    ``ShardCoordinator(workers=...)`` behavior.
     """
+    if endpoints is not None and address is not None:
+        raise ServiceError("pass either address= or endpoints=, not both")
+    if endpoints is not None:
+        from repro.service.pool import PooledTransport
+
+        return PooledTransport(
+            endpoints,
+            codec=codec,
+            max_restarts=max_restarts,
+            allow_pickle=allow_pickle,
+        )
     if address is not None:
         return SocketTransport(
             address,

@@ -1,0 +1,50 @@
+"""Shared Gamma-service test workloads.
+
+One home for the request builders the service/transport/conformance
+suites all sweep, so the conformance matrix and the per-transport tests
+provably exercise the same workloads (a divergence here once meant three
+silently different copies).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.privacy.relations import ModuleRelation
+from repro.privacy.workflow_privacy import WorkflowPrivacyRequirements
+
+
+def all_visibility_pairs(relation):
+    """Every (visible-inputs, visible-outputs) index pair of a relation."""
+    pairs = []
+    for k in range(len(relation.inputs) + 1):
+        for visible_inputs in itertools.combinations(range(len(relation.inputs)), k):
+            for j in range(len(relation.outputs) + 1):
+                for visible_outputs in itertools.combinations(
+                    range(len(relation.outputs)), j
+                ):
+                    pairs.append((visible_inputs, visible_outputs))
+    return pairs
+
+
+def entry_requests(relation):
+    """One Gamma request per visibility pair of ``relation``."""
+    structure = relation.structure_signature
+    return [(structure, vi, vo) for vi, vo in all_visibility_pairs(relation)]
+
+
+def search_requirements(seed: int = 70) -> WorkflowPrivacyRequirements:
+    """The canonical three-module secure-view search workload."""
+    requirements = WorkflowPrivacyRequirements()
+    for index, gamma in ((0, 2), (1, 3), (2, 2)):
+        requirements.add(
+            ModuleRelation.random(
+                f"M{index}",
+                n_inputs=2,
+                n_outputs=2,
+                domain_size=3,
+                seed=seed + index,
+            ),
+            gamma,
+        )
+    return requirements

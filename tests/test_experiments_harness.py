@@ -111,7 +111,7 @@ class TestFigures:
 
 class TestExperimentRunners:
     def test_registry_is_complete(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
         assert set(ALL_HEADLINES) == set(ALL_EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):

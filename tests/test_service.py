@@ -17,6 +17,7 @@ import random as stdlib_random
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+from service_workloads import all_visibility_pairs, entry_requests
 
 from repro.errors import ServiceError
 from repro.experiments import e9_sharding
@@ -49,24 +50,6 @@ RELATIONS = st.builds(
     domain_size=st.integers(min_value=2, max_value=3),
     seed=st.integers(min_value=0, max_value=10_000),
 )
-
-
-def all_visibility_pairs(relation):
-    """Every (visible-inputs, visible-outputs) index pair of a relation."""
-    pairs = []
-    for k in range(len(relation.inputs) + 1):
-        for visible_inputs in itertools.combinations(range(len(relation.inputs)), k):
-            for j in range(len(relation.outputs) + 1):
-                for visible_outputs in itertools.combinations(
-                    range(len(relation.outputs)), j
-                ):
-                    pairs.append((visible_inputs, visible_outputs))
-    return pairs
-
-
-def entry_requests(relation):
-    structure = relation.structure_signature
-    return [(structure, vi, vo) for vi, vo in all_visibility_pairs(relation)]
 
 
 @pytest.fixture(scope="module")

@@ -1,36 +1,29 @@
-"""Tests for the transport-abstracted Gamma service and pipelined search.
+"""Tests for the transport/server mechanics the conformance matrix skips.
 
-Covers the ISSUE-4 contracts: socket transports (unix + TCP) and the
-multiprocess pool return results byte-identical to the in-process
-oracle (per-result pickle equality -- cross-result tuple sharing is an
-object-graph artifact no wire codec preserves) with coherent merged
-``kernel_stats``; pipelined ``exact_secure_view`` is equivalent to
-sequential dispatch at every depth; a mid-search worker crash under
-pipelining recovers to the identical view; frame/wire round-trips;
-the coordinator structure LRU with snapshot-store re-ship; the server's
-``need``-structures re-ship; and snapshot-store GC + compaction.
+The cross-transport equivalence, pipelining and recovery contracts
+(formerly per-transport copies here) live in
+``test_transport_conformance.py`` as one parametrized matrix; this file
+keeps what is *not* a per-transport contract: frame/wire round-trips,
+socket-server specifics (shared warm kernels across tenants, the
+``need``-structures re-ship, restart budgets, the stats probe),
+connection-pool unit behavior, the coordinator's speculative-error
+banking, discard bookkeeping and structure LRU, and snapshot-store GC +
+compaction.
 """
 
 from __future__ import annotations
 
-import itertools
 import os
-import pickle
 import socket
 
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from service_workloads import entry_requests, search_requirements
 
 from repro.errors import ServiceError, WorkerCrashError
 from repro.experiments import e10_transport
 from repro.privacy.kernel_registry import GammaKernelRegistry
 from repro.privacy.relations import ModuleRelation
-from repro.privacy.workflow_privacy import (
-    WorkflowPrivacyRequirements,
-    exact_secure_view,
-    secure_view,
-)
+from repro.privacy.workflow_privacy import exact_secure_view, secure_view
 from repro.service import (
     GammaServer,
     KernelSnapshotStore,
@@ -56,43 +49,6 @@ from repro.service.protocol import (
     write_frame,
 )
 
-RELAXED = settings(
-    max_examples=10,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-RELATIONS = st.builds(
-    ModuleRelation.random,
-    st.sampled_from(["P"]),
-    n_inputs=st.integers(min_value=1, max_value=3),
-    n_outputs=st.integers(min_value=1, max_value=2),
-    domain_size=st.integers(min_value=2, max_value=3),
-    seed=st.integers(min_value=0, max_value=10_000),
-)
-
-
-def all_visibility_pairs(relation):
-    pairs = []
-    for k in range(len(relation.inputs) + 1):
-        for visible_inputs in itertools.combinations(range(len(relation.inputs)), k):
-            for j in range(len(relation.outputs) + 1):
-                for visible_outputs in itertools.combinations(
-                    range(len(relation.outputs)), j
-                ):
-                    pairs.append((visible_inputs, visible_outputs))
-    return pairs
-
-
-def entry_requests(relation):
-    structure = relation.structure_signature
-    return [(structure, vi, vo) for vi, vo in all_visibility_pairs(relation)]
-
-
-def result_payloads(results):
-    return [(r.task_id is not None, r.gamma, r.counts, r.partition) for r in results]
-
-
 @pytest.fixture(scope="module")
 def unix_server(tmp_path_factory):
     path = str(tmp_path_factory.mktemp("gamma") / "gamma.sock")
@@ -101,20 +57,8 @@ def unix_server(tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def tcp_server():
-    with GammaServer(("tcp", "127.0.0.1", 0)) as server:
-        yield server
-
-
-@pytest.fixture(scope="module")
 def unix_client(unix_server):
     with ShardCoordinator(address=unix_server.address, task_timeout=60.0) as client:
-        yield client
-
-
-@pytest.fixture(scope="module")
-def tcp_client(tcp_server):
-    with ShardCoordinator(address=tcp_server.address, task_timeout=60.0) as client:
         yield client
 
 
@@ -139,9 +83,12 @@ class TestWireForms:
 
     def test_completion_message_round_trip(self):
         result = TaskResult(4, "sig", 2, (1, 2), (0, 0, 1))
-        report = ShardReport(0, 4, 1, {"kernels": 1}, 2, True, 1.5)
+        report = ShardReport(0, 4, 1, {"kernels": 1}, 2, True, 1.5, 3, 0.75)
         message = (MSG_BATCH, 0, 4, (result,), report)
-        assert message_from_wire(message_to_wire(message)) == message
+        rebuilt = message_from_wire(message_to_wire(message))
+        assert rebuilt == message
+        assert rebuilt[4].queue_depth == 3
+        assert rebuilt[4].queue_wait_ms == 0.75
 
     def test_need_message_round_trip(self):
         message = (MSG_NEED, 12, ("aa", "bb"))
@@ -224,25 +171,7 @@ class TestWireForms:
             parse_address("not-an-address")
 
 
-class TestSocketEquivalence:
-    @given(relation=RELATIONS)
-    @RELAXED
-    def test_unix_entries_identical_to_inprocess(self, unix_client, relation):
-        requests = entry_requests(relation)
-        local = ShardCoordinator(0).evaluate(requests, want="entry")
-        remote = unix_client.evaluate(requests, want="entry")
-        for mine, theirs in zip(local, remote):
-            assert pickle.dumps(
-                (mine.gamma, mine.counts, mine.partition)
-            ) == pickle.dumps((theirs.gamma, theirs.counts, theirs.partition))
-
-    @given(relation=RELATIONS)
-    @RELAXED
-    def test_tcp_gammas_identical_to_inprocess(self, tcp_client, relation):
-        requests = entry_requests(relation)
-        local = ShardCoordinator(0).gammas(requests)
-        assert tcp_client.gammas(requests) == local
-
+class TestSocketServer:
     def test_merged_kernel_stats_are_coherent(self, unix_client):
         relation = ModuleRelation.random(
             "P", n_inputs=3, n_outputs=2, domain_size=3, seed=77
@@ -283,6 +212,14 @@ class TestSocketEquivalence:
         stats = unix_client.transport.fetch_stats()
         assert stats["server_batches"] >= 1
         assert stats["server_clients"] >= 1
+        # Fairness gauges of the round-robin scheduler.
+        assert stats["server_dispatchers"] >= 1
+        assert stats["server_tenants"] >= 1
+        assert stats["server_queue_depth"] >= 0
+        assert stats["queue_wait_p95_ms"] >= 0
+        report = unix_client.shard_reports()[0]
+        assert report.queue_wait_ms >= 0.0
+        assert report.queue_depth >= 0
 
     def test_connection_loss_recovers_transparently(self, tmp_path):
         relation = ModuleRelation.random("P", n_inputs=2, n_outputs=2, seed=80)
@@ -346,21 +283,6 @@ class TestSocketEquivalence:
 
 
 class TestPipelinedSecureView:
-    def _requirements(self):
-        requirements = WorkflowPrivacyRequirements()
-        for index, gamma in ((0, 2), (1, 3), (2, 2)):
-            requirements.add(
-                ModuleRelation.random(
-                    f"M{index}",
-                    n_inputs=2,
-                    n_outputs=2,
-                    domain_size=3,
-                    seed=70 + index,
-                ),
-                gamma,
-            )
-        return requirements
-
     def _check_equivalent(self, candidate, baseline):
         assert candidate.hidden_labels == baseline.hidden_labels
         assert candidate.cost == baseline.cost
@@ -368,80 +290,15 @@ class TestPipelinedSecureView:
         assert candidate.evaluations == baseline.evaluations
         assert candidate.optimal
 
-    @pytest.mark.parametrize("depth", [2, 4, 8])
-    def test_pipelined_inprocess_equals_sequential(self, depth):
-        baseline = exact_secure_view(self._requirements())
-        result = exact_secure_view(
-            self._requirements(), service=ShardCoordinator(0), pipeline_depth=depth
-        )
-        self._check_equivalent(result, baseline)
-
-    @pytest.mark.parametrize("depth", [1, 4])
-    def test_pipelined_over_unix_socket_equals_sequential(self, unix_client, depth):
-        baseline = exact_secure_view(self._requirements())
-        result = exact_secure_view(
-            self._requirements(), service=unix_client, pipeline_depth=depth
-        )
-        self._check_equivalent(result, baseline)
-
-    def test_pipelined_over_tcp_equals_sequential(self, tcp_client):
-        baseline = exact_secure_view(self._requirements())
-        result = exact_secure_view(
-            self._requirements(), service=tcp_client, pipeline_depth=4
-        )
-        self._check_equivalent(result, baseline)
-
     def test_secure_view_wrapper_passes_depth(self):
-        baseline = exact_secure_view(self._requirements())
+        baseline = exact_secure_view(search_requirements())
         result = secure_view(
-            self._requirements(),
+            search_requirements(),
             solver="exact",
             service=ShardCoordinator(0),
             pipeline_depth=4,
         )
         self._check_equivalent(result, baseline)
-
-    def test_midsearch_worker_crash_under_pipelining(self):
-        baseline = exact_secure_view(self._requirements())
-        with ShardCoordinator(2, task_timeout=60.0) as coordinator:
-            original_submit = coordinator.submit
-            state = {"count": 0}
-
-            def crashing_submit(requests, **kwargs):
-                state["count"] += 1
-                if state["count"] == 6:
-                    coordinator.inject_crash(0)
-                    coordinator.inject_crash(1)
-                return original_submit(requests, **kwargs)
-
-            coordinator.submit = crashing_submit
-            result = exact_secure_view(
-                self._requirements(), service=coordinator, pipeline_depth=4
-            )
-            self._check_equivalent(result, baseline)
-            assert coordinator.worker_restarts >= 1
-
-    def test_midsearch_connection_loss_under_pipelining(self, tmp_path):
-        baseline = exact_secure_view(self._requirements())
-        path = str(tmp_path / "mid.sock")
-        with GammaServer(("unix", path)) as server:
-            with ShardCoordinator(address=server.address) as client:
-                original_submit = client.submit
-                state = {"count": 0}
-
-                def severing_submit(requests, **kwargs):
-                    state["count"] += 1
-                    request_id = original_submit(requests, **kwargs)
-                    if state["count"] == 6:
-                        client.transport._sock.close()
-                    return request_id
-
-                client.submit = severing_submit
-                result = exact_secure_view(
-                    self._requirements(), service=client, pipeline_depth=4
-                )
-                self._check_equivalent(result, baseline)
-                assert client.worker_restarts >= 1
 
     def test_speculative_error_does_not_abort_other_collects(self):
         # An error belonging to request B, arriving while request A's
@@ -481,24 +338,36 @@ class TestPipelinedSecureView:
         assert not coordinator._batch_requests
 
 
-class TestMultiprocessParity:
-    @given(relation=RELATIONS, depth=st.sampled_from([1, 4]))
-    @settings(
-        max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-    )
-    def test_async_api_matches_sync_across_pool(self, relation, depth):
-        requests = entry_requests(relation)
-        oracle = ShardCoordinator(0).evaluate(requests, want="entry")
-        with ShardCoordinator(2, task_timeout=60.0) as pool:
-            tickets = [pool.submit(requests, want="entry") for _ in range(depth)]
-            for ticket in reversed(tickets):  # out-of-order collection
-                results = pool.collect(ticket)
-                for mine, theirs in zip(oracle, results):
-                    assert (mine.gamma, mine.counts, mine.partition) == (
-                        theirs.gamma,
-                        theirs.counts,
-                        theirs.partition,
-                    )
+class TestPooledTransportUnits:
+    def test_empty_endpoint_list_rejected(self):
+        from repro.service import PooledTransport
+
+        with pytest.raises(ServiceError, match="at least one endpoint"):
+            PooledTransport([])
+
+    def test_build_transport_rejects_address_and_endpoints(self):
+        from repro.service.transport import build_transport
+
+        with pytest.raises(ServiceError, match="not both"):
+            build_transport(address="127.0.0.1:1", endpoints=["127.0.0.1:2"])
+
+    def test_routing_is_identity_until_failover(self, unix_server):
+        with ShardCoordinator(endpoints=[unix_server.address] * 3) as client:
+            pool = client.transport
+            assert pool.shard_count == 3
+            assert [pool.endpoint_of(shard) for shard in range(3)] == [0, 1, 2]
+            assert pool.lost_endpoints == ()
+            assert pool.failovers == 0
+            assert "endpoints=3" in repr(pool)
+
+    def test_pool_stats_probe_merges_endpoints(self, unix_server):
+        relation = ModuleRelation.random("P", seed=83)
+        with ShardCoordinator(endpoints=[unix_server.address] * 2) as client:
+            client.gammas(entry_requests(relation))
+            stats = client.transport.fetch_stats()
+            assert stats["pool_endpoints"] == 2
+            assert stats["pool_lost_endpoints"] == 0
+            assert stats["server_batches"] >= 1
 
 
 class TestStructureLRU:
@@ -637,3 +506,27 @@ class TestExperimentE10:
         )
         rows = e10_transport.run(config, workers=2)
         assert rows and all(row["matches_oracle"] for row in rows)
+
+
+class TestExperimentE11:
+    def test_small_sweep_matches_oracle(self):
+        from repro.experiments import e11_federation
+
+        config = e11_federation.E11Config(servers=(1, 2), tenants=2, modules=2)
+        rows = e11_federation.run(config)
+        assert len(rows) == 4
+        assert all(row["matches_oracle"] for row in rows)
+        evaluations = {row["evaluations"] for row in rows}
+        assert len(evaluations) == 1, "federation must not change the search"
+        headline = e11_federation.headline(rows)
+        assert headline["all_match_oracle"] is True
+        assert headline["federations"] == 2
+
+    def test_endpoints_override_sweeps_given_federation(self, unix_server):
+        from repro.experiments import e11_federation
+
+        config = e11_federation.E11Config(servers=(3,), tenants=1, modules=2)
+        rows = e11_federation.run(config, endpoints=[unix_server.address])
+        assert len(rows) == 1
+        assert rows[0]["servers"] == 1
+        assert rows[0]["matches_oracle"]
