@@ -1,7 +1,9 @@
 # Single entrypoints for contributors and CI.  `make test` runs exactly the
 # tier-1 command from ROADMAP.md; `make test-conformance` runs only the
 # cross-transport conformance matrix (its own CI step, so transport
-# failures are attributed clearly); `make bench` runs the pytest-benchmark
+# failures are attributed clearly); `make test-chaos` runs the elastic
+# membership suite -- endpoint kill/heal/re-admission and live shard
+# rebalancing -- as its own step for the same reason; `make bench` runs the pytest-benchmark
 # suites and writes a BENCH_<date>.json perf snapshot; `make bench-check`
 # re-runs the suites and fails on a >30% regression of the guarded
 # (kernel/adversary) ops versus the committed baseline in
@@ -11,7 +13,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-conformance bench bench-check lint
+.PHONY: test test-conformance test-chaos bench bench-check lint
 
 # Extra pytest selection flags (CI's tier-1 step passes
 # PYTEST_FLAGS='-k "not conformance"' because the conformance matrix
@@ -22,7 +24,10 @@ test:
 	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
 test-conformance:
-	$(PYTHON) -m pytest -q -k conformance
+	$(PYTHON) -m pytest -q -k "conformance and not readmission and not rebalance"
+
+test-chaos:
+	$(PYTHON) -m pytest -q -k "readmission or rebalance"
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py

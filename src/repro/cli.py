@@ -102,6 +102,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"note: {experiment_id} does not take --endpoints; ignoring",
                 file=sys.stderr,
             )
+    for option in ("probe_interval", "rebalance"):
+        value = getattr(args, option, None)
+        if value is None:
+            continue
+        if option in parameters:
+            kwargs[option] = value
+        else:
+            flag = "--" + option.replace("_", "-")
+            print(
+                f"note: {experiment_id} does not take {flag}; ignoring",
+                file=sys.stderr,
+            )
     rows = runner(**kwargs)
     print(format_table(rows, title=f"{experiment_id} result table"))
     print()
@@ -238,11 +250,33 @@ def build_parser() -> argparse.ArgumentParser:
             "already-running federation instead of spawning local servers"
         ),
     )
+    experiment.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        help=(
+            "health-prober cadence in seconds for elastic federation "
+            "experiments (E11); lost endpoints are pinged and re-admitted "
+            "on recovery"
+        ),
+    )
+    experiment.add_argument(
+        "--rebalance",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "enable/disable warm-kernel handoff when a re-admitted "
+            "endpoint takes its shards back (E11; default on)"
+        ),
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     serve = subparsers.add_parser(
         "serve",
-        help="run a standalone Gamma evaluation server (shared warm kernels)",
+        help=(
+            "run a standalone Gamma evaluation server (shared warm "
+            "kernels; answers federation ping probes for elastic pools)"
+        ),
     )
     serve.add_argument("--unix", help="unix socket path to listen on")
     serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")

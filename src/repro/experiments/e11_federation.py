@@ -25,6 +25,16 @@ federation benchmark, not this correctness sweep.
 With ``--endpoints host:port,host:port`` (the CLI) the sweep runs
 against an already-running federation instead of spawning local
 servers, turning E11 into a deployment smoke test.
+
+**Elastic cells** (``config.elastic`` or the CLI's
+``--probe-interval``): a kill -> recover -> re-admit cycle over the
+largest federation.  One server is killed mid-workload (its shards
+fail over under the bounded-load ring), restarted cold, re-admitted by
+the pool's health prober, and its shards migrate back with warm-kernel
+handoff.  Every phase is oracle-checked, and the re-admitted sweep
+must repeat at most 10% of the cold sweep's partition work
+(``handoff_skip_ratio`` >= 0.9 -- the elastic analogue of
+``bench_service``'s warm-start guard).
 """
 
 from __future__ import annotations
@@ -35,13 +45,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.errors import ServiceError
 from repro.experiments.reporting import ResultTable
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import (
     WorkflowPrivacyRequirements,
     exact_secure_view,
 )
-from repro.service import GammaServer, ShardCoordinator
+from repro.service import GammaServer, ShardCoordinator, shard_of
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,10 @@ class E11Config:
     domain_size: int = 3
     pipeline_depth: int = 4
     seed: int = 97
+    #: Append the kill -> recover -> re-admit sweep (also enabled by
+    #: passing ``probe_interval`` to :func:`run`, the CLI's
+    #: ``--probe-interval``).
+    elastic: bool = False
 
 
 def build_requirements(config: E11Config) -> WorkflowPrivacyRequirements:
@@ -84,12 +99,17 @@ def run(
     config: E11Config | None = None,
     *,
     endpoints: Sequence[str] | None = None,
+    probe_interval: float | None = None,
+    rebalance: bool | None = None,
 ) -> ResultTable:
     """Run E11: one row per (federation size, tenant).
 
     ``endpoints`` (the CLI's ``--endpoints``) skips spawning local
     servers and sweeps the tenants against the given federation
-    instead; the servers column then reports its size.
+    instead; the servers column then reports its size.  Passing
+    ``probe_interval`` (the CLI's ``--probe-interval``) additionally
+    runs the elastic kill -> recover -> re-admit cells (local servers
+    only -- a remote federation is not ours to kill).
     """
     config = config or E11Config()
     oracle = exact_secure_view(build_requirements(config))
@@ -144,7 +164,152 @@ def run(
             finally:
                 for server in servers:
                     server.close()
+        if (config.elastic or probe_interval is not None) and not endpoints:
+            rows.extend(
+                elastic_run(
+                    config,
+                    probe_interval=probe_interval or 0.05,
+                    rebalance=True if rebalance is None else rebalance,
+                )
+            )
     finally:
+        import shutil
+
+        shutil.rmtree(socket_dir, ignore_errors=True)
+    return rows
+
+
+def _cold_work(stats: dict) -> int:
+    """The cold-start work in one federation-wide stats probe.
+
+    Mirrors ``bench_service``'s warm-start guard: partition refinements
+    and grouping passes only happen when a kernel computes an entry it
+    did not already hold.
+    """
+    return int(stats.get("partition_refinements", 0)) + int(
+        stats.get("grouping_passes", 0)
+    )
+
+
+def elastic_run(
+    config: E11Config | None = None,
+    *,
+    probe_interval: float = 0.05,
+    rebalance: bool = True,
+) -> ResultTable:
+    """The kill -> recover -> re-admit sweep: one row per phase.
+
+    Three phases against one persistent client over the largest
+    federation of ``config.servers``:
+
+    * ``cold`` -- fresh federation, baseline cold partition work;
+    * ``failover`` -- the busiest endpoint is killed; its shards fail
+      over under the bounded-load ring and the search still matches the
+      oracle;
+    * ``readmit`` -- the server is restarted cold, the health prober
+      re-admits it, its shards migrate home with warm-kernel handoff,
+      and the sweep repeats at most 10% of the cold phase's partition
+      work (``handoff_skip_ratio`` >= 0.9, asserted).
+    """
+    config = config or E11Config()
+    n_servers = max(max(config.servers), 2)
+    requirements = build_requirements(config)
+    oracle = exact_secure_view(build_requirements(config))
+    signatures = [
+        requirement.relation.structure_signature.signature
+        for requirement in requirements.requirements
+    ]
+    # The victim must actually serve traffic or there is nothing to
+    # fail over, re-admit, or hand off.
+    by_endpoint: dict[int, int] = {}
+    for signature in signatures:
+        by_endpoint[shard_of(signature, n_servers)] = (
+            by_endpoint.get(shard_of(signature, n_servers), 0) + 1
+        )
+    victim = max(by_endpoint, key=lambda index: by_endpoint[index])
+    socket_dir = Path(tempfile.mkdtemp(prefix="e11-elastic-"))
+    rows: ResultTable = []
+    servers: dict[int, GammaServer] = {}
+    try:
+        addresses = [
+            ("unix", str(socket_dir / f"e11-elastic-{index}.sock"))
+            for index in range(n_servers)
+        ]
+        for index, address in enumerate(addresses):
+            servers[index] = GammaServer(address).start()
+        with ShardCoordinator(
+            endpoints=addresses,
+            task_timeout=120.0,
+            probe_interval=probe_interval,
+            rebalance=rebalance,
+            max_restarts=1,
+        ) as client:
+            pool = client.transport
+
+            def phase(name: str, **extra: object) -> dict:
+                before = _cold_work(pool.fetch_stats())
+                started = time.perf_counter()
+                result = exact_secure_view(
+                    build_requirements(config),
+                    service=client,
+                    pipeline_depth=config.pipeline_depth,
+                )
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                cold = _cold_work(pool.fetch_stats()) - before
+                row = {
+                    "servers": n_servers,
+                    "phase": name,
+                    "time_ms": round(elapsed_ms, 3),
+                    "evaluations": result.evaluations,
+                    "cold_work": cold,
+                    "failovers": pool.failovers,
+                    "readmissions": pool.readmissions,
+                    "handoffs": pool.handoffs,
+                    "handoff_entries": pool.handoff_entries,
+                    "stale_completions": pool.stale_completions,
+                    "epoch": pool.epoch,
+                    "matches_oracle": (
+                        result.hidden_labels == oracle.hidden_labels
+                        and result.cost == oracle.cost
+                        and result.evaluations == oracle.evaluations
+                    ),
+                    **extra,
+                }
+                rows.append(row)
+                return row
+
+            cold_row = phase("cold")
+            servers.pop(victim).close(snapshot=False)
+            phase("failover")
+            if victim not in pool.lost_endpoints:
+                raise ServiceError(
+                    f"victim endpoint {victim} was not marked lost"
+                )
+            servers[victim] = GammaServer(addresses[victim]).start()
+            deadline = time.monotonic() + 30.0
+            while pool.lost_endpoints and time.monotonic() < deadline:
+                time.sleep(probe_interval)
+            if pool.lost_endpoints:
+                raise ServiceError(
+                    f"prober did not re-admit endpoint {victim} in time"
+                )
+            readmit_row = phase("readmit")
+            baseline = max(int(cold_row["cold_work"]), 1)
+            skip_ratio = 1.0 - int(readmit_row["cold_work"]) / baseline
+            readmit_row["handoff_skip_ratio"] = round(skip_ratio, 4)
+            if rebalance:
+                # The elastic analogue of bench_service's warm-start
+                # guard: re-admission must not repeat cold work.
+                assert pool.readmissions >= 1, "prober never re-admitted"
+                assert pool.handoff_entries > 0, "handoff moved no entries"
+                assert skip_ratio >= 0.9, (
+                    f"warm handoff skipped only {skip_ratio:.0%} of cold "
+                    f"work (cold={cold_row['cold_work']}, "
+                    f"readmit={readmit_row['cold_work']})"
+                )
+    finally:
+        for server in servers.values():
+            server.close(snapshot=False)
         import shutil
 
         shutil.rmtree(socket_dir, ignore_errors=True)
@@ -157,9 +322,14 @@ def headline(rows: ResultTable) -> dict[str, object]:
     ``best_warm_tenant_speedup`` compares tenant 1 (cold federation)
     with the slowest later tenant per federation size -- the
     multi-tenant warm-kernel effect the shared service exists for.
+    Elastic cells (``phase`` rows) contribute their gauges instead:
+    the re-admission count and the warm-handoff skip ratio.
     """
     by_servers: dict[int, dict[int, float]] = {}
+    elastic_rows = [row for row in rows if "phase" in row]
     for row in rows:
+        if "phase" in row:
+            continue
         by_servers.setdefault(int(row["servers"]), {})[int(row["tenant"])] = float(
             row["time_ms"]
         )
@@ -169,11 +339,16 @@ def headline(rows: ResultTable) -> dict[str, object]:
         warm = [elapsed for tenant, elapsed in times.items() if tenant > 1]
         if cold and warm and max(warm) > 0:
             best = max(best, cold / max(warm))
-    return {
+    summary: dict[str, object] = {
         "all_match_oracle": all(bool(row["matches_oracle"]) for row in rows),
         "best_warm_tenant_speedup": round(best, 2),
         "federations": len(by_servers),
     }
+    if elastic_rows:
+        last = elastic_rows[-1]
+        summary["readmissions"] = int(last.get("readmissions", 0))
+        summary["handoff_skip_ratio"] = float(last.get("handoff_skip_ratio", 0.0))
+    return summary
 
 
 def main() -> None:  # pragma: no cover - convenience entry point

@@ -13,7 +13,10 @@ length-prefixed frames over unix/TCP sockets to a standalone
 many client processes, or a federated pool of several servers
 (:class:`~repro.service.pool.PooledTransport`,
 ``ShardCoordinator(endpoints=[...])``) with per-endpoint reconnect and
-failover re-routing.  Servers schedule tenants fairly (bounded
+elastic membership: consistent-hash routing with bounded loads
+(:class:`~repro.service.ring.HashRing`), a background health prober
+that re-admits healed endpoints, and live shard rebalancing with
+warm-kernel handoff.  Servers schedule tenants fairly (bounded
 per-connection queues drained round-robin).  Warm kernels are
 snapshotted to disk on eviction/shutdown and preloaded on start, so
 repeated sweeps skip cold-start entirely; every transport returns
@@ -34,18 +37,23 @@ from repro.service.protocol import (
     merge_kernel_stats,
     shard_of,
 )
+from repro.service.ring import HashRing
 from repro.service.server import GammaServer
 from repro.service.transport import (
+    ExponentialBackoff,
     InProcessTransport,
     MultiprocessTransport,
     SocketTransport,
     Transport,
     build_transport,
     parse_address,
+    probe_endpoint,
 )
 
 __all__ = [
+    "ExponentialBackoff",
     "GammaBatch",
+    "HashRing",
     "GammaRequest",
     "GammaServer",
     "GammaTask",
@@ -63,5 +71,6 @@ __all__ = [
     "build_transport",
     "merge_kernel_stats",
     "parse_address",
+    "probe_endpoint",
     "shard_of",
 ]

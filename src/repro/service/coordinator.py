@@ -128,6 +128,9 @@ class ShardCoordinator:
         structure_cache_size: int = DEFAULT_STRUCTURE_CACHE,
         codec: str | None = None,
         allow_pickle: bool = True,
+        probe_interval: float | None = None,
+        rebalance: bool = True,
+        ring_slack: int = 1,
     ) -> None:
         if structure_cache_size < 1:
             raise ServiceError("structure cache must hold at least one structure")
@@ -143,6 +146,9 @@ class ShardCoordinator:
                 max_restarts=max_restarts,
                 codec=codec,
                 allow_pickle=allow_pickle,
+                probe_interval=probe_interval,
+                rebalance=rebalance,
+                ring_slack=ring_slack,
             )
         self.transport = transport
         #: Kept for introspection/compat: 0 means "no local worker pool".
@@ -187,6 +193,30 @@ class ShardCoordinator:
         #: lock is released while their processes work and only taken for
         #: the 50 ms poll slices of the pump.
         self._lock = threading.RLock()
+        #: Membership-change accounting (elastic pools).  Guarded by its
+        #: own small lock, NOT self._lock: the pool's prober thread
+        #: fires the callback while a collector may hold the coordinator
+        #: lock and be about to call into the pool -- sharing the big
+        #: lock would be an ABBA deadlock.
+        self._membership_lock = threading.Lock()
+        self._membership_epoch = 0
+        self._endpoint_losses = 0
+        self._endpoint_readmissions = 0
+        self._shards_rebalanced = 0
+        register = getattr(self.transport, "add_membership_listener", None)
+        if register is not None:
+            register(self._on_membership_change)
+
+    def _on_membership_change(self, event: tuple) -> None:
+        """Pool membership callback (may run on the prober thread)."""
+        kind, _endpoint, epoch, moved = event
+        with self._membership_lock:
+            self._membership_epoch = max(self._membership_epoch, epoch)
+            self._shards_rebalanced += len(moved)
+            if kind == "lost":
+                self._endpoint_losses += 1
+            elif kind == "readmitted":
+                self._endpoint_readmissions += 1
 
     # ------------------------------------------------------------------ #
     # Structure cache
@@ -346,21 +376,7 @@ class ShardCoordinator:
 
     def _send(self, batch: GammaBatch) -> None:
         signatures = {task.signature for task in batch.tasks}
-        missing = self.transport.unshipped(batch.shard_id, signatures)
-        shipped = replace(
-            batch,
-            structures={
-                signature: self._structure_for(signature) for signature in missing
-            },
-        )
-        self._dispatch_times[batch.batch_id] = time.monotonic()
-        try:
-            self.transport.submit(shipped)
-        except TransportSendError:
-            # The shard died under our hands: recover it, then ship once
-            # more (recover raises WorkerCrashError past max_restarts).
-            self._recover(batch.shard_id, exclude=batch.batch_id)
-            self._mark_retried(batch.batch_id)
+        while True:
             missing = self.transport.unshipped(batch.shard_id, signatures)
             shipped = replace(
                 batch,
@@ -370,7 +386,19 @@ class ShardCoordinator:
                 },
             )
             self._dispatch_times[batch.batch_id] = time.monotonic()
-            self.transport.submit(shipped)
+            try:
+                self.transport.submit(shipped)
+                break
+            except TransportSendError:
+                # The shard died under our hands: recover it and ship
+                # again.  A pool may fail the shard over onto an
+                # endpoint that turns out to be dead too, so this loops;
+                # it terminates because every failed round either
+                # reconnects (bounded by the restart budget) or retires
+                # an endpoint (finitely many), and recover raises
+                # WorkerCrashError once nothing survives.
+                self._recover(batch.shard_id, exclude=batch.batch_id)
+                self._mark_retried(batch.batch_id)
         self.transport.mark_shipped(batch.shard_id, signatures)
 
     def _mark_retried(self, batch_id: int) -> None:
@@ -559,7 +587,7 @@ class ShardCoordinator:
 
     def service_stats(self) -> dict[str, object]:
         """Coordinator-side dispatch counters (for experiment tables)."""
-        return {
+        stats: dict[str, object] = {
             "transport": self.transport.name,
             "workers": self.workers,
             "tasks": self._tasks_dispatched,
@@ -572,6 +600,41 @@ class ShardCoordinator:
             "structure_reloads": self._structure_reloads,
             **self.latency_percentiles(),
         }
+        with self._membership_lock:
+            if self._membership_epoch or self._endpoint_losses:
+                stats["membership_epoch"] = self._membership_epoch
+                stats["endpoint_losses"] = self._endpoint_losses
+                stats["endpoint_readmissions"] = self._endpoint_readmissions
+                stats["shards_rebalanced"] = self._shards_rebalanced
+        for gauge in ("failovers", "readmissions", "handoffs"):
+            value = getattr(self.transport, gauge, None)
+            if value is not None:
+                stats[gauge] = value
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Warm-handoff delegation (server-side backend of MSG_EXPORT/IMPORT)
+    # ------------------------------------------------------------------ #
+    def export_kernel_entries(self, signatures: Iterable[str]) -> dict:
+        """Export the named kernels' warm state, when the transport can.
+
+        Transports without exportable local state (multiprocess shards)
+        return an empty payload: the handoff degrades to a cold start
+        instead of failing.
+        """
+        with self._lock:
+            exporter = getattr(self.transport, "export_kernel_entries", None)
+            if exporter is None:
+                return {}
+            return exporter(signatures)
+
+    def import_kernel_entries(self, payload: dict) -> int:
+        """Import exported kernels; returns entries landed (0 if unsupported)."""
+        with self._lock:
+            importer = getattr(self.transport, "import_kernel_entries", None)
+            if importer is None:
+                return 0
+            return importer(payload)
 
     # ------------------------------------------------------------------ #
     # Fault injection and shutdown

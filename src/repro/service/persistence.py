@@ -34,7 +34,7 @@ import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ServiceError
 from repro.privacy.kernel_registry import (
@@ -290,6 +290,52 @@ class KernelSnapshotStore:
             kernel = registry.ensure_kernel(structure)
             preloaded += kernel.import_entries(entries)
         return preloaded
+
+    # ------------------------------------------------------------------ #
+    # Targeted per-shard export/import (warm-handoff between endpoints)
+    # ------------------------------------------------------------------ #
+    def export_signatures(
+        self, signatures: Iterable[str]
+    ) -> dict[str, tuple[RelationStructure, tuple[tuple[tuple, object, int], ...]]]:
+        """The named snapshots as ``{signature: (structure, entries)}``.
+
+        The warm-handoff path of an elastic federation: when a shard
+        migrates, exactly its signatures are exported from the old
+        endpoint -- live kernels first, this store as the fallback for
+        structures already evicted from memory.  Spills are flushed
+        first so the export sees the complete warm state; unreadable or
+        absent snapshots are skipped (they just cost a cold start).
+        """
+        self.flush_spills()
+        payload: dict[str, tuple] = {}
+        for signature in signatures:
+            try:
+                snapshot = self.load(signature)
+            except ServiceError:
+                continue
+            if snapshot is not None:
+                payload[signature] = snapshot
+        return payload
+
+    def import_signatures(
+        self, payload: Mapping[str, tuple]
+    ) -> int:
+        """Merge exported snapshots into this store; returns entry count.
+
+        The receiving side of a warm handoff: the new endpoint persists
+        what it was shipped so a later restart of *that* endpoint also
+        starts warm.  Existing on-disk entries are kept; shipped entries
+        win on key conflicts (they are the freshest copy).
+        """
+        imported = 0
+        for signature, (structure, entries) in payload.items():
+            merged = self._entries_on_disk(signature)
+            merged.update(
+                {key: (value, cost) for key, value, cost in entries}
+            )
+            self._write_snapshot(signature, structure, merged)
+            imported += len(entries)
+        return imported
 
     def clear(self) -> int:
         """Delete every snapshot file; returns how many were removed."""

@@ -76,6 +76,21 @@ MSG_NEED = "need"
 MSG_STATS = "stats"
 MSG_STOP = "stop"
 MSG_STOPPED = "stopped"
+#: Liveness probe: ``("ping",)`` is answered with ``("pong", 0)`` inline
+#: by the server's reader thread, so a health prober can distinguish "the
+#: process accepts connections and speaks the protocol" from a half-open
+#: TCP endpoint.
+MSG_PING = "ping"
+MSG_PONG = "pong"
+#: Warm-handoff verbs: ``("export", (signature, ...))`` asks an endpoint
+#: for the named kernels' structures and cache entries; the reply is
+#: ``("exported", {signature: [structure, entries]})``.  ``("import",
+#: payload)`` ships that payload to another endpoint, answered with
+#: ``("imported", entry_count)``.
+MSG_EXPORT = "export"
+MSG_EXPORTED = "exported"
+MSG_IMPORT = "import"
+MSG_IMPORTED = "imported"
 
 
 def shard_of(signature: str, shards: int) -> int:
@@ -170,6 +185,13 @@ class ShardReport:
     dispatch_latency_ms: float = 0.0
     queue_depth: int = 0
     queue_wait_ms: float = 0.0
+    #: Membership epoch of the pool routing that dispatched this batch,
+    #: stamped by :class:`~repro.service.pool.PooledTransport` when the
+    #: completion is accepted.  A completion arriving from an endpoint
+    #: the batch is no longer routed to belongs to a pre-rebalance epoch
+    #: and is dropped rather than double-counted.  0 on transports with
+    #: no membership concept.
+    epoch: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -272,11 +294,51 @@ def report_to_wire(report: ShardReport) -> list:
         report.dispatch_latency_ms,
         report.queue_depth,
         report.queue_wait_ms,
+        report.epoch,
     ]
 
 
 def report_from_wire(wire: list) -> ShardReport:
     return ShardReport(*wire)
+
+
+def plain_to_wire(value: object) -> object:
+    """Arbitrary nested tuples/ints/strings as codec-safe plain data.
+
+    Kernel cache entries are keyed and valued by nested tuples of ints
+    and strings (``("partition", (0, 1))`` and the like); msgpack knows
+    nothing about tuples, so the wire form flattens them to lists.
+    """
+    if isinstance(value, (tuple, list)):
+        return [plain_to_wire(item) for item in value]
+    if isinstance(value, dict):
+        return {key: plain_to_wire(item) for key, item in value.items()}
+    return value
+
+
+def plain_from_wire(value: object) -> object:
+    """Invert :func:`plain_to_wire` (every sequence becomes a tuple)."""
+    if isinstance(value, (tuple, list)):
+        return tuple(plain_from_wire(item) for item in value)
+    if isinstance(value, dict):
+        return {key: plain_from_wire(item) for key, item in value.items()}
+    return value
+
+
+def kernel_export_to_wire(payload: Mapping[str, tuple]) -> dict:
+    """A warm-handoff payload ``{signature: (structure, entries)}`` on the wire."""
+    return {
+        signature: [structure_to_wire(structure), plain_to_wire(entries)]
+        for signature, (structure, entries) in payload.items()
+    }
+
+
+def kernel_export_from_wire(wire: Mapping[str, list]) -> dict[str, tuple]:
+    """Invert :func:`kernel_export_to_wire`."""
+    return {
+        signature: (structure_from_wire(structure), plain_from_wire(entries))
+        for signature, (structure, entries) in wire.items()
+    }
 
 
 def message_to_wire(message: tuple) -> list:
@@ -289,6 +351,10 @@ def message_to_wire(message: tuple) -> list:
     * ``("error", shard_id, batch_id, text)``;
     * ``("need", batch_id, [signature, ...])`` -- server asking the
       client to re-ship structures its cache no longer holds;
+    * ``("export", [signature, ...])`` / ``("exported", payload)`` and
+      ``("import", payload)`` / ``("imported", count)`` -- warm-handoff
+      kernel transfer (:func:`kernel_export_to_wire`);
+    * ``("ping",)`` / ``("pong", 0)`` -- liveness probe;
     * ``("stats",)`` / ``("stats", mapping)`` / ``("stop",)`` /
       ``("stopped", shard_id)`` -- passed through verbatim.
     """
@@ -304,6 +370,8 @@ def message_to_wire(message: tuple) -> list:
             [result_to_wire(result) for result in results],
             report_to_wire(report),
         ]
+    if kind in (MSG_EXPORTED, MSG_IMPORT):
+        return [kind, kernel_export_to_wire(message[1])]
     return [kind, *[list(part) if isinstance(part, tuple) else part for part in message[1:]]]
 
 
@@ -324,6 +392,10 @@ def message_from_wire(wire: list) -> tuple:
     if kind == MSG_NEED:
         _, batch_id, signatures = wire
         return (kind, batch_id, tuple(signatures))
+    if kind == MSG_EXPORT:
+        return (kind, tuple(wire[1]))
+    if kind in (MSG_EXPORTED, MSG_IMPORT):
+        return (kind, kernel_export_from_wire(wire[1]))
     return tuple(wire)
 
 

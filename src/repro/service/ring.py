@@ -1,0 +1,137 @@
+"""Consistent hashing with bounded loads for federation routing.
+
+``HashRing`` maps logical shards onto a membership set of endpoint
+identities.  The design is *home-pinned*: shard ``i``'s home endpoint is
+endpoint ``i`` and the assignment is the identity permutation whenever
+every endpoint is live.  Only *displaced* shards — those whose home
+endpoint is currently lost — walk the ring: starting from the shard's
+own hash point, they take the first live endpoint whose load is still
+below the bounded-load cap ``ceil(shards / live) + slack``.
+
+Guarantees (see ``tests/test_elastic_federation.py``):
+
+* **Determinism** — the assignment is a pure function of the membership
+  set; two pools with the same identities and the same live set route
+  identically.
+* **Bounded loads** — no endpoint ever carries more than
+  ``capacity(len(live))`` shards, for any non-empty live set.
+* **Identity at full membership** — with everyone live each shard sits
+  on its home endpoint, so a healthy pool behaves exactly like the
+  pre-elastic one.
+* **Minimal movement on single changes at the boundary** — losing one
+  endpoint from full membership moves only that endpoint's shard;
+  re-admitting the last missing endpoint moves only its homecoming
+  shard.  (For arbitrary multi-change transitions the cap itself moves,
+  so "no shard on an unaffected endpoint moves" is not achievable by
+  *any* bounded-load scheme; the property tests encode exactly what is
+  provable.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing"]
+
+_DIGEST_BYTES = 8
+
+
+def _hash_point(token: str) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=_DIGEST_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Home-pinned consistent-hash ring with bounded loads.
+
+    ``identities`` are stable, order-significant endpoint names (index
+    ``i`` on the ring is shard ``i``'s home).  ``replicas`` virtual
+    nodes per endpoint smooth the walk order for displaced shards;
+    ``slack`` is the headroom added to the per-endpoint load cap.
+    """
+
+    def __init__(
+        self,
+        identities: Sequence[str],
+        *,
+        replicas: int = 32,
+        slack: int = 1,
+    ) -> None:
+        if not identities:
+            raise ValueError("HashRing needs at least one identity")
+        if len(set(identities)) != len(identities):
+            raise ValueError("HashRing identities must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if slack < 0:
+            raise ValueError("slack must be >= 0")
+        self.identities = tuple(identities)
+        self.replicas = replicas
+        self.slack = slack
+        points: list[tuple[int, int]] = []
+        for index, identity in enumerate(self.identities):
+            for replica in range(replicas):
+                points.append((_hash_point(f"{identity}#{replica}"), index))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+        self._shard_points = [
+            _hash_point(f"shard:{identity}") for identity in self.identities
+        ]
+
+    # ------------------------------------------------------------------
+
+    def capacity(self, live_count: int) -> int:
+        """Bounded-load cap for one endpoint given ``live_count`` live."""
+        if live_count < 1:
+            raise ValueError("live_count must be >= 1")
+        return math.ceil(len(self.identities) / live_count) + self.slack
+
+    def _walk(self, start_point: int) -> Iterable[int]:
+        """Yield endpoint indices clockwise from ``start_point``."""
+        start = bisect_right(self._keys, start_point)
+        total = len(self._points)
+        for offset in range(total):
+            yield self._points[(start + offset) % total][1]
+
+    def assign(self, live: Iterable[int]) -> tuple[int, ...]:
+        """Map every shard to a live endpoint index.
+
+        ``live`` is the set of live endpoint indices; it must be
+        non-empty.  Shards whose home endpoint is live stay home; the
+        rest walk the ring under the bounded-load cap.  Shards are
+        processed in ascending shard id so the result is deterministic.
+        """
+        live_set = frozenset(live)
+        if not live_set:
+            raise ValueError("cannot assign shards with no live endpoints")
+        shards = len(self.identities)
+        if not live_set <= frozenset(range(shards)):
+            raise ValueError("live indices out of range")
+        cap = self.capacity(len(live_set))
+        load = {index: 0 for index in live_set}
+        routing: list[int] = [-1] * shards
+        for shard in range(shards):
+            if shard in live_set:
+                routing[shard] = shard
+                load[shard] += 1
+        for shard in range(shards):
+            if routing[shard] >= 0:
+                continue
+            for candidate in self._walk(self._shard_points[shard]):
+                if candidate in live_set and load[candidate] < cap:
+                    routing[shard] = candidate
+                    load[candidate] += 1
+                    break
+            else:  # pragma: no cover - pigeonhole: cap * |live| >= shards
+                raise RuntimeError("bounded-load walk failed to place shard")
+        return tuple(routing)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRing(identities={len(self.identities)}, "
+            f"replicas={self.replicas}, slack={self.slack})"
+        )

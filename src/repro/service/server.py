@@ -68,7 +68,13 @@ from repro.service.coordinator import ShardCoordinator
 from repro.service.protocol import (
     MSG_BATCH,
     MSG_ERROR,
+    MSG_EXPORT,
+    MSG_EXPORTED,
+    MSG_IMPORT,
+    MSG_IMPORTED,
     MSG_NEED,
+    MSG_PING,
+    MSG_PONG,
     MSG_STATS,
     MSG_STOP,
     MSG_STOPPED,
@@ -507,6 +513,20 @@ class GammaServer:
                     resolved[task.signature] = structure
             return tuple(dict.fromkeys(missing)), resolved
 
+    def _register_imported_structures(self, payload: dict) -> None:
+        """Adopt the structures of a warm-handoff import.
+
+        The importing client counts them as shipped, so the structure
+        cache must know them or the first batch would bounce with a
+        ``need`` re-ship and waste the handoff.
+        """
+        with self._structures_lock:
+            for signature, (structure, _entries) in payload.items():
+                self._structures[signature] = structure
+                self._structures.move_to_end(signature)
+            while len(self._structures) > self.structure_cache_size:
+                self._structures.popitem(last=False)
+
     # ------------------------------------------------------------------ #
     # Request handling
     # ------------------------------------------------------------------ #
@@ -642,6 +662,21 @@ class GammaServer:
                         break  # server stopping under us
                 elif kind == MSG_STATS:
                     if not tenant.send((MSG_STATS, self.stats()), codec):
+                        break
+                elif kind == MSG_PING:
+                    # Answered inline by the reader thread: the health
+                    # prober's liveness check must round-trip even when
+                    # every dispatcher is busy evaluating.
+                    if not tenant.send((MSG_PONG, 0), codec):
+                        break
+                elif kind == MSG_EXPORT:
+                    payload = self._backend.export_kernel_entries(message[1])
+                    if not tenant.send((MSG_EXPORTED, payload), codec):
+                        break
+                elif kind == MSG_IMPORT:
+                    imported = self._backend.import_kernel_entries(message[1])
+                    self._register_imported_structures(message[1])
+                    if not tenant.send((MSG_IMPORTED, imported), codec):
                         break
                 elif kind == MSG_STOP:
                     tenant.send((MSG_STOPPED, 0), codec)

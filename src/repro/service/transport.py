@@ -45,10 +45,11 @@ import abc
 import contextlib
 import multiprocessing
 import queue as queue_module
+import random
 import socket
 import time
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ServiceError, WorkerCrashError
 from repro.privacy.kernel_registry import GammaKernelRegistry, SharedGammaKernel
@@ -56,14 +57,107 @@ from repro.service.persistence import KernelSnapshotStore
 from repro.service.protocol import (
     CRASH,
     MSG_BATCH,
+    MSG_EXPORT,
+    MSG_EXPORTED,
+    MSG_IMPORT,
+    MSG_IMPORTED,
+    MSG_PING,
+    MSG_PONG,
     MSG_STATS,
     SHUTDOWN,
     GammaBatch,
     ShardReport,
     decode_frame_from_buffer,
+    read_frame,
     write_frame,
 )
 from repro.service.worker import process_batch, serve_shard
+
+
+class ExponentialBackoff:
+    """Jittered exponential backoff schedule for reconnect/probe retries.
+
+    ``next()`` returns the delay to sleep before the *next* attempt:
+    ``base * factor**attempt`` capped at ``max_delay``, with a uniform
+    ``+/- jitter`` fraction applied so a federation of probers does not
+    thunder in lockstep.  The attempt counter persists across calls
+    (``reset()`` rewinds it after a success); ``peek_schedule`` exposes
+    the un-jittered upcoming delays for reprs and logs.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+        rng: random.Random | None = None,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or max_delay < base or not 0 <= jitter < 1:
+            raise ServiceError(
+                f"invalid backoff schedule (base={base}, factor={factor}, "
+                f"max_delay={max_delay}, jitter={jitter})"
+            )
+        self.base = float(base)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.attempt = 0
+        self._rng = rng if rng is not None else random.Random()
+
+    def _raw_delay(self, attempt: int) -> float:
+        return min(self.base * self.factor**attempt, self.max_delay)
+
+    def next(self) -> float:
+        """The jittered delay before the next attempt (advances the counter)."""
+        delay = self._raw_delay(self.attempt)
+        self.attempt += 1
+        spread = self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay * (1.0 + spread)
+
+    def peek_schedule(self, count: int = 3) -> tuple[float, ...]:
+        """The next ``count`` un-jittered delays (debugging/repr aid)."""
+        return tuple(
+            round(self._raw_delay(self.attempt + offset), 4)
+            for offset in range(count)
+        )
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+    def __repr__(self) -> str:
+        upcoming = ", ".join(f"{delay:g}s" for delay in self.peek_schedule())
+        return (
+            f"ExponentialBackoff(attempt={self.attempt}, next=[{upcoming}], "
+            f"jitter=±{self.jitter:g})"
+        )
+
+
+def probe_endpoint(
+    address: str | tuple, *, timeout: float = 1.0, codec: str | None = None
+) -> bool:
+    """Whether a Gamma server at ``address`` is up and speaking protocol.
+
+    A TCP/unix connect alone would accept half-open listeners, so the
+    probe sends a ``("ping",)`` frame and requires a ``("pong", ...)``
+    answer -- the lightweight liveness check the pool's health prober
+    uses before re-admitting a lost endpoint.
+    """
+    try:
+        sock = connect(address, timeout=timeout)
+    except ServiceError:
+        return False
+    try:
+        sock.settimeout(timeout)
+        write_frame(sock, (MSG_PING,), codec)
+        reply = read_frame(sock)
+        return bool(reply) and reply[0] == MSG_PONG
+    except (ServiceError, OSError):
+        return False
+    finally:
+        with contextlib.suppress(OSError):
+            sock.close()
 
 
 class TransportSendError(ServiceError):
@@ -237,6 +331,43 @@ class InProcessTransport(Transport):
             **self.registry.kernel_stats,
             **self.registry.aggregate_counters(),
         }
+
+    def export_kernel_entries(
+        self, signatures: Iterable[str]
+    ) -> dict[str, tuple]:
+        """Warm-handoff export: ``{signature: (structure, entries)}``.
+
+        Live kernels are exported directly; signatures already evicted
+        from memory fall back to the snapshot store (when configured),
+        so a migrating shard carries its full warm state.
+        """
+        payload: dict[str, tuple] = {}
+        missing: list[str] = []
+        for signature in signatures:
+            kernel = self._kernels.get(signature)
+            if kernel is not None:
+                payload[signature] = (kernel.structure, kernel.export_entries())
+            else:
+                missing.append(signature)
+        if missing and self.store is not None:
+            payload.update(self.store.export_signatures(missing))
+        return payload
+
+    def import_kernel_entries(self, payload: Mapping[str, tuple]) -> int:
+        """Warm-handoff import; returns how many cache entries landed.
+
+        Imported entries are also written through to the snapshot store
+        (when configured), so the receiving endpoint's *next* restart
+        starts warm too.
+        """
+        imported = 0
+        for signature, (structure, entries) in payload.items():
+            kernel = self.registry.ensure_kernel(structure)
+            self._kernels[signature] = kernel
+            imported += kernel.import_entries(entries)
+        if self.store is not None:
+            self.store.import_signatures(payload)
+        return imported
 
     def close(self, *, snapshot: bool = True) -> None:
         if self._closed:
@@ -497,9 +628,12 @@ class SocketTransport(Transport):
         connect_timeout: float = 10.0,
         max_restarts: int = 3,
         allow_pickle: bool = True,
+        backoff: ExponentialBackoff | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.codec = codec
+        #: Jittered reconnect schedule consumed by :meth:`recover`.
+        self.backoff = backoff if backoff is not None else ExponentialBackoff()
         #: Refuse pickle-tagged reply frames (pickle executes code on
         #: decode) -- pair with a ``--no-pickle`` server and the msgpack
         #: codec when the peer is not fully trusted.
@@ -521,6 +655,18 @@ class SocketTransport(Transport):
     @property
     def shard_count(self) -> int:
         return 1
+
+    @property
+    def identity(self) -> str:
+        """Stable name of the endpoint this connection targets."""
+        if self.address[0] == "unix":
+            return f"unix:{self.address[1]}"
+        return f"tcp:{self.address[1]}:{self.address[2]}"
+
+    @property
+    def shipped(self) -> frozenset[str]:
+        """Signatures shipped over the current connection (handoff source)."""
+        return frozenset(self._shipped)
 
     def unshipped(self, shard_id: int, signatures: Iterable[str]) -> set[str]:
         return {
@@ -643,21 +789,40 @@ class SocketTransport(Transport):
         return tuple(shard_ids) if self._dead else ()
 
     def recover(self, shard_id: int) -> None:
-        if self._restarts >= self.max_restarts:
-            raise WorkerCrashError(
-                f"connection to {self.address} dropped "
-                f"{self._restarts + 1} times (max_restarts="
-                f"{self.max_restarts}); giving up"
-            )
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
-        self._restarts += 1
-        self._sock = connect(self.address, timeout=self.connect_timeout)
-        self._shipped = set()
-        self._rxbuf.clear()
-        self._dead = False
+        """Reconnect, retrying with jittered exponential backoff.
+
+        Each attempt consumes one unit of the ``max_restarts`` budget;
+        the first retry is immediate (the common bounced-server case)
+        and later ones sleep ``self.backoff``'s schedule, so a flapping
+        server is not hammered.  Raises :class:`WorkerCrashError` once
+        the budget is spent.
+        """
+        attempted = False
+        while True:
+            if self._restarts >= self.max_restarts:
+                raise WorkerCrashError(
+                    f"connection to {self.address} dropped "
+                    f"{self._restarts + 1} times (max_restarts="
+                    f"{self.max_restarts}); giving up"
+                )
+            if attempted:
+                time.sleep(self.backoff.next())
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._restarts += 1
+            attempted = True
+            try:
+                self._sock = connect(self.address, timeout=self.connect_timeout)
+            except ServiceError:
+                self._dead = True
+                continue
+            self.backoff.reset()
+            self._shipped = set()
+            self._rxbuf.clear()
+            self._dead = False
+            return
 
     @property
     def restarts(self) -> int:
@@ -676,24 +841,78 @@ class SocketTransport(Transport):
         with contextlib.suppress(OSError):
             self._sock.close()
 
-    def fetch_stats(self, timeout: float = 10.0) -> dict[str, int]:
-        """The server's service-wide kernel stats, fetched synchronously.
+    def _request_reply(
+        self, request: tuple, reply_kind: str, timeout: float
+    ) -> tuple:
+        """Send ``request`` and wait for the first ``reply_kind`` message.
 
-        Batch completions arriving while waiting are buffered for the
-        next :meth:`poll`, so a stats probe never loses results.
+        Batch completions (or any other message) arriving while waiting
+        are buffered for the next :meth:`poll`, so a synchronous probe
+        never loses results.
         """
         if self._dead:
             raise ServiceError("connection to Gamma server is down")
-        write_frame(self._sock, (MSG_STATS,), self.codec)
+        try:
+            self._sock.settimeout(self.connect_timeout)
+            write_frame(self._sock, request, self.codec)
+        except (OSError, ValueError) as exc:
+            self._dead = True
+            raise ServiceError(
+                f"lost connection to Gamma server at {self.address}: {exc}"
+            ) from exc
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline and not self._dead:
             message = self._read_message(deadline - time.monotonic())
             if message is None:
                 continue
-            if message[0] == MSG_STATS and len(message) == 2:
-                return dict(message[1])
+            if message[0] == reply_kind:
+                return message
             self._pending.append(message)
-        raise ServiceError("Gamma server did not answer the stats probe")
+        raise ServiceError(
+            f"Gamma server did not answer the {request[0]!r} request"
+        )
+
+    def fetch_stats(self, timeout: float = 10.0) -> dict[str, int]:
+        """The server's service-wide kernel stats, fetched synchronously."""
+        reply = self._request_reply((MSG_STATS,), MSG_STATS, timeout)
+        return dict(reply[1])
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        """Round-trip liveness check over the live connection."""
+        try:
+            self._request_reply((MSG_PING,), MSG_PONG, timeout)
+        except ServiceError:
+            return False
+        return True
+
+    def export_kernel_entries(
+        self, signatures: Iterable[str], timeout: float = 30.0
+    ) -> dict[str, tuple]:
+        """Ask the server for the named kernels (warm-handoff source)."""
+        reply = self._request_reply(
+            (MSG_EXPORT, tuple(signatures)), MSG_EXPORTED, timeout
+        )
+        return dict(reply[1])
+
+    def import_kernel_entries(
+        self, payload: Mapping[str, tuple], timeout: float = 30.0
+    ) -> int:
+        """Ship exported kernels to the server (warm-handoff target)."""
+        reply = self._request_reply(
+            (MSG_IMPORT, dict(payload)), MSG_IMPORTED, timeout
+        )
+        self._shipped.update(payload)
+        return int(reply[1])
+
+    def __repr__(self) -> str:
+        schedule = ", ".join(
+            f"{delay:g}s" for delay in self.backoff.peek_schedule()
+        )
+        return (
+            f"SocketTransport(address={self.identity!r}, "
+            f"restarts={self._restarts}/{self.max_restarts}, "
+            f"dead={self._dead}, backoff=[{schedule}])"
+        )
 
     def close(self, *, snapshot: bool = True) -> None:
         if self._closed:
@@ -717,6 +936,9 @@ def build_transport(
     max_restarts: int = 3,
     codec: str | None = None,
     allow_pickle: bool = True,
+    probe_interval: float | None = None,
+    rebalance: bool = True,
+    ring_slack: int = 1,
 ) -> Transport:
     """The transport a coordinator should use for the given settings.
 
@@ -736,6 +958,9 @@ def build_transport(
             codec=codec,
             max_restarts=max_restarts,
             allow_pickle=allow_pickle,
+            probe_interval=probe_interval,
+            rebalance=rebalance,
+            ring_slack=ring_slack,
         )
     if address is not None:
         return SocketTransport(

@@ -39,7 +39,7 @@ from service_workloads import entry_requests, search_requirements
 
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import exact_secure_view
-from repro.service import GammaServer, ShardCoordinator
+from repro.service import GammaServer, ShardCoordinator, shard_of
 
 RELAXED = settings(
     max_examples=8,
@@ -310,6 +310,98 @@ class TestConformanceFederation:
                 assert survivors == {1}
         finally:
             for server in servers:
+                server.close()
+            shutil.rmtree(socket_dir, ignore_errors=True)
+
+
+class TestConformanceElasticity:
+    """Kill -> heal -> re-admit: the elastic membership acceptance cell."""
+
+    def test_conformance_kill_heal_readmission_byte_identical(self):
+        """An endpoint dies mid-search, heals, and is re-admitted.
+
+        The full cycle must be invisible to the caller: every search
+        returns the byte-identical exact secure view with the oracle's
+        ``evaluations`` count (re-dispatched batches across the
+        membership epoch are never double-counted), the background
+        prober -- not the caller -- re-admits the healed endpoint, and
+        the routing afterwards equals a fresh pool's over the same
+        membership.
+        """
+        baseline = exact_secure_view(search_requirements(70))
+        # The victim must own live traffic or its loss is never
+        # noticed (failure detection is lazy, driven by dispatch).
+        signatures = [
+            requirement.relation.structure_signature.signature
+            for requirement in search_requirements(70).requirements
+        ]
+        owned: dict[int, int] = {}
+        for signature in signatures:
+            owned[shard_of(signature, 3)] = owned.get(shard_of(signature, 3), 0) + 1
+        victim = max(owned, key=lambda index: owned[index])
+        socket_dir = tempfile.mkdtemp(prefix="conform-elastic-")
+        addresses = [
+            ("unix", os.path.join(socket_dir, f"gamma-{index}.sock"))
+            for index in range(3)
+        ]
+        servers = {
+            index: GammaServer(address).start()
+            for index, address in enumerate(addresses)
+        }
+        try:
+            with ShardCoordinator(
+                endpoints=addresses,
+                task_timeout=60.0,
+                probe_interval=0.05,
+                max_restarts=1,
+            ) as client:
+                pool = client.transport
+                identity = pool.routing
+
+                # Phase 1: kill the victim mid-search; the search must
+                # still return the exact view with the exact count.
+                original_submit = client.submit
+                state = {"count": 0}
+
+                def killing_submit(requests, **kwargs):
+                    state["count"] += 1
+                    if state["count"] == 2:
+                        servers.pop(victim).close(snapshot=False)
+                    return original_submit(requests, **kwargs)
+
+                client.submit = killing_submit
+                result = exact_secure_view(
+                    search_requirements(70), service=client, pipeline_depth=3
+                )
+                client.submit = original_submit
+                assert_search_equivalent(result, baseline)
+                assert victim in pool.lost_endpoints
+                assert pool.failovers >= 1
+                epoch_after_loss = pool.epoch
+
+                # Phase 2: heal the server; the background prober (not
+                # the caller) re-admits it and hands its shards back.
+                servers[victim] = GammaServer(addresses[victim]).start()
+                deadline = time.monotonic() + 30.0
+                while pool.lost_endpoints and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert pool.lost_endpoints == ()
+                assert pool.readmissions >= 1
+                assert pool.epoch > epoch_after_loss
+
+                # Phase 3: post-re-admission the pool is indistinguishable
+                # from a fresh pool over the same membership.
+                result = exact_secure_view(
+                    search_requirements(70), service=client, pipeline_depth=3
+                )
+                assert_search_equivalent(result, baseline)
+                assert pool.stale_completions == 0
+                with ShardCoordinator(
+                    endpoints=addresses, task_timeout=60.0, probe_interval=None
+                ) as fresh:
+                    assert pool.routing == fresh.transport.routing == identity
+        finally:
+            for server in servers.values():
                 server.close()
             shutil.rmtree(socket_dir, ignore_errors=True)
 
