@@ -8,12 +8,15 @@
 # re-runs the suites and fails on a >30% regression of the guarded
 # (kernel/adversary) ops versus the committed baseline in
 # benchmarks/baselines/; `make lint` is a dependency-free sanity pass
-# (byte-compiles every tree we ship).
+# (byte-compiles every tree we ship); `make test-fallback` re-runs the
+# kernel and service suites with REPRO_PURE_PYTHON=1, proving the
+# pure-python fallback stays byte-identical to the numpy columnar
+# kernel; `make clean` removes bytecode and tool caches.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-conformance test-chaos bench bench-check lint
+.PHONY: test test-conformance test-chaos test-fallback bench bench-check lint clean
 
 # Extra pytest selection flags (CI's tier-1 step passes
 # PYTEST_FLAGS='-k "not conformance"' because the conformance matrix
@@ -29,6 +32,11 @@ test-conformance:
 test-chaos:
 	$(PYTHON) -m pytest -q -k "readmission or rebalance"
 
+test-fallback:
+	REPRO_PURE_PYTHON=1 $(PYTHON) -m pytest -q tests/test_kernel_registry.py \
+		tests/test_columnar_kernel.py tests/test_privacy_kernel_equivalence.py \
+		tests/test_privacy_relations.py tests/test_service.py
+
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py
 
@@ -37,3 +45,8 @@ bench-check:
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis BENCH_*.json
+	find src tests benchmarks examples -name __pycache__ -type d -prune \
+		-exec rm -rf {} +

@@ -9,11 +9,15 @@ tables.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.execution import WorkflowExecutor, disease_susceptibility_execution
 from repro.execution.provenance import provenance_subgraph
 from repro.privacy import minimum_edge_deletion
+from repro.privacy import columnar
+from repro.privacy.relations import ModuleRelation
 from repro.query import keyword_search
 from repro.views import collapse_execution, expand_specification, full_expansion
 from repro.workflow import (
@@ -84,3 +88,68 @@ def test_minimum_edge_deletion_synthetic(benchmark, synthetic_spec):
     pairs = sorted(view.reachable_module_pairs())[:2]
     removed = benchmark(minimum_edge_deletion, view.graph, pairs)
     assert isinstance(removed, set)
+
+
+# -------------------------------------------------------------------------
+# Columnar Gamma kernel: numpy versus the pure-python reference.  The
+# workload is the 6-input-attribute / domain-4 relation (4096 rows), the
+# shape where vectorized partition refinement pays.  "kernel" in the test
+# names puts these under check_regression.py's guarded markers.
+# -------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def kernel_structure():
+    relation = ModuleRelation.random(
+        "BENCH", n_inputs=6, n_outputs=2, domain_size=4, seed=91
+    )
+    return relation.structure_signature
+
+
+def _refine_chain(table):
+    """One full refinement chain: all six input columns in order."""
+    partition = table.initial_partition()
+    for input_index in range(6):
+        partition = table.refine(partition, input_index)
+    return partition
+
+
+def test_kernel_partition_refinement_pure(benchmark, kernel_structure):
+    """Full pure-python refinement chain over the 4096-row relation."""
+    table = columnar.PureTable(kernel_structure)
+    partition = benchmark(_refine_chain, table)
+    assert columnar.block_count(partition) > 0
+
+
+@pytest.mark.skipif(not columnar.numpy_available(), reason="numpy not installed")
+def test_kernel_partition_refinement_numpy(benchmark, kernel_structure):
+    """Full vectorized refinement chain over the same relation."""
+    table = columnar.NumpyTable.from_structure(kernel_structure)
+    partition = benchmark(_refine_chain, table)
+    assert columnar.block_count(partition) > 0
+
+
+@pytest.mark.skipif(not columnar.numpy_available(), reason="numpy not installed")
+def test_kernel_refinement_speedup_floor(kernel_structure):
+    """The columnar backend must hold >= 3x over the reference refinement.
+
+    Timed directly (not via pytest-benchmark) because the assertion
+    compares the two backends against each other, not against history.
+    """
+    pure = columnar.PureTable(kernel_structure)
+    vectorized = columnar.NumpyTable.from_structure(kernel_structure)
+    for table in (pure, vectorized):  # warm caches before timing
+        _refine_chain(table)
+
+    def clock(table, rounds: int = 5) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            _refine_chain(table)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    pure_s, numpy_s = clock(pure), clock(vectorized)
+    speedup = pure_s / numpy_s if numpy_s else float("inf")
+    assert speedup >= 3.0, (
+        f"columnar refinement only {speedup:.2f}x over the reference "
+        f"({numpy_s * 1e3:.3f} ms vs {pure_s * 1e3:.3f} ms)"
+    )

@@ -1,4 +1,10 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
+"""Setup shim for environments without PEP 660 editable-install support.
+
+numpy powers the columnar Gamma kernel (:mod:`repro.privacy.columnar`)
+and is the one runtime dependency; the library still imports and runs
+without it -- the pure-python reference kernel takes over -- so
+installs from source on constrained targets may drop the requirement.
+"""
 from setuptools import setup
 
-setup()
+setup(install_requires=["numpy"])

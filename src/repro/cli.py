@@ -102,7 +102,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"note: {experiment_id} does not take --endpoints; ignoring",
                 file=sys.stderr,
             )
-    for option in ("probe_interval", "rebalance"):
+    for option in ("probe_interval", "rebalance", "coalesce"):
         value = getattr(args, option, None)
         if value is None:
             continue
@@ -238,7 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "worker processes for experiments backed by the Gamma "
-            "evaluation service (E9/E10); 0 forces the in-process fallback"
+            "evaluation service (E9-E11); 0 forces the in-process fallback"
+        ),
+    )
+    experiment.add_argument(
+        "--coalesce",
+        type=int,
+        default=None,
+        help=(
+            "batch-coalescing threshold for service-backed experiments "
+            "(E9): buffer submitted tasks per shard and flush once a "
+            "shard holds this many, so one IPC round trip carries many "
+            "subset evaluations; 0 dispatches each request immediately"
         ),
     )
     experiment.add_argument(

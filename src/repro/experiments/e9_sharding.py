@@ -3,10 +3,18 @@
 The paper's secure-view machinery reduces workflow privacy to per-module
 Gamma subproblems; PR 1-2 made one process fast, and this experiment
 measures the service that spreads the work across *processes*
-(:mod:`repro.service`).  The sweep crosses three axes:
+(:mod:`repro.service`).  The sweep crosses four axes:
 
 * **workers** -- 0 (the in-process fallback, also the correctness
   oracle) versus sharded worker pools;
+* **dispatch** -- on multi-worker cells, the PR 6 **legacy** path (one
+  IPC round trip per request, row tables value-shipped) versus the
+  **coalesced** path (per-shard buffers flush many requests as one
+  batch; on numpy builds row tables publish once through shared
+  memory).  Requests are submitted one visibility pair at a time --
+  the pipelined access pattern of the secure-view solver -- so the
+  axis isolates exactly the per-request dispatch overhead the
+  coalescer amortises;
 * **workload size** -- how many distinct module structures are swept
   (each evaluated on every visibility pair, the access pattern of a
   safe-subset solver);
@@ -27,6 +35,7 @@ gives).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import shutil
 import tempfile
@@ -55,6 +64,9 @@ class E9Config:
     n_outputs: int = 3
     domain_size: int = 4
     seed: int = 47
+    #: Coalescing threshold of the "coalesced" dispatch mode: a shard's
+    #: buffer flushes once it holds this many tasks.
+    coalesce: int = 16
 
 
 def workload_requests(
@@ -91,22 +103,39 @@ def _budget_label(budget: int | None) -> str:
     return "unbounded" if budget is None else f"{budget // 1024}KiB"
 
 
+def _pipelined_gammas(coordinator: ShardCoordinator, requests: list) -> list[int]:
+    """Sweep ``requests`` one submit per visibility pair, collect in order.
+
+    This is the solver's pipelined access pattern: without coalescing
+    every request is its own IPC round trip, with coalescing the
+    coordinator's per-shard buffers merge many of them into one batch.
+    """
+    request_ids = [coordinator.submit([request]) for request in requests]
+    return [
+        coordinator.collect(request_id)[0].gamma for request_id in request_ids
+    ]
+
+
 def run(
     config: E9Config | None = None,
     *,
     workers: int | None = None,
+    coalesce: int | None = None,
     snapshot_root: str | None = None,
 ) -> ResultTable:
-    """Run E9 and return one row per (modules, budget, workers, start).
+    """Run E9: one row per (modules, budget, workers, dispatch, start).
 
     ``workers`` (e.g. from the CLI's ``--workers``) replaces the
     config's worker sweep with a single value; the ``workers=0`` oracle
     is still run first so every row can be checked against it.
-    ``snapshot_root`` keeps the snapshot directories around for
-    inspection; by default they live in a temp directory and are
-    deleted at the end.
+    ``coalesce`` (the CLI's ``--coalesce``) overrides the coalescing
+    threshold of the "coalesced" dispatch mode.  ``snapshot_root``
+    keeps the snapshot directories around for inspection; by default
+    they live in a temp directory and are deleted at the end.
     """
     config = config or E9Config()
+    if coalesce is not None:
+        config = dataclasses.replace(config, coalesce=coalesce)
     worker_counts = config.workers if workers is None else tuple({0, workers})
     worker_counts = tuple(sorted(worker_counts))
     root = Path(snapshot_root) if snapshot_root else Path(tempfile.mkdtemp(prefix="e9-"))
@@ -117,48 +146,85 @@ def run(
             oracle_gammas: list[int] | None = None
             for budget in config.budgets:
                 for worker_count in worker_counts:
-                    snapshot_dir = (
-                        root
-                        / f"m{module_count}-b{_budget_label(budget)}-w{worker_count}"
+                    dispatch_modes = (
+                        ("inprocess",)
+                        if worker_count == 0
+                        else ("legacy", "coalesced")
                     )
-                    for start in ("cold", "warm"):
-                        started = time.perf_counter()
-                        # Context manager so a mid-sweep failure (timeout,
-                        # crashed-out shard) cannot strand worker processes
-                        # for the remaining cells.
-                        with ShardCoordinator(
-                            worker_count,
-                            total_budget_bytes=budget,
-                            snapshot_dir=str(snapshot_dir),
-                        ) as coordinator:
-                            startup_ms = (time.perf_counter() - started) * 1000.0
-                            started = time.perf_counter()
-                            gammas = coordinator.gammas(requests)
-                            elapsed_ms = (time.perf_counter() - started) * 1000.0
-                            stats = coordinator.kernel_stats()
-                            preloaded = coordinator.preloaded_entries
-                        # exiting the block closes + snapshots -> warms the
-                        # next start
-                        if oracle_gammas is None:
-                            oracle_gammas = gammas
-                        rows.append(
-                            {
-                                "modules": module_count,
-                                "budget": _budget_label(budget),
-                                "workers": worker_count,
-                                "start": start,
-                                "tasks": len(requests),
-                                "time_ms": round(elapsed_ms, 3),
-                                "startup_ms": round(startup_ms, 3),
-                                "cold_work": stats.get("partition_refinements", 0)
-                                + stats.get("grouping_passes", 0),
-                                "kernel_hits": stats.get("kernel_hits", 0),
-                                "preloaded": preloaded,
-                                "evictions": stats.get("evictions", 0),
-                                "min_gamma": min(gammas),
-                                "matches_inprocess": gammas == oracle_gammas,
-                            }
+                    for dispatch in dispatch_modes:
+                        snapshot_dir = root / (
+                            f"m{module_count}-b{_budget_label(budget)}"
+                            f"-w{worker_count}-{dispatch}"
                         )
+                        # legacy is the PR 6 path: one batch per request,
+                        # row tables value-shipped; coalesced buffers and
+                        # publishes tables through shared memory (numpy
+                        # builds -- on pure-python builds it still
+                        # coalesces, just without the zero-copy tables).
+                        dispatch_kwargs: dict = (
+                            {"coalesce": 0, "shm_tables": False}
+                            if dispatch == "legacy"
+                            else {"coalesce": config.coalesce}
+                            if dispatch == "coalesced"
+                            else {}
+                        )
+                        for start in ("cold", "warm"):
+                            started = time.perf_counter()
+                            # Context manager so a mid-sweep failure
+                            # (timeout, crashed-out shard) cannot strand
+                            # worker processes for the remaining cells.
+                            with ShardCoordinator(
+                                worker_count,
+                                total_budget_bytes=budget,
+                                snapshot_dir=str(snapshot_dir),
+                                **dispatch_kwargs,
+                            ) as coordinator:
+                                startup_ms = (
+                                    time.perf_counter() - started
+                                ) * 1000.0
+                                started = time.perf_counter()
+                                if worker_count == 0:
+                                    gammas = coordinator.gammas(requests)
+                                else:
+                                    gammas = _pipelined_gammas(
+                                        coordinator, requests
+                                    )
+                                elapsed_ms = (
+                                    time.perf_counter() - started
+                                ) * 1000.0
+                                stats = coordinator.kernel_stats()
+                                service = coordinator.service_stats()
+                                preloaded = coordinator.preloaded_entries
+                            # exiting the block closes + snapshots ->
+                            # warms the next start
+                            if oracle_gammas is None:
+                                oracle_gammas = gammas
+                            rows.append(
+                                {
+                                    "modules": module_count,
+                                    "budget": _budget_label(budget),
+                                    "workers": worker_count,
+                                    "dispatch": dispatch,
+                                    "start": start,
+                                    "tasks": len(requests),
+                                    "batches": service["batches"],
+                                    "coalesced_batches": service[
+                                        "coalesced_batches"
+                                    ],
+                                    "time_ms": round(elapsed_ms, 3),
+                                    "startup_ms": round(startup_ms, 3),
+                                    "cold_work": stats.get(
+                                        "partition_refinements", 0
+                                    )
+                                    + stats.get("grouping_passes", 0),
+                                    "kernel_hits": stats.get("kernel_hits", 0),
+                                    "preloaded": preloaded,
+                                    "evictions": stats.get("evictions", 0),
+                                    "min_gamma": min(gammas),
+                                    "matches_inprocess": gammas
+                                    == oracle_gammas,
+                                }
+                            )
     finally:
         if snapshot_root is None:
             shutil.rmtree(root, ignore_errors=True)
@@ -171,8 +237,12 @@ def headline(rows: ResultTable) -> dict[str, float]:
     ``parallel_speedup`` is the best sharded cold-start speedup over the
     in-process fallback on the largest workload (>= 1.0 needs more than
     one core; single-core machines report the IPC overhead as < 1.0);
-    ``warm_skip_fraction`` is the fraction of cold partition/grouping
-    work that warm restarts avoided, aggregated over the whole sweep.
+    ``coalesced_speedup`` is the best coalesced-dispatch cold-start
+    speedup over the legacy (PR 6, one round trip per request) path on
+    the same multi-worker cells -- the number that isolates what batch
+    coalescing plus shared-memory tables buy; ``warm_skip_fraction`` is
+    the fraction of cold partition/grouping work that warm restarts
+    avoided, aggregated over the whole sweep.
     """
     cold = [row for row in rows if row["start"] == "cold"]
     warm = [row for row in rows if row["start"] == "warm"]
@@ -190,6 +260,21 @@ def headline(rows: ResultTable) -> dict[str, float]:
     speedup = (
         min(base_times) / min(sharded_times) if base_times and sharded_times else 0.0
     )
+    legacy_times = [
+        float(row["time_ms"])
+        for row in cold
+        if row.get("dispatch") == "legacy" and int(row["modules"]) == largest
+    ]
+    coalesced_times = [
+        float(row["time_ms"])
+        for row in cold
+        if row.get("dispatch") == "coalesced" and int(row["modules"]) == largest
+    ]
+    coalesced_speedup = (
+        min(legacy_times) / min(coalesced_times)
+        if legacy_times and coalesced_times
+        else 0.0
+    )
     # Warm-skip is measured on unbounded rows: under a budget smaller
     # than the working set, recomputation after eviction is the *budget*
     # doing its job, not the persistence layer failing at its own.
@@ -202,6 +287,7 @@ def headline(rows: ResultTable) -> dict[str, float]:
     skip = 1.0 - warm_work / cold_work if cold_work else 0.0
     return {
         "parallel_speedup": round(speedup, 2),
+        "coalesced_speedup": round(coalesced_speedup, 2),
         "warm_skip_fraction": round(skip, 4),
         "all_match_inprocess": all(bool(row["matches_inprocess"]) for row in rows),
         "tasks": sum(int(row["tasks"]) for row in cold),

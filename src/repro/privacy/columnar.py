@@ -1,0 +1,425 @@
+"""Columnar Gamma-kernel backends: vectorized numpy and pure-python.
+
+The Gamma evaluation primitives -- partition refinement by one input
+column and the grouped distinct-projection count per partition block --
+were pure-python dict/tuple loops through PR 6.  This module factors
+them behind a *backend* so the same :class:`~repro.privacy.kernel_registry.SharedGammaKernel`
+algorithm (incremental prefix refinement, memoized entries, LRU byte
+accounting) can run on either representation:
+
+* the **numpy** backend encodes a canonical relation table as 2-D
+  ``int64`` matrices of domain positions (one row per attribute, one
+  column per relation row) and implements refinement and grouping as
+  ``np.unique`` group-id passes -- O(rows log rows) vectorized instead
+  of a python-level loop per row;
+* the **pure** backend keeps the original tuple/dict loops, used when
+  numpy is not installed (the library must stay dependency-optional)
+  or when ``REPRO_PURE_PYTHON=1`` forces it.
+
+Both backends produce *identical* values: block ids are numbered in
+first-occurrence order (the numpy path remaps ``np.unique``'s
+sorted-value group ids through an argsort of first indices), and counts
+are exact integers.  Cache payloads differ only in container type
+(``int64`` arrays vs tuples of ints); :func:`freeze` converts any
+payload to the portable pure-tuple form used by snapshots, eviction
+spills and the wire, and :func:`thaw_entry` converts back to the active
+backend's native form, so snapshot files and warm-handoff payloads are
+interchangeable between numpy and pure-python processes.
+
+A numpy table can additionally be *packed* into (and attached
+zero-copy from) a flat ``int64`` buffer -- the representation
+:class:`~repro.service.transport.MultiprocessTransport` publishes via
+``multiprocessing.shared_memory`` so worker processes map the canonical
+row table instead of unpickling a copy per structure ship.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import cycle)
+    from repro.privacy.kernel_registry import RelationStructure
+
+#: Approximate cost of one cached integer (CPython small-int pointer on
+#: the pure backend; exactly one ``int64`` cell on the numpy backend --
+#: the two byte-accounting schemes agree by construction).
+WORD_BYTES = 8
+
+#: Environment variable forcing the pure-python backend even when numpy
+#: is importable (the build-time fallback switch; any of 1/true/yes/on).
+FORCE_PURE_ENV = "REPRO_PURE_PYTHON"
+
+try:  # pragma: no cover - exercised differently per environment
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy fallback build
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend *could* run in this process."""
+    return _np is not None
+
+
+def _env_forces_pure() -> bool:
+    return os.environ.get(FORCE_PURE_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def _default_backend() -> str:
+    if _np is None or _env_forces_pure():
+        return "pure"
+    return "numpy"
+
+
+_ACTIVE_BACKEND = _default_backend()
+
+
+def active_backend() -> str:
+    """The backend new kernels build their tables on: ``numpy`` or ``pure``."""
+    return _ACTIVE_BACKEND
+
+
+def set_backend(name: str) -> str:
+    """Select the backend for *subsequently built* tables; returns the old one.
+
+    ``"numpy"`` requires numpy to be importable.  Existing kernels keep
+    the backend they were built with -- flip only around construction
+    (the comparative benchmark and the fallback tests do exactly that).
+    """
+    global _ACTIVE_BACKEND
+    if name not in ("numpy", "pure"):
+        raise ValueError(f"unknown columnar backend {name!r}")
+    if name == "numpy" and _np is None:
+        raise RuntimeError("numpy backend requested but numpy is not installed")
+    previous = _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = name
+    return previous
+
+
+class use_backend:
+    """Context manager pinning the active backend (test/benchmark hook)."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._previous: str | None = None
+
+    def __enter__(self) -> str:
+        self._previous = set_backend(self._name)
+        return self._name
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._previous is not None
+        set_backend(self._previous)
+
+
+# ---------------------------------------------------------------------- #
+# Payload helpers shared by both backends
+# ---------------------------------------------------------------------- #
+def payload_bytes(values: object) -> int:
+    """Accounted cache cost of one partition/counts payload.
+
+    ``nbytes`` for ``int64`` arrays and ``len * WORD_BYTES`` for tuples
+    -- numerically identical, so budgets, eviction order and the
+    ``bytes_in_use`` gauges behave the same on either backend.
+    """
+    if _np is not None and isinstance(values, _np.ndarray):
+        return int(values.nbytes)
+    return len(values) * WORD_BYTES  # type: ignore[arg-type]
+
+
+def freeze(payload: object) -> object:
+    """A payload with every array replaced by a tuple of python ints.
+
+    The portable form used by snapshots, eviction spills, warm-handoff
+    wire payloads and :class:`~repro.service.protocol.TaskResult` -- it
+    pickles/compares/encodes identically whether the producer ran the
+    numpy or the pure backend.
+    """
+    if _np is not None and isinstance(payload, _np.ndarray):
+        return tuple(payload.tolist())
+    if isinstance(payload, tuple):
+        return tuple(freeze(item) for item in payload)
+    return payload
+
+
+def thaw_entry(key: tuple, payload: object) -> object:
+    """A frozen cache payload in the active backend's native form.
+
+    ``key`` carries the payload shape: ``("partition", ...)`` payloads
+    are one flat int sequence; ``("kernel", ...)`` payloads are a
+    ``(partition, counts, gamma)`` triple.  On the pure backend (or for
+    unrecognized keys) the frozen form *is* the native form.
+    """
+    if _ACTIVE_BACKEND != "numpy" or _np is None:
+        return payload
+    if key and key[0] == "partition":
+        return _np.asarray(payload, dtype=_np.int64)
+    if key and key[0] == "kernel":
+        partition, counts, gamma = payload  # type: ignore[misc]
+        return (
+            _np.asarray(partition, dtype=_np.int64),
+            _np.asarray(counts, dtype=_np.int64) if _counts_fit(counts) else counts,
+            gamma,
+        )
+    return payload  # pragma: no cover - no other payload kinds exist
+
+
+def _counts_fit(counts: Sequence[int]) -> bool:
+    """Whether every count fits ``int64`` (huge hidden spaces may not)."""
+    return all(-(2**63) <= count < 2**63 for count in counts)
+
+
+def block_count(partition: object) -> int:
+    """Number of blocks of a first-occurrence-numbered partition."""
+    if _np is not None and isinstance(partition, _np.ndarray):
+        return int(partition.max()) + 1 if partition.size else 0
+    return max(partition) + 1 if partition else 0  # type: ignore[arg-type]
+
+
+def scale_counts(distinct: object, hidden_combinations: int) -> object:
+    """Per-block distinct counts scaled by the hidden-output completions.
+
+    Counts are exact integers on both backends.  The numpy path guards
+    against ``int64`` overflow: when the scaled counts may not fit (a
+    relation hiding very many large output domains), it falls back to a
+    tuple of python ints -- arbitrary precision, same values.
+    """
+    if _np is not None and isinstance(distinct, _np.ndarray):
+        if hidden_combinations == 1:
+            return distinct
+        peak = int(distinct.max()) if distinct.size else 0
+        if peak * hidden_combinations < 2**63:
+            return distinct * hidden_combinations
+        return tuple(int(count) * hidden_combinations for count in distinct.tolist())
+    return tuple(count * hidden_combinations for count in distinct)  # type: ignore[union-attr]
+
+
+def minimum(counts: object) -> int:
+    """The Gamma of a counts payload (0 for an empty relation)."""
+    if _np is not None and isinstance(counts, _np.ndarray):
+        return int(counts.min()) if counts.size else 0
+    return min(counts) if counts else 0  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------- #
+# Backend tables
+# ---------------------------------------------------------------------- #
+class PureTable:
+    """The pre-PR-7 tuple/dict evaluation primitives (no dependencies)."""
+
+    backend = "pure"
+
+    __slots__ = (
+        "input_columns",
+        "output_columns",
+        "input_domain_sizes",
+        "output_domain_sizes",
+        "row_count",
+    )
+
+    def __init__(self, structure: "RelationStructure") -> None:
+        self.input_columns = structure.input_columns
+        self.output_columns = structure.output_columns
+        self.input_domain_sizes = structure.input_domain_sizes
+        self.output_domain_sizes = structure.output_domain_sizes
+        self.row_count = structure.row_count
+
+    def initial_partition(self) -> tuple[int, ...]:
+        return (0,) * self.row_count
+
+    def refine(self, base: Sequence[int], input_index: int) -> tuple[int, ...]:
+        """Refine ``base`` by one input column, first-occurrence block ids."""
+        column = self.input_columns[input_index]
+        block_ids: dict[tuple[int, int], int] = {}
+        refined = []
+        for block, value in zip(base, column):
+            pair = (block, value)
+            block_id = block_ids.get(pair)
+            if block_id is None:
+                block_id = len(block_ids)
+                block_ids[pair] = block_id
+            refined.append(block_id)
+        return tuple(refined)
+
+    def distinct_projections(
+        self,
+        partition: Sequence[int],
+        blocks: int,
+        visible_outputs: tuple[int, ...],
+    ) -> list[int]:
+        """Distinct visible-output projections per partition block."""
+        columns = [self.output_columns[index] for index in visible_outputs]
+        distinct = [0] * blocks
+        seen: set[tuple] = set()
+        for row, block in enumerate(partition):
+            pair = (block, tuple(column[row] for column in columns))
+            if pair not in seen:
+                seen.add(pair)
+                distinct[block] += 1
+        return distinct
+
+
+class NumpyTable:
+    """Vectorized evaluation over 2-D ``int64`` domain-position matrices.
+
+    ``input_matrix``/``output_matrix`` hold one attribute per matrix row
+    and one relation row per column; they may be owned (built from a
+    structure's tuples) or *borrowed* as read-only views of an external
+    buffer (a shared-memory segment), in which case the caller keeps the
+    buffer alive for the table's lifetime.
+    """
+
+    backend = "numpy"
+
+    __slots__ = (
+        "input_matrix",
+        "output_matrix",
+        "input_domain_sizes",
+        "output_domain_sizes",
+        "row_count",
+    )
+
+    def __init__(
+        self,
+        input_matrix,
+        output_matrix,
+        input_domain_sizes: tuple[int, ...],
+        output_domain_sizes: tuple[int, ...],
+    ) -> None:
+        self.input_matrix = input_matrix
+        self.output_matrix = output_matrix
+        self.input_domain_sizes = input_domain_sizes
+        self.output_domain_sizes = output_domain_sizes
+        self.row_count = int(input_matrix.shape[1]) if input_matrix.size else 0
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_structure(cls, structure: "RelationStructure") -> "NumpyTable":
+        rows = structure.row_count
+        input_matrix = _np.asarray(structure.input_columns, dtype=_np.int64).reshape(
+            len(structure.input_columns), rows
+        )
+        output_matrix = _np.asarray(structure.output_columns, dtype=_np.int64).reshape(
+            len(structure.output_columns), rows
+        )
+        return cls(
+            input_matrix,
+            output_matrix,
+            structure.input_domain_sizes,
+            structure.output_domain_sizes,
+        )
+
+    # -- zero-copy packing (shared-memory shipping) ----------------------
+    @property
+    def packed_nbytes(self) -> int:
+        """Bytes of the flat buffer :meth:`pack_into` fills."""
+        return int(self.input_matrix.nbytes + self.output_matrix.nbytes)
+
+    def pack_into(self, buffer) -> None:
+        """Copy both matrices into ``buffer`` (input block, then output)."""
+        flat = _np.frombuffer(buffer, dtype=_np.int64, count=self.packed_nbytes // 8)
+        split = self.input_matrix.size
+        flat[:split] = self.input_matrix.reshape(-1)
+        flat[split : split + self.output_matrix.size] = self.output_matrix.reshape(-1)
+
+    @classmethod
+    def from_buffer(
+        cls,
+        buffer,
+        input_shape: tuple[int, int],
+        output_shape: tuple[int, int],
+        input_domain_sizes: tuple[int, ...],
+        output_domain_sizes: tuple[int, ...],
+    ) -> "NumpyTable":
+        """Attach to a packed buffer zero-copy (read-only views).
+
+        The caller owns ``buffer`` (e.g. keeps the shared-memory segment
+        open) for as long as the table is used.
+        """
+        input_cells = input_shape[0] * input_shape[1]
+        output_cells = output_shape[0] * output_shape[1]
+        flat = _np.frombuffer(
+            buffer, dtype=_np.int64, count=input_cells + output_cells
+        )
+        input_matrix = flat[:input_cells].reshape(input_shape)
+        output_matrix = flat[input_cells:].reshape(output_shape)
+        input_matrix.flags.writeable = False
+        output_matrix.flags.writeable = False
+        return cls(
+            input_matrix,
+            output_matrix,
+            tuple(input_domain_sizes),
+            tuple(output_domain_sizes),
+        )
+
+    def column_tuples(
+        self,
+    ) -> tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]:
+        """The canonical columns as nested tuples (structure reconstruction)."""
+        return (
+            tuple(tuple(row) for row in self.input_matrix.tolist()),
+            tuple(tuple(row) for row in self.output_matrix.tolist()),
+        )
+
+    # -- evaluation primitives -------------------------------------------
+    def initial_partition(self):
+        return _np.zeros(self.row_count, dtype=_np.int64)
+
+    def refine(self, base, input_index: int):
+        """Refine ``base`` by one input column, first-occurrence block ids.
+
+        ``np.unique`` numbers groups by sorted *value*; the remap through
+        an argsort of first-occurrence indices renumbers them in order of
+        first appearance -- exactly the ids the pure backend's dict
+        assignment produces, so partitions are value-identical across
+        backends (and across cache-eviction re-derivations).
+        """
+        # A base partition may be a preloaded pure tuple (cross-backend
+        # warm start); coerce so tuple * int never means repetition.
+        if not isinstance(base, _np.ndarray):
+            base = _np.asarray(base, dtype=_np.int64)
+        column = self.input_matrix[input_index]
+        combined = base * self.input_domain_sizes[input_index] + column
+        _, first, inverse = _np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        order = _np.argsort(first, kind="stable")
+        rank = _np.empty(order.size, dtype=_np.int64)
+        rank[order] = _np.arange(order.size, dtype=_np.int64)
+        return rank[inverse]
+
+    def distinct_projections(
+        self, partition, blocks: int, visible_outputs: tuple[int, ...]
+    ):
+        """Distinct visible-output projections per partition block.
+
+        Folds each visible output column into a running dense group code
+        (re-compressed by ``np.unique`` per column, so the fold never
+        overflows ``int64``), then counts one representative per distinct
+        ``(block, projection)`` code in each block.
+        """
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        code = partition
+        for index in visible_outputs:
+            combined = code * self.output_domain_sizes[index] + self.output_matrix[index]
+            _, code = _np.unique(combined, return_inverse=True)
+        _, first = _np.unique(code, return_index=True)
+        owners = partition[first]
+        return _np.bincount(owners, minlength=blocks).astype(_np.int64, copy=False)
+
+
+#: A backend table of either kind.
+Table = object
+
+
+def build_table(structure: "RelationStructure"):
+    """The active backend's table for one canonical structure."""
+    if _ACTIVE_BACKEND == "numpy":
+        return NumpyTable.from_structure(structure)
+    return PureTable(structure)

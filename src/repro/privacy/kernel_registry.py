@@ -38,12 +38,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import PrivacyError
+from repro.privacy import columnar
+from repro.privacy.columnar import WORD_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.privacy.relations import ModuleRelation
-
-#: Approximate cost of one cached integer (CPython small-int pointer).
-WORD_BYTES = 8
 
 #: Callback invoked with ``(structure, key, payload, cost)`` when a cache
 #: entry is evicted -- the persistence layer uses it to spill warm entries
@@ -156,6 +155,10 @@ class SharedGammaKernel:
             raise PrivacyError("kernel byte budget must be >= 0")
         self.structure = structure
         self.budget_bytes = budget_bytes
+        #: Columnar evaluation table (numpy or pure backend), built lazily
+        #: on the first evaluation so preload-only kernels never pay for
+        #: it, or installed externally (zero-copy shared-memory attach).
+        self._table: object | None = None
         #: Registry charged for this kernel's entries (registry-wide LRU);
         #: ``None`` for private kernels and per-kernel-budget registries.
         self._accountant = accountant
@@ -174,6 +177,33 @@ class SharedGammaKernel:
             "evictions": 0,
             "preloaded": 0,
         }
+
+    # ------------------------------------------------------------------ #
+    # Columnar backend table
+    # ------------------------------------------------------------------ #
+    @property
+    def table(self):
+        """The columnar evaluation table (built on first use)."""
+        if self._table is None:
+            self._table = columnar.build_table(self.structure)
+        return self._table
+
+    def install_table(self, table) -> None:
+        """Back this kernel with an externally built table.
+
+        The multiprocess workers install zero-copy
+        :class:`~repro.privacy.columnar.NumpyTable` views over a
+        shared-memory segment here instead of letting the kernel build
+        its own copy of the canonical row table.  The caller guarantees
+        the table matches :attr:`structure` and keeps any underlying
+        buffer alive for the kernel's lifetime.
+        """
+        self._table = table
+
+    @property
+    def backend(self) -> str:
+        """Which columnar backend this kernel evaluates on."""
+        return self.table.backend
 
     # ------------------------------------------------------------------ #
     # Attachment accounting
@@ -217,7 +247,12 @@ class SharedGammaKernel:
                 self._bytes_in_use -= evicted_cost
                 self._counters["evictions"] += 1
                 if self.eviction_sink is not None:
-                    self.eviction_sink(self.structure, victim, payload_out, evicted_cost)
+                    self.eviction_sink(
+                        self.structure,
+                        victim,
+                        columnar.freeze(payload_out),
+                        evicted_cost,
+                    )
                 if self._accountant is not None:
                     self._accountant._record_drop(self, victim)
         if self._accountant is not None:
@@ -239,7 +274,7 @@ class SharedGammaKernel:
         self._bytes_in_use -= cost
         self._counters["evictions"] += 1
         if self.eviction_sink is not None:
-            self.eviction_sink(self.structure, key, payload, cost)
+            self.eviction_sink(self.structure, key, columnar.freeze(payload), cost)
         return True
 
     # ------------------------------------------------------------------ #
@@ -248,11 +283,13 @@ class SharedGammaKernel:
     def export_entries(self) -> tuple[tuple[tuple, object, int], ...]:
         """Every cached entry as ``(key, payload, cost)``, oldest first.
 
-        The payloads are pure tuples of ints, so a snapshot of the export
-        round-trips through pickle byte-identically.
+        The payloads are *frozen* to pure tuples of ints -- whichever
+        backend produced them -- so a snapshot of the export round-trips
+        through pickle byte-identically and loads into either backend.
         """
         return tuple(
-            (key, payload, cost) for key, (payload, cost) in self._entries.items()
+            (key, columnar.freeze(payload), cost)
+            for key, (payload, cost) in self._entries.items()
         )
 
     def import_entries(
@@ -269,7 +306,7 @@ class SharedGammaKernel:
         for key, payload, cost in entries:
             if key in self._entries:
                 continue
-            self._cache_put(key, payload, cost)
+            self._cache_put(key, columnar.thaw_entry(key, payload), cost)
             self._counters["preloaded"] += 1
             imported += 1
         return imported
@@ -277,59 +314,51 @@ class SharedGammaKernel:
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def partition(self, visible_inputs: tuple[int, ...]) -> tuple[int, ...]:
-        """Block id per row of the partition by visible-input projection."""
+    def partition(self, visible_inputs: tuple[int, ...]):
+        """Block id per row of the partition by visible-input projection.
+
+        The container type follows the backend (``int64`` array or tuple
+        of ints); the *values* -- first-occurrence block ids -- are
+        identical either way, as is the accounted cost (one word per
+        row on both backends).
+        """
         key = ("partition", visible_inputs)
         cached = self._cache_get(key)
         if cached is not None:
             self._counters["partition_hits"] += 1
-            return cached  # type: ignore[return-value]
+            return cached
         if not visible_inputs:
-            partition: tuple[int, ...] = (0,) * self.structure.row_count
+            partition = self.table.initial_partition()
         else:
             base = self.partition(visible_inputs[:-1])
-            column = self.structure.input_columns[visible_inputs[-1]]
-            block_ids: dict[tuple[int, int], int] = {}
-            refined = []
-            for block, value in zip(base, column):
-                pair = (block, value)
-                block_id = block_ids.get(pair)
-                if block_id is None:
-                    block_id = len(block_ids)
-                    block_ids[pair] = block_id
-                refined.append(block_id)
-            partition = tuple(refined)
+            partition = self.table.refine(base, visible_inputs[-1])
             self._counters["partition_refinements"] += 1
         self._cache_put(key, partition, self.structure.row_count * WORD_BYTES)
         return partition
 
-    def entry(
-        self, visible_inputs: tuple[int, ...], visible_outputs: tuple[int, ...]
-    ) -> tuple[tuple[int, ...], tuple[int, ...], int]:
-        """(partition, per-block candidate counts, Gamma) for a visibility pair."""
+    def entry(self, visible_inputs: tuple[int, ...], visible_outputs: tuple[int, ...]):
+        """(partition, per-block candidate counts, Gamma) for a visibility pair.
+
+        ``partition`` and ``counts`` follow the backend's container type;
+        ``Gamma`` is always a python int.  Values, counters and accounted
+        costs are backend-independent.
+        """
         key = ("kernel", visible_inputs, visible_outputs)
         cached = self._cache_get(key)
         if cached is not None:
             self._counters["kernel_hits"] += 1
-            return cached  # type: ignore[return-value]
+            return cached
         partition = self.partition(visible_inputs)
-        block_count = (max(partition) + 1) if partition else 0
-        columns = [self.structure.output_columns[index] for index in visible_outputs]
-        distinct = [0] * block_count
-        seen: set[tuple] = set()
-        for row, block in enumerate(partition):
-            pair = (block, tuple(column[row] for column in columns))
-            if pair not in seen:
-                seen.add(pair)
-                distinct[block] += 1
+        blocks = columnar.block_count(partition)
+        distinct = self.table.distinct_projections(partition, blocks, visible_outputs)
         self._counters["grouping_passes"] += 1
         hidden_combinations = 1
         visible_output_set = set(visible_outputs)
         for index, size in enumerate(self.structure.output_domain_sizes):
             if index not in visible_output_set:
                 hidden_combinations *= size
-        counts = tuple(count * hidden_combinations for count in distinct)
-        entry = (partition, counts, min(counts) if counts else 0)
+        counts = columnar.scale_counts(distinct, hidden_combinations)
+        entry = (partition, counts, columnar.minimum(counts))
         cost = (self.structure.row_count + len(counts)) * WORD_BYTES
         self._cache_put(key, entry, cost)
         return entry

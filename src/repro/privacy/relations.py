@@ -464,7 +464,7 @@ class ModuleRelation:
             )
         self._stats["candidate_calls"] += 1
         partition, counts, _ = self._kernel_entry(*self._visible_indices(hidden_set))
-        return counts[partition[self._row_index[key]]]
+        return int(counts[partition[self._row_index[key]]])
 
     def candidate_output_counts(self, hidden: Iterable[str]) -> dict[tuple, int]:
         """Candidate-output count of *every* input, in one grouped pass.
@@ -475,7 +475,8 @@ class ModuleRelation:
         hidden_set = self._validate_hidden(hidden)
         partition, counts, _ = self._kernel_entry(*self._visible_indices(hidden_set))
         return {
-            key: counts[partition[row]] for row, key in enumerate(self._row_keys)
+            key: int(counts[partition[row]])
+            for row, key in enumerate(self._row_keys)
         }
 
     def visible_projection_table(

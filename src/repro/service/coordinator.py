@@ -32,6 +32,16 @@ Two client APIs:
   requests of pruned search nodes -- late results for discarded
   requests are dropped on receipt.
 
+With ``coalesce=N`` the asynchronous path buffers submitted tasks per
+shard and flushes them as *coalesced* batches (one IPC round trip
+carrying the tasks of up to N requests); completion is tracked per
+task, so requests sharing a batch still complete and fail
+independently.  On numpy builds the multiprocess transport additionally
+publishes each canonical row table once through
+:mod:`multiprocessing.shared_memory` and ships a zero-copy
+:class:`~repro.service.protocol.ShmTableRef` instead of re-serialising
+rows per shard (``shm_tables=False`` restores value shipping).
+
 Fault handling: a batch is re-dispatched when its shard is found dead
 (respawned workers and reconnected servers start warm from snapshots);
 the batch's :class:`ShardReport` is flagged ``retried``.  A shard that
@@ -89,15 +99,23 @@ LATENCY_WINDOW = 8192
 
 
 class _PendingRequest:
-    """Coordinator-side state of one in-flight logical request."""
+    """Coordinator-side state of one in-flight logical request.
 
-    __slots__ = ("request_id", "tasks", "batches", "results", "error")
+    Completion is tracked per *task*, not per batch: with dispatch
+    coalescing one batch carries tasks of several requests, so a request
+    is done exactly when every one of its task ids has a banked result
+    (or its error landed).
+    """
+
+    __slots__ = ("request_id", "tasks", "outstanding", "batch_ids", "results", "error")
 
     def __init__(self, request_id: int, tasks: list[GammaTask]) -> None:
         self.request_id = request_id
         self.tasks = tasks
-        #: Batches not yet completed, by batch id.
-        self.batches: dict[int, GammaBatch] = {}
+        #: Task ids still awaiting a result (buffered or dispatched).
+        self.outstanding: set[int] = {task.task_id for task in tasks}
+        #: In-flight batches currently carrying tasks of this request.
+        self.batch_ids: set[int] = set()
         self.results: dict[int, TaskResult] = {}
         #: Failure text banked until *this* request is collected -- a
         #: speculative request's error must not abort an unrelated
@@ -106,7 +124,7 @@ class _PendingRequest:
 
     @property
     def done(self) -> bool:
-        return self.error is not None or not self.batches
+        return self.error is not None or not self.outstanding
 
 
 class ShardCoordinator:
@@ -131,9 +149,13 @@ class ShardCoordinator:
         probe_interval: float | None = None,
         rebalance: bool = True,
         ring_slack: int = 1,
+        coalesce: int = 0,
+        shm_tables: bool | None = None,
     ) -> None:
         if structure_cache_size < 1:
             raise ServiceError("structure cache must hold at least one structure")
+        if coalesce < 0:
+            raise ServiceError(f"coalesce threshold must be >= 0, got {coalesce}")
         if transport is None:
             transport = build_transport(
                 workers,
@@ -149,6 +171,7 @@ class ShardCoordinator:
                 probe_interval=probe_interval,
                 rebalance=rebalance,
                 ring_slack=ring_slack,
+                shm_tables=shm_tables,
             )
         self.transport = transport
         #: Kept for introspection/compat: 0 means "no local worker pool".
@@ -172,7 +195,24 @@ class ShardCoordinator:
             else None
         )
         self._pending: dict[int, _PendingRequest] = {}
-        self._batch_requests: dict[int, int] = {}
+        #: In-flight (dispatched, uncompleted) batches by batch id.
+        self._inflight_batches: dict[int, GammaBatch] = {}
+        #: batch id -> ids of the live requests with tasks in that batch
+        #: (a singleton set without coalescing; possibly several with).
+        self._batch_requests: dict[int, set[int]] = {}
+        #: task id -> owning request id, for every buffered or in-flight
+        #: task; results and discards resolve their request through this.
+        self._task_requests: dict[int, int] = {}
+        #: Dispatch coalescing: 0 disables it (every submit dispatches
+        #: its shard batches immediately, the pre-PR-7 behavior); N > 0
+        #: buffers tasks per shard and flushes a shard's buffer when it
+        #: holds >= N tasks -- one IPC round trip carries the subset
+        #: evaluations of many pipelined requests.  collect() flushes
+        #: all buffers first, so no task waits on the threshold.
+        self.coalesce = int(coalesce)
+        self._buffers: dict[int, list[GammaTask]] = {}
+        self._coalesced_batches = 0
+        self._coalesced_requests = 0
         self._dispatch_times: dict[int, float] = {}
         self._retried_batch_ids: set[int] = set()
         self._last_reports: dict[int, ShardReport] = {}
@@ -281,24 +321,62 @@ class ShardCoordinator:
             if not tasks:
                 return request_id
             self._tasks_dispatched += len(tasks)
+            for task in tasks:
+                self._task_requests[task.task_id] = request_id
             shards = self.transport.shard_count
             by_shard: dict[int, list[GammaTask]] = {}
             for task in tasks:
                 shard_id = shard_of(task.signature, shards) if shards > 1 else 0
                 by_shard.setdefault(shard_id, []).append(task)
-            for shard_id, shard_tasks in by_shard.items():
-                batch = GammaBatch(
-                    next(self._batch_ids),
-                    shard_id,
-                    tuple(shard_tasks),
-                    {},
-                    request_id,
-                )
-                self._batches_dispatched += 1
-                pending.batches[batch.batch_id] = batch
-                self._batch_requests[batch.batch_id] = request_id
-                self._dispatch(batch)
+            if self.coalesce > 0:
+                # Buffer; a shard's buffer flushes once it holds enough
+                # tasks for one worthwhile IPC round trip.
+                for shard_id, shard_tasks in by_shard.items():
+                    buffer = self._buffers.setdefault(shard_id, [])
+                    buffer.extend(shard_tasks)
+                    if len(buffer) >= self.coalesce:
+                        self._flush_shard(shard_id)
+            else:
+                for shard_id, shard_tasks in by_shard.items():
+                    self._dispatch_tasks(shard_id, shard_tasks)
             return request_id
+
+    def _dispatch_tasks(self, shard_id: int, tasks: list[GammaTask]) -> None:
+        """Wrap ``tasks`` in one batch, register bookkeeping, dispatch.
+
+        Caller holds the lock.  The batch's ``request_id`` field carries
+        the first member request for observability; correlation happens
+        per task through ``_task_requests``, so a batch may span any
+        number of requests.
+        """
+        request_ids = {self._task_requests[task.task_id] for task in tasks}
+        batch = GammaBatch(
+            next(self._batch_ids),
+            shard_id,
+            tuple(tasks),
+            {},
+            min(request_ids),
+        )
+        self._batches_dispatched += 1
+        if len(request_ids) > 1:
+            self._coalesced_batches += 1
+            self._coalesced_requests += len(request_ids)
+        self._inflight_batches[batch.batch_id] = batch
+        self._batch_requests[batch.batch_id] = request_ids
+        for rid in request_ids:
+            self._pending[rid].batch_ids.add(batch.batch_id)
+        self._dispatch(batch)
+
+    def _flush_shard(self, shard_id: int) -> None:
+        """Dispatch one shard's buffered tasks (caller holds the lock)."""
+        buffer = self._buffers.pop(shard_id, None)
+        if buffer:
+            self._dispatch_tasks(shard_id, buffer)
+
+    def _flush_buffers(self) -> None:
+        """Dispatch every buffered task (caller holds the lock)."""
+        for shard_id in sorted(self._buffers):
+            self._flush_shard(shard_id)
 
     def collect(self, request_id: int) -> list[TaskResult]:
         """Block until ``request_id`` completes; results in request order.
@@ -312,6 +390,10 @@ class ShardCoordinator:
         """
         with self._lock:
             pending = self._pending.get(request_id)
+            if pending is not None:
+                # Nothing may sit out a coalescing threshold once a
+                # collector is waiting on it (or on anything after it).
+                self._flush_buffers()
         if pending is None:
             raise ServiceError(f"unknown or discarded request id {request_id}")
         deadline = time.monotonic() + self.task_timeout
@@ -345,10 +427,37 @@ class ShardCoordinator:
             pending = self._pending.pop(request_id, None)
             if pending is None:
                 return
-            for batch_id in pending.batches:
+            task_ids = {task.task_id for task in pending.tasks}
+            for task_id in task_ids:
+                self._task_requests.pop(task_id, None)
+            # Buffered (not yet dispatched) tasks are simply dropped.
+            for shard_id, buffer in list(self._buffers.items()):
+                kept = [task for task in buffer if task.task_id not in task_ids]
+                if kept:
+                    self._buffers[shard_id] = kept
+                else:
+                    del self._buffers[shard_id]
+            self._forget_request_batches(pending)
+
+    def _forget_request_batches(self, pending: _PendingRequest) -> None:
+        """Drop a dead/failed request from its in-flight batches.
+
+        A batch whose member requests are all gone keeps computing on
+        its shard -- work is never recalled -- but its completion will
+        find no bookkeeping and be dropped on receipt.  Caller holds
+        the lock.
+        """
+        for batch_id in pending.batch_ids:
+            members = self._batch_requests.get(batch_id)
+            if members is None:
+                continue
+            members.discard(pending.request_id)
+            if not members:
                 self._batch_requests.pop(batch_id, None)
+                self._inflight_batches.pop(batch_id, None)
                 self._dispatch_times.pop(batch_id, None)
                 self._retried_batch_ids.discard(batch_id)
+        pending.batch_ids.clear()
 
     # ------------------------------------------------------------------ #
     # Synchronous evaluation API (PR 3 surface, unchanged semantics)
@@ -409,8 +518,7 @@ class ShardCoordinator:
     def _pending_batches_of(self, shard_id: int) -> list[GammaBatch]:
         return [
             batch
-            for pending in self._pending.values()
-            for batch in pending.batches.values()
+            for batch in self._inflight_batches.values()
             if batch.shard_id == shard_id
         ]
 
@@ -424,11 +532,7 @@ class ShardCoordinator:
             self._send(batch)
 
     def _pending_shards(self) -> set[int]:
-        return {
-            batch.shard_id
-            for pending in self._pending.values()
-            for batch in pending.batches.values()
-        }
+        return {batch.shard_id for batch in self._inflight_batches.values()}
 
     def _pump(self, deadline: float) -> float:
         """One poll step: deliver a message or handle crash/timeout.
@@ -444,12 +548,9 @@ class ShardCoordinator:
                     self._recover(shard_id)
                 return now + self.task_timeout
             if now > deadline:
-                pending_batches = sum(
-                    len(pending.batches) for pending in self._pending.values()
-                )
                 raise ServiceError(
                     f"timed out after {self.task_timeout}s waiting for "
-                    f"{pending_batches} pending batch(es)"
+                    f"{len(self._inflight_batches)} pending batch(es)"
                 )
             return deadline
         kind = message[0]
@@ -457,33 +558,35 @@ class ShardCoordinator:
             return deadline
         if kind == MSG_ERROR:
             _, shard_id, batch_id, text = message
-            request_id = self._batch_requests.get(batch_id)
-            if request_id is None or request_id not in self._pending:
+            member_ids = self._batch_requests.pop(batch_id, None)
+            self._inflight_batches.pop(batch_id, None)
+            self._dispatch_times.pop(batch_id, None)
+            self._retried_batch_ids.discard(batch_id)
+            if member_ids is None:
                 # Left over from a request that already failed or was
                 # discarded; must not poison this (unrelated) call.
                 return deadline
-            # Bank the failure on its own request: it surfaces when (and
-            # only when) that request is collected, so a failed
-            # speculation that the search never consumes is harmless --
-            # exactly like sequential dispatch, which would never have
-            # dispatched it.
-            failed = self._pending[request_id]
-            failed.error = f"shard {shard_id} failed batch {batch_id}:\n{text}"
-            for stale in failed.batches:
-                self._batch_requests.pop(stale, None)
-                self._dispatch_times.pop(stale, None)
-                self._retried_batch_ids.discard(stale)
-            failed.batches.clear()
+            # Bank the failure on every request the batch carried: it
+            # surfaces when (and only when) each is collected, so a
+            # failed speculation that the search never consumes is
+            # harmless -- exactly like sequential dispatch, which would
+            # never have dispatched it.
+            for request_id in member_ids:
+                failed = self._pending.get(request_id)
+                if failed is None:
+                    continue
+                failed.error = f"shard {shard_id} failed batch {batch_id}:\n{text}"
+                failed.batch_ids.discard(batch_id)
+                for task in failed.tasks:
+                    self._task_requests.pop(task.task_id, None)
+                self._forget_request_batches(failed)
             return deadline
         if kind == MSG_NEED:
             # The server's structure cache no longer holds signatures we
             # treated as shipped: forget the marks and re-ship the batch.
             _, batch_id, signatures = message
-            request_id = self._batch_requests.get(batch_id)
-            if request_id is None or request_id not in self._pending:
-                return deadline
-            batch = self._pending[request_id].batches.get(batch_id)
-            if batch is None:  # pragma: no cover - need after completion
+            batch = self._inflight_batches.get(batch_id)
+            if batch is None:  # completed, failed or fully discarded
                 return deadline
             self.transport.unship(batch.shard_id, signatures)
             self._send(batch)
@@ -493,21 +596,19 @@ class ShardCoordinator:
         _, shard_id, batch_id, results, report = message
         received = time.monotonic()
         dispatched = self._dispatch_times.pop(batch_id, None)
-        request_id = self._batch_requests.pop(batch_id, None)
-        if request_id is None or request_id not in self._pending:
+        member_ids = self._batch_requests.pop(batch_id, None)
+        batch = self._inflight_batches.pop(batch_id, None)
+        if member_ids is None or batch is None:
             # Completed by both a dead worker and its replacement, or
             # belonged to a discarded speculation; results are
             # deterministic, so dropping this copy is always safe.
-            return deadline
-        pending = self._pending[request_id]
-        batch = pending.batches.pop(batch_id, None)
-        if batch is None:  # pragma: no cover - duplicate completion
             return deadline
         latency_ms = 0.0 if dispatched is None else (received - dispatched) * 1000.0
         report = replace(
             report,
             retried=batch_id in self._retried_batch_ids,
             dispatch_latency_ms=round(latency_ms, 6),
+            coalesced_requests=len(member_ids) if self.coalesce > 0 else 0,
         )
         self._retried_batch_ids.discard(batch_id)
         self._latencies_ms.append(latency_ms)
@@ -515,7 +616,16 @@ class ShardCoordinator:
             del self._latencies_ms[: -LATENCY_WINDOW // 2]
         self._last_reports[shard_id] = report
         for result in results:
+            request_id = self._task_requests.pop(result.task_id, None)
+            pending = self._pending.get(request_id)
+            if pending is None:  # the owning request was discarded
+                continue
             pending.results[result.task_id] = result
+            pending.outstanding.discard(result.task_id)
+        for request_id in member_ids:
+            pending = self._pending.get(request_id)
+            if pending is not None:
+                pending.batch_ids.discard(batch_id)
         # A completion is proof of liveness: the timeout bounds silence,
         # not total request runtime (a many-batch request streaming
         # steady results must never time out mid-stream).
@@ -593,6 +703,9 @@ class ShardCoordinator:
             "tasks": self._tasks_dispatched,
             "batches": self._batches_dispatched,
             "retried_batches": self._retried_batches,
+            "coalesce": self.coalesce,
+            "coalesced_batches": self._coalesced_batches,
+            "coalesced_requests": self._coalesced_requests,
             "worker_restarts": self.worker_restarts,
             "preloaded_entries": self.preloaded_entries,
             "structures_cached": len(self._structures),

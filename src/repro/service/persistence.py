@@ -24,7 +24,10 @@ served as cache hits and counted in the kernels' ``preloaded`` counter.
 
 Snapshots are pickles of tuples of ints (plus the structure dataclass);
 they are a local cache directory, not an interchange format -- load only
-directories you wrote.
+directories you wrote.  Payloads are *frozen* to pure tuples on write
+regardless of which columnar backend produced them (numpy arrays never
+reach the pickle), so a snapshot written by a numpy worker preloads
+byte-identically into a pure-python one and vice versa.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ServiceError
+from repro.privacy import columnar
 from repro.privacy.kernel_registry import (
     GammaKernelRegistry,
     RelationStructure,
@@ -169,12 +173,17 @@ class KernelSnapshotStore:
         structure: RelationStructure,
         entries: dict[tuple, tuple[object, int]],
     ) -> Path:
-        """Atomically write one snapshot (temp file + rename), torn-write safe."""
+        """Atomically write one snapshot (temp file + rename), torn-write safe.
+
+        Payloads are frozen to pure tuples of ints so the file is
+        backend-portable (and loadable where numpy is not installed).
+        """
         document = {
             "version": SNAPSHOT_VERSION,
             "structure": structure,
             "entries": tuple(
-                (key, payload, cost) for key, (payload, cost) in entries.items()
+                (key, columnar.freeze(payload), cost)
+                for key, (payload, cost) in entries.items()
             ),
         }
         path = self.path_for(signature)

@@ -58,6 +58,11 @@ try:  # pragma: no cover - exercised only where msgpack is installed
 except ImportError:  # pragma: no cover - the baked image has no msgpack
     msgpack = None
 
+try:  # pragma: no cover - exercised differently per environment
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy fallback build
+    _np = None
+
 #: Control message asking a worker to snapshot its kernels and exit.
 SHUTDOWN = "__shutdown__"
 
@@ -141,6 +146,32 @@ class GammaBatch:
 
 
 @dataclass(frozen=True)
+class ShmTableRef:
+    """A canonical row table published in a shared-memory segment.
+
+    :class:`~repro.service.transport.MultiprocessTransport` substitutes
+    one of these for the :class:`RelationStructure` in
+    ``GammaBatch.structures`` when shipping to a worker on the same
+    machine: the coordinator packs the structure's column matrices into
+    a ``multiprocessing.shared_memory`` segment once, and every worker
+    attaches zero-copy by name instead of unpickling its own copy of
+    the row table.  The ref carries the shapes and domain sizes needed
+    to map the buffer (see
+    :meth:`~repro.privacy.columnar.NumpyTable.from_buffer`) plus the
+    structure ``signature`` for registry keying and an integrity check.
+    The segment is owned (created and unlinked) by the transport;
+    workers only attach and close.
+    """
+
+    signature: str
+    shm_name: str
+    input_shape: tuple[int, int]
+    output_shape: tuple[int, int]
+    input_domain_sizes: tuple[int, ...]
+    output_domain_sizes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class TaskResult:
     """The outcome of one :class:`GammaTask`.
 
@@ -192,29 +223,75 @@ class ShardReport:
     #: and is dropped rather than double-counted.  0 on transports with
     #: no membership concept.
     epoch: int = 0
+    #: How many client-side logical requests this batch's tasks belonged
+    #: to, stamped by the coordinator when dispatch coalescing merged
+    #: several requests' tasks into one IPC round trip (1 for a batch
+    #: serving a single request, 0 on the uncoalesced path).
+    coalesced_requests: int = 0
 
 
 # ---------------------------------------------------------------------- #
 # Transport-neutral wire forms
 # ---------------------------------------------------------------------- #
+#: Tag opening a packed column-matrix wire form (vs legacy nested lists).
+I64_TAG = "i64"
+
+
+def columns_to_wire(columns: tuple[tuple[int, ...], ...]) -> list:
+    """Canonical columns as one packed little-endian ``int64`` buffer.
+
+    ``[I64_TAG, [n_columns, rows], raw_bytes]`` -- a dtype/shape/raw-bytes
+    triple that both codecs carry natively (msgpack bin, pickle bytes),
+    replacing the legacy nested ``list[list[int]]`` form that serialized
+    one object per cell.  Packing uses numpy when importable and
+    :mod:`struct` otherwise, producing identical bytes.
+    """
+    n_columns = len(columns)
+    rows = len(columns[0]) if columns else 0
+    if _np is not None:
+        raw = _np.asarray(columns, dtype="<i8").reshape(n_columns, rows).tobytes()
+    else:
+        flat = [value for column in columns for value in column]
+        raw = struct.pack(f"<{len(flat)}q", *flat)
+    return [I64_TAG, [n_columns, rows], raw]
+
+
+def columns_from_wire(wire: list) -> tuple[tuple[int, ...], ...]:
+    """Invert :func:`columns_to_wire`; also accepts the legacy nested form."""
+    if wire and wire[0] == I64_TAG:
+        _, (n_columns, rows), raw = wire
+        if _np is not None:
+            matrix = _np.frombuffer(raw, dtype="<i8").reshape(n_columns, rows)
+            return tuple(tuple(row) for row in matrix.tolist())
+        flat = struct.unpack(f"<{n_columns * rows}q", raw)
+        return tuple(
+            flat[column * rows : (column + 1) * rows] for column in range(n_columns)
+        )
+    return tuple(tuple(column) for column in wire)
+
+
 def structure_to_wire(structure: RelationStructure) -> list:
-    """A :class:`RelationStructure` as nested lists of ints."""
+    """A :class:`RelationStructure` as domain sizes plus packed columns."""
     return [
         list(structure.input_domain_sizes),
         list(structure.output_domain_sizes),
-        [list(column) for column in structure.input_columns],
-        [list(column) for column in structure.output_columns],
+        columns_to_wire(structure.input_columns),
+        columns_to_wire(structure.output_columns),
     ]
 
 
 def structure_from_wire(wire: list) -> RelationStructure:
-    """Rebuild a :class:`RelationStructure` from its wire form."""
+    """Rebuild a :class:`RelationStructure` from its wire form.
+
+    Accepts both the packed column triples this version emits and the
+    nested-list columns of pre-PR-7 peers.
+    """
     input_sizes, output_sizes, input_columns, output_columns = wire
     return RelationStructure(
         input_domain_sizes=tuple(input_sizes),
         output_domain_sizes=tuple(output_sizes),
-        input_columns=tuple(tuple(column) for column in input_columns),
-        output_columns=tuple(tuple(column) for column in output_columns),
+        input_columns=columns_from_wire(input_columns),
+        output_columns=columns_from_wire(output_columns),
     )
 
 
@@ -295,6 +372,7 @@ def report_to_wire(report: ShardReport) -> list:
         report.queue_depth,
         report.queue_wait_ms,
         report.epoch,
+        report.coalesced_requests,
     ]
 
 

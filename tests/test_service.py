@@ -21,6 +21,7 @@ from service_workloads import all_visibility_pairs, entry_requests
 
 from repro.errors import ServiceError
 from repro.experiments import e9_sharding
+from repro.privacy.columnar import freeze
 from repro.privacy.guarantees import workflow_guarantees
 from repro.privacy.kernel_registry import GammaKernelRegistry, WORD_BYTES
 from repro.privacy.relations import ModuleRelation
@@ -119,9 +120,10 @@ class TestInProcessFallback:
             partition, counts, gamma = relation.kernel.entry(
                 visible_inputs, visible_outputs
             )
+            # Results carry frozen (pure-tuple) payloads on any backend.
             assert (result.partition, result.counts, result.gamma) == (
-                partition,
-                counts,
+                freeze(partition),
+                freeze(counts),
                 gamma,
             )
 
@@ -214,7 +216,7 @@ class TestPersistence:
         restored = fresh.kernels[0]
         passes_before = restored.counters["grouping_passes"]
         for pair in pairs:
-            assert restored.entry(*pair) == expected[pair]
+            assert freeze(restored.entry(*pair)) == freeze(expected[pair])
         # Every evicted entry came back from disk: nothing recomputed.
         assert restored.counters["grouping_passes"] == passes_before
 
@@ -262,7 +264,7 @@ class TestPersistence:
         restored = fresh.kernels[0]
         passes = restored.counters["grouping_passes"]
         for pair in pairs:
-            assert restored.entry(*pair) == expected[pair]
+            assert freeze(restored.entry(*pair)) == freeze(expected[pair])
         assert restored.counters["grouping_passes"] == passes
 
     def test_clear_removes_snapshots(self, tmp_path):
@@ -312,7 +314,7 @@ class TestRegistryWideLRU:
         kernel_tiny = budgeted.ensure_kernel(relation.structure_signature)
         pairs = all_visibility_pairs(relation)
         for pair in pairs + pairs[::-1]:
-            assert kernel_tiny.entry(*pair) == kernel_ref.entry(*pair)
+            assert freeze(kernel_tiny.entry(*pair)) == freeze(kernel_ref.entry(*pair))
         assert budgeted.kernel_stats["cross_evictions"] > 0
         assert budgeted.kernel_stats["bytes_in_use"] <= 256 + relation.structure_signature.row_count * 3 * WORD_BYTES
 
@@ -439,13 +441,35 @@ class TestExperimentE9:
             workers=(0, 2), modules=(3,), budgets=(None,), seed=5
         )
         rows = e9_sharding.run(config)
-        # (workers) x (cold, warm) rows
-        assert len(rows) == 4
+        # (workers=0 + two dispatch modes for workers=2) x (cold, warm)
+        assert len(rows) == 6
         assert all(row["matches_inprocess"] for row in rows)
+        assert {row["dispatch"] for row in rows} == {
+            "inprocess",
+            "legacy",
+            "coalesced",
+        }
+        coalesced_cold = [
+            row
+            for row in rows
+            if row["dispatch"] == "coalesced" and row["start"] == "cold"
+        ]
+        assert all(row["coalesced_batches"] > 0 for row in coalesced_cold)
+        # Coalescing buys strictly fewer IPC round trips than the
+        # legacy one-batch-per-request path on the same workload.
+        legacy_cold = [
+            row
+            for row in rows
+            if row["dispatch"] == "legacy" and row["start"] == "cold"
+        ]
+        assert min(row["batches"] for row in coalesced_cold) < min(
+            row["batches"] for row in legacy_cold
+        )
         headline = e9_sharding.headline(rows)
         assert headline["all_match_inprocess"] is True
         assert headline["warm_skip_fraction"] >= 0.9
         assert headline["parallel_speedup"] > 0
+        assert headline["coalesced_speedup"] > 0
 
     def test_workers_override_collapses_the_sweep(self):
         config = e9_sharding.E9Config(

@@ -311,8 +311,8 @@ class TestPipelinedSecureView:
             doomed = coordinator.submit(requests)
             doomed_batches = [
                 batch_id
-                for batch_id, request_id in coordinator._batch_requests.items()
-                if request_id == doomed
+                for batch_id, request_ids in coordinator._batch_requests.items()
+                if doomed in request_ids
             ]
             coordinator.transport._result_queue.put(
                 ("error", 0, doomed_batches[0], "injected failure")
