@@ -35,7 +35,8 @@ test-chaos:
 test-fallback:
 	REPRO_PURE_PYTHON=1 $(PYTHON) -m pytest -q tests/test_kernel_registry.py \
 		tests/test_columnar_kernel.py tests/test_privacy_kernel_equivalence.py \
-		tests/test_privacy_relations.py tests/test_service.py
+		tests/test_privacy_relations.py tests/test_service.py \
+		tests/test_approx_gamma.py
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py

@@ -1,0 +1,143 @@
+"""Benchmarks for the approximate-Gamma estimator subsystem.
+
+Guards the perf contract the approx subsystem was built for (and that
+E12 reports at full scale):
+
+* a sampled interval on a *warm* kernel (strata cached, fresh sampling
+  seed) is far cheaper than an exact per-row count of the same pair;
+* in the sweep regime -- one kernel, many (budget, confidence) cells --
+  the approximate frontier beats the exact frontier wall clock by the
+  asserted floor at a scale where exact is still measurable, while
+  returning the *identical* frontier (the search refines straddling
+  intervals to a decision, so accept/prune choices match the exact
+  branch-and-bound);
+* a budget covering every row degenerates to the exact answers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.experiments.workloads import scaled_structure
+from repro.privacy.approx import (
+    KernelRelation,
+    SampleSpec,
+    kernel_sample_interval,
+)
+from repro.privacy.tradeoff import gamma_cost_frontier
+
+ROWS = 400_000
+GAMMAS = (2, 8, 32)
+EPSILON = 16.0
+BUDGET = 4096
+#: Warm-sweep speedup floor over the exact frontier at ``ROWS`` (the
+#: measured ratio is ~2.8x; the floor leaves headroom for noise).
+SPEEDUP_FLOOR = 1.5
+
+
+def bench_relation(rows: int = ROWS) -> KernelRelation:
+    return KernelRelation(
+        "bench-approx",
+        scaled_structure(
+            rows=rows, n_inputs=4, n_outputs=3, domain_size=8, seed=7, noise=0.02
+        ),
+    )
+
+
+def _frontier_key(points) -> tuple:
+    return tuple(
+        (point.gamma, point.cost, tuple(sorted(point.hidden))) for point in points
+    )
+
+
+def test_approx_interval_warm_kernel(benchmark):
+    """One sampled interval on a warm kernel, fresh seed per round."""
+    relation = bench_relation(50_000)
+    visible_inputs, visible_outputs = relation.visibility_of(("i0", "o2"))
+
+    def interval(seed: int):
+        return kernel_sample_interval(
+            relation.kernel,
+            visible_inputs,
+            visible_outputs,
+            SampleSpec(budget=BUDGET, confidence=0.95, seed=seed),
+        )
+
+    interval(0)  # warm the strata/partition caches
+    seeds = itertools.count(1)
+    box = benchmark.pedantic(lambda: interval(next(seeds)), rounds=5, iterations=1)
+    exact = relation.achieved_gamma(("i0", "o2"))
+    assert box.lower <= exact <= box.upper
+    assert 0 < box.samples_used < relation.kernel.structure.row_count
+
+
+def test_approx_frontier_speedup_vs_exact(benchmark):
+    """Warm-sweep approx frontier: >= SPEEDUP_FLOOR x over exact,
+    byte-identical answers."""
+    structure = scaled_structure(
+        rows=ROWS, n_inputs=4, n_outputs=3, domain_size=8, seed=7, noise=0.02
+    )
+    exact_relation = KernelRelation("bench-approx-exact", structure)
+    started = time.perf_counter()
+    exact_frontier = gamma_cost_frontier(
+        exact_relation, gammas=GAMMAS, solver="exact"
+    )
+    exact_s = time.perf_counter() - started
+
+    relation = KernelRelation("bench-approx", structure)
+    seeds = itertools.count()
+    approx_s = float("inf")
+    frontiers = []
+
+    def approx_cell():
+        nonlocal approx_s
+        cell_started = time.perf_counter()
+        frontier = gamma_cost_frontier(
+            relation,
+            gammas=GAMMAS,
+            solver="approx",
+            budget=BUDGET,
+            confidence=0.9,
+            seed=next(seeds),
+            target_half_width=EPSILON,
+        )
+        approx_s = min(approx_s, time.perf_counter() - cell_started)
+        frontiers.append(frontier)
+        return frontier
+
+    approx_cell()  # cold cell: pays the same strata cost exact does
+    benchmark.pedantic(approx_cell, rounds=3, iterations=1)
+
+    speedup = exact_s / max(approx_s, 1e-12)
+    print()
+    print(
+        f"approx frontier at {ROWS} rows: exact {exact_s * 1000:.1f} ms, "
+        f"approx warm {approx_s * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"approx frontier only {speedup:.2f}x over exact at {ROWS} rows"
+    )
+    for frontier in frontiers:
+        assert _frontier_key(frontier) == _frontier_key(exact_frontier)
+        for point in frontier:
+            assert point.ci_half_width <= EPSILON
+
+
+def test_approx_degenerate_budget_matches_exact(benchmark):
+    """Budget >= rows: the approx frontier IS the exact frontier."""
+    relation = bench_relation(2_000)
+    exact_frontier = gamma_cost_frontier(relation, gammas=GAMMAS, solver="exact")
+
+    def degenerate():
+        return gamma_cost_frontier(
+            relation,
+            gammas=GAMMAS,
+            solver="approx",
+            budget=relation.kernel.structure.row_count,
+            seed=3,
+        )
+
+    frontier = benchmark.pedantic(degenerate, rounds=5, iterations=1)
+    assert _frontier_key(frontier) == _frontier_key(exact_frontier)
+    assert all(point.ci_half_width == 0.0 for point in frontier)

@@ -40,7 +40,8 @@ BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 #: adversary hot paths, plus (since PR 3) the keyword-search/storage
 #: query ops and the evaluation service -- which since PR 4 includes
 #: the pipelined-dispatch deep-search op
-#: (``test_service_pipelined_dispatch_deep_search``).  Markers are
+#: (``test_service_pipelined_dispatch_deep_search``) and the sampled
+#: approximate-Gamma estimator ops (``approx``).  Markers are
 #: chosen to match the query/service benchmarks but not the figure-layer
 #: ones (e.g. ``keyword_search`` matches E5 and the gallery search, not
 #: ``test_fig5_keyword_answer`` -- figures are not a guarded hot path).
@@ -52,6 +53,7 @@ GUARDED_MARKERS = (
     "keyword_search",
     "storage",
     "service",
+    "approx",
 )
 
 

@@ -70,6 +70,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _experiment_span() -> str:
+    """The experiment id range, derived from the registry (e.g. ``E1-E12``)."""
+    ids = sorted(ALL_EXPERIMENTS, key=lambda name: int(name.lstrip("E")))
+    if len(ids) == 1:
+        return ids[0]
+    return f"{ids[0]}-{ids[-1]}"
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     experiment_id = args.experiment_id.upper()
     if experiment_id not in ALL_EXPERIMENTS:
@@ -102,7 +110,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"note: {experiment_id} does not take --endpoints; ignoring",
                 file=sys.stderr,
             )
-    for option in ("probe_interval", "rebalance", "coalesce"):
+    for option in ("probe_interval", "rebalance", "coalesce", "seed"):
         value = getattr(args, option, None)
         if value is None:
             continue
@@ -230,7 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--verbose", action="store_true", help="print renderings")
     figures.set_defaults(handler=_cmd_figures)
 
-    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E11)")
+    experiment = subparsers.add_parser(
+        "experiment", help=f"run one experiment ({_experiment_span()})"
+    )
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
     experiment.add_argument(
         "--workers",
@@ -269,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
             "health-prober cadence in seconds for elastic federation "
             "experiments (E11); lost endpoints are pinged and re-admitted "
             "on recovery"
+        ),
+    )
+    experiment.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "sampling seed for experiments with randomized estimators "
+            "(E12); the same seed reproduces every sampled interval "
+            "byte-for-byte across transports, defaults are fixed per "
+            "experiment so plain runs are already deterministic"
         ),
     )
     experiment.add_argument(

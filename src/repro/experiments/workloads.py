@@ -9,11 +9,12 @@ workloads are deterministic given their seed.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
 from repro.execution.engine import WorkflowExecutor
-from repro.privacy.kernel_registry import GammaKernelRegistry
+from repro.privacy.kernel_registry import GammaKernelRegistry, RelationStructure
 from repro.privacy.relations import ModuleRelation
 from repro.storage.repository import WorkflowRepository
 from repro.views.access import AccessViewPolicy
@@ -196,6 +197,69 @@ def random_relations(
         )
         for index in range(count)
     ]
+
+
+def scaled_structure(
+    *,
+    rows: int,
+    n_inputs: int = 3,
+    n_outputs: int = 2,
+    domain_size: int = 8,
+    seed: int = 0,
+    noise: float | None = None,
+) -> RelationStructure:
+    """A canonical relation structure of arbitrary row count.
+
+    The approximate-Gamma experiment (E12) needs relations far past what
+    a :class:`ModuleRelation` row mapping can hold (>= 10^6 rows), so
+    this builds the canonical *column* form directly: each column is an
+    independent uniform draw over its domain positions, seeded per
+    column by hashing ``(seed, role, position)`` -- deterministic,
+    backend-free, and O(rows) per column.
+
+    With ``noise`` set, outputs are instead a random linear function of
+    the inputs, flipped to a uniform draw with probability ``noise`` per
+    row -- a near-functional module.  That is the privacy-relevant
+    regime: with everything visible each input block maps to one
+    deterministic output (Gamma ~ 1), and only *hiding* attributes buys
+    privacy, so the safe-subset search actually has to branch.
+    """
+
+    def rng_for(role: str, position: int) -> random.Random:
+        material = repr((int(seed), role, int(position))).encode("ascii")
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    def column(role: str, position: int, size: int) -> tuple[int, ...]:
+        return tuple(rng_for(role, position).choices(range(size), k=rows))
+
+    input_columns = tuple(
+        column("input", position, domain_size) for position in range(n_inputs)
+    )
+
+    def output_column(position: int, size: int) -> tuple[int, ...]:
+        if noise is None:
+            return column("output", position, size)
+        rng = rng_for("output", position)
+        offset = rng.randrange(size)
+        weights = [1 + 2 * rng.randrange(size) for _ in range(n_inputs)]
+        return tuple(
+            (
+                rng.randrange(size)
+                if rng.random() < noise
+                else (offset + sum(w * v for w, v in zip(weights, values))) % size
+            )
+            for values in zip(*input_columns)
+        )
+
+    return RelationStructure(
+        input_domain_sizes=(domain_size,) * n_inputs,
+        output_domain_sizes=(domain_size,) * n_outputs,
+        input_columns=input_columns,
+        output_columns=tuple(
+            output_column(position, domain_size) for position in range(n_outputs)
+        ),
+    )
 
 
 def random_structural_targets(

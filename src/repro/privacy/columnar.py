@@ -166,7 +166,11 @@ def thaw_entry(key: tuple, payload: object) -> object:
             _np.asarray(counts, dtype=_np.int64) if _counts_fit(counts) else counts,
             gamma,
         )
-    return payload  # pragma: no cover - no other payload kinds exist
+    if key and key[0] == "strata":
+        order, offsets = payload  # type: ignore[misc]
+        return (_np.asarray(order, dtype=_np.int64), tuple(offsets))
+    # ("sample", ...) payloads are already plain int tuples on both backends.
+    return payload
 
 
 def _counts_fit(counts: Sequence[int]) -> bool:
@@ -262,6 +266,74 @@ class PureTable:
                 seen.add(pair)
                 distinct[block] += 1
         return distinct
+
+    def strata(
+        self, partition: Sequence[int]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Row ids grouped by block: ``(order, offsets)``.
+
+        ``order`` lists every row id, rows of block 0 first, rows
+        ascending within a block; ``offsets[b]:offsets[b+1]`` delimits
+        block ``b``.  Block ids are contiguous first-occurrence numbers,
+        so ascending id order equals first-occurrence order -- the numpy
+        backend's stable argsort yields the identical sequence.
+        """
+        groups: list[list[int]] = []
+        for row, block in enumerate(partition):
+            while block >= len(groups):
+                groups.append([])
+            groups[block].append(row)
+        order = tuple(row for group in groups for row in group)
+        offsets = [0]
+        for group in groups:
+            offsets.append(offsets[-1] + len(group))
+        return order, tuple(offsets)
+
+    def sample_distincts(
+        self,
+        partition: Sequence[int],
+        rows: Sequence[int],
+        visible_outputs: tuple[int, ...],
+    ) -> dict[int, tuple[int, int]]:
+        """Per touched block: ``(distinct, singletons)`` over sampled rows.
+
+        ``distinct`` is the number of distinct visible-output projections
+        among the block's sampled rows; ``singletons`` the number of
+        those seen exactly once (the Good-Turing statistic the missing
+        -mass bound feeds on).
+        """
+        columns = [self.output_columns[index] for index in visible_outputs]
+        tallies: dict[tuple[int, tuple[int, ...]], int] = {}
+        for row in rows:
+            pair = (partition[row], tuple(column[row] for column in columns))
+            tallies[pair] = tallies.get(pair, 0) + 1
+        stats: dict[int, tuple[int, int]] = {}
+        for (block, _projection), count in tallies.items():
+            distinct, singletons = stats.get(block, (0, 0))
+            stats[block] = (distinct + 1, singletons + (1 if count == 1 else 0))
+        return stats
+
+    def exhaust_distincts(
+        self,
+        partition: Sequence[int],
+        order: Sequence[int],
+        offsets: Sequence[int],
+        blocks: Sequence[int],
+        visible_outputs: tuple[int, ...],
+    ) -> dict[int, tuple[int, int]]:
+        """Exact per-block ``(distinct, singletons)`` of whole strata.
+
+        ``order``/``offsets`` are a :meth:`strata` result; every listed
+        block is counted over its *full* row slice.  The estimator uses
+        this to exhaust straddling blocks in one pass instead of
+        streaming them row by row through the sampler.
+        """
+        rows = [
+            row
+            for block in blocks
+            for row in order[offsets[block] : offsets[block + 1]]
+        ]
+        return self.sample_distincts(partition, rows, visible_outputs)
 
 
 class NumpyTable:
@@ -412,6 +484,65 @@ class NumpyTable:
         _, first = _np.unique(code, return_index=True)
         owners = partition[first]
         return _np.bincount(owners, minlength=blocks).astype(_np.int64, copy=False)
+
+    def strata(self, partition):
+        """Row ids grouped by block: ``(order, offsets)``.
+
+        Same values as :meth:`PureTable.strata` -- the stable argsort
+        keeps rows ascending within each block, and first-occurrence
+        block ids make ascending-id order equal first-occurrence order.
+        """
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        order = _np.argsort(partition, kind="stable").astype(_np.int64, copy=False)
+        blocks = int(partition.max()) + 1 if partition.size else 0
+        counts = _np.bincount(partition, minlength=blocks)
+        offsets = (0, *_np.cumsum(counts).tolist())
+        return order, offsets
+
+    def sample_distincts(self, partition, rows, visible_outputs: tuple[int, ...]):
+        """Per touched block: ``(distinct, singletons)`` over sampled rows.
+
+        Vectorized gather: the sampled rows' visible-output columns are
+        folded into a dense group code exactly as in
+        :meth:`distinct_projections`, prefixed by the owning block id,
+        then counted once per distinct ``(block, projection)`` code.
+        """
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        index = _np.asarray(rows, dtype=_np.int64)
+        code = partition[index]
+        blocks_of = code
+        for output in visible_outputs:
+            combined = code * self.output_domain_sizes[output] + self.output_matrix[
+                output
+            ][index]
+            _, code = _np.unique(combined, return_inverse=True)
+        _, first, counts = _np.unique(code, return_index=True, return_counts=True)
+        owners = blocks_of[first].tolist()
+        singles = (counts == 1).tolist()
+        stats: dict[int, tuple[int, int]] = {}
+        for block, single in zip(owners, singles):
+            distinct, singletons = stats.get(block, (0, 0))
+            stats[block] = (distinct + 1, singletons + (1 if single else 0))
+        return stats
+
+    def exhaust_distincts(self, partition, order, offsets, blocks, visible_outputs):
+        """Exact per-block ``(distinct, singletons)`` of whole strata.
+
+        Same values as :meth:`PureTable.exhaust_distincts`, but the
+        listed blocks' slices are concatenated and folded in a single
+        vectorized pass -- exhausting straddling blocks costs one
+        gather, not a python loop per row.
+        """
+        if not blocks:
+            return {}
+        if not isinstance(order, _np.ndarray):
+            order = _np.asarray(order, dtype=_np.int64)
+        index = _np.concatenate(
+            [order[offsets[block] : offsets[block + 1]] for block in blocks]
+        )
+        return self.sample_distincts(partition, index, visible_outputs)
 
 
 #: A backend table of either kind.

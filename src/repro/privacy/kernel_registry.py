@@ -174,6 +174,8 @@ class SharedGammaKernel:
             "partition_refinements": 0,
             "grouping_passes": 0,
             "kernel_hits": 0,
+            "sample_passes": 0,
+            "sample_hits": 0,
             "evictions": 0,
             "preloaded": 0,
         }
@@ -362,6 +364,46 @@ class SharedGammaKernel:
         cost = (self.structure.row_count + len(counts)) * WORD_BYTES
         self._cache_put(key, entry, cost)
         return entry
+
+    def strata(self, visible_inputs: tuple[int, ...]):
+        """``(order, offsets)`` grouping every row id by partition block.
+
+        The stratified sampler's companion to :meth:`partition`: rows of
+        block ``b`` are ``order[offsets[b]:offsets[b + 1]]``, ascending
+        within each block on both backends.  Cached in the same LRU as
+        partitions and kernel entries (``row_count + blocks + 1`` words),
+        so sampled evaluations share cache accounting -- and eviction
+        pressure -- with exact ones.
+        """
+        key = ("strata", visible_inputs)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._counters["partition_hits"] += 1
+            return cached
+        strata = self.table.strata(self.partition(visible_inputs))
+        cost = (self.structure.row_count + len(strata[1])) * WORD_BYTES
+        self._cache_put(key, strata, cost)
+        return strata
+
+    def sample_entry(self, subkey: tuple, compute: Callable[[], tuple]):
+        """Memoized sampling-estimator result for ``("sample",) + subkey``.
+
+        The approx subsystem stores its finished interval payloads (plain
+        int tuples, identical on both backends) here so repeated
+        estimates -- e.g. the same node re-expanded across frontier
+        levels, or a re-submitted service task -- are cache hits with the
+        same LRU/byte accounting as exact entries.  ``compute`` runs on a
+        miss and returns ``(payload, cost_bytes)``.
+        """
+        key = ("sample",) + subkey
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._counters["sample_hits"] += 1
+            return cached
+        payload, cost = compute()
+        self._counters["sample_passes"] += 1
+        self._cache_put(key, payload, cost)
+        return payload
 
     # ------------------------------------------------------------------ #
     # Instrumentation

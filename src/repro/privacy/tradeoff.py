@@ -157,7 +157,12 @@ def best_view_under_privacy(
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class GammaCostPoint:
-    """One point of a module's Gamma/hiding-cost frontier."""
+    """One point of a module's Gamma/hiding-cost frontier.
+
+    ``ci_half_width``/``confidence`` qualify the point when it was solved
+    by the sampling estimator (``solver="approx"``: ``achieved_gamma`` is
+    then the certified lower bound); both are ``None`` for exact points.
+    """
 
     module_id: str
     gamma: int
@@ -165,10 +170,12 @@ class GammaCostPoint:
     hidden: frozenset[str]
     achieved_gamma: int
     evaluations: int
+    ci_half_width: float | None = None
+    confidence: float | None = None
 
     def summary(self) -> dict[str, object]:
         """Compact dictionary form for experiment tables."""
-        return {
+        data = {
             "module": self.module_id,
             "gamma": self.gamma,
             "cost": self.cost,
@@ -176,6 +183,11 @@ class GammaCostPoint:
             "achieved_gamma": self.achieved_gamma,
             "evaluations": self.evaluations,
         }
+        if self.ci_half_width is not None:
+            data["ci_half_width"] = self.ci_half_width
+        if self.confidence is not None:
+            data["confidence"] = self.confidence
+        return data
 
 
 def gamma_cost_frontier(
@@ -184,6 +196,7 @@ def gamma_cost_frontier(
     gammas: Sequence[int] | None = None,
     solver: str = "exact",
     costs: Mapping[str, float] | None = None,
+    **solver_kwargs,
 ) -> list[GammaCostPoint]:
     """The hiding cost of every requested privacy level of one module.
 
@@ -191,7 +204,9 @@ def gamma_cost_frontier(
     ``max_gamma``) and solves the safe-subset problem at each level.  The
     sweep shares the relation's memoized Gamma kernel, so consecutive
     levels reuse each other's partitions and subset evaluations; cost is
-    monotone non-decreasing in Gamma by construction.
+    monotone non-decreasing in Gamma by construction.  Extra keyword
+    arguments go to the solver -- ``solver="approx"`` takes ``budget``,
+    ``confidence``, ``seed`` etc. and yields interval-qualified points.
     """
     max_gamma = relation.max_gamma()
     if gammas is None:
@@ -200,7 +215,9 @@ def gamma_cost_frontier(
     for gamma in gammas:
         if gamma > max_gamma:
             continue
-        result = solve_safe_subset(relation, gamma, solver=solver, costs=costs)
+        result = solve_safe_subset(
+            relation, gamma, solver=solver, costs=costs, **solver_kwargs
+        )
         points.append(
             GammaCostPoint(
                 module_id=relation.module_id,
@@ -209,6 +226,8 @@ def gamma_cost_frontier(
                 hidden=result.hidden,
                 achieved_gamma=result.gamma,
                 evaluations=result.evaluations,
+                ci_half_width=getattr(result, "ci_half_width", None),
+                confidence=getattr(result, "confidence", None),
             )
         )
     return points

@@ -63,6 +63,7 @@ from dataclasses import replace
 from typing import Iterable, Sequence
 
 from repro.errors import ServiceError
+from repro.privacy.approx import SampleSpec
 from repro.privacy.kernel_registry import RelationStructure
 from repro.service.persistence import KernelSnapshotStore
 from repro.service.protocol import (
@@ -71,6 +72,7 @@ from repro.service.protocol import (
     MSG_NEED,
     MSG_STOPPED,
     WANT_GAMMA,
+    WANT_SAMPLE,
     GammaBatch,
     GammaTask,
     ShardReport,
@@ -290,13 +292,19 @@ class ShardCoordinator:
     # Asynchronous evaluation API (request id keyed)
     # ------------------------------------------------------------------ #
     def submit(
-        self, requests: Iterable[GammaRequest], *, want: str = WANT_GAMMA
+        self,
+        requests: Iterable[GammaRequest],
+        *,
+        want: str = WANT_GAMMA,
+        sample: "SampleSpec | None" = None,
     ) -> int:
         """Dispatch every request as one logical unit; returns a request id.
 
         Each request is ``(structure, visible_inputs, visible_outputs)``;
         with ``want="entry"`` the results carry the full kernel-entry
-        payload (per-block counts and partition) instead of Gamma only.
+        payload (per-block counts and partition) instead of Gamma only,
+        and with ``want="sample"`` the given :class:`SampleSpec` rides
+        along on every task and the results carry interval payloads.
         The caller later passes the id to :meth:`collect` (block until
         complete) or :meth:`discard` (drop an abandoned speculation).
         """
@@ -313,6 +321,7 @@ class ShardCoordinator:
                         tuple(visible_inputs),
                         tuple(visible_outputs),
                         want,
+                        sample,
                     )
                 )
             request_id = next(self._request_ids)
@@ -471,6 +480,18 @@ class ShardCoordinator:
     def gammas(self, requests: Iterable[GammaRequest]) -> list[int]:
         """Just the Gamma of every request, in request order."""
         return [result.gamma for result in self.evaluate(requests)]
+
+    def sample(
+        self, requests: Iterable[GammaRequest], spec: "SampleSpec"
+    ) -> list[TaskResult]:
+        """Sampled Gamma intervals for every request, in request order.
+
+        Every result's ``interval`` holds the estimator's payload and
+        ``gamma`` its certified lower bound.  The spec's explicit seed
+        travels on the wire, so the same call is byte-identical across
+        ``workers=0``, multiprocess and pooled transports.
+        """
+        return self.collect(self.submit(requests, want=WANT_SAMPLE, sample=spec))
 
     # ------------------------------------------------------------------ #
     # Dispatch and the result pump

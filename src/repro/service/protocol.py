@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.errors import ServiceError
+from repro.privacy.approx import SampleSpec
 from repro.privacy.kernel_registry import RelationStructure
 
 try:  # pragma: no cover - exercised only where msgpack is installed
@@ -70,9 +71,11 @@ SHUTDOWN = "__shutdown__"
 #: snapshotting -- the crash-recovery test hook.
 CRASH = "__crash__"
 
-#: ``GammaTask.want`` values: return only the Gamma, or the full entry.
+#: ``GammaTask.want`` values: return only the Gamma, the full entry, or a
+#: sampled confidence interval (the task then carries a ``SampleSpec``).
 WANT_GAMMA = "gamma"
 WANT_ENTRY = "entry"
+WANT_SAMPLE = "sample"
 
 #: Message kinds exchanged between transports/servers and the coordinator.
 MSG_BATCH = "batch"
@@ -112,17 +115,30 @@ def shard_of(signature: str, shards: int) -> int:
 
 @dataclass(frozen=True)
 class GammaTask:
-    """One Gamma evaluation: a structure signature plus a visibility pair."""
+    """One Gamma evaluation: a structure signature plus a visibility pair.
+
+    ``want="sample"`` tasks additionally carry the :class:`SampleSpec`
+    driving the estimator -- including its explicit seed, so the worker's
+    sampling streams are fixed by the request alone and the reply is
+    byte-identical over any transport.
+    """
 
     task_id: int
     signature: str
     visible_inputs: tuple[int, ...]
     visible_outputs: tuple[int, ...]
     want: str = WANT_GAMMA
+    sample: SampleSpec | None = None
 
     def __post_init__(self) -> None:
-        if self.want not in (WANT_GAMMA, WANT_ENTRY):
+        if self.want not in (WANT_GAMMA, WANT_ENTRY, WANT_SAMPLE):
             raise ServiceError(f"unknown task payload kind {self.want!r}")
+        if self.want == WANT_SAMPLE and self.sample is None:
+            raise ServiceError("want='sample' tasks must carry a SampleSpec")
+        if self.want != WANT_SAMPLE and self.sample is not None:
+            raise ServiceError(
+                f"want={self.want!r} tasks must not carry a SampleSpec"
+            )
 
 
 @dataclass(frozen=True)
@@ -177,6 +193,9 @@ class TaskResult:
 
     ``counts`` and ``partition`` are populated only for ``want="entry"``
     tasks, keeping the common (Gamma-only) reply small on the wire.
+    ``interval`` is populated only for ``want="sample"`` tasks: the
+    :meth:`~repro.privacy.approx.GammaInterval.to_payload` int tuple
+    (``gamma`` then holds the interval's certified lower bound).
     """
 
     task_id: int
@@ -184,6 +203,7 @@ class TaskResult:
     gamma: int
     counts: tuple[int, ...] | None = None
     partition: tuple[int, ...] | None = None
+    interval: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -296,19 +316,34 @@ def structure_from_wire(wire: list) -> RelationStructure:
 
 
 def task_to_wire(task: GammaTask) -> list:
-    return [
+    """A task's wire form: the 5 legacy fields, plus the sample spec.
+
+    The spec element is appended only when present, so non-sample
+    traffic keeps the 5-element form pre-PR-8 peers decode (peers that
+    old could not serve sample tasks anyway).
+    """
+    wire = [
         task.task_id,
         task.signature,
         list(task.visible_inputs),
         list(task.visible_outputs),
         task.want,
     ]
+    if task.sample is not None:
+        wire.append(task.sample.to_wire())
+    return wire
 
 
 def task_from_wire(wire: list) -> GammaTask:
-    task_id, signature, visible_inputs, visible_outputs, want = wire
+    task_id, signature, visible_inputs, visible_outputs, want = wire[:5]
+    sample = SampleSpec.from_wire(wire[5]) if len(wire) > 5 else None
     return GammaTask(
-        task_id, signature, tuple(visible_inputs), tuple(visible_outputs), want
+        task_id,
+        signature,
+        tuple(visible_inputs),
+        tuple(visible_outputs),
+        want,
+        sample,
     )
 
 
@@ -340,23 +375,29 @@ def batch_from_wire(wire: list) -> GammaBatch:
 
 
 def result_to_wire(result: TaskResult) -> list:
-    return [
+    """A result's wire form; the interval element is appended only when set."""
+    wire = [
         result.task_id,
         result.signature,
         result.gamma,
         None if result.counts is None else list(result.counts),
         None if result.partition is None else list(result.partition),
     ]
+    if result.interval is not None:
+        wire.append(list(result.interval))
+    return wire
 
 
 def result_from_wire(wire: list) -> TaskResult:
-    task_id, signature, gamma, counts, partition = wire
+    task_id, signature, gamma, counts, partition = wire[:5]
+    interval = wire[5] if len(wire) > 5 else None
     return TaskResult(
         task_id,
         signature,
         gamma,
         None if counts is None else tuple(counts),
         None if partition is None else tuple(partition),
+        None if interval is None else tuple(int(value) for value in interval),
     )
 
 

@@ -1,0 +1,455 @@
+"""Approximate Gamma subsystem tests.
+
+Covers the estimator's statistical contract and its plumbing:
+
+* **soundness** -- the interval's lower bound never exceeds the exact
+  Gamma (it is deterministic), and a Hypothesis sweep checks the exact
+  value lands inside the interval at >= the nominal confidence across
+  sampling seeds;
+* **degeneracy** -- a budget covering every row reproduces the exact
+  kernel answer byte for byte, and the approx solver then equals the
+  exact branch-and-bound node for node;
+* **backend equivalence** -- the vectorized and pure-python tables
+  produce identical interval payloads, and the batched
+  ``exhaust_distincts`` stratum pass agrees with ``sample_distincts``
+  over the full strata;
+* **transports** -- the same :class:`SampleSpec` yields byte-identical
+  intervals locally, through the in-process coordinator and through a
+  multiprocess pool, with the seed explicit on the wire;
+* **wire compat** -- sample tasks/results append a 6th element while
+  plain traffic keeps the legacy 5-element form.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasiblePrivacyError, PrivacyError, ServiceError
+from repro.experiments.workloads import scaled_structure
+from repro.privacy.approx import (
+    ApproxGammaEstimator,
+    ApproxSafeSubsetResult,
+    GammaInterval,
+    KernelRelation,
+    SampleSpec,
+    approx_safe_subset,
+    empirical_bernstein_epsilon,
+    hoeffding_epsilon,
+    kernel_sample_interval,
+)
+from repro.privacy import columnar
+from repro.privacy.columnar import use_backend
+from repro.privacy.module_privacy import (
+    exact_safe_subset,
+    solve_safe_subset,
+)
+from repro.privacy.relations import ModuleRelation
+from repro.privacy.tradeoff import gamma_cost_frontier
+from repro.service import ShardCoordinator
+from repro.service.protocol import (
+    WANT_SAMPLE,
+    GammaTask,
+    TaskResult,
+    result_from_wire,
+    result_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+
+
+def small_relation(seed: int = 11) -> ModuleRelation:
+    return ModuleRelation.random(
+        "M", n_inputs=2, n_outputs=2, domain_size=3, seed=seed
+    )
+
+
+def sampled_relation(
+    *, rows: int = 360, seed: int = 3, noise: float = 0.1
+) -> KernelRelation:
+    structure = scaled_structure(
+        rows=rows,
+        n_inputs=2,
+        n_outputs=2,
+        domain_size=4,
+        seed=seed,
+        noise=noise,
+    )
+    return KernelRelation(f"S{seed}", structure)
+
+
+class TestConcentrationBounds:
+    def test_hoeffding_shrinks_with_samples(self):
+        assert hoeffding_epsilon(400, 0.05) < hoeffding_epsilon(100, 0.05)
+        assert hoeffding_epsilon(0, 0.05) == float("inf")
+
+    def test_bernstein_wins_at_extreme_rates(self):
+        # Near-zero variance: the empirical-Bernstein bound beats the
+        # distribution-free Hoeffding rate.
+        assert empirical_bernstein_epsilon(0.01, 500, 0.05) < hoeffding_epsilon(
+            500, 0.05
+        )
+        assert empirical_bernstein_epsilon(0.5, 1, 0.05) == float("inf")
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5, 2.0])
+    def test_bounds_reject_bad_delta(self, delta):
+        with pytest.raises(PrivacyError):
+            hoeffding_epsilon(10, delta)
+        with pytest.raises(PrivacyError):
+            empirical_bernstein_epsilon(0.5, 10, delta)
+
+
+class TestSampleSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget": 0},
+            {"confidence": 0.0},
+            {"confidence": 1.0},
+            {"threshold": 0},
+            {"target_half_width": -1.0},
+            {"max_rounds": 0},
+            {"min_block_samples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PrivacyError):
+            SampleSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            SampleSpec(),
+            SampleSpec(
+                budget=17,
+                confidence=0.875,
+                seed=42,
+                threshold=3,
+                target_half_width=1.5,
+                max_rounds=4,
+                min_block_samples=2,
+            ),
+        ],
+    )
+    def test_wire_roundtrip(self, spec):
+        assert SampleSpec.from_wire(spec.to_wire()) == spec
+
+    def test_cache_token_distinguishes_none_fields(self):
+        tokens = {
+            SampleSpec().cache_token(),
+            SampleSpec(threshold=2).cache_token(),
+            SampleSpec(target_half_width=0.5).cache_token(),
+            SampleSpec(max_rounds=1).cache_token(),
+            SampleSpec(seed=1).cache_token(),
+        }
+        assert len(tokens) == 5
+
+
+class TestIntervalSoundness:
+    def test_lower_bound_is_deterministically_sound(self):
+        relation = sampled_relation()
+        for hidden in [("i0",), ("o0",), ("i1", "o1"), ("i0", "i1", "o0")]:
+            exact = relation.achieved_gamma(hidden)
+            for seed in range(6):
+                box = ApproxGammaEstimator(
+                    relation,
+                    budget=24,
+                    seed=seed,
+                    max_rounds=1,
+                    min_block_samples=2,
+                ).interval(hidden)
+                assert box.lower <= exact
+                assert box.lower <= box.upper
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(relation_seed=st.integers(min_value=0, max_value=10_000))
+    def test_exact_inside_interval_at_nominal_rate(self, relation_seed):
+        confidence = 0.9
+        relation = sampled_relation(rows=240, seed=relation_seed)
+        hidden = ("i0", "o1")
+        exact = relation.achieved_gamma(hidden)
+        trials = 20
+        contained = sum(
+            ApproxGammaEstimator(
+                relation,
+                budget=24,
+                confidence=confidence,
+                seed=sampling_seed,
+                max_rounds=1,
+                min_block_samples=2,
+            )
+            .interval(hidden)
+            .contains(exact)
+            for sampling_seed in range(trials)
+        )
+        assert contained / trials >= confidence
+
+    def test_budget_covering_rows_degenerates_to_exact(self):
+        relation = sampled_relation(rows=180)
+        rows = relation.kernel.structure.row_count
+        for hidden in [("i0",), ("o0", "i1")]:
+            exact = relation.achieved_gamma(hidden)
+            payloads = set()
+            for seed in (0, 99):
+                box = ApproxGammaEstimator(
+                    relation, budget=rows, seed=seed
+                ).interval(hidden)
+                assert box.exact
+                assert box.lower == box.upper == exact
+                payloads.add(box.to_payload())
+            # Exhaustion erases the seed: byte-for-byte identical.
+            assert len(payloads) == 1
+
+    def test_threshold_questions_always_decide(self):
+        relation = sampled_relation()
+        estimator = ApproxGammaEstimator(
+            relation, budget=16, min_block_samples=2
+        )
+        for threshold in (2, 4, 16):
+            box = estimator.interval(("i0", "o0"), threshold=threshold)
+            assert not (box.lower < threshold <= box.upper)
+
+    def test_interval_payload_roundtrip(self):
+        box = GammaInterval(
+            lower=2,
+            upper=7,
+            confidence=0.95,
+            samples_used=64,
+            rounds=2,
+            exact=False,
+            blocks=9,
+            sampled_blocks=4,
+        )
+        assert GammaInterval.from_payload(box.to_payload(), 0.95) == box
+        assert box.half_width == 2.5
+        assert box.contains(2) and box.contains(7) and not box.contains(8)
+
+    def test_estimator_validates_eagerly(self):
+        with pytest.raises(PrivacyError):
+            ApproxGammaEstimator(sampled_relation(), budget=0)
+
+
+class TestApproxSolver:
+    def test_degenerate_budget_matches_exact_solver(self):
+        relation = small_relation()
+        gamma = 3
+        exact = exact_safe_subset(relation, gamma)
+        approx = solve_safe_subset(
+            relation, gamma, solver="approx", budget=10_000
+        )
+        assert isinstance(approx, ApproxSafeSubsetResult)
+        assert approx.hidden == exact.hidden
+        assert approx.cost == exact.cost
+        assert approx.gamma == exact.gamma
+        assert approx.optimal and approx.exact_degenerate
+        assert approx.ci_half_width == 0.0
+        view, cost, half_width, confidence = approx.as_tuple()
+        assert view == exact.hidden and cost == exact.cost
+        assert half_width == 0.0 and 0.0 < confidence < 1.0
+
+    def test_sampled_answer_is_certified_safe(self):
+        relation = sampled_relation()
+        gamma = 4
+        result = approx_safe_subset(
+            relation, gamma, budget=32, min_block_samples=2, seed=1
+        )
+        assert result.gamma_lower >= gamma
+        # The certification is sound: the exact Gamma of the returned
+        # view really reaches the requested level.
+        assert relation.achieved_gamma(result.hidden) >= gamma
+        assert result.samples_drawn > 0
+        assert result.gamma_upper >= result.gamma_lower
+
+    def test_node_budget_is_anytime_but_still_certified(self):
+        relation = sampled_relation()
+        gamma = 4
+        result = approx_safe_subset(
+            relation,
+            gamma,
+            budget=32,
+            min_block_samples=2,
+            node_budget=1,
+        )
+        assert not result.optimal
+        assert result.gamma_lower >= gamma
+        assert relation.achieved_gamma(result.hidden) >= gamma
+
+    def test_infeasible_gamma_raises(self):
+        relation = small_relation()
+        impossible = relation.max_gamma() + 1
+        with pytest.raises(InfeasiblePrivacyError):
+            approx_safe_subset(relation, impossible, budget=10_000)
+
+    def test_width_target_tightens_chosen_subset(self):
+        relation = sampled_relation()
+        result = approx_safe_subset(
+            relation,
+            4,
+            budget=32,
+            min_block_samples=2,
+            target_half_width=1.0,
+        )
+        assert result.ci_half_width <= 1.0
+
+    def test_frontier_supports_approx_solver(self):
+        relation = small_relation(seed=5)
+        exact_points = gamma_cost_frontier(
+            relation, gammas=(2, 3), solver="exact"
+        )
+        approx_points = gamma_cost_frontier(
+            relation, gammas=(2, 3), solver="approx", budget=10_000
+        )
+        assert [
+            (point.gamma, point.cost, point.hidden) for point in exact_points
+        ] == [
+            (point.gamma, point.cost, point.hidden) for point in approx_points
+        ]
+        for point in approx_points:
+            assert point.ci_half_width == 0.0
+            assert point.confidence is not None
+
+
+needs_numpy = pytest.mark.skipif(
+    not columnar.numpy_available(), reason="numpy not installed"
+)
+
+
+class TestBackendEquivalence:
+    def _payload(self, backend: str) -> tuple[int, ...]:
+        with use_backend(backend):
+            relation = sampled_relation(rows=200)
+            spec = SampleSpec(budget=24, seed=2, min_block_samples=2)
+            vi, vo = relation.visibility_of(("i0", "o1"))
+            return kernel_sample_interval(
+                relation.kernel, vi, vo, spec
+            ).to_payload()
+
+    @needs_numpy
+    def test_interval_payloads_identical_across_backends(self):
+        assert self._payload("pure") == self._payload("numpy")
+
+    @pytest.mark.parametrize(
+        "backend", ["pure", pytest.param("numpy", marks=needs_numpy)]
+    )
+    def test_exhaust_matches_full_sample(self, backend):
+        with use_backend(backend):
+            relation = sampled_relation(rows=150)
+            kernel = relation.kernel
+            vi, vo = relation.visibility_of(("i0",))
+            partition = kernel.partition(vi)
+            order, offsets = kernel.strata(vi)
+            blocks = list(range(len(offsets) - 1))
+            exhausted = kernel.table.exhaust_distincts(
+                partition, order, offsets, blocks, vo
+            )
+            every_row = [
+                int(order[position])
+                for block in blocks
+                for position in range(offsets[block], offsets[block + 1])
+            ]
+            full = kernel.table.sample_distincts(partition, every_row, vo)
+            assert exhausted == full
+            assert kernel.table.exhaust_distincts(
+                partition, order, offsets, [], vo
+            ) == {}
+
+
+class TestServiceIntegration:
+    def test_transports_return_identical_intervals(self):
+        relation = small_relation(seed=7)
+        spec = SampleSpec(budget=16, seed=9, min_block_samples=2)
+        vi, vo = relation.visibility_of(("M.in0", "M.out0"))
+        local = kernel_sample_interval(
+            relation.kernel, vi, vo, spec
+        ).to_payload()
+        requests = [(relation.structure_signature, vi, vo)]
+
+        [fallback] = ShardCoordinator(0).sample(requests, spec)
+        assert fallback.interval == local
+
+        with ShardCoordinator(2, task_timeout=60.0) as coordinator:
+            [pooled] = coordinator.sample(requests, spec)
+        assert pooled.interval == local
+        assert pooled.gamma == local[0]
+
+    def test_estimator_dispatches_via_service(self):
+        relation = small_relation(seed=7)
+        direct = ApproxGammaEstimator(relation, budget=16, seed=3).interval(
+            ("M.in0",)
+        )
+        routed = ApproxGammaEstimator(
+            relation, budget=16, seed=3, service=ShardCoordinator(0)
+        ).interval(("M.in0",))
+        assert routed == direct
+
+    def test_same_spec_hits_sample_cache(self):
+        relation = sampled_relation(rows=120, seed=8)
+        estimator = ApproxGammaEstimator(relation, budget=16, seed=4)
+        estimator.interval(("i0",))
+        before = dict(relation.kernel.counters)
+        estimator.interval(("i0",))
+        after = dict(relation.kernel.counters)
+        assert after["sample_hits"] == before["sample_hits"] + 1
+        assert after["sample_passes"] == before["sample_passes"]
+        # A different seed is a different cache entry.
+        ApproxGammaEstimator(relation, budget=16, seed=5).interval(("i0",))
+        assert relation.kernel.counters["sample_passes"] == (
+            after["sample_passes"] + 1
+        )
+
+
+class TestWireCompat:
+    def test_plain_task_keeps_legacy_five_element_form(self):
+        task = GammaTask(1, "a" * 64, (0,), (1,), "gamma")
+        wire = task_to_wire(task)
+        assert len(wire) == 5
+        assert task_from_wire(wire) == task
+
+    def test_sample_task_roundtrips_with_spec(self):
+        spec = SampleSpec(budget=33, seed=6, threshold=2)
+        task = GammaTask(2, "b" * 64, (0, 1), (), WANT_SAMPLE, spec)
+        wire = task_to_wire(task)
+        assert len(wire) == 6
+        assert task_from_wire(wire) == task
+
+    def test_task_validation(self):
+        with pytest.raises(ServiceError):
+            GammaTask(1, "c" * 64, (0,), (1,), WANT_SAMPLE)
+        with pytest.raises(ServiceError):
+            GammaTask(1, "c" * 64, (0,), (1,), "gamma", SampleSpec())
+
+    def test_result_roundtrips_and_tolerates_legacy_form(self):
+        result = TaskResult(3, "d" * 64, 2, interval=(2, 5, 16, 1, 0, 3, 3))
+        wire = result_to_wire(result)
+        assert len(wire) == 6
+        assert result_from_wire(wire) == result
+        legacy = TaskResult(4, "e" * 64, 7)
+        assert len(result_to_wire(legacy)) == 5
+        assert result_from_wire(result_to_wire(legacy)).interval is None
+
+
+class TestKernelRelationAdapter:
+    def test_adapter_surface(self):
+        relation = sampled_relation(rows=100, seed=2)
+        assert relation.attribute_names() == ("i0", "i1", "o0", "o1")
+        vi, vo = relation.visibility_of(("i1", "o0"))
+        assert vi == (0,) and vo == (1,)
+        assert relation.hiding_cost(("i1", "o0")) == 2.0
+        assert relation.max_gamma() >= relation.achieved_gamma(("i0",))
+        assert "rows=100" in repr(relation)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(PrivacyError):
+            sampled_relation(rows=40).visibility_of(("nope",))
+
+    def test_weights_override_costs(self):
+        structure = scaled_structure(
+            rows=60, n_inputs=2, n_outputs=1, domain_size=3, seed=1
+        )
+        relation = KernelRelation("W", structure, weights={"i0": 5.0})
+        assert relation.hiding_cost(("i0", "o0")) == 6.0

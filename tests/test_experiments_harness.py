@@ -111,7 +111,7 @@ class TestFigures:
 
 class TestExperimentRunners:
     def test_registry_is_complete(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
         assert set(ALL_HEADLINES) == set(ALL_EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):
@@ -154,3 +154,27 @@ class TestExperimentRunners:
         rows = e8_ranking.run(e8_ranking.E8Config(documents=8, bucket_widths=(1.0,)))
         assert len(rows) == 2
         assert rows[0]["publishing"] == "exact scores"
+
+    def test_e12_small_run(self):
+        from repro.experiments import e12_approx
+
+        config = e12_approx.E12Config(
+            scales=(64, 256),
+            budgets=(32,),
+            confidences=(0.9,),
+            gammas=(2, 4),
+            oracle_max_rows=256,
+            coverage_trials=4,
+            coverage_rows=80,
+            coverage_budget=16,
+            transport_rows=64,
+        )
+        rows = e12_approx.run(config, seed=5)
+        phases = {row["phase"] for row in rows}
+        assert phases == {"exact", "sweep", "coverage", "transports"}
+        headline = e12_approx.headline(rows)
+        assert headline["all_match_oracle"]
+        assert headline["all_within_epsilon"]
+        assert headline["all_certified"]
+        assert headline["transports_identical"]
+        assert headline["coverage_meets_nominal"]
