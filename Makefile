@@ -36,7 +36,7 @@ test-fallback:
 	REPRO_PURE_PYTHON=1 $(PYTHON) -m pytest -q tests/test_kernel_registry.py \
 		tests/test_columnar_kernel.py tests/test_privacy_kernel_equivalence.py \
 		tests/test_privacy_relations.py tests/test_service.py \
-		tests/test_approx_gamma.py
+		tests/test_approx_gamma.py tests/test_sortfree_kernel.py
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py

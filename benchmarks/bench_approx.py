@@ -6,12 +6,22 @@ E12 reports at full scale):
 * a sampled interval on a *warm* kernel (strata cached, fresh sampling
   seed) is far cheaper than an exact per-row count of the same pair;
 * in the sweep regime -- one kernel, many (budget, confidence) cells --
-  the approximate frontier beats the exact frontier wall clock by the
-  asserted floor at a scale where exact is still measurable, while
-  returning the *identical* frontier (the search refines straddling
-  intervals to a decision, so accept/prune choices match the exact
-  branch-and-bound);
+  warm approx cells beat the cold cell by the asserted floor (the
+  cached strata / sampled-strata orders are doing their job) while
+  returning the *identical* frontier as the exact solver (the search
+  refines straddling intervals to a decision, so accept/prune choices
+  match the exact branch-and-bound);
 * a budget covering every row degenerates to the exact answers.
+
+The PR 8 version of the frontier benchmark asserted approx beat the
+*exact* frontier wall clock at this scale.  PR 9's sort-free exact
+kernel made exact ~7x faster here (counting passes instead of a
+per-visibility-set argsort), moving the approx-vs-exact crossover far
+past this workload on the numpy backend -- so the exact ratio is now
+*reported* for trend visibility (and guarded against regression via
+the snapshot baselines) rather than asserted as a floor; exactness at
+tight tolerances exhausts straddling blocks, which scales with rows
+just like the exact pass does.
 """
 
 from __future__ import annotations
@@ -31,9 +41,11 @@ ROWS = 400_000
 GAMMAS = (2, 8, 32)
 EPSILON = 16.0
 BUDGET = 4096
-#: Warm-sweep speedup floor over the exact frontier at ``ROWS`` (the
-#: measured ratio is ~2.8x; the floor leaves headroom for noise).
-SPEEDUP_FLOOR = 1.5
+#: Warm-cell speedup floor over the cold cell at ``ROWS`` -- the warm
+#: path must reuse the cached strata / sampled-strata orders instead of
+#: re-deriving them (measured ~2.4x; the floor leaves headroom for
+#: noise).
+WARM_SPEEDUP_FLOOR = 1.5
 
 
 def bench_relation(rows: int = ROWS) -> KernelRelation:
@@ -73,8 +85,8 @@ def test_approx_interval_warm_kernel(benchmark):
 
 
 def test_approx_frontier_speedup_vs_exact(benchmark):
-    """Warm-sweep approx frontier: >= SPEEDUP_FLOOR x over exact,
-    byte-identical answers."""
+    """Warm approx frontier cells: >= WARM_SPEEDUP_FLOOR x over the cold
+    cell, exact ratio reported, byte-identical answers."""
     structure = scaled_structure(
         rows=ROWS, n_inputs=4, n_outputs=3, domain_size=8, seed=7, noise=0.02
     )
@@ -106,17 +118,22 @@ def test_approx_frontier_speedup_vs_exact(benchmark):
         frontiers.append(frontier)
         return frontier
 
-    approx_cell()  # cold cell: pays the same strata cost exact does
+    cold_started = time.perf_counter()
+    approx_cell()  # cold cell: pays the strata-construction cost
+    cold_s = time.perf_counter() - cold_started
     benchmark.pedantic(approx_cell, rounds=3, iterations=1)
 
-    speedup = exact_s / max(approx_s, 1e-12)
+    warm_speedup = cold_s / max(approx_s, 1e-12)
+    exact_ratio = exact_s / max(approx_s, 1e-12)
     print()
     print(
         f"approx frontier at {ROWS} rows: exact {exact_s * 1000:.1f} ms, "
-        f"approx warm {approx_s * 1000:.1f} ms ({speedup:.2f}x)"
+        f"approx cold {cold_s * 1000:.1f} ms, warm {approx_s * 1000:.1f} ms "
+        f"(warm {warm_speedup:.2f}x over cold, {exact_ratio:.2f}x of exact)"
     )
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"approx frontier only {speedup:.2f}x over exact at {ROWS} rows"
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm approx cells only {warm_speedup:.2f}x over the cold cell "
+        f"at {ROWS} rows -- the strata order caches are not being reused"
     )
     for frontier in frontiers:
         assert _frontier_key(frontier) == _frontier_key(exact_frontier)

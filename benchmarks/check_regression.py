@@ -54,6 +54,7 @@ GUARDED_MARKERS = (
     "storage",
     "service",
     "approx",
+    "strata",
 )
 
 

@@ -197,6 +197,7 @@ def run(config: E12Config | None = None, *, seed: int | None = None) -> ResultTa
         relation = build_relation(config, scale)
         for budget in config.budgets:
             for confidence in config.confidences:
+                timers_before = relation.kernel.timers
                 started = time.perf_counter()
                 frontier = gamma_cost_frontier(
                     relation,
@@ -208,6 +209,11 @@ def run(config: E12Config | None = None, *, seed: int | None = None) -> ResultTa
                     target_half_width=epsilon,
                 )
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
+                # Group-construction share of this cell (the kernel is
+                # shared across cells, so attribute by delta).
+                build_ms = sum(relation.kernel.timers.values()) - sum(
+                    timers_before.values()
+                )
                 approx_ms[scale] = min(
                     approx_ms.get(scale, float("inf")), elapsed_ms
                 )
@@ -227,6 +233,7 @@ def run(config: E12Config | None = None, *, seed: int | None = None) -> ResultTa
                         "budget": budget,
                         "confidence": confidence,
                         "time_ms": round(elapsed_ms, 3),
+                        "build_ms": round(build_ms, 3),
                         "points": len(frontier),
                         "total_cost": round(
                             sum(point.cost for point in frontier), 3

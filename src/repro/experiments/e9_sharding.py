@@ -218,6 +218,18 @@ def run(
                                     )
                                     + stats.get("grouping_passes", 0),
                                     "kernel_hits": stats.get("kernel_hits", 0),
+                                    # Group-construction attribution: how
+                                    # much shard wall time went into
+                                    # building partitions/strata vs the
+                                    # fused counting passes.
+                                    "build_ms": round(
+                                        stats.get("partition_build_ms", 0.0)
+                                        + stats.get("strata_build_ms", 0.0),
+                                        3,
+                                    ),
+                                    "fused_passes": stats.get(
+                                        "entry_fused_passes", 0
+                                    ),
                                     "preloaded": preloaded,
                                     "evictions": stats.get("evictions", 0),
                                     "min_gamma": min(gammas),

@@ -354,22 +354,58 @@ def _estimate_payload(
     visible_space = 1
     for index in visible_outputs:
         visible_space *= structure.output_domain_sizes[index]
-    order, offsets = kernel.strata(visible_inputs)
     partition = kernel.partition(visible_inputs)
-    blocks = len(offsets) - 1
-    sizes = [offsets[b + 1] - offsets[b] for b in range(blocks)]
+    sizes = kernel.table.block_sizes(partition)
+    blocks = len(sizes)
     delta_total = 1.0 - spec.confidence
 
     max_active = max(1, spec.budget // max(spec.min_block_samples, 1))
     if blocks <= max_active:
+        # Every block is sampled: reuse the kernel's canonical per-prefix
+        # order (the incremental ``("strata", VI)`` cache shared with
+        # ``exhaust_distincts`` and later estimates on the same prefix).
         active = list(range(blocks))
+        order, offsets = kernel.strata(visible_inputs)
+        slot_of: dict[int, int] | None = None
     else:
         # More blocks than the budget can cover at the per-block minimum:
         # sample the largest ones -- small blocks have small candidate
         # counts anyway, and the deterministic lower bound keeps them
-        # from being over-claimed.
-        active = sorted(range(blocks), key=lambda b: (-sizes[b], b))[:max_active]
-        active.sort()
+        # from being over-claimed.  With most blocks never touched, full
+        # strata would be wasted work *and* wasted cache bytes, so this
+        # path switches to *sampled strata construction*: the kernel
+        # gathers just the active blocks in one linear pass and caches
+        # the partial order, so later estimates on the same prefix
+        # (any seed or confidence) read plain slices.
+        active_blocks, order, offsets = kernel.sampled_strata(
+            visible_inputs, max_active
+        )
+        active = list(active_blocks)
+        slot_of = {block: slot for slot, block in enumerate(active)}
+
+    # Refinement can pull in blocks outside the cached active set (a
+    # never-sampled block's deterministic cap may straddle the decision
+    # limit); those few are gathered lazily per estimate.
+    extra_rows: dict[int, object] = {}
+
+    def ensure_rows(targets: list[int]) -> None:
+        if slot_of is None:
+            return
+        missing = [
+            block
+            for block in targets
+            if block not in slot_of and block not in extra_rows
+        ]
+        if missing:
+            extra_rows.update(kernel.table.block_rows(partition, missing))
+
+    def rows_of(block: int):
+        if slot_of is None:
+            return order[offsets[block] : offsets[block + 1]]
+        slot = slot_of.get(block)
+        if slot is None:
+            return extra_rows[block]
+        return order[offsets[slot] : offsets[slot + 1]]
 
     samplers: dict[int, _BlockSampler] = {}
     drawn: dict[int, list[int]] = {}
@@ -407,11 +443,11 @@ def _estimate_payload(
         return len(fresh)
 
     def recount(targets: list[int]) -> None:
-        gathered = [
-            int(order[offsets[block] + position])
-            for block in targets
-            for position in drawn[block]
-        ]
+        ensure_rows(targets)
+        gathered = []
+        for block in targets:
+            block_rows = rows_of(block)
+            gathered.extend(int(block_rows[position]) for position in drawn[block])
         tallies = kernel.table.sample_distincts(
             partition, gathered, visible_outputs
         )
@@ -425,9 +461,19 @@ def _estimate_payload(
         for block in targets:
             progressed += sizes[block] - drawn_count(block)
             full.add(block)
-        tallies = kernel.table.exhaust_distincts(
-            partition, order, offsets, targets, visible_outputs
-        )
+        if slot_of is None:
+            tallies = kernel.table.exhaust_distincts(
+                partition, order, offsets, targets, visible_outputs
+            )
+        elif targets:
+            ensure_rows(targets)
+            tallies = kernel.table.sample_distincts(
+                partition,
+                kernel.table.concat_rows([rows_of(block) for block in targets]),
+                visible_outputs,
+            )
+        else:
+            tallies = {}
         for block in targets:
             stats[block] = tallies[block]
         samples_used += progressed

@@ -10,14 +10,20 @@ accounting) can run on either representation:
 * the **numpy** backend encodes a canonical relation table as 2-D
   ``int64`` matrices of domain positions (one row per attribute, one
   column per relation row) and implements refinement and grouping as
-  ``np.unique`` group-id passes -- O(rows log rows) vectorized instead
-  of a python-level loop per row;
+  *sort-free counting passes*: domain positions are small dense ints,
+  so one ``(block, value)`` key per row fits a dense scatter table and
+  a :func:`np.cumsum` rank pass -- O(rows + blocks·domain) per column
+  instead of the O(rows log rows) ``np.unique``/``argsort`` passes the
+  kernel paid through PR 8.  The sort-based implementations are kept
+  verbatim as ``reference_*`` oracles (and as the automatic fallback
+  when a degenerate key space would out-size the relation);
 * the **pure** backend keeps the original tuple/dict loops, used when
   numpy is not installed (the library must stay dependency-optional)
   or when ``REPRO_PURE_PYTHON=1`` forces it.
 
 Both backends produce *identical* values: block ids are numbered in
-first-occurrence order (the numpy path remaps ``np.unique``'s
+first-occurrence order (the counting pass ranks keys by their first
+occurrence directly; the retained ``np.unique`` oracle remaps
 sorted-value group ids through an argsort of first indices), and counts
 are exact integers.  Cache payloads differ only in container type
 (``int64`` arrays vs tuples of ints); :func:`freeze` converts any
@@ -54,6 +60,20 @@ try:  # pragma: no cover - exercised differently per environment
     import numpy as _np
 except ImportError:  # pragma: no cover - the no-numpy fallback build
     _np = None
+
+
+def _dense_space_ok(space: int, rows: int) -> int:
+    """Whether a counting pass may allocate a ``space``-cell scatter table.
+
+    The sort-free passes trade O(rows log rows) comparisons for a dense
+    table of one cell per ``(group, value)`` key.  On degenerate inputs
+    (nearly-all-distinct partitions over a wide domain) that table can
+    dwarf the relation, so past ``4·rows`` cells (plus slack so tiny
+    relations never trip it) the caller falls back to the sort-based
+    reference pass -- which produces the *same values*, so the guard is
+    invisible to results, cache payloads and eviction sequences.
+    """
+    return space <= 4 * rows + 1024
 
 
 def numpy_available() -> bool:
@@ -250,6 +270,11 @@ class PureTable:
             refined.append(block_id)
         return tuple(refined)
 
+    # The dict loop *is* the first-occurrence oracle; the numpy backend
+    # exposes the same ``reference_`` names for its sort-based paths, so
+    # equivalence tests can drive either backend uniformly.
+    reference_refine = refine
+
     def distinct_projections(
         self,
         partition: Sequence[int],
@@ -266,6 +291,25 @@ class PureTable:
                 seen.add(pair)
                 distinct[block] += 1
         return distinct
+
+    reference_distinct_projections = distinct_projections
+
+    def fused_entry(
+        self,
+        partition: Sequence[int],
+        blocks: int,
+        visible_outputs: tuple[int, ...],
+    ) -> list[int]:
+        """Distinct visible-output projections per block, one fused pass.
+
+        The pure backend's :meth:`distinct_projections` already walks the
+        relation exactly once with the block id fused into the projection
+        key, so the fused entry kernel *is* that loop; the method exists
+        so :meth:`SharedGammaKernel.entry` calls one name on both
+        backends (the numpy side genuinely fuses three ``np.unique``
+        passes into a single counting pass).
+        """
+        return self.distinct_projections(partition, blocks, visible_outputs)
 
     def strata(
         self, partition: Sequence[int]
@@ -288,6 +332,78 @@ class PureTable:
         for group in groups:
             offsets.append(offsets[-1] + len(group))
         return order, tuple(offsets)
+
+    reference_strata = strata
+
+    def initial_strata(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Strata of the empty-visibility partition (one block, row order)."""
+        if self.row_count == 0:
+            return (), (0,)
+        return tuple(range(self.row_count)), (0, self.row_count)
+
+    def refine_strata(
+        self,
+        base_order: Sequence[int],
+        refined: Sequence[int],
+        input_index: int,
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Strata of ``refined`` derived from the base partition's order.
+
+        ``base_order`` is the :meth:`strata` order of the partition
+        ``refined`` was refined *from* by column ``input_index``; every
+        refined block lies inside one base block, so replaying rows in
+        base order keeps them ascending within each refined block --
+        identical values to ``strata(refined)`` without re-deriving the
+        grouping from scratch.
+        """
+        groups: list[list[int]] = []
+        for row in base_order:
+            block = refined[row]
+            while block >= len(groups):
+                groups.append([])
+            groups[block].append(row)
+        order = tuple(row for group in groups for row in group)
+        offsets = [0]
+        for group in groups:
+            offsets.append(offsets[-1] + len(group))
+        return order, tuple(offsets)
+
+    def block_sizes(self, partition: Sequence[int]) -> list[int]:
+        """Rows per block of a first-occurrence-numbered partition.
+
+        One linear pass -- the sampled-strata estimator path uses this to
+        rank and budget blocks without materializing full strata.
+        """
+        sizes = [0] * (max(partition) + 1 if partition else 0)
+        for block in partition:
+            sizes[block] += 1
+        return sizes
+
+    def block_rows(
+        self, partition: Sequence[int], blocks: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Row ids of just the listed blocks, ascending within each.
+
+        The *sampled strata construction*: one linear pass over the
+        partition gathers only the blocks a sampling wave touches,
+        instead of building (and caching) the full ``(order, offsets)``
+        strata for every block.
+        """
+        wanted = set(blocks)
+        gathered: dict[int, list[int]] = {block: [] for block in blocks}
+        for row, block in enumerate(partition):
+            if block in wanted:
+                gathered[block].append(row)
+        return {block: tuple(rows) for block, rows in gathered.items()}
+
+    def largest_blocks(self, sizes: Sequence[int], limit: int) -> list[int]:
+        """The ``limit`` largest block ids, ties broken by ascending id."""
+        ranked = sorted(range(len(sizes)), key=lambda b: (-sizes[b], b))
+        return ranked[:limit]
+
+    def concat_rows(self, chunks: Sequence[Sequence[int]]) -> list[int]:
+        """Row-id chunks flattened into one sampling batch."""
+        return [row for chunk in chunks for row in chunk]
 
     def sample_distincts(
         self,
@@ -445,14 +561,44 @@ class NumpyTable:
     def refine(self, base, input_index: int):
         """Refine ``base`` by one input column, first-occurrence block ids.
 
-        ``np.unique`` numbers groups by sorted *value*; the remap through
-        an argsort of first-occurrence indices renumbers them in order of
-        first appearance -- exactly the ids the pure backend's dict
-        assignment produces, so partitions are value-identical across
-        backends (and across cache-eviction re-derivations).
+        Sort-free counting pass: each row's ``(block, value)`` key is one
+        cell of a dense ``blocks x domain`` table, so a reversed scatter
+        pins every key's *first* occurrence position (the last write in
+        reversed order is the earliest position), and a cumsum over marks
+        at those positions ranks the keys in first-occurrence order --
+        exactly the ids the pure backend's dict assignment produces, in
+        O(rows + blocks·domain) with no comparison sort.  Degenerate key
+        spaces fall back to the (value-identical) sort-based oracle.
         """
         # A base partition may be a preloaded pure tuple (cross-backend
         # warm start); coerce so tuple * int never means repetition.
+        if not isinstance(base, _np.ndarray):
+            base = _np.asarray(base, dtype=_np.int64)
+        rows = base.size
+        if rows == 0:
+            return base
+        domain = self.input_domain_sizes[input_index]
+        space = (int(base.max()) + 1) * domain
+        if not _dense_space_ok(space, rows):
+            return self.reference_refine(base, input_index)
+        combined = base * domain + self.input_matrix[input_index]
+        first = _np.empty(space, dtype=_np.int64)
+        first[combined[::-1]] = _np.arange(rows - 1, -1, -1, dtype=_np.int64)
+        first_of_row = first[combined]
+        marks = _np.zeros(rows, dtype=_np.int64)
+        marks[first_of_row] = 1
+        ranks = _np.cumsum(marks)
+        ranks -= 1
+        return ranks[first_of_row]
+
+    def reference_refine(self, base, input_index: int):
+        """The PR 7 ``np.unique`` refinement, kept as correctness oracle.
+
+        ``np.unique`` numbers groups by sorted *value*; the remap through
+        an argsort of first-occurrence indices renumbers them in order of
+        first appearance, so the oracle and the counting pass agree
+        value-for-value.
+        """
         if not isinstance(base, _np.ndarray):
             base = _np.asarray(base, dtype=_np.int64)
         column = self.input_matrix[input_index]
@@ -465,15 +611,67 @@ class NumpyTable:
         rank[order] = _np.arange(order.size, dtype=_np.int64)
         return rank[inverse]
 
+    def _fold_output_codes(self, code, ncodes: int, visible_outputs, index):
+        """Fold visible output columns into a dense running group code.
+
+        ``code`` holds dense group ids in ``[0, ncodes)`` for the rows
+        selected by ``index`` (``None`` selects all rows).  Each column
+        widens the key space to ``ncodes·domain`` and re-compresses it
+        through a dense occupancy cumsum -- no sort -- falling back to
+        ``np.unique`` (same codes: both number keys in ascending key
+        order) when the key space outgrows the guard.
+        """
+        rows = code.size
+        for output in visible_outputs:
+            column = self.output_matrix[output]
+            values = column if index is None else column[index]
+            combined = code * self.output_domain_sizes[output] + values
+            space = ncodes * self.output_domain_sizes[output]
+            if _dense_space_ok(space, rows):
+                occupied = _np.zeros(space, dtype=_np.bool_)
+                occupied[combined] = True
+                dense = _np.cumsum(occupied)
+                ncodes = int(dense[-1]) if space else 0
+                dense -= 1
+                code = dense[combined]
+            else:
+                uniques, code = _np.unique(combined, return_inverse=True)
+                ncodes = int(uniques.size)
+        return code, ncodes
+
+    def fused_entry(self, partition, blocks: int, visible_outputs: tuple[int, ...]):
+        """Distinct visible-output projections per block, one fused pass.
+
+        The entry kernel's counting stage: starts from the partition's
+        block ids as the seed group code (so the block is fused into the
+        projection key from the first column), folds every visible
+        output column through the dense sort-free re-compression, then
+        scatters one representative row per final code to attribute it
+        to its owning block.  Replaces three ``np.unique`` passes per
+        entry with counting passes.
+        """
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        if partition.size == 0:
+            return _np.zeros(blocks, dtype=_np.int64)
+        code, ncodes = self._fold_output_codes(
+            partition, blocks, visible_outputs, None
+        )
+        representative = _np.empty(ncodes, dtype=_np.int64)
+        representative[code] = _np.arange(partition.size, dtype=_np.int64)
+        owners = partition[representative]
+        return _np.bincount(owners, minlength=blocks).astype(_np.int64, copy=False)
+
     def distinct_projections(
         self, partition, blocks: int, visible_outputs: tuple[int, ...]
     ):
-        """Distinct visible-output projections per partition block.
+        """Distinct projections per block -- the sort-based oracle.
 
         Folds each visible output column into a running dense group code
         (re-compressed by ``np.unique`` per column, so the fold never
         overflows ``int64``), then counts one representative per distinct
-        ``(block, projection)`` code in each block.
+        ``(block, projection)`` code in each block.  Retained as the
+        ``reference_*`` pass :meth:`fused_entry` is verified against.
         """
         if not isinstance(partition, _np.ndarray):
             partition = _np.asarray(partition, dtype=_np.int64)
@@ -485,12 +683,17 @@ class NumpyTable:
         owners = partition[first]
         return _np.bincount(owners, minlength=blocks).astype(_np.int64, copy=False)
 
+    reference_distinct_projections = distinct_projections
+
     def strata(self, partition):
         """Row ids grouped by block: ``(order, offsets)``.
 
         Same values as :meth:`PureTable.strata` -- the stable argsort
         keeps rows ascending within each block, and first-occurrence
         block ids make ascending-id order equal first-occurrence order.
+        This is the sort-based construction, retained as the oracle the
+        incremental :meth:`refine_strata` chain is verified against (and
+        the one-shot path for a partition with no cached prefix order).
         """
         if not isinstance(partition, _np.ndarray):
             partition = _np.asarray(partition, dtype=_np.int64)
@@ -500,27 +703,140 @@ class NumpyTable:
         offsets = (0, *_np.cumsum(counts).tolist())
         return order, offsets
 
+    reference_strata = strata
+
+    def initial_strata(self):
+        """Strata of the empty-visibility partition (one block, row order)."""
+        if self.row_count == 0:
+            return _np.empty(0, dtype=_np.int64), (0,)
+        return _np.arange(self.row_count, dtype=_np.int64), (0, self.row_count)
+
+    def refine_strata(self, base_order, refined, input_index: int):
+        """Strata of ``refined`` derived from the base partition's order.
+
+        The incremental strata pass: ``base_order`` already groups rows
+        by the base partition (ascending within each block), and every
+        refined block is exactly the subset of one base block sharing one
+        value of column ``input_index``.  A stable bucket sort of the
+        replayed column values (narrowed to the smallest unsigned dtype
+        the domain fits, so the stable radix path kicks in) therefore
+        makes every refined block one *globally contiguous run*: within a
+        value group the stable sort preserves base order, and a block's
+        rows all share one (base block, value) pair.  Run boundaries plus
+        plain arithmetic then land every row at its final offset -- one
+        O(rows) pass over a narrow key replaces the global
+        O(rows log rows) argsort of the wide block-id column; values are
+        identical to ``strata(refined)``.
+        """
+        if not isinstance(refined, _np.ndarray):
+            refined = _np.asarray(refined, dtype=_np.int64)
+        if not isinstance(base_order, _np.ndarray):
+            base_order = _np.asarray(base_order, dtype=_np.int64)
+        rows = refined.size
+        blocks = int(refined.max()) + 1 if rows else 0
+        counts = _np.bincount(refined, minlength=blocks)
+        cumulative = _np.cumsum(counts)
+        offsets = (0, *cumulative.tolist())
+        if rows == 0:
+            return _np.empty(0, dtype=_np.int64), offsets
+        starts = cumulative - counts
+        values_in_order = self.input_matrix[input_index][base_order]
+        domain = self.input_domain_sizes[input_index]
+        if domain <= 1 << 8:
+            values_in_order = values_in_order.astype(_np.uint8)
+        elif domain <= 1 << 16:
+            values_in_order = values_in_order.astype(_np.uint16)
+        by_value = _np.argsort(values_in_order, kind="stable")
+        positions = base_order[by_value]
+        keys = refined[positions]
+        boundary = _np.empty(rows, dtype=bool)
+        boundary[0] = True
+        _np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+        run_first = _np.flatnonzero(boundary)
+        run_lengths = _np.diff(_np.append(run_first, rows))
+        # Each run IS one refined block: shift its rows so the run's
+        # first element lands on the block's start slot.
+        shift = run_first - starts[keys[run_first]]
+        destinations = _np.arange(rows, dtype=_np.int64) - _np.repeat(
+            shift, run_lengths
+        )
+        order = _np.empty(rows, dtype=_np.int64)
+        order[destinations] = positions
+        return order, offsets
+
+    def block_sizes(self, partition) -> list[int]:
+        """Rows per block of a first-occurrence-numbered partition."""
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        blocks = int(partition.max()) + 1 if partition.size else 0
+        return _np.bincount(partition, minlength=blocks).tolist()
+
+    def block_rows(self, partition, blocks) -> dict:
+        """Row ids of just the listed blocks, ascending within each.
+
+        The *sampled strata construction*: a dense membership gather
+        pulls only the blocks a sampling wave touches out of the
+        partition, instead of building full strata for every block.
+        """
+        if not isinstance(partition, _np.ndarray):
+            partition = _np.asarray(partition, dtype=_np.int64)
+        if not blocks:
+            return {}
+        total = int(partition.max()) + 1 if partition.size else 0
+        wanted = _np.zeros(total, dtype=_np.bool_)
+        wanted[list(blocks)] = True
+        selected = _np.flatnonzero(wanted[partition])
+        owners = partition[selected]
+        gathered: dict[int, object] = {}
+        for block in blocks:
+            gathered[block] = selected[owners == block]
+        return gathered
+
+    def largest_blocks(self, sizes, limit: int) -> list[int]:
+        """The ``limit`` largest block ids, ties broken by ascending id.
+
+        ``np.lexsort`` with ``(-size, id)`` keys matches the pure
+        backend's ``sorted`` ranking exactly, so both backends budget
+        the same active set.
+        """
+        sizes = _np.asarray(sizes, dtype=_np.int64)
+        ranked = _np.lexsort((_np.arange(sizes.size), -sizes))
+        return ranked[:limit].tolist()
+
+    def concat_rows(self, chunks):
+        """Row-id chunks flattened into one sampling batch."""
+        chunks = [_np.asarray(chunk, dtype=_np.int64) for chunk in chunks]
+        if not chunks:
+            return _np.empty(0, dtype=_np.int64)
+        return _np.concatenate(chunks)
+
     def sample_distincts(self, partition, rows, visible_outputs: tuple[int, ...]):
         """Per touched block: ``(distinct, singletons)`` over sampled rows.
 
         Vectorized gather: the sampled rows' visible-output columns are
-        folded into a dense group code exactly as in
-        :meth:`distinct_projections`, prefixed by the owning block id,
-        then counted once per distinct ``(block, projection)`` code.
+        folded into a dense group code seeded by the owning block id
+        through the same sort-free re-compression as
+        :meth:`fused_entry`, then tallied once per distinct
+        ``(block, projection)`` code -- one counting pass per wave
+        instead of two ``np.unique`` sorts.
         """
         if not isinstance(partition, _np.ndarray):
             partition = _np.asarray(partition, dtype=_np.int64)
         index = _np.asarray(rows, dtype=_np.int64)
-        code = partition[index]
-        blocks_of = code
-        for output in visible_outputs:
-            combined = code * self.output_domain_sizes[output] + self.output_matrix[
-                output
-            ][index]
-            _, code = _np.unique(combined, return_inverse=True)
-        _, first, counts = _np.unique(code, return_index=True, return_counts=True)
-        owners = blocks_of[first].tolist()
-        singles = (counts == 1).tolist()
+        if index.size == 0:
+            return {}
+        blocks_of = partition[index]
+        code, ncodes = self._fold_output_codes(
+            blocks_of, int(blocks_of.max()) + 1, visible_outputs, index
+        )
+        tallies = _np.bincount(code, minlength=ncodes)
+        representative = _np.empty(ncodes, dtype=_np.int64)
+        representative[code] = _np.arange(index.size, dtype=_np.int64)
+        # With no output columns the seed code is the raw block id, so
+        # codes absent from the sample leave gaps; tally > 0 masks them.
+        present = _np.flatnonzero(tallies)
+        owners = blocks_of[representative[present]].tolist()
+        singles = (tallies[present] == 1).tolist()
         stats: dict[int, tuple[int, int]] = {}
         for block, single in zip(owners, singles):
             distinct, singletons = stats.get(block, (0, 0))

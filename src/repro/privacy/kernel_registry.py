@@ -33,6 +33,7 @@ gauges used by the benchmarks and experiment headlines.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
@@ -48,6 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: entry is evicted -- the persistence layer uses it to spill warm entries
 #: to disk instead of losing them.
 EvictionSink = Callable[["RelationStructure", tuple, object, int], None]
+
+#: ``kernel_stats`` keys holding accumulated wall-clock milliseconds
+#: (floats) rather than deterministic work counters (ints).  Equality
+#: tests across backends/processes must strip these; the stats mergers
+#: must *not* truncate them to ints.
+TIMING_STAT_KEYS = ("partition_build_ms", "strata_build_ms")
 
 
 @dataclass(frozen=True)
@@ -172,13 +179,20 @@ class SharedGammaKernel:
         self._counters: dict[str, int] = {
             "partition_hits": 0,
             "partition_refinements": 0,
+            "strata_refinements": 0,
             "grouping_passes": 0,
+            "entry_fused_passes": 0,
             "kernel_hits": 0,
             "sample_passes": 0,
             "sample_hits": 0,
             "evictions": 0,
             "preloaded": 0,
         }
+        # Wall-clock attribution of group construction (satellite of the
+        # sort-free kernel work): floats, kept apart from the
+        # deterministic counters so cross-backend equality checks can
+        # compare counters exactly and strip TIMING_STAT_KEYS.
+        self._timers: dict[str, float] = {key: 0.0 for key in TIMING_STAT_KEYS}
 
     # ------------------------------------------------------------------ #
     # Columnar backend table
@@ -333,7 +347,13 @@ class SharedGammaKernel:
             partition = self.table.initial_partition()
         else:
             base = self.partition(visible_inputs[:-1])
+            # Time only the refinement itself: the recursive prefix call
+            # accounts for its own work, so nothing is double-counted.
+            started = time.perf_counter()
             partition = self.table.refine(base, visible_inputs[-1])
+            self._timers["partition_build_ms"] += (
+                time.perf_counter() - started
+            ) * 1000.0
             self._counters["partition_refinements"] += 1
         self._cache_put(key, partition, self.structure.row_count * WORD_BYTES)
         return partition
@@ -352,8 +372,9 @@ class SharedGammaKernel:
             return cached
         partition = self.partition(visible_inputs)
         blocks = columnar.block_count(partition)
-        distinct = self.table.distinct_projections(partition, blocks, visible_outputs)
+        distinct = self.table.fused_entry(partition, blocks, visible_outputs)
         self._counters["grouping_passes"] += 1
+        self._counters["entry_fused_passes"] += 1
         hidden_combinations = 1
         visible_output_set = set(visible_outputs)
         for index, size in enumerate(self.structure.output_domain_sizes):
@@ -370,20 +391,85 @@ class SharedGammaKernel:
 
         The stratified sampler's companion to :meth:`partition`: rows of
         block ``b`` are ``order[offsets[b]:offsets[b + 1]]``, ascending
-        within each block on both backends.  Cached in the same LRU as
-        partitions and kernel entries (``row_count + blocks + 1`` words),
-        so sampled evaluations share cache accounting -- and eviction
-        pressure -- with exact ones.
+        within each block on both backends.  Built *incrementally*,
+        mirroring the partition-refinement chain: ``strata(prefix+col)``
+        replays the cached ``strata(prefix)`` order through one bucket
+        pass per appended column instead of a fresh global argsort, and
+        every prefix's strata lands under its own ``("strata", VI)`` LRU
+        key -- the per-structure canonical-order cache the sampler and
+        ``exhaust_distincts`` share.  The accounted cost charges the true
+        payload (``order`` plus ``offsets`` words), identical on both
+        backends, so sampled evaluations share cache accounting -- and
+        eviction pressure -- with exact ones.
         """
         key = ("strata", visible_inputs)
         cached = self._cache_get(key)
         if cached is not None:
             self._counters["partition_hits"] += 1
             return cached
-        strata = self.table.strata(self.partition(visible_inputs))
-        cost = (self.structure.row_count + len(strata[1])) * WORD_BYTES
+        if not visible_inputs:
+            strata = self.table.initial_strata()
+        else:
+            base_order, _ = self.strata(visible_inputs[:-1])
+            refined = self.partition(visible_inputs)
+            started = time.perf_counter()
+            strata = self.table.refine_strata(
+                base_order, refined, visible_inputs[-1]
+            )
+            self._timers["strata_build_ms"] += (
+                time.perf_counter() - started
+            ) * 1000.0
+            self._counters["strata_refinements"] += 1
+        cost = columnar.payload_bytes(strata[0]) + columnar.payload_bytes(strata[1])
         self._cache_put(key, strata, cost)
         return strata
+
+    def sampled_strata(self, visible_inputs: tuple[int, ...], max_active: int):
+        """``(active, order, offsets)`` partial strata of the largest blocks.
+
+        *Sampled strata construction*: when a partition holds more
+        blocks than a sampling budget can touch, the full
+        ``("strata", VI)`` order would spend a full-relation pass and
+        ``rows`` cache words on blocks no wave will ever read.  This
+        gathers just the ``max_active`` largest blocks (deterministic
+        size-then-id ranking) in one linear pass over the partition and
+        caches the partial order under its own key, so every later
+        estimate on the same visibility prefix -- any seed, any
+        confidence, same budget class -- reuses the gathered rows as
+        plain slices.  ``active`` is ascending; rows of ``active[i]``
+        are ``order[offsets[i]:offsets[i + 1]]``, ascending within each
+        block on both backends.
+        """
+        key = ("sampled_strata", visible_inputs, max_active)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._counters["partition_hits"] += 1
+            return cached
+        partition = self.partition(visible_inputs)
+        started = time.perf_counter()
+        sizes = self.table.block_sizes(partition)
+        active = self.table.largest_blocks(sizes, max_active)
+        active.sort()
+        chunk_map = self.table.block_rows(partition, active)
+        chunks = [chunk_map[block] for block in active]
+        order = self.table.concat_rows(chunks)
+        if isinstance(order, list):
+            order = tuple(order)
+        offsets = [0]
+        for chunk in chunks:
+            offsets.append(offsets[-1] + len(chunk))
+        payload = (tuple(active), order, tuple(offsets))
+        self._timers["strata_build_ms"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+        self._counters["strata_refinements"] += 1
+        cost = (
+            columnar.payload_bytes(payload[0])
+            + columnar.payload_bytes(payload[1])
+            + columnar.payload_bytes(payload[2])
+        )
+        self._cache_put(key, payload, cost)
+        return payload
 
     def sample_entry(self, subkey: tuple, compute: Callable[[], tuple]):
         """Memoized sampling-estimator result for ``("sample",) + subkey``.
@@ -414,6 +500,18 @@ class SharedGammaKernel:
         return dict(self._counters)
 
     @property
+    def timers(self) -> dict[str, float]:
+        """Accumulated group-construction wall time in milliseconds.
+
+        ``partition_build_ms`` covers refinement passes,
+        ``strata_build_ms`` the incremental strata bucket passes --
+        the attribution E9/E12 use to split group construction from
+        counting.  Unlike :attr:`counters` these are nondeterministic
+        floats (see :data:`TIMING_STAT_KEYS`).
+        """
+        return dict(self._timers)
+
+    @property
     def structure_bytes(self) -> int:
         """Fixed cost of the canonical column store (outside the budget).
 
@@ -427,9 +525,10 @@ class SharedGammaKernel:
         return columns * self.structure.row_count * WORD_BYTES
 
     @property
-    def kernel_stats(self) -> dict[str, int]:
-        """Counters plus size gauges for this kernel."""
-        stats = dict(self._counters)
+    def kernel_stats(self) -> dict[str, int | float]:
+        """Counters plus wall-time attribution and size gauges."""
+        stats: dict[str, int | float] = dict(self._counters)
+        stats.update(self._timers)
         stats["bytes_in_use"] = self._bytes_in_use
         stats["peak_bytes"] = self._peak_bytes
         stats["structure_bytes"] = self.structure_bytes
@@ -438,9 +537,11 @@ class SharedGammaKernel:
         return stats
 
     def reset_counters(self) -> None:
-        """Zero the work counters (caches and gauges are kept)."""
+        """Zero the work counters and timers (caches and gauges are kept)."""
         for key in self._counters:
             self._counters[key] = 0
+        for key in self._timers:
+            self._timers[key] = 0.0
 
     def __repr__(self) -> str:
         return (
@@ -599,18 +700,21 @@ class GammaKernelRegistry:
         """Every kernel created by this registry."""
         return tuple(self._kernels.values())
 
-    def aggregate_counters(self) -> dict[str, int]:
-        """Per-kernel work counters summed across every kernel.
+    def aggregate_counters(self) -> dict[str, int | float]:
+        """Per-kernel work counters and timers summed across every kernel.
 
         Complements :attr:`kernel_stats` (sharing and size gauges) with
         the hit/refinement/pass counters the evaluation service reports
         per shard -- the cold-work accounting behind the warm-start
-        speedup metrics.
+        speedup metrics -- plus the :data:`TIMING_STAT_KEYS` wall-time
+        attribution (floats).
         """
-        totals: dict[str, int] = {}
+        totals: dict[str, int | float] = {}
         for kernel in self._kernels.values():
             for key, value in kernel.counters.items():
                 totals[key] = totals.get(key, 0) + value
+            for key, value in kernel.timers.items():
+                totals[key] = totals.get(key, 0.0) + value
         return totals
 
     @property
@@ -639,6 +743,13 @@ class GammaKernelRegistry:
             "evictions": sum(k.counters["evictions"] for k in kernels),
             "cross_evictions": self._cross_evictions,
             "preloaded": sum(k.counters["preloaded"] for k in kernels),
+            "entry_fused_passes": sum(
+                k.counters["entry_fused_passes"] for k in kernels
+            ),
+            "partition_build_ms": sum(
+                k.timers["partition_build_ms"] for k in kernels
+            ),
+            "strata_build_ms": sum(k.timers["strata_build_ms"] for k in kernels),
         }
 
     def __len__(self) -> int:

@@ -734,6 +734,13 @@ class ShardCoordinator:
             "structure_reloads": self._structure_reloads,
             **self.latency_percentiles(),
         }
+        # Group-construction attribution (sort-free kernel satellite):
+        # how much shard wall time went into partition/strata building vs
+        # fused counting passes, so E9/E12 can split the two.
+        kernel = self.kernel_stats()
+        for key in ("entry_fused_passes", "partition_build_ms", "strata_build_ms"):
+            if key in kernel:
+                stats[key] = kernel[key]
         with self._membership_lock:
             if self._membership_epoch or self._endpoint_losses:
                 stats["membership_epoch"] = self._membership_epoch

@@ -212,7 +212,9 @@ class ShardReport:
 
     ``kernel_stats`` is the worker registry's aggregate at the time the
     batch completed (cumulative over the worker's lifetime, so the
-    coordinator keeps only the latest report per shard);
+    coordinator keeps only the latest report per shard) -- int work
+    counters plus the float ``*_ms`` group-construction wall-time keys
+    (:data:`repro.privacy.kernel_registry.TIMING_STAT_KEYS`);
     ``preloaded_entries`` counts cache entries restored from persisted
     snapshots at worker start -- the warm-start gauge; ``retried`` is
     set by the coordinator when this batch was re-dispatched after a
@@ -230,7 +232,7 @@ class ShardReport:
     shard_id: int
     batch_id: int
     completed: int
-    kernel_stats: Mapping[str, int]
+    kernel_stats: Mapping[str, float]
     preloaded_entries: int = 0
     retried: bool = False
     dispatch_latency_ms: float = 0.0
@@ -654,16 +656,20 @@ def read_frame(
 
 
 def merge_kernel_stats(
-    reports: Iterable[Mapping[str, int]]
-) -> dict[str, int]:
+    reports: Iterable[Mapping[str, float]]
+) -> dict[str, float]:
     """Sum per-shard kernel statistics into one service-wide view.
 
     Every gauge/counter in the shard registries' ``kernel_stats`` is
-    additive across disjoint shards (kernels, bytes, hits, evictions),
-    so a plain key-wise sum is the correct merge.
+    additive across disjoint shards (kernels, bytes, hits, evictions,
+    and the ``*_ms`` wall-time attribution), so a plain key-wise sum is
+    the correct merge.  Counters stay exact ints; the wall-time keys
+    (:data:`repro.privacy.kernel_registry.TIMING_STAT_KEYS`) are floats
+    and must not be truncated, so values keep their own numeric type.
     """
-    totals: dict[str, int] = {}
+    totals: dict[str, float] = {}
     for stats in reports:
         for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + int(value)
+            increment = value if isinstance(value, float) else int(value)
+            totals[key] = totals.get(key, 0) + increment
     return totals
