@@ -3,7 +3,10 @@
 # cross-transport conformance matrix (its own CI step, so transport
 # failures are attributed clearly); `make test-chaos` runs the elastic
 # membership suite -- endpoint kill/heal/re-admission and live shard
-# rebalancing -- as its own step for the same reason; `make bench` runs the pytest-benchmark
+# rebalancing -- as its own step for the same reason; `make test-tls` runs
+# the TLS/token-auth and tenancy-scheduling suite (ephemeral self-signed
+# certificates are minted into tmpdirs via the openssl CLI, nothing to
+# provision); `make bench` runs the pytest-benchmark
 # suites and writes a BENCH_<date>.json perf snapshot; `make bench-check`
 # re-runs the suites and fails on a >30% regression of the guarded
 # (kernel/adversary) ops versus the committed baseline in
@@ -16,7 +19,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-conformance test-chaos test-fallback bench bench-check lint clean
+.PHONY: test test-conformance test-chaos test-tls test-fallback bench bench-check lint clean
 
 # Extra pytest selection flags (CI's tier-1 step passes
 # PYTEST_FLAGS='-k "not conformance"' because the conformance matrix
@@ -31,6 +34,9 @@ test-conformance:
 
 test-chaos:
 	$(PYTHON) -m pytest -q -k "readmission or rebalance"
+
+test-tls:
+	$(PYTHON) -m pytest -q tests/test_tls_auth.py
 
 test-fallback:
 	REPRO_PURE_PYTHON=1 $(PYTHON) -m pytest -q tests/test_kernel_registry.py \

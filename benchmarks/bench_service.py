@@ -33,6 +33,13 @@ And one from ISSUE 5:
   asserted everywhere, and the guarded op is the warm federated sweep
   (pool dispatch overhead).
 
+And one from ISSUE 10:
+
+* **TLS overhead** -- the warm sweep through a TLS-terminating,
+  token-authenticated server versus plaintext TCP.  Byte-equality is
+  asserted; the ratio is informational only (the op name deliberately
+  carries no guarded marker).
+
 The ``service``-named benchmarks are regression-guarded by
 ``check_regression.py``.
 """
@@ -290,6 +297,60 @@ def test_service_federated_pool_scaling(benchmark):
             f"expected a 3-server federation to beat 1 server on {cores} "
             f"cores, got {speedup:.2f}x"
         )
+
+
+def test_tls_overhead_warm_sweep(benchmark):
+    """TLS + token handshake overhead on a warm socket sweep (informational).
+
+    The same warm sweep through a plaintext TCP server and through a
+    TLS-terminating, token-authenticated one.  Byte-equality is asserted
+    (security must be invisible in the results); the overhead ratio is
+    printed but deliberately *not* regression-guarded -- the op name
+    carries no guarded marker -- because symmetric-crypto throughput
+    varies wildly across CI hosts (AES-NI vs not) and a TLS library
+    update must not fail the kernel perf gate.
+    """
+    from repro.service import PolicyTable, generate_self_signed_cert
+
+    requests = workload_requests(SWEEP_MODULES, CONFIG)
+    baseline = ShardCoordinator(0).gammas(requests)
+    cert_dir = tempfile.mkdtemp(prefix="bench-tls-")
+    token = "bench-tls-token"
+    try:
+        cert, key = generate_self_signed_cert(cert_dir)
+        with GammaServer(("tcp", "127.0.0.1", 0)) as plain_server, GammaServer(
+            ("tcp", "127.0.0.1", 0),
+            tls_cert=str(cert),
+            tls_key=str(key),
+            policy=PolicyTable.single_token(token, name="bench"),
+        ) as tls_server:
+
+            def sweep(address, **kwargs):
+                with ShardCoordinator(address=address, **kwargs) as client:
+                    started = time.perf_counter()
+                    gammas = client.gammas(requests)
+                    return gammas, time.perf_counter() - started
+
+            plain_address = ("tcp",) + plain_server.address[1:]
+            tls_address = ("tls",) + tls_server.address[1:]
+            tls_kwargs = {"tls_ca": str(cert), "auth_token": token}
+            # Warm both servers so the measured sweeps are dispatch-bound.
+            sweep(plain_address)
+            sweep(tls_address, **tls_kwargs)
+            plain_gammas, plain_elapsed = sweep(plain_address)
+            tls_gammas, tls_elapsed = benchmark.pedantic(
+                lambda: sweep(tls_address, **tls_kwargs), rounds=3, iterations=1
+            )
+            assert plain_gammas == baseline
+            assert tls_gammas == baseline, "TLS transport diverged from the oracle"
+            overhead = tls_elapsed / plain_elapsed if plain_elapsed else 0.0
+            print()
+            print(
+                f"tls overhead: warm sweep {plain_elapsed * 1000:.1f} ms plaintext "
+                f"-> {tls_elapsed * 1000:.1f} ms tls+token ({overhead:.2f}x)"
+            )
+    finally:
+        shutil.rmtree(cert_dir, ignore_errors=True)
 
 
 def test_service_sharded_warm_restart(benchmark):

@@ -110,7 +110,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"note: {experiment_id} does not take --endpoints; ignoring",
                 file=sys.stderr,
             )
-    for option in ("probe_interval", "rebalance", "coalesce", "seed"):
+    for option in ("probe_interval", "rebalance", "coalesce", "seed",
+                   "tls_ca", "auth_token"):
         value = getattr(args, option, None)
         if value is None:
             continue
@@ -172,6 +173,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         address: str | tuple = ("unix", args.unix)
     else:
         address = ("tcp", args.host, args.port)
+    if bool(args.tls_cert) != bool(args.tls_key):
+        print("--tls-cert and --tls-key must be given together", file=sys.stderr)
+        return 2
+    if args.tls_client_ca and not args.tls_cert:
+        print("--tls-client-ca requires --tls-cert/--tls-key", file=sys.stderr)
+        return 2
+    policy = args.policy
+    if policy is None and args.auth_token:
+        from repro.service.security import PolicyTable
+
+        policy = PolicyTable.single_token(args.auth_token)
     server = GammaServer(
         address,
         workers=args.workers,
@@ -179,9 +191,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         total_budget_bytes=args.total_budget_bytes,
         snapshot_dir=args.snapshot_dir,
         allow_pickle=not args.no_pickle,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        tls_client_ca=args.tls_client_ca,
+        policy=policy,
     )
+    security = "tls" if args.tls_cert else "plaintext"
+    if policy is not None:
+        security += "+token"
     print(f"gamma server listening on {server.address} "
-          f"(workers={args.workers}, snapshot_dir={args.snapshot_dir})")
+          f"(workers={args.workers}, snapshot_dir={args.snapshot_dir}, "
+          f"security={security})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
@@ -266,9 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--endpoints",
         default=None,
         help=(
-            "comma-separated Gamma server addresses (host:port or "
-            "unix:/path) for federation experiments (E11): sweep an "
-            "already-running federation instead of spawning local servers"
+            "comma-separated Gamma server addresses (host:port, "
+            "tls://host:port or unix:/path) for federation experiments "
+            "(E11): sweep an already-running federation instead of "
+            "spawning local servers"
         ),
     )
     experiment.add_argument(
@@ -301,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
             "endpoint takes its shards back (E11; default on)"
         ),
     )
+    experiment.add_argument(
+        "--tls-ca",
+        default=None,
+        help=(
+            "CA bundle that pins the federation servers' TLS "
+            "certificates when --endpoints uses tls:// addresses"
+        ),
+    )
+    experiment.add_argument(
+        "--auth-token",
+        default=None,
+        help="tenant token presented to token-authenticated endpoints",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     serve = subparsers.add_parser(
@@ -329,6 +363,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pickle",
         action="store_true",
         help="refuse pickle frames (msgpack only; safe for untrusted peers)",
+    )
+    serve.add_argument("--tls-cert", default=None,
+                       help="server TLS certificate (PEM); enables TLS")
+    serve.add_argument("--tls-key", default=None,
+                       help="server TLS private key (PEM)")
+    serve.add_argument(
+        "--tls-client-ca",
+        default=None,
+        help="CA bundle for *required* client certificates (mutual TLS)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help=(
+            "single shared auth token every client must present before "
+            "its first frame (shorthand for a one-tenant --policy)"
+        ),
+    )
+    serve.add_argument(
+        "--policy",
+        default=None,
+        help=(
+            "JSON tenant policy file: per-tenant token, fair-share "
+            "weight and queue quota (see README 'Production deployment')"
+        ),
     )
     serve.set_defaults(handler=_cmd_serve)
 

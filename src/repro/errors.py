@@ -100,6 +100,31 @@ class WorkerCrashError(ServiceError):
     """A worker process died and the work could not be recovered."""
 
 
+class ServiceAuthError(ServiceError):
+    """A service connection failed TLS or token authentication.
+
+    Raised client-side when the server rejects the token handshake (or
+    the TLS negotiation fails), and never downgraded: an authentication
+    failure closes the connection instead of falling back to
+    unauthenticated service.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The server shed a batch under admission control.
+
+    A tenant whose bounded queue is full *and* whose deficit is
+    exhausted receives this instead of indefinite back-pressure.
+    ``retry_after_ms`` is the server's estimate of when the tenant's
+    deficit will cover its queued work again; clients should back off
+    for at least that long before resubmitting.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
 class StorageError(ReproError):
     """Base class for errors raised by the repository / storage subsystem."""
 

@@ -39,13 +39,15 @@ must repeat at most 10% of the cold sweep's partition work
 
 from __future__ import annotations
 
+import itertools
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadError
 from repro.experiments.reporting import ResultTable
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import (
@@ -78,6 +80,15 @@ class E11Config:
     #: passing ``probe_interval`` to :func:`run`, the CLI's
     #: ``--probe-interval``).
     elastic: bool = False
+    #: Append the production-tenancy cells: deficit-weighted fair-share
+    #: throughput under saturation and overload shedding under a
+    #: flooding tenant (:func:`tenancy_run`).
+    tenancy: bool = True
+    #: Minimum weighted-cell dispatches before the throughput ratio is
+    #: read (both tenants saturated the whole time by construction).
+    tenancy_batches: int = 120
+    #: Wall-clock cap on each tenancy cell, seconds.
+    tenancy_timeout: float = 20.0
 
 
 def build_requirements(config: E11Config) -> WorkflowPrivacyRequirements:
@@ -172,6 +183,8 @@ def run(
                     rebalance=True if rebalance is None else rebalance,
                 )
             )
+        if config.tenancy and not endpoints:
+            rows.extend(tenancy_run(config))
     finally:
         import shutil
 
@@ -316,6 +329,214 @@ def elastic_run(
     return rows
 
 
+def _tenant_relations(prefix: str, config: E11Config, count: int, seed: int):
+    """``count`` pre-canonicalized fresh structures for one tenant.
+
+    Built (and signature-canonicalized) *before* any clock starts, so
+    the saturation loops spend their window submitting, not generating;
+    fresh structures per batch keep the server evaluating cold instead
+    of serving warm-cache hits faster than a client can submit.
+    """
+    relations = []
+    for index in range(count):
+        relation = ModuleRelation.random(
+            f"{prefix}{index}",
+            n_inputs=config.n_inputs,
+            n_outputs=config.n_outputs,
+            domain_size=config.domain_size,
+            seed=seed + index,
+        )
+        relation.structure_signature.signature  # canonicalize eagerly
+        relations.append(relation)
+    return relations
+
+
+def _visibility_requests(relation) -> list:
+    """One request per visibility pair of ``relation`` (E10's workload)."""
+    structure = relation.structure_signature
+    pairs = []
+    for k in range(len(relation.inputs) + 1):
+        for vi in itertools.combinations(range(len(relation.inputs)), k):
+            for j in range(len(relation.outputs) + 1):
+                for vo in itertools.combinations(range(len(relation.outputs)), j):
+                    pairs.append((structure, vi, vo))
+    return pairs
+
+
+def tenancy_run(config: E11Config | None = None) -> ResultTable:
+    """The production-tenancy cells: weighted fair share and overload.
+
+    * ``weighted`` -- two tenants saturate one server through
+      token-authenticated connections; ``gold`` carries policy weight 4,
+      ``bronze`` weight 1.  Each keeps a deep window of batches in
+      flight the whole time, so the deficit scheduler alone decides the
+      interleave; the cell reports the dispatched-batch ratio, which
+      the deficit scheduler should hold near the 4.0 weight ratio
+      (headline bar: >= 3).
+    * ``overload`` -- a ``flood`` tenant with a 2-deep queue quota
+      pipelines far more than its share while a ``steady`` tenant runs
+      a polite submit/collect loop.  The flood must be shed with
+      explicit :class:`~repro.errors.ServiceOverloadError` replies, and
+      the steady tenant's p95 queue wait must stay within 2x its
+      unloaded baseline (floored at 5 ms -- single-core wakeup jitter
+      sits well under that, so the floor only absorbs timer noise, not
+      real starvation).
+    """
+    config = config or E11Config()
+    policy = {
+        "tenants": {
+            "gold": {"token": "e11-gold", "weight": 4.0},
+            "bronze": {"token": "e11-bronze", "weight": 1.0},
+            "steady": {"token": "e11-steady", "weight": 1.0},
+            "flood": {"token": "e11-flood", "weight": 1.0, "max_queue_depth": 2},
+        }
+    }
+    rows: ResultTable = []
+    with GammaServer(("tcp", "127.0.0.1", 0), policy=policy) as server:
+        _, host, port = server.address
+        address = f"{host}:{port}"
+        deadline = time.monotonic() + config.tenancy_timeout
+
+        # -- weighted cell: both tenants saturated, read the interleave --
+        relations_needed = config.tenancy_batches * 4
+        workloads = {
+            "gold": _tenant_relations("E11G", config, relations_needed, 10_000),
+            "bronze": _tenant_relations("E11B", config, relations_needed, 20_000),
+        }
+        stop = threading.Event()
+
+        def saturate(name: str) -> None:
+            batches = (_visibility_requests(r) for r in workloads[name])
+            with ShardCoordinator(
+                endpoints=[address], auth_token=f"e11-{name}", task_timeout=60.0
+            ) as client:
+                window: list[int] = []
+                try:
+                    for batch in batches:
+                        if stop.is_set():
+                            break
+                        window.append(client.submit(batch, want="entry"))
+                        if len(window) >= 8:
+                            client.collect(window.pop(0))
+                    for request_id in window:
+                        client.collect(request_id)
+                except ServiceError:
+                    pass  # server closing under a drain is fine
+
+        threads = [
+            threading.Thread(target=saturate, args=(name,), daemon=True)
+            for name in workloads
+        ]
+        for thread in threads:
+            thread.start()
+        # Read the gauges while both windows are still full: stopping
+        # first would let the drain skew the interleave.
+        while time.monotonic() < deadline:
+            gauges = server.stats()
+            dispatched = {
+                name: int(gauges.get(f"tenant.{name}.dispatched", 0))
+                for name in workloads
+            }
+            if sum(dispatched.values()) >= config.tenancy_batches:
+                break
+            time.sleep(0.02)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        ratio = dispatched["gold"] / max(dispatched["bronze"], 1)
+        rows.append(
+            {
+                "cell": "weighted",
+                "gold_weight": 4.0,
+                "bronze_weight": 1.0,
+                "gold_batches": dispatched["gold"],
+                "bronze_batches": dispatched["bronze"],
+                "throughput_ratio": round(ratio, 2),
+            }
+        )
+
+        # -- overload cell: unloaded baseline first, then the flood --
+        steady_relation = ModuleRelation.random(
+            "E11S",
+            n_inputs=config.n_inputs,
+            n_outputs=config.n_outputs,
+            domain_size=config.domain_size,
+            seed=30_000,
+        )
+        steady_batch = _visibility_requests(steady_relation)
+
+        def steady_loop(rounds: int, halt: threading.Event | None = None) -> float:
+            """Polite submit/collect rounds; returns the connection's p95.
+
+            A fresh connection per phase keeps the per-tenant wait
+            window from mixing unloaded and flooded samples.
+            """
+            with ShardCoordinator(
+                endpoints=[address], auth_token="e11-steady", task_timeout=60.0
+            ) as client:
+                for _ in range(rounds):
+                    if halt is not None and halt.is_set():
+                        break
+                    client.evaluate(steady_batch)
+                p95 = server.stats().get("tenant.steady.queue_wait_p95_ms", 0.0)
+            return float(p95)
+
+        unloaded_p95 = steady_loop(40)
+
+        flood_relation = ModuleRelation.random(
+            "E11F",
+            n_inputs=config.n_inputs,
+            n_outputs=config.n_outputs,
+            domain_size=config.domain_size,
+            seed=40_000,
+        )
+        flood_batch = _visibility_requests(flood_relation)
+        flood_overloads = 0
+        flood_retry_hint_ms = 0.0
+        flood_done = threading.Event()
+
+        def flood() -> None:
+            nonlocal flood_overloads, flood_retry_hint_ms
+            with ShardCoordinator(
+                endpoints=[address], auth_token="e11-flood", task_timeout=60.0
+            ) as client:
+                window = [client.submit(flood_batch) for _ in range(16)]
+                while time.monotonic() < deadline:
+                    try:
+                        client.collect(window.pop(0))
+                    except ServiceOverloadError as exc:
+                        flood_overloads += 1
+                        flood_retry_hint_ms = max(
+                            flood_retry_hint_ms, exc.retry_after_ms
+                        )
+                        if flood_overloads >= 5:
+                            break
+                    window.append(client.submit(flood_batch))
+                for request_id in window:
+                    try:
+                        client.collect(request_id)
+                    except ServiceOverloadError:
+                        flood_overloads += 1
+            flood_done.set()
+
+        flood_thread = threading.Thread(target=flood, daemon=True)
+        flood_thread.start()
+        flooded_p95 = steady_loop(2000, halt=flood_done)
+        flood_thread.join(timeout=30.0)
+        slo_limit = 2.0 * max(unloaded_p95, 5.0)
+        rows.append(
+            {
+                "cell": "overload",
+                "flood_overloads": flood_overloads,
+                "retry_after_hint_ms": round(flood_retry_hint_ms, 1),
+                "steady_p95_unloaded_ms": round(unloaded_p95, 3),
+                "steady_p95_flooded_ms": round(flooded_p95, 3),
+                "steady_slo_ok": flooded_p95 <= slo_limit,
+            }
+        )
+    return rows
+
+
 def headline(rows: ResultTable) -> dict[str, object]:
     """Aggregate numbers quoted in EXPERIMENTS.md.
 
@@ -323,12 +544,17 @@ def headline(rows: ResultTable) -> dict[str, object]:
     with the slowest later tenant per federation size -- the
     multi-tenant warm-kernel effect the shared service exists for.
     Elastic cells (``phase`` rows) contribute their gauges instead:
-    the re-admission count and the warm-handoff skip ratio.
+    the re-admission count and the warm-handoff skip ratio.  Tenancy
+    cells (``cell`` rows) contribute the fairness-SLO numbers: the
+    weighted throughput ratio (bar: >= 3 at a 4:1 weight ratio), the
+    flood's overload count (bar: >= 1), and whether the steady
+    tenant's p95 queue wait held within 2x its unloaded baseline.
     """
     by_servers: dict[int, dict[int, float]] = {}
     elastic_rows = [row for row in rows if "phase" in row]
+    tenancy_rows = {row["cell"]: row for row in rows if "cell" in row}
     for row in rows:
-        if "phase" in row:
+        if "phase" in row or "cell" in row:
             continue
         by_servers.setdefault(int(row["servers"]), {})[int(row["tenant"])] = float(
             row["time_ms"]
@@ -340,7 +566,9 @@ def headline(rows: ResultTable) -> dict[str, object]:
         if cold and warm and max(warm) > 0:
             best = max(best, cold / max(warm))
     summary: dict[str, object] = {
-        "all_match_oracle": all(bool(row["matches_oracle"]) for row in rows),
+        "all_match_oracle": all(
+            bool(row["matches_oracle"]) for row in rows if "matches_oracle" in row
+        ),
         "best_warm_tenant_speedup": round(best, 2),
         "federations": len(by_servers),
     }
@@ -348,6 +576,14 @@ def headline(rows: ResultTable) -> dict[str, object]:
         last = elastic_rows[-1]
         summary["readmissions"] = int(last.get("readmissions", 0))
         summary["handoff_skip_ratio"] = float(last.get("handoff_skip_ratio", 0.0))
+    if "weighted" in tenancy_rows:
+        summary["weighted_throughput_ratio"] = float(
+            tenancy_rows["weighted"]["throughput_ratio"]
+        )
+    if "overload" in tenancy_rows:
+        overload = tenancy_rows["overload"]
+        summary["flood_overloads"] = int(overload["flood_overloads"])
+        summary["fairness_slo_ok"] = bool(overload["steady_slo_ok"])
     return summary
 
 

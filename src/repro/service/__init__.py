@@ -17,7 +17,12 @@ elastic membership: consistent-hash routing with bounded loads
 (:class:`~repro.service.ring.HashRing`), a background health prober
 that re-admits healed endpoints, and live shard rebalancing with
 warm-kernel handoff.  Servers schedule tenants fairly (bounded
-per-connection queues drained round-robin).  Warm kernels are
+per-connection queues drained by deficit round-robin over estimated
+batch cost, with per-tenant weights/quotas from a
+:class:`~repro.service.security.PolicyTable` and ``overload`` shedding
+once a flooding tenant's queue and credit are both exhausted) and
+optionally terminate TLS with a pre-decode token handshake
+(:mod:`repro.service.security`).  Warm kernels are
 snapshotted to disk on eviction/shutdown and preloaded on start, so
 repeated sweeps skip cold-start entirely; every transport returns
 byte-identical results (``tests/test_transport_conformance.py`` holds
@@ -38,6 +43,13 @@ from repro.service.protocol import (
     shard_of,
 )
 from repro.service.ring import HashRing
+from repro.service.security import (
+    PolicyTable,
+    TenantPolicy,
+    build_client_ssl_context,
+    build_server_ssl_context,
+    generate_self_signed_cert,
+)
 from repro.service.server import GammaServer
 from repro.service.transport import (
     ExponentialBackoff,
@@ -60,15 +72,20 @@ __all__ = [
     "InProcessTransport",
     "KernelSnapshotStore",
     "MultiprocessTransport",
+    "PolicyTable",
     "PooledTransport",
     "ShardCoordinator",
     "ShardReport",
     "SocketTransport",
     "TaskResult",
+    "TenantPolicy",
     "Transport",
     "WANT_ENTRY",
     "WANT_GAMMA",
+    "build_client_ssl_context",
+    "build_server_ssl_context",
     "build_transport",
+    "generate_self_signed_cert",
     "merge_kernel_stats",
     "parse_address",
     "probe_endpoint",

@@ -62,7 +62,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Iterable, Sequence
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadError
 from repro.privacy.approx import SampleSpec
 from repro.privacy.kernel_registry import RelationStructure
 from repro.service.persistence import KernelSnapshotStore
@@ -70,6 +70,7 @@ from repro.service.protocol import (
     MSG_BATCH,
     MSG_ERROR,
     MSG_NEED,
+    MSG_OVERLOAD,
     MSG_STOPPED,
     WANT_GAMMA,
     WANT_SAMPLE,
@@ -109,7 +110,15 @@ class _PendingRequest:
     (or its error landed).
     """
 
-    __slots__ = ("request_id", "tasks", "outstanding", "batch_ids", "results", "error")
+    __slots__ = (
+        "request_id",
+        "tasks",
+        "outstanding",
+        "batch_ids",
+        "results",
+        "error",
+        "retry_after_ms",
+    )
 
     def __init__(self, request_id: int, tasks: list[GammaTask]) -> None:
         self.request_id = request_id
@@ -123,6 +132,9 @@ class _PendingRequest:
         #: speculative request's error must not abort an unrelated
         #: ``collect`` that happened to be pumping when it arrived.
         self.error: str | None = None
+        #: Set when the error is an admission-control shed: ``collect``
+        #: raises :class:`ServiceOverloadError` carrying this hint.
+        self.retry_after_ms: float | None = None
 
     @property
     def done(self) -> bool:
@@ -153,6 +165,9 @@ class ShardCoordinator:
         ring_slack: int = 1,
         coalesce: int = 0,
         shm_tables: bool | None = None,
+        tls_ca: str | None = None,
+        ssl_context=None,
+        auth_token: str | None = None,
     ) -> None:
         if structure_cache_size < 1:
             raise ServiceError("structure cache must hold at least one structure")
@@ -174,6 +189,9 @@ class ShardCoordinator:
                 rebalance=rebalance,
                 ring_slack=ring_slack,
                 shm_tables=shm_tables,
+                tls_ca=tls_ca,
+                ssl_context=ssl_context,
+                auth_token=auth_token,
             )
         self.transport = transport
         #: Kept for introspection/compat: 0 means "no local worker pool".
@@ -222,6 +240,8 @@ class ShardCoordinator:
         self._tasks_dispatched = 0
         self._batches_dispatched = 0
         self._retried_batches = 0
+        #: Batches shed by a server's admission control (overload replies).
+        self._overloads = 0
         self._structure_evictions = 0
         self._structure_reloads = 0
         self._closed = False
@@ -421,6 +441,10 @@ class ShardCoordinator:
         with self._lock:
             self._pending.pop(request_id, None)
         if pending.error is not None:
+            if pending.retry_after_ms is not None:
+                raise ServiceOverloadError(
+                    pending.error, retry_after_ms=pending.retry_after_ms
+                )
             raise ServiceError(pending.error)
         return [pending.results[task.task_id] for task in pending.tasks]
 
@@ -577,6 +601,33 @@ class ShardCoordinator:
         kind = message[0]
         if kind == MSG_STOPPED:  # stale shutdown ack from a replaced worker
             return deadline
+        if kind == MSG_OVERLOAD:
+            # Admission control shed the batch server-side: bank a typed
+            # failure (with the server's retry hint) on every member
+            # request, exactly like MSG_ERROR -- it surfaces only when
+            # each request is collected.
+            _, shard_id, batch_id, retry_after_ms = message
+            self._overloads += 1
+            member_ids = self._batch_requests.pop(batch_id, None)
+            self._inflight_batches.pop(batch_id, None)
+            self._dispatch_times.pop(batch_id, None)
+            self._retried_batch_ids.discard(batch_id)
+            if member_ids is None:
+                return deadline
+            for request_id in member_ids:
+                shed = self._pending.get(request_id)
+                if shed is None:
+                    continue
+                shed.error = (
+                    f"shard {shard_id} shed batch {batch_id} under admission "
+                    f"control; retry after {retry_after_ms:.0f} ms"
+                )
+                shed.retry_after_ms = float(retry_after_ms)
+                shed.batch_ids.discard(batch_id)
+                for task in shed.tasks:
+                    self._task_requests.pop(task.task_id, None)
+                self._forget_request_batches(shed)
+            return deadline
         if kind == MSG_ERROR:
             _, shard_id, batch_id, text = message
             member_ids = self._batch_requests.pop(batch_id, None)
@@ -732,6 +783,7 @@ class ShardCoordinator:
             "structures_cached": len(self._structures),
             "structure_evictions": self._structure_evictions,
             "structure_reloads": self._structure_reloads,
+            "overloads": self._overloads,
             **self.latency_percentiles(),
         }
         # Group-construction attribution (sort-free kernel satellite):

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import contextlib
 import select
+import ssl
 import threading
 import time
 from dataclasses import replace
@@ -83,6 +84,7 @@ from repro.service.protocol import (
 )
 from repro.service.ring import HashRing
 from repro.service.transport import (
+    DEFAULT_CONNECT_TIMEOUT,
     ExponentialBackoff,
     SocketTransport,
     Transport,
@@ -136,12 +138,14 @@ class PooledTransport(Transport):
         endpoints: Sequence[str | tuple],
         *,
         codec: str | None = None,
-        connect_timeout: float = 10.0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_restarts: int = 3,
         allow_pickle: bool = True,
         probe_interval: float | None = 1.0,
         rebalance: bool = True,
         ring_slack: int = 1,
+        ssl_context: "ssl.SSLContext | None" = None,
+        auth_token: str | None = None,
     ) -> None:
         addresses = [parse_address(endpoint) for endpoint in endpoints]
         if not addresses:
@@ -150,6 +154,8 @@ class PooledTransport(Transport):
         self._connect_timeout = float(connect_timeout)
         self._max_restarts = int(max_restarts)
         self._allow_pickle = bool(allow_pickle)
+        self._ssl_context = ssl_context
+        self._auth_token = auth_token
         self._rebalance = bool(rebalance)
         self._endpoints: list[_PoolEndpoint] = []
         for index, address in enumerate(addresses):
@@ -201,6 +207,8 @@ class PooledTransport(Transport):
             connect_timeout=self._connect_timeout,
             max_restarts=self._max_restarts,
             allow_pickle=self._allow_pickle,
+            ssl_context=self._ssl_context,
+            auth_token=self._auth_token,
         )
 
     # -- routing --------------------------------------------------------
@@ -495,12 +503,20 @@ class PooledTransport(Transport):
                 for endpoint in self._endpoints
                 if endpoint.lost and (force or now >= endpoint.next_probe_at)
             ]
+        # A probe slower than the probe interval would make the prober
+        # fall behind its own schedule, so the per-probe timeout is the
+        # shared connect default clamped to the interval.
+        probe_timeout = min(
+            self._connect_timeout, self._probe_interval or DEFAULT_CONNECT_TIMEOUT
+        )
         readmitted: list[int] = []
         for endpoint in due:
             if probe_endpoint(
                 endpoint.address,
-                timeout=min(self._connect_timeout, 1.0),
+                timeout=probe_timeout,
                 codec=self._codec,
+                ssl_context=self._ssl_context,
+                auth_token=self._auth_token,
             ):
                 if self._readmit(endpoint):
                     readmitted.append(endpoint.index)
@@ -608,9 +624,14 @@ class PooledTransport(Transport):
         Counter gauges sum across the disjoint servers; the latency
         percentiles (``*_ms``) are not additive, so the federation
         reports the *worst* server's value instead.  ``timeout`` bounds
-        the whole probe, not each endpoint -- the deadline is shared
-        across the loop so N slow servers cannot stretch one call to
-        N x timeout.
+        the whole probe, not each endpoint: the budget is pre-split
+        across the live endpoints (known-dead connections are skipped
+        up front) and a fast endpoint's unused slice rolls forward, so
+        N slow servers cannot stretch one call past the caller's
+        deadline -- the old shared-deadline loop still gave every
+        endpoint a floor slice *plus* an unbounded frame write, which
+        with >= 2 hung endpoints pushed total wall time well past
+        ``timeout``.
         """
         deadline = time.monotonic() + timeout
         reports = []
@@ -618,15 +639,17 @@ class PooledTransport(Transport):
             live = [
                 endpoint.transport
                 for endpoint in self._endpoints
-                if not endpoint.lost and endpoint.transport is not None
+                if not endpoint.lost
+                and endpoint.transport is not None
+                and not endpoint.transport.is_dead
             ]
-        for transport in live:
-            if transport.is_dead:
-                continue
+        for position, transport in enumerate(live):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            budget = remaining / (len(live) - position)
             try:
-                reports.append(
-                    transport.fetch_stats(max(deadline - time.monotonic(), 0.001))
-                )
+                reports.append(transport.fetch_stats(budget))
             except ServiceError:
                 # A dying endpoint noticed by a stats probe: skip it here;
                 # the transport has marked itself dead, so the next

@@ -99,6 +99,13 @@ MSG_EXPORT = "export"
 MSG_EXPORTED = "exported"
 MSG_IMPORT = "import"
 MSG_IMPORTED = "imported"
+#: Admission control: ``("overload", shard_id, batch_id, retry_after_ms)``
+#: is the server shedding a batch because the tenant's bounded queue is
+#: full *and* its scheduling deficit is exhausted.  Clients surface it as
+#: :class:`~repro.errors.ServiceOverloadError` instead of retrying
+#: blindly; ``retry_after_ms`` estimates when the tenant's deficit will
+#: cover its queued work again.
+MSG_OVERLOAD = "overload"
 
 
 def shard_of(signature: str, shards: int) -> int:
@@ -250,6 +257,11 @@ class ShardReport:
     #: several requests' tasks into one IPC round trip (1 for a batch
     #: serving a single request, 0 on the uncoalesced path).
     coalesced_requests: int = 0
+    #: Tenant identity the serving :class:`~repro.service.server.GammaServer`
+    #: resolved for the connection (from the token handshake when auth is
+    #: configured, an anonymous per-connection name otherwise; "" on
+    #: transports with no server in the path).
+    tenant: str = ""
 
 
 # ---------------------------------------------------------------------- #
@@ -416,6 +428,7 @@ def report_to_wire(report: ShardReport) -> list:
         report.queue_wait_ms,
         report.epoch,
         report.coalesced_requests,
+        report.tenant,
     ]
 
 
@@ -576,14 +589,17 @@ def encode_frame(message: tuple, codec: str | None = None) -> bytes:
 
 
 def decode_frame_from_buffer(
-    buffer: bytearray, *, allow_pickle: bool = True
+    buffer: bytearray, *, allow_pickle: bool = True, with_codec: bool = False
 ) -> tuple | None:
     """Decode and consume one complete frame from ``buffer``.
 
     Returns ``None`` when the buffer holds only part of a frame (the
     bytes are left in place for the caller to extend) -- this is what
     lets a polling client survive a receive timeout that lands
-    mid-frame without desyncing the stream.  Raises
+    mid-frame without desyncing the stream.  With ``with_codec=True``
+    returns ``(message, codec)``, mirroring :func:`read_frame` for
+    callers (the TLS server read path) that assemble frames from a
+    buffer but still answer in the client's codec.  Raises
     :class:`ServiceError` on unknown codec tags and oversized lengths.
     """
     header_size = _LENGTH.size + 1
@@ -601,7 +617,10 @@ def decode_frame_from_buffer(
         return None
     payload = bytes(buffer[header_size : header_size + length])
     del buffer[: header_size + length]
-    return message_from_wire(decode_payload(payload, codec, allow_pickle=allow_pickle))
+    message = message_from_wire(
+        decode_payload(payload, codec, allow_pickle=allow_pickle)
+    )
+    return (message, codec) if with_codec else message
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:

@@ -47,12 +47,13 @@ import multiprocessing
 import queue as queue_module
 import random
 import socket
+import ssl
 import time
 from collections import deque
 from dataclasses import replace
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import ServiceError, WorkerCrashError
+from repro.errors import ServiceAuthError, ServiceError, WorkerCrashError
 from repro.privacy import columnar
 from repro.privacy.kernel_registry import (
     GammaKernelRegistry,
@@ -78,7 +79,20 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.service.security import (
+    build_client_ssl_context,
+    expect_auth_reply,
+    send_token,
+)
 from repro.service.worker import process_batch, serve_shard
+
+#: The one connect/probe timeout default for the whole socket layer.
+#: ``connect()``, :func:`probe_endpoint`, :class:`SocketTransport` and
+#: :class:`~repro.service.pool.PooledTransport` all start from this
+#: value (callers still override per call); the pool's health prober
+#: additionally clamps its probe timeout to the probe interval so a
+#: slow endpoint can never make probing fall behind its own schedule.
+DEFAULT_CONNECT_TIMEOUT = 5.0
 
 
 class ExponentialBackoff:
@@ -142,17 +156,31 @@ class ExponentialBackoff:
 
 
 def probe_endpoint(
-    address: str | tuple, *, timeout: float = 1.0, codec: str | None = None
+    address: str | tuple,
+    *,
+    timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    codec: str | None = None,
+    ssl_context: ssl.SSLContext | None = None,
+    auth_token: str | None = None,
 ) -> bool:
     """Whether a Gamma server at ``address`` is up and speaking protocol.
 
     A TCP/unix connect alone would accept half-open listeners, so the
     probe sends a ``("ping",)`` frame and requires a ``("pong", ...)``
     answer -- the lightweight liveness check the pool's health prober
-    uses before re-admitting a lost endpoint.
+    uses before re-admitting a lost endpoint.  ``ssl_context`` and
+    ``auth_token`` carry the probe through the same TLS wrap and token
+    handshake as a real connection, so a server that requires auth still
+    probes healthy for holders of a valid token (and unhealthy for
+    everyone else -- an auth-rejecting endpoint is not serving *you*).
     """
     try:
-        sock = connect(address, timeout=timeout)
+        sock = connect(
+            address,
+            timeout=timeout,
+            ssl_context=ssl_context,
+            auth_token=auth_token,
+        )
     except ServiceError:
         return False
     try:
@@ -645,30 +673,55 @@ def parse_address(address: str | tuple) -> tuple:
     """Normalize a service address.
 
     Accepted forms: ``"unix:/path.sock"`` or a plain ``"/path.sock"``
-    (unix domain), ``"tcp:host:port"`` or ``"host:port"`` (TCP), and
-    the already-parsed tuples ``("unix", path)`` / ``("tcp", host,
-    port)``.
+    (unix domain), ``"tcp:host:port"`` or ``"host:port"`` (plaintext
+    TCP), ``"tls://host:port"`` or ``"tls:host:port"`` (TLS over TCP),
+    and the already-parsed tuples ``("unix", path)`` / ``("tcp", host,
+    port)`` / ``("tls", host, port)``.
     """
     if isinstance(address, tuple):
-        if address and address[0] in ("unix", "tcp"):
+        if address and address[0] in ("unix", "tcp", "tls"):
             return address
         raise ServiceError(f"unrecognized service address {address!r}")
     if address.startswith("unix:"):
         return ("unix", address[len("unix:") :])
     if address.startswith("/"):
         return ("unix", address)
-    rest = address[len("tcp:") :] if address.startswith("tcp:") else address
+    scheme = "tcp"
+    rest = address
+    for prefix in ("tls://", "tls:", "tcp://", "tcp:"):
+        if address.startswith(prefix):
+            scheme = prefix[:3]
+            rest = address[len(prefix) :]
+            break
     host, separator, port = rest.rpartition(":")
     if not separator or not port.isdigit():
         raise ServiceError(
             f"unrecognized service address {address!r} "
-            "(want unix:/path, /path, tcp:host:port or host:port)"
+            "(want unix:/path, /path, tcp:host:port, host:port or tls://host:port)"
         )
-    return ("tcp", host or "127.0.0.1", int(port))
+    return (scheme, host or "127.0.0.1", int(port))
 
 
-def connect(address: str | tuple, *, timeout: float = 10.0) -> socket.socket:
-    """A connected socket to a Gamma server at ``address``."""
+def connect(
+    address: str | tuple,
+    *,
+    timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ssl_context: ssl.SSLContext | None = None,
+    auth_token: str | None = None,
+) -> socket.socket:
+    """A connected (and, for ``tls://``, wrapped and authenticated)
+    socket to a Gamma server at ``address``.
+
+    ``tls://`` addresses are wrapped in ``ssl_context`` (a default
+    verifying context when none is given, so an unpinned self-signed
+    server fails closed rather than silently trusting anyone).  When
+    ``auth_token`` is set the raw token preamble is sent -- after the
+    TLS handshake, so tokens never travel plaintext on TLS endpoints --
+    and the server's 4-byte accept is required before the socket is
+    returned.  TLS and token failures raise
+    :class:`~repro.errors.ServiceAuthError`; there is no fallback to an
+    unauthenticated connection.
+    """
     parsed = parse_address(address)
     if parsed[0] == "unix":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -683,6 +736,48 @@ def connect(address: str | tuple, *, timeout: float = 10.0) -> socket.socket:
     except OSError as exc:
         sock.close()
         raise ServiceError(f"cannot connect to Gamma server at {parsed}: {exc}") from exc
+    if parsed[0] == "tls":
+        context = ssl_context if ssl_context is not None else build_client_ssl_context()
+        try:
+            sock = context.wrap_socket(
+                sock,
+                server_hostname=parsed[1] if context.check_hostname else None,
+            )
+        except ssl.SSLCertVerificationError as exc:
+            sock.close()
+            raise ServiceAuthError(
+                f"certificate verification against Gamma server at {parsed} "
+                f"failed: {exc}"
+            ) from exc
+        except ssl.SSLError as exc:
+            # Not a credential verdict (a bouncing server resets mid
+            # handshake the same way) -- plain ServiceError keeps it
+            # retryable through recover()'s backoff schedule.
+            sock.close()
+            raise ServiceError(
+                f"TLS handshake with Gamma server at {parsed} failed: {exc}"
+            ) from exc
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"connection to Gamma server at {parsed} lost during TLS "
+                f"handshake: {exc}"
+            ) from exc
+    if auth_token is not None:
+        try:
+            send_token(sock, auth_token)
+            expect_auth_reply(sock)
+        except ServiceAuthError:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise ServiceAuthError(
+                f"connection to Gamma server at {parsed} lost during the "
+                f"token handshake: {exc}"
+            ) from exc
     return sock
 
 
@@ -697,6 +792,11 @@ class SocketTransport(Transport):
     shipped set and the coordinator re-ships -- and a server whose
     structure cache evicted an old signature asks for a re-ship with a
     ``("need", batch_id, signatures)`` message instead of failing.
+
+    ``tls://`` addresses are wrapped in ``ssl_context`` and
+    ``auth_token`` runs the raw token preamble, both at connect *and* at
+    every :meth:`recover` reconnect -- a recovered connection is
+    re-authenticated from scratch, never resumed.
     """
 
     name = "socket"
@@ -706,10 +806,12 @@ class SocketTransport(Transport):
         address: str | tuple,
         *,
         codec: str | None = None,
-        connect_timeout: float = 10.0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_restarts: int = 3,
         allow_pickle: bool = True,
         backoff: ExponentialBackoff | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        auth_token: str | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.codec = codec
@@ -721,6 +823,8 @@ class SocketTransport(Transport):
         self.allow_pickle = bool(allow_pickle)
         self.connect_timeout = float(connect_timeout)
         self.max_restarts = int(max_restarts)
+        self.ssl_context = ssl_context
+        self.auth_token = auth_token
         self._restarts = 0
         self._shipped: set[str] = set()
         self._pending: deque[tuple] = deque()
@@ -731,7 +835,16 @@ class SocketTransport(Transport):
         self._rxbuf = bytearray()
         self._dead = False
         self._closed = False
-        self._sock = connect(self.address, timeout=self.connect_timeout)
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        """A freshly connected, TLS-wrapped, authenticated socket."""
+        return connect(
+            self.address,
+            timeout=self.connect_timeout,
+            ssl_context=self.ssl_context,
+            auth_token=self.auth_token,
+        )
 
     @property
     def shard_count(self) -> int:
@@ -742,7 +855,7 @@ class SocketTransport(Transport):
         """Stable name of the endpoint this connection targets."""
         if self.address[0] == "unix":
             return f"unix:{self.address[1]}"
-        return f"tcp:{self.address[1]}:{self.address[2]}"
+        return f"{self.address[0]}:{self.address[1]}:{self.address[2]}"
 
     @property
     def shipped(self) -> frozenset[str]:
@@ -801,7 +914,17 @@ class SocketTransport(Transport):
             try:
                 self._sock.settimeout(0.0)  # non-blocking probe
                 chunk = self._sock.recv(1 << 16)
-            except (BlockingIOError, TimeoutError, socket.timeout):
+            # SSLWantRead/WriteError subclass OSError via SSLError, so a
+            # TLS record that has not fully arrived must be recognised
+            # as "no data yet" *before* the OSError arm below -- or every
+            # partial record would tear the connection down as crashed.
+            except (
+                BlockingIOError,
+                TimeoutError,
+                socket.timeout,
+                ssl.SSLWantReadError,
+                ssl.SSLWantWriteError,
+            ):
                 return
             except OSError:
                 self._dead = True
@@ -848,13 +971,29 @@ class SocketTransport(Transport):
         """One already-received frame without touching the wire.
 
         The connection pool uses this to drain each endpoint's banked
-        frames before blocking in ``select`` across all of them.
+        frames before blocking in ``select`` across all of them.  On a
+        TLS connection "already received" includes plaintext sitting in
+        the SSL layer's record buffer: those bytes are off the wire but
+        invisible to ``select`` on the file descriptor, so they are
+        drained here or the pool would block on a socket that already
+        holds a complete reply.
         """
         if self._pending:
             return self._pending.popleft()
         if self._dead:
             return None
-        return self._decode_buffered()
+        message = self._decode_buffered()
+        if message is not None:
+            return message
+        if (
+            not self._dead
+            and isinstance(self._sock, ssl.SSLSocket)
+            and self._sock.pending() > 0
+        ):
+            self._drain_ready()
+            if self._pending:
+                return self._pending.popleft()
+        return None
 
     @property
     def is_dead(self) -> bool:
@@ -876,7 +1015,11 @@ class SocketTransport(Transport):
         the first retry is immediate (the common bounced-server case)
         and later ones sleep ``self.backoff``'s schedule, so a flapping
         server is not hammered.  Raises :class:`WorkerCrashError` once
-        the budget is spent.
+        the budget is spent.  A reconnect re-runs TLS and the token
+        handshake from scratch; an *auth* rejection is raised
+        immediately rather than retried -- a revoked token will not
+        heal, and burning the reconnect budget on it would masquerade a
+        credential problem as a flaky network.
         """
         attempted = False
         while True:
@@ -895,7 +1038,10 @@ class SocketTransport(Transport):
             self._restarts += 1
             attempted = True
             try:
-                self._sock = connect(self.address, timeout=self.connect_timeout)
+                self._sock = self._connect()
+            except ServiceAuthError:
+                self._dead = True
+                raise
             except ServiceError:
                 self._dead = True
                 continue
@@ -934,7 +1080,9 @@ class SocketTransport(Transport):
         if self._dead:
             raise ServiceError("connection to Gamma server is down")
         try:
-            self._sock.settimeout(self.connect_timeout)
+            # The caller's budget caps the write too: a hung endpoint
+            # must not stretch a budgeted probe to connect_timeout.
+            self._sock.settimeout(max(min(self.connect_timeout, timeout), 0.001))
             write_frame(self._sock, request, self.codec)
         except (OSError, ValueError) as exc:
             self._dead = True
@@ -1021,6 +1169,9 @@ def build_transport(
     rebalance: bool = True,
     ring_slack: int = 1,
     shm_tables: bool | None = None,
+    ssl_context: ssl.SSLContext | None = None,
+    tls_ca: str | None = None,
+    auth_token: str | None = None,
 ) -> Transport:
     """The transport a coordinator should use for the given settings.
 
@@ -1029,9 +1180,16 @@ def build_transport(
     socket transport; otherwise ``workers`` picks in-process (0) or the
     multiprocess pool (>= 1), mirroring the pre-transport
     ``ShardCoordinator(workers=...)`` behavior.
+
+    ``tls_ca`` pins the CA (or the self-signed server certificate
+    itself) that ``tls://`` endpoints must present; ``ssl_context``
+    overrides it with a fully custom client context.  ``auth_token``
+    runs the token handshake on every socket connection (any scheme).
     """
     if endpoints is not None and address is not None:
         raise ServiceError("pass either address= or endpoints=, not both")
+    if ssl_context is None and tls_ca is not None:
+        ssl_context = build_client_ssl_context(tls_ca)
     if endpoints is not None:
         from repro.service.pool import PooledTransport
 
@@ -1043,6 +1201,8 @@ def build_transport(
             probe_interval=probe_interval,
             rebalance=rebalance,
             ring_slack=ring_slack,
+            ssl_context=ssl_context,
+            auth_token=auth_token,
         )
     if address is not None:
         return SocketTransport(
@@ -1050,6 +1210,8 @@ def build_transport(
             codec=codec,
             max_restarts=max_restarts,
             allow_pickle=allow_pickle,
+            ssl_context=ssl_context,
+            auth_token=auth_token,
         )
     if workers < 0:
         raise ServiceError(f"worker count must be >= 0, got {workers}")

@@ -512,7 +512,9 @@ class TestExperimentE11:
     def test_small_sweep_matches_oracle(self):
         from repro.experiments import e11_federation
 
-        config = e11_federation.E11Config(servers=(1, 2), tenants=2, modules=2)
+        config = e11_federation.E11Config(
+            servers=(1, 2), tenants=2, modules=2, tenancy=False
+        )
         rows = e11_federation.run(config)
         assert len(rows) == 4
         assert all(row["matches_oracle"] for row in rows)
@@ -525,7 +527,9 @@ class TestExperimentE11:
     def test_endpoints_override_sweeps_given_federation(self, unix_server):
         from repro.experiments import e11_federation
 
-        config = e11_federation.E11Config(servers=(3,), tenants=1, modules=2)
+        config = e11_federation.E11Config(
+            servers=(3,), tenants=1, modules=2, tenancy=False
+        )
         rows = e11_federation.run(config, endpoints=[unix_server.address])
         assert len(rows) == 1
         assert rows[0]["servers"] == 1

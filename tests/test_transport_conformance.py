@@ -39,7 +39,17 @@ from service_workloads import entry_requests, search_requirements
 
 from repro.privacy.relations import ModuleRelation
 from repro.privacy.workflow_privacy import exact_secure_view
-from repro.service import GammaServer, ShardCoordinator, shard_of
+from repro.service import (
+    GammaServer,
+    ShardCoordinator,
+    generate_self_signed_cert,
+    shard_of,
+)
+
+#: Shared token of the TLS conformance tenants (the matrix runs the
+#: servers with authentication on, so the whole suite exercises the
+#: authenticated hot path, not just a dedicated auth test).
+TLS_TOKEN = "conformance-secret"
 
 RELAXED = settings(
     max_examples=8,
@@ -56,8 +66,21 @@ RELATIONS = st.builds(
     seed=st.integers(min_value=0, max_value=10_000),
 )
 
-#: Every Transport implementation the suite holds to the oracle.
-ALL_KINDS = ("inprocess", "multiprocess", "unix", "tcp", "pooled1", "pooled2", "pooled3")
+#: Every Transport implementation the suite holds to the oracle.  The
+#: ``tls`` kinds run the same servers behind server-side TLS plus the
+#: token handshake: encryption and authentication must be byte-invisible
+#: to every result.
+ALL_KINDS = (
+    "inprocess",
+    "multiprocess",
+    "unix",
+    "tcp",
+    "tls",
+    "pooled1",
+    "pooled2",
+    "pooled3",
+    "tls_pooled2",
+)
 
 #: The kinds owning something that can crash (a worker or a connection).
 CRASHABLE_KINDS = tuple(kind for kind in ALL_KINDS if kind != "inprocess")
@@ -81,7 +104,8 @@ class TransportHarness:
         self.kind = kind
         self.servers: list[GammaServer] = []
         self.socket_dir: str | None = None
-        if kind in ("unix", "tcp") or kind.startswith("pooled"):
+        self.tls_ca: str | None = None
+        if kind != "inprocess" and kind != "multiprocess":
             self.socket_dir = tempfile.mkdtemp(prefix=f"conform-{kind}-")
         if kind == "unix":
             self.servers = [
@@ -91,6 +115,19 @@ class TransportHarness:
             ]
         elif kind == "tcp":
             self.servers = [GammaServer(("tcp", "127.0.0.1", 0)).start()]
+        elif kind.startswith("tls"):
+            cert, key = generate_self_signed_cert(self.socket_dir)
+            self.tls_ca = str(cert)
+            count = 2 if kind == "tls_pooled2" else 1
+            self.servers = [
+                GammaServer(
+                    ("tcp", "127.0.0.1", 0),
+                    tls_cert=str(cert),
+                    tls_key=str(key),
+                    policy={"tenants": {"conformance": {"token": TLS_TOKEN}}},
+                ).start()
+                for _ in range(count)
+            ]
         elif kind.startswith("pooled"):
             self.servers = [
                 GammaServer(
@@ -109,6 +146,24 @@ class TransportHarness:
             return ShardCoordinator(2, task_timeout=60.0)
         if self.kind in ("unix", "tcp"):
             return ShardCoordinator(address=self.servers[0].address, task_timeout=60.0)
+        if self.kind == "tls":
+            _, host, port = self.servers[0].address
+            return ShardCoordinator(
+                address=("tls", host, port),
+                task_timeout=60.0,
+                tls_ca=self.tls_ca,
+                auth_token=TLS_TOKEN,
+            )
+        if self.kind == "tls_pooled2":
+            return ShardCoordinator(
+                endpoints=[
+                    f"tls://{server.address[1]}:{server.address[2]}"
+                    for server in self.servers
+                ],
+                task_timeout=60.0,
+                tls_ca=self.tls_ca,
+                auth_token=TLS_TOKEN,
+            )
         return ShardCoordinator(
             endpoints=[server.address for server in self.servers], task_timeout=60.0
         )
@@ -317,7 +372,8 @@ class TestConformanceFederation:
 class TestConformanceElasticity:
     """Kill -> heal -> re-admit: the elastic membership acceptance cell."""
 
-    def test_conformance_kill_heal_readmission_byte_identical(self):
+    @pytest.mark.parametrize("security", ("plain", "tls"))
+    def test_conformance_kill_heal_readmission_byte_identical(self, security):
         """An endpoint dies mid-search, heals, and is re-admitted.
 
         The full cycle must be invisible to the caller: every search
@@ -326,7 +382,10 @@ class TestConformanceElasticity:
         membership epoch are never double-counted), the background
         prober -- not the caller -- re-admits the healed endpoint, and
         the routing afterwards equals a fresh pool's over the same
-        membership.
+        membership.  The ``tls`` variant runs the identical cycle with
+        every hop encrypted and token-authenticated: failover, health
+        probes and warm-kernel re-admission handoff must all traverse
+        the TLS handshake.
         """
         baseline = exact_secure_view(search_requirements(70))
         # The victim must own live traffic or its loss is never
@@ -340,20 +399,53 @@ class TestConformanceElasticity:
             owned[shard_of(signature, 3)] = owned.get(shard_of(signature, 3), 0) + 1
         victim = max(owned, key=lambda index: owned[index])
         socket_dir = tempfile.mkdtemp(prefix="conform-elastic-")
-        addresses = [
-            ("unix", os.path.join(socket_dir, f"gamma-{index}.sock"))
-            for index in range(3)
-        ]
-        servers = {
-            index: GammaServer(address).start()
-            for index, address in enumerate(addresses)
-        }
+        coordinator_kwargs: dict = {}
+        if security == "tls":
+            cert, key = generate_self_signed_cert(socket_dir)
+            server_kwargs = {
+                "tls_cert": str(cert),
+                "tls_key": str(key),
+                "policy": {"tenants": {"conformance": {"token": TLS_TOKEN}}},
+            }
+            coordinator_kwargs = {"tls_ca": str(cert), "auth_token": TLS_TOKEN}
+            # Bind ephemeral ports once, then pin them: the healed
+            # server must come back on the address the pool probes.
+            servers = {
+                index: GammaServer(("tcp", "127.0.0.1", 0), **server_kwargs).start()
+                for index in range(3)
+            }
+            bind_addresses = {
+                index: ("tcp",) + server.address[1:]
+                for index, server in servers.items()
+            }
+            addresses = [
+                f"tls://{server.address[1]}:{server.address[2]}"
+                for _, server in sorted(servers.items())
+            ]
+
+            def revive(index: int) -> GammaServer:
+                return GammaServer(bind_addresses[index], **server_kwargs).start()
+
+        else:
+            addresses = [
+                ("unix", os.path.join(socket_dir, f"gamma-{index}.sock"))
+                for index in range(3)
+            ]
+            servers = {
+                index: GammaServer(address).start()
+                for index, address in enumerate(addresses)
+            }
+
+            def revive(index: int) -> GammaServer:
+                return GammaServer(addresses[index]).start()
+
         try:
             with ShardCoordinator(
                 endpoints=addresses,
                 task_timeout=60.0,
                 probe_interval=0.05,
                 max_restarts=1,
+                **coordinator_kwargs,
             ) as client:
                 pool = client.transport
                 identity = pool.routing
@@ -381,7 +473,7 @@ class TestConformanceElasticity:
 
                 # Phase 2: heal the server; the background prober (not
                 # the caller) re-admits it and hands its shards back.
-                servers[victim] = GammaServer(addresses[victim]).start()
+                servers[victim] = revive(victim)
                 deadline = time.monotonic() + 30.0
                 while pool.lost_endpoints and time.monotonic() < deadline:
                     time.sleep(0.05)
@@ -397,7 +489,10 @@ class TestConformanceElasticity:
                 assert_search_equivalent(result, baseline)
                 assert pool.stale_completions == 0
                 with ShardCoordinator(
-                    endpoints=addresses, task_timeout=60.0, probe_interval=None
+                    endpoints=addresses,
+                    task_timeout=60.0,
+                    probe_interval=None,
+                    **coordinator_kwargs,
                 ) as fresh:
                     assert pool.routing == fresh.transport.routing == identity
         finally:
